@@ -1,0 +1,126 @@
+// experiments reproduces every table and figure of the paper's
+// evaluation (§VI) in one run and prints them in the order they appear
+// in the paper. See EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison.
+//
+// Usage:
+//
+//	experiments [-quick] [-dhry N] [-coremark N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"straight/internal/bench"
+	"straight/internal/power"
+	"straight/internal/uarch"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the small test scale")
+	dhry := flag.Int("dhry", 0, "override Dhrystone iterations")
+	coremark := flag.Int("coremark", 0, "override CoreMark iterations")
+	flag.Parse()
+
+	scale := bench.ScaleDefault
+	if *quick {
+		scale = bench.ScaleQuick
+	}
+	if *dhry > 0 {
+		scale.DhrystoneIters = *dhry
+	}
+	if *coremark > 0 {
+		scale.CoreMarkIters = *coremark
+	}
+	fmt.Printf("scale: dhrystone=%d iterations, coremark=%d iterations\n\n",
+		scale.DhrystoneIters, scale.CoreMarkIters)
+
+	section("Table I", func() {
+		fmt.Print(bench.FormatTableI())
+	})
+
+	section("Fig 11: 4-way performance", func() {
+		rows, err := bench.PerfComparison(scale, true, uarch.PredGshare)
+		check(err)
+		fmt.Print(bench.FormatPerf("Fig 11: STRAIGHT vs SS (4-way, gshare)", rows))
+	})
+
+	section("Fig 12: 2-way performance", func() {
+		rows, err := bench.PerfComparison(scale, false, uarch.PredGshare)
+		check(err)
+		fmt.Print(bench.FormatPerf("Fig 12: STRAIGHT vs SS (2-way, gshare)", rows))
+	})
+
+	section("Fig 13: misprediction penalty", func() {
+		rows, err := bench.MissPenalty(scale)
+		check(err)
+		fmt.Print(bench.FormatMissPenalty(rows))
+	})
+
+	section("Fig 14: TAGE predictor", func() {
+		rows2, err := bench.PerfComparison(scale, false, uarch.PredTAGE)
+		check(err)
+		rows4, err := bench.PerfComparison(scale, true, uarch.PredTAGE)
+		check(err)
+		fmt.Print(bench.FormatPerf("Fig 14 (2-way, TAGE)", rows2))
+		fmt.Print(bench.FormatPerf("Fig 14 (4-way, TAGE)", rows4))
+	})
+
+	section("Fig 15: instruction mix", func() {
+		rows, err := bench.InstructionMix(scale)
+		check(err)
+		fmt.Print(bench.FormatMix(rows))
+	})
+
+	section("Fig 16: operand distance CDF", func() {
+		cdfs, err := bench.DistanceCDF(scale)
+		check(err)
+		fmt.Print(bench.FormatCDF(cdfs))
+	})
+
+	section("Max-distance sensitivity (§VI-B)", func() {
+		pts, err := bench.MaxDistSweep(scale)
+		check(err)
+		fmt.Print(bench.FormatMaxDist(pts))
+	})
+
+	section("Fig 17: RTL power analysis (activity-model substitution)", func() {
+		rows, share, err := bench.PowerAnalysis(scale)
+		check(err)
+		fmt.Printf("SS rename / other-modules power = %.1f%% (paper: ~5.7%%)\n", 100*share)
+		fmt.Print(power.FormatRows(rows))
+	})
+
+	if *quick {
+		fmt.Println("(skipping ablations and window scaling at -quick; run without -quick for them)")
+		return
+	}
+
+	section("Ablations (design-choice knobs)", func() {
+		rows, err := bench.Ablations(scale)
+		check(err)
+		fmt.Print(bench.FormatAblations(rows))
+	})
+
+	section("Extension: instruction-window scaling", func() {
+		pts, err := bench.WindowScaling(scale)
+		check(err)
+		fmt.Print(bench.FormatWindowScaling(pts))
+	})
+}
+
+func section(name string, f func()) {
+	fmt.Printf("==== %s ====\n", name)
+	start := time.Now()
+	f()
+	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// riscv-sim runs an RV32IM assembly program on the cycle-accurate
+// superscalar ("SS") core model and reports the pipeline statistics.
+//
+// Usage:
+//
+//	riscv-sim [-config 2way|4way] [-tage] [-nopenalty] [-validate] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"straight/internal/cores/sscore"
+	"straight/internal/rasm"
+	"straight/internal/uarch"
+)
+
+func main() {
+	config := flag.String("config", "4way", "model: 2way or 4way (Table I)")
+	tage := flag.Bool("tage", false, "use the TAGE predictor instead of gshare")
+	nopenalty := flag.Bool("nopenalty", false, "idealize misprediction recovery (Fig 13)")
+	validate := flag.Bool("validate", false, "cross-validate against the functional emulator")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: riscv-sim [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	im, err := rasm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := uarch.SS4Way()
+	if *config == "2way" {
+		cfg = uarch.SS2Way()
+	}
+	if *tage {
+		cfg.Predictor = uarch.PredTAGE
+	}
+	cfg.ZeroMispredictPenalty = *nopenalty
+	opts := sscore.Options{CrossValidate: *validate, Output: os.Stdout}
+	res, err := sscore.New(cfg, im, opts).Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "\n--- %s ---\n%s", cfg.Name, res.Stats.String())
+	os.Exit(int(res.ExitCode))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "riscv-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+// straight-as assembles STRAIGHT assembly and prints a disassembly
+// listing of the linked image (addresses, encodings, symbols).
+//
+// Usage:
+//
+//	straight-as file.s
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"straight/internal/sasm"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: straight-as file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "straight-as:", err)
+		os.Exit(1)
+	}
+	im, err := sasm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "straight-as:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("entry: %#08x   text: %d instructions   data: %d bytes\n\n",
+		im.Entry, len(im.Text), len(im.Data))
+	fmt.Print(sasm.Disassemble(im))
+}

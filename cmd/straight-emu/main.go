@@ -1,0 +1,68 @@
+// straight-emu runs a STRAIGHT assembly program on the architectural
+// (functional) emulator and optionally prints execution statistics and a
+// retirement trace.
+//
+// Usage:
+//
+//	straight-emu [-stats] [-trace N] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"straight/internal/emu/straightemu"
+	"straight/internal/isa/straight"
+	"straight/internal/sasm"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print instruction mix and distance statistics")
+	trace := flag.Int("trace", 0, "print the first N retired instructions")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: straight-emu [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	im, err := sasm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	m := straightemu.New(im)
+	m.SetOutput(os.Stdout)
+	if *trace > 0 {
+		m.TraceFn = func(r straightemu.Retired) {
+			if r.Count < uint64(*trace) {
+				name, off, _ := im.NearestSymbol(r.PC)
+				fmt.Fprintf(os.Stderr, "#%-6d %s+%#x: %v => %#x\n", r.Count, name, off, r.Inst, r.Result)
+			}
+		}
+	}
+	n, err := m.Run(4_000_000_000)
+	if err != nil {
+		fatal(err)
+	}
+	_, code := m.Exited()
+	fmt.Fprintf(os.Stderr, "[%d instructions, exit %d]\n", n, code)
+	if *stats {
+		st := m.Stats()
+		fmt.Fprintf(os.Stderr, "instruction mix:\n")
+		for op := straight.Op(0); op < straight.Op(straight.NumOps); op++ {
+			if st.Retired[op] > 0 {
+				fmt.Fprintf(os.Stderr, "  %-6s %12d\n", op, st.Retired[op])
+			}
+		}
+		fmt.Fprintf(os.Stderr, "max operand distance: %d\n", st.MaxObservedDistance)
+	}
+	os.Exit(int(code))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "straight-emu:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// straight-sim runs a STRAIGHT assembly program on the cycle-accurate
+// core model and reports the pipeline statistics.
+//
+// Usage:
+//
+//	straight-sim [-config 2way|4way] [-tage] [-validate] file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"straight/internal/cores/straightcore"
+	"straight/internal/sasm"
+	"straight/internal/uarch"
+)
+
+func main() {
+	config := flag.String("config", "4way", "model: 2way or 4way (Table I)")
+	tage := flag.Bool("tage", false, "use the TAGE predictor instead of gshare")
+	validate := flag.Bool("validate", false, "cross-validate against the functional emulator")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: straight-sim [flags] file.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	im, err := sasm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := uarch.Straight4Way()
+	if *config == "2way" {
+		cfg = uarch.Straight2Way()
+	}
+	if *tage {
+		cfg.Predictor = uarch.PredTAGE
+	}
+	opts := straightcore.Options{CrossValidate: *validate, Output: os.Stdout}
+	res, err := straightcore.New(cfg, im, opts).Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "\n--- %s ---\n%s", cfg.Name, res.Stats.String())
+	os.Exit(int(res.ExitCode))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "straight-sim:", err)
+	os.Exit(1)
+}

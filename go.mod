@@ -1,0 +1,3 @@
+module straight
+
+go 1.22

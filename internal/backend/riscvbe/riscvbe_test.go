@@ -1,0 +1,229 @@
+package riscvbe
+
+import (
+	"bytes"
+	"testing"
+
+	"straight/internal/emu/riscvemu"
+	"straight/internal/ir"
+	"straight/internal/irgen"
+	"straight/internal/minic"
+	"straight/internal/rasm"
+)
+
+func compileAndRun(t *testing.T, src string) string {
+	t.Helper()
+	file, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	mod, err := irgen.Build(file)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	ir.OptimizeModule(mod)
+	asm, err := Compile(mod)
+	if err != nil {
+		t.Fatalf("riscvbe: %v", err)
+	}
+	im, err := rasm.Assemble(asm)
+	if err != nil {
+		t.Fatalf("assemble: %v\n--- asm ---\n%s", err, asm)
+	}
+	m := riscvemu.New(im)
+	var out bytes.Buffer
+	m.SetOutput(&out)
+	if _, err := m.Run(100_000_000); err != nil {
+		t.Fatalf("execute: %v\noutput: %q\n--- asm ---\n%s", err, out.String(), asm)
+	}
+	return out.String()
+}
+
+func oracle(t *testing.T, src string) string {
+	t.Helper()
+	file, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	mod, err := irgen.Build(file)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	ir.OptimizeModule(mod)
+	var out bytes.Buffer
+	in := ir.NewInterp(mod, &out)
+	in.SetMaxSteps(100_000_000)
+	if _, err := in.Run("main"); err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	return out.String()
+}
+
+func check(t *testing.T, src string) {
+	t.Helper()
+	want := oracle(t, src)
+	got := compileAndRun(t, src)
+	if got != want {
+		t.Errorf("output %q, want %q", got, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	check(t, `
+int main() {
+    int a = 1000, b = 37;
+    putint(a + b); putchar(' ');
+    putint(a - b); putchar(' ');
+    putint(a * b); putchar(' ');
+    putint(a / b); putchar(' ');
+    putint(a % b); putchar(' ');
+    putint(-a >> 3); putchar(' ');
+    putint(a << 2); putchar(' ');
+    puthex(0xDEADBEEF); putchar(' ');
+    putuint(4000000000u);
+    return 0;
+}`)
+}
+
+func TestControlFlowAndLoops(t *testing.T) {
+	check(t, `
+int main() {
+    int i, sum = 0;
+    for (i = 1; i <= 100; i++) sum += i;
+    putint(sum); putchar(' ');
+    i = 0;
+    while (i < 10) { if (i == 5) break; i++; }
+    putint(i); putchar(' ');
+    int odd = 0;
+    for (i = 0; i < 10; i++) { if (i % 2 == 0) continue; odd += i; }
+    putint(odd);
+    return 0;
+}`)
+}
+
+func TestCallsRecursionManyLocals(t *testing.T) {
+	check(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int many(int a, int b, int c, int d, int e, int f, int g, int h) {
+    return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h;
+}
+int main() {
+    putint(fib(14)); putchar(' ');
+    putint(many(1, 2, 3, 4, 5, 6, 7, 8)); putchar(' ');
+    int x1 = 1, x2 = 2, x3 = 3, x4 = 4, x5 = 5, x6 = 6, x7 = 7, x8 = 8;
+    int x9 = 9, x10 = 10, x11 = 11, x12 = 12, x13 = 13, x14 = 14;
+    int y = fib(10);
+    putint(x1+x2+x3+x4+x5+x6+x7+x8+x9+x10+x11+x12+x13+x14+y);
+    return 0;
+}`)
+}
+
+// TestRegisterPressureSpills forces more live values than allocatable
+// registers so the spill path executes.
+func TestRegisterPressureSpills(t *testing.T) {
+	check(t, `
+int main() {
+    int a0 = 1, a1 = 2, a2 = 3, a3 = 4, a4 = 5, a5 = 6, a6 = 7;
+    int a7 = 8, a8 = 9, a9 = 10, b0 = 11, b1 = 12, b2 = 13, b3 = 14;
+    int b4 = 15, b5 = 16, b6 = 17, b7 = 18, b8 = 19, b9 = 20;
+    int c0 = 21, c1 = 22, c2 = 23, c3 = 24;
+    int i;
+    for (i = 0; i < 3; i++) {
+        a0 += b0; a1 += b1; a2 += b2; a3 += b3; a4 += b4;
+        a5 += b5; a6 += b6; a7 += b7; a8 += b8; a9 += b9;
+        c0 ^= a0; c1 ^= a1; c2 ^= a2; c3 ^= a3;
+    }
+    putint(a0+a1+a2+a3+a4+a5+a6+a7+a8+a9);
+    putchar(' ');
+    putint(b0+b1+b2+b3+b4+b5+b6+b7+b8+b9);
+    putchar(' ');
+    putint(c0+c1+c2+c3);
+    return 0;
+}`)
+}
+
+func TestMemoryStructsStrings(t *testing.T) {
+	check(t, `
+struct Rec { struct Rec *next; int v; char tag; };
+struct Rec pool[4];
+char msg[16] = "rv32im";
+int main() {
+    int i;
+    for (i = 0; i < 4; i++) { pool[i].v = i * i; pool[i].tag = 'a' + i; }
+    for (i = 0; i < 3; i++) pool[i].next = &pool[i + 1];
+    pool[3].next = 0;
+    struct Rec *p = &pool[0];
+    int sum = 0;
+    while (p) { sum += p->v; p = p->next; }
+    putint(sum); putchar(' ');
+    putchar(pool[2].tag); putchar(' ');
+    putchar(msg[1]); putchar(' ');
+    short h = -2;
+    unsigned short uh = 65534;
+    putint(h); putchar(' '); putint(uh);
+    return 0;
+}`)
+}
+
+func TestSwitchTernaryLogical(t *testing.T) {
+	check(t, `
+int classify(int v) {
+    switch (v) {
+    case 0: return 100;
+    case 1:
+    case 2: return 200;
+    case 3: break;
+    default: return v < 10 ? 300 : 400;
+    }
+    return 500;
+}
+int main() {
+    int i;
+    for (i = 0; i < 12; i++) { putint(classify(i)); putchar(' '); }
+    putint(1 && 0); putint(1 || 0); putint(!5);
+    return 0;
+}`)
+}
+
+func TestFunctionPointersRV(t *testing.T) {
+	check(t, `
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int apply(int (*f)(int, int), int x, int y) { return f(x, y); }
+int main() {
+    int r = 0;
+    r += apply(add, 30, 12);
+    r += apply(&sub, 30, 12);
+    putint(r);
+    return 0;
+}`)
+}
+
+func TestPhiSwapPattern(t *testing.T) {
+	// The a,b = b,a pattern creates a phi-copy cycle on the back edge.
+	check(t, `
+int main() {
+    int a = 3, b = 17, i;
+    for (i = 0; i < 7; i++) {
+        int t = a;
+        a = b;
+        b = t + 1;
+    }
+    putint(a); putchar(' '); putint(b);
+    return 0;
+}`)
+}
+
+func TestGlobalsWithRelocs(t *testing.T) {
+	check(t, `
+int xs[3] = {7, 8, 9};
+int *p = xs;
+char *s = "ok";
+int main() {
+    putint(p[2]); putchar(s[0]); putchar(s[1]);
+    return 0;
+}`)
+}

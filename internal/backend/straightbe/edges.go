@@ -1,0 +1,395 @@
+package straightbe
+
+import (
+	"fmt"
+
+	"straight/internal/ir"
+)
+
+// neededFor returns (and caches) the block's refresh set.
+func (fe *fnEmitter) neededFor(b *ir.Block) []*ir.Value {
+	if fe.blockNeeded == nil {
+		fe.blockNeeded = make(map[*ir.Block][]*ir.Value)
+	}
+	if n, ok := fe.blockNeeded[b]; ok {
+		return n
+	}
+	needed := fe.computeNeeded(b)
+	fe.blockNeeded[b] = needed
+	return needed
+}
+
+// computeNeeded collects the values a block keeps alive in the window:
+// instruction arguments, outgoing frame-slot sources, deferred producers'
+// arguments, and the link on return paths. Rematerializable and
+// stack-relayed values are excluded — they are regenerated or reloaded on
+// demand instead of being refresh-relayed.
+func (fe *fnEmitter) computeNeeded(b *ir.Block) []*ir.Value {
+	set := make(map[*ir.Value]bool)
+	add := func(w *ir.Value) {
+		if w != nil && liveTracked(w) {
+			set[w] = true
+		}
+	}
+	for _, w := range b.Insns {
+		if w.Op == ir.OpPhi {
+			continue
+		}
+		for _, a := range w.Args {
+			add(a)
+		}
+	}
+	for _, s := range b.Succs {
+		idx := s.PredIndex(b)
+		for _, slot := range fe.frames[s] {
+			src := slot
+			if slot.Op == ir.OpPhi && slot.Block == s {
+				src = slot.Args[idx]
+			}
+			add(src)
+			if fe.deferred[src] {
+				for _, a := range src.Args {
+					add(a)
+				}
+			}
+		}
+	}
+	if hasRet(b) && !fe.slotBacked[fe.vLINK] {
+		set[fe.vLINK] = true
+	}
+	// vSP, remat, and stack-relayed values regenerate or reload on
+	// demand; keeping them out of the refresh set avoids pointless relay
+	// RMOVs and bounds window pressure.
+	delete(set, fe.vSP)
+	for w := range set {
+		if fe.remat[w] || fe.slotBacked[w] {
+			delete(set, w)
+		}
+	}
+	return sortedByID(set)
+}
+
+func hasRet(b *ir.Block) bool {
+	t := b.Terminator()
+	return t != nil && t.Op == ir.OpRet
+}
+
+// edgeSources resolves the produce-sequence source values for edge P->S.
+func (fe *fnEmitter) edgeSources(pred, succ *ir.Block) []*ir.Value {
+	frame := fe.frames[succ]
+	idx := succ.PredIndex(pred)
+	srcs := make([]*ir.Value, len(frame))
+	for j, slot := range frame {
+		if slot.Op == ir.OpPhi && slot.Block == succ {
+			srcs[j] = slot.Args[idx]
+		} else {
+			srcs[j] = slot
+		}
+	}
+	return srcs
+}
+
+// emitEdge emits the produce sequence establishing succ's register frame
+// followed by exactly one control slot (J, or NOP when succ is the next
+// block in layout and the edge is inline).
+func (fe *fnEmitter) emitEdge(c *blockCtx, pred, succ *ir.Block, inline bool) error {
+	srcs := fe.edgeSources(pred, succ)
+
+	// Pre-materialize every source (and deferred producers' arguments) so
+	// each slot is exactly one instruction.
+	for _, src := range srcs {
+		if fe.deferred[src] && src.Block == pred && !c.resident(src) {
+			for _, a := range src.Args {
+				if liveTracked(a) {
+					if err := fe.materialize(c, a); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
+		if err := fe.materialize(c, src); err != nil {
+			return err
+		}
+	}
+	// Keep all sources reachable through the whole sequence.
+	pre := make(map[*ir.Value]bool)
+	for _, src := range srcs {
+		if fe.deferred[src] && src.Block == pred && !c.resident(src) {
+			for _, a := range src.Args {
+				if liveTracked(a) {
+					pre[a] = true
+				}
+			}
+		} else {
+			pre[src] = true
+		}
+	}
+	if err := fe.refresh(c, sortedByID(pre), len(srcs)+2); err != nil {
+		return err
+	}
+
+	for _, src := range srcs {
+		if fe.deferred[src] && src.Block == pred && !c.resident(src) {
+			if err := fe.emitDeferredProducer(c, src); err != nil {
+				return err
+			}
+			continue
+		}
+		d, err := fe.use(c, src)
+		if err != nil {
+			return err
+		}
+		fe.op(c, "RMOV [%d]", d)
+	}
+
+	if inline && fe.next[pred] == succ && !fe.edgePendingBefore(succ) {
+		fe.op(c, "NOP")
+	} else {
+		fe.op(c, "J %s", fe.labelOf[succ])
+	}
+	return nil
+}
+
+// edgePendingBefore reports whether out-of-line edges will be emitted
+// between here and the fall-through target — they are all appended after
+// the last block, so fall-through into the next block is only broken when
+// succ would not actually be next in the emitted stream. Since pending
+// edges go at the very end, inline fall-through is always safe except
+// when succ is the function's last block and pending edges exist... which
+// cannot happen because pending edges follow all blocks. It always
+// returns false and exists to document the invariant.
+func (fe *fnEmitter) edgePendingBefore(succ *ir.Block) bool { return false }
+
+// emitDeferredProducer sinks a single-instruction producer into a frame
+// slot (RE+, Fig 10(b)).
+func (fe *fnEmitter) emitDeferredProducer(c *blockCtx, v *ir.Value) error {
+	switch v.Op {
+	case ir.OpBin:
+		k := ir.BinKind(v.Aux)
+		if rhs := v.Args[1]; rhs.Op == ir.OpConst {
+			if mn := binImmMnemonic(k); mn != "" && immFits(mn, rhs.Const) {
+				imm := rhs.Const
+				if k == ir.BinSub {
+					imm = -imm
+				}
+				d, err := fe.use(c, v.Args[0])
+				if err != nil {
+					return err
+				}
+				fe.op(c, "%s [%d], %d", mn, d, imm)
+				c.local[v] = c.pos - 1
+				return nil
+			}
+		}
+		d1, err := fe.use(c, v.Args[0])
+		if err != nil {
+			return err
+		}
+		d2, err := fe.use(c, v.Args[1])
+		if err != nil {
+			return err
+		}
+		fe.op(c, "%s [%d], [%d]", binMnemonic[k], d1, d2)
+		c.local[v] = c.pos - 1
+		return nil
+	case ir.OpCmp:
+		k := ir.CmpKind(v.Aux)
+		mn := "SLT"
+		if k == ir.CmpULt {
+			mn = "SLTU"
+		}
+		d1, err := fe.use(c, v.Args[0])
+		if err != nil {
+			return err
+		}
+		d2, err := fe.use(c, v.Args[1])
+		if err != nil {
+			return err
+		}
+		fe.op(c, "%s [%d], [%d]", mn, d1, d2)
+		c.local[v] = c.pos - 1
+		return nil
+	}
+	return fmt.Errorf("cannot defer producer %s (op %v)", v.Name(), v.Op)
+}
+
+func (fe *fnEmitter) emitCondBr(c *blockCtx, v *ir.Value) error {
+	b := v.Block
+	thenB, elseB := b.Succs[0], b.Succs[1]
+	d, err := fe.use(c, v.Args[0])
+	if err != nil {
+		return err
+	}
+	// Invert the branch so the likely path (the then-successor, which the
+	// layout places next) falls through — minimizing taken control
+	// transfers, which break fetch groups. The else edge goes out of
+	// line behind a taken BEZ.
+	label := fmt.Sprintf(".L%s_e%d", fe.f.Name, len(fe.pendingOut))
+	fe.op(c, "BEZ [%d], %s", d, label)
+	taken := c.clone()
+	fe.pendingOut = append(fe.pendingOut, outOfLine{label: label, ctx: taken, pred: b, target: elseB})
+	// Fall-through: the then edge continues inline.
+	return fe.emitEdge(c, b, thenB, true)
+}
+
+// ensureClose makes v resident within bound-slack of the current
+// position, reloading/rematerializing (dropping any stale copy) or
+// relaying with an RMOV as appropriate.
+func (fe *fnEmitter) ensureClose(c *blockCtx, v *ir.Value, slack int) error {
+	d, err := fe.use(c, v)
+	if err != nil {
+		return err
+	}
+	if d <= fe.bound-slack {
+		return nil
+	}
+	if fe.slotBacked[v] || fe.remat[v] || v == fe.vSP {
+		delete(c.local, v)
+		delete(c.frame, v)
+		return fe.materialize(c, v)
+	}
+	fe.op(c, "RMOV [%d]", d)
+	c.local[v] = c.pos - 1
+	return nil
+}
+
+func (fe *fnEmitter) emitRet(c *blockCtx, v *ir.Value) error {
+	// Everything that might reload from the frame (the link, the return
+	// value) must materialize BEFORE the SPADD restore: afterwards a
+	// fresh SPADD 0 anchor would point at the caller's frame.
+	if err := fe.ensureClose(c, fe.vLINK, 8); err != nil {
+		return err
+	}
+	var rv *ir.Value
+	if len(v.Args) == 1 {
+		rv = v.Args[0]
+		if err := fe.ensureClose(c, rv, 5); err != nil {
+			return err
+		}
+		// Re-pin the link if materializing the value pushed it out.
+		if err := fe.ensureClose(c, fe.vLINK, 5); err != nil {
+			return err
+		}
+	}
+	if fe.hasFrame {
+		fe.op(c, "SPADD %d", fe.frameSize)
+	}
+	if rv != nil {
+		d, err := c.dist(rv)
+		if err != nil {
+			return err
+		}
+		if d > fe.bound {
+			return fmt.Errorf("return value drifted to %d after frame restore", d)
+		}
+		if d != 1 {
+			fe.op(c, "RMOV [%d]", d)
+		}
+	}
+	dl, err := c.dist(fe.vLINK)
+	if err != nil {
+		return err
+	}
+	if dl > fe.bound {
+		return fmt.Errorf("link drifted to %d after frame restore", dl)
+	}
+	fe.op(c, "JR [%d]", dl)
+	return nil
+}
+
+// emitCall lowers OpCall: SYS builtins inline; real calls follow the
+// calling convention (args produced immediately before JAL/JALR).
+func (fe *fnEmitter) emitCall(c *blockCtx, v *ir.Value) error {
+	if !isRealCall(v) {
+		return fe.emitSys(c, v)
+	}
+	indirect := v.Sym == ""
+	args := v.Args
+	var target *ir.Value
+	if indirect {
+		target = v.Args[0]
+		args = v.Args[1:]
+	}
+
+	// Pre-materialize everything the argument sequence reads.
+	if indirect {
+		if err := fe.materialize(c, target); err != nil {
+			return err
+		}
+	}
+	for _, a := range args {
+		if err := fe.materialize(c, a); err != nil {
+			return err
+		}
+	}
+	pre := make(map[*ir.Value]bool, len(args)+1)
+	for _, a := range args {
+		pre[a] = true
+	}
+	if target != nil {
+		pre[target] = true
+	}
+	if err := fe.refresh(c, sortedByID(pre), len(args)+3); err != nil {
+		return err
+	}
+
+	// Produce: [target] arg(n-1) ... arg(0), then JAL/JALR.
+	if indirect {
+		d, err := fe.use(c, target)
+		if err != nil {
+			return err
+		}
+		fe.op(c, "RMOV [%d]", d)
+	}
+	for i := len(args) - 1; i >= 0; i-- {
+		d, err := fe.use(c, args[i])
+		if err != nil {
+			return err
+		}
+		fe.op(c, "RMOV [%d]", d)
+	}
+	if indirect {
+		fe.op(c, "JALR [%d]", len(args)+1)
+	} else {
+		fe.op(c, "JAL %s", v.Sym)
+	}
+
+	// The callee executed an unknown number of instructions: every
+	// pre-call distance is dead. Start a fresh segment where the callee's
+	// JR is at distance 1 and the return value at distance 2.
+	c.pos = 0
+	c.local = make(map[*ir.Value]int)
+	c.frame = make(map[*ir.Value]int)
+	c.frameLen = 0
+	if v.Type != ir.TypeVoid {
+		c.local[v] = -2
+	}
+	return fe.afterDef(c, v)
+}
+
+// emitSys lowers the console/exit/cycle builtins to SYS instructions.
+func (fe *fnEmitter) emitSys(c *blockCtx, v *ir.Value) error {
+	fn := map[string]string{
+		"__putc": "putc", "__puti": "puti", "__putu": "putu",
+		"__putx": "putx", "__exit": "exit", "__cycles": "cycle",
+	}[v.Sym]
+	if fn == "" {
+		return fmt.Errorf("unknown builtin %q", v.Sym)
+	}
+	if fn == "cycle" {
+		fe.op(c, "SYS cycle")
+		c.local[v] = c.pos - 1
+		return fe.afterDef(c, v)
+	}
+	d, err := fe.use(c, v.Args[0])
+	if err != nil {
+		return err
+	}
+	fe.op(c, "SYS %s, [%d]", fn, d)
+	if v.Type != ir.TypeVoid {
+		c.local[v] = c.pos - 1
+		return fe.afterDef(c, v)
+	}
+	return nil
+}

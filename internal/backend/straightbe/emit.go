@@ -1,0 +1,654 @@
+package straightbe
+
+import (
+	"fmt"
+
+	"straight/internal/ir"
+)
+
+// ---- Instruction selection tables ----
+
+var binMnemonic = map[ir.BinKind]string{
+	ir.BinAdd: "ADD", ir.BinSub: "SUB", ir.BinMul: "MUL",
+	ir.BinDiv: "DIV", ir.BinUDiv: "DIVU", ir.BinRem: "REM", ir.BinURem: "REMU",
+	ir.BinAnd: "AND", ir.BinOr: "OR", ir.BinXor: "XOR",
+	ir.BinShl: "SLL", ir.BinShr: "SRL", ir.BinSar: "SRA",
+}
+
+// binImmMnemonic returns the immediate form, or "" if none exists.
+func binImmMnemonic(k ir.BinKind) string {
+	switch k {
+	case ir.BinAdd, ir.BinSub:
+		return "ADDi" // sub folds as negative addi
+	case ir.BinAnd:
+		return "ANDi"
+	case ir.BinOr:
+		return "ORi"
+	case ir.BinXor:
+		return "XORi"
+	case ir.BinShl:
+		return "SLLi"
+	case ir.BinShr:
+		return "SRLi"
+	case ir.BinSar:
+		return "SRAi"
+	}
+	return ""
+}
+
+func immFits(mnemonic string, c int32) bool {
+	if mnemonic == "" {
+		return false
+	}
+	if mnemonic == "ADDi" {
+		// Leave headroom so BinSub can negate.
+		return c > -8191 && c <= 8191
+	}
+	return c >= -8192 && c <= 8191
+}
+
+var loadMnemonic = map[ir.MemKind]string{
+	ir.MemW: "LW", ir.MemB: "LB", ir.MemBU: "LBU", ir.MemH: "LH", ir.MemHU: "LHU",
+}
+
+var storeMnemonic = map[ir.MemKind]string{
+	ir.MemW: "SW", ir.MemB: "SB", ir.MemBU: "SB", ir.MemH: "SH", ir.MemHU: "SH",
+}
+
+// ---- Top-level block emission ----
+
+func (fe *fnEmitter) emitBlocks() error {
+	for _, b := range fe.blocks {
+		if err := fe.emitBlock(b); err != nil {
+			return fmt.Errorf("block %s: %w", b.Name, err)
+		}
+	}
+	// Out-of-line taken-edge sequences.
+	for _, ool := range fe.pendingOut {
+		fe.line("%s:", ool.label)
+		if err := fe.emitEdge(ool.ctx, ool.pred, ool.target, false); err != nil {
+			return fmt.Errorf("edge %s->%s: %w", ool.pred.Name, ool.target.Name, err)
+		}
+	}
+	fe.pendingOut = nil
+	return nil
+}
+
+func (fe *fnEmitter) emitBlock(b *ir.Block) error {
+	if b != fe.f.Entry() {
+		fe.line("%s:", fe.labelOf[b])
+	}
+	c := fe.entryCtx(b)
+
+	if b == fe.f.Entry() {
+		if err := fe.emitPrologue(c); err != nil {
+			return err
+		}
+	} else {
+		// Spill slot-backed phis right after entry. The preamble can grow
+		// past the distance bound, so each iteration refreshes both the
+		// block's window-resident values and the phis still awaiting
+		// their spill (whose slots are not yet valid to reload from).
+		var pendingPhis []*ir.Value
+		for _, phi := range b.Phis() {
+			if fe.slotBacked[phi] {
+				pendingPhis = append(pendingPhis, phi)
+			}
+		}
+		for len(pendingPhis) > 0 {
+			phi := pendingPhis[0]
+			keep := append(append([]*ir.Value(nil), fe.neededFor(b)...), pendingPhis...)
+			if err := fe.refresh(c, keep, 12); err != nil {
+				return err
+			}
+			if err := fe.spill(c, phi); err != nil {
+				return err
+			}
+			pendingPhis = pendingPhis[1:]
+		}
+	}
+
+	for i, v := range b.Insns[len(b.Phis()):] {
+		if DebugAnnotate {
+			fe.line("# %s %v aux=%d sym=%s", v.Name(), v.Op, v.Aux, v.Sym)
+		}
+		if err := fe.emitInsn(c, v, i); err != nil {
+			return fmt.Errorf("%s: %w", v.Name(), err)
+		}
+	}
+	return nil
+}
+
+// entryCtx builds the starting context for a block.
+func (fe *fnEmitter) entryCtx(b *ir.Block) *blockCtx {
+	c := &blockCtx{
+		local: make(map[*ir.Value]int),
+		frame: make(map[*ir.Value]int),
+	}
+	if b == fe.f.Entry() {
+		// Calling convention frame: [param(n-1) ... param(0), LINK] with
+		// the JAL itself as the final producer (gap 0): LINK at [1],
+		// param 0 at [2], param i at [i+2].
+		n := fe.f.NParams
+		params := make([]*ir.Value, n)
+		for _, v := range b.Insns {
+			if v.Op == ir.OpParam && v.Aux < n {
+				params[v.Aux] = v
+			}
+		}
+		c.gap = 0
+		c.frameLen = n + 1
+		for i, p := range params {
+			if p != nil {
+				c.frame[p] = n - 1 - i
+			}
+		}
+		c.frame[fe.vLINK] = n
+		return c
+	}
+	c.gap = 1
+	frame := fe.frames[b]
+	c.frameLen = len(frame)
+	for j, v := range frame {
+		c.frame[v] = j
+	}
+	return c
+}
+
+func (fe *fnEmitter) emitPrologue(c *blockCtx) error {
+	if fe.hasFrame {
+		fe.op(c, "SPADD %d", -fe.frameSize)
+		c.local[fe.vSP] = c.pos - 1
+	}
+	// Spill the link and any slot-backed parameters.
+	if fe.slotBacked[fe.vLINK] {
+		if err := fe.spill(c, fe.vLINK); err != nil {
+			return err
+		}
+	}
+	for _, v := range fe.f.Entry().Insns {
+		if v.Op == ir.OpParam && fe.slotBacked[v] {
+			if err := fe.spill(c, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---- Value access ----
+
+// materialize makes v addressable by distance, emitting remat or reload
+// code if needed, and returns nothing; callers then use c.dist.
+func (fe *fnEmitter) materialize(c *blockCtx, v *ir.Value) error {
+	if c.resident(v) {
+		// A reloadable value whose window copy has drifted near the bound
+		// is dropped and regenerated NOW, so that callers can materialize
+		// all operands first and then read distances without any further
+		// emission invalidating them.
+		d, err := c.dist(v)
+		if err == nil && d > fe.bound-4 && (fe.slotBacked[v] || fe.remat[v] || v == fe.vSP) {
+			delete(c.local, v)
+			delete(c.frame, v)
+		} else {
+			return nil
+		}
+	}
+	switch {
+	case v == fe.vSP:
+		// The architectural SP is always current: copy it.
+		fe.op(c, "SPADD 0")
+		c.local[v] = c.pos - 1
+		return nil
+	case v.Op == ir.OpConst:
+		fe.emitConst(c, v.Const)
+		c.local[v] = c.pos - 1
+		return nil
+	case v.Op == ir.OpGlobalAddr && fe.remat[v]:
+		fe.emitGlobalAddr(c, v.Sym)
+		c.local[v] = c.pos - 1
+		return nil
+	case v.Op == ir.OpAlloca && fe.remat[v]:
+		d, err := fe.useSP(c)
+		if err != nil {
+			return err
+		}
+		fe.op(c, "ADDi [%d], %d", d, fe.allocaOff[v])
+		c.local[v] = c.pos - 1
+		return nil
+	case fe.slotBacked[v]:
+		d, err := fe.useSP(c)
+		if err != nil {
+			return err
+		}
+		fe.op(c, "LW [%d], %d", d, fe.slotOf[v])
+		c.local[v] = c.pos - 1
+		return nil
+	}
+	return fmt.Errorf("cannot materialize %s (op %v)", v.Name(), v.Op)
+}
+
+// useSP returns a within-bound distance to the stack anchor, refreshing
+// it with SPADD 0 (the architectural SP is always current) when the last
+// copy has drifted too deep.
+func (fe *fnEmitter) useSP(c *blockCtx) (int, error) {
+	if err := fe.materialize(c, fe.vSP); err != nil {
+		return 0, err
+	}
+	d, err := c.dist(fe.vSP)
+	if err != nil {
+		return 0, err
+	}
+	if d > fe.bound-2 {
+		fe.op(c, "SPADD 0")
+		c.local[fe.vSP] = c.pos - 1
+		d = 1
+	}
+	return d, nil
+}
+
+// use materializes v and returns its distance, refreshing it with a relay
+// RMOV if the distance exceeds the bound (distance bounding, §IV-C3).
+func (fe *fnEmitter) use(c *blockCtx, v *ir.Value) (int, error) {
+	if err := fe.materialize(c, v); err != nil {
+		return 0, err
+	}
+	d, err := c.dist(v)
+	if err != nil {
+		return 0, err
+	}
+	if d > fe.bound && (fe.slotBacked[v] || fe.remat[v] || v == fe.vSP) {
+		// A stale window copy of a rematerializable or stack-relayed
+		// value drifted out of reach; drop it and regenerate fresh.
+		delete(c.local, v)
+		delete(c.frame, v)
+		if err := fe.materialize(c, v); err != nil {
+			return 0, err
+		}
+		if d, err = c.dist(v); err != nil {
+			return 0, err
+		}
+	}
+	if d > fe.bound {
+		// Window-resident values are kept in range by refresh; exceeding
+		// the bound here is an internal error.
+		return 0, fmt.Errorf("distance %d of %s exceeds bound %d", d, v.Name(), fe.bound)
+	}
+	return d, nil
+}
+
+// refresh re-produces resident values whose distance is near the bound so
+// no later use can exceed it. margin is the number of upcoming
+// instructions that must stay safe (e.g. a produce sequence's length).
+func (fe *fnEmitter) refresh(c *blockCtx, needed []*ir.Value, margin int) error {
+	limit := fe.bound - margin - 1
+	if limit < 2 {
+		return fmt.Errorf("distance bound %d too tight for margin %d", fe.bound, margin)
+	}
+	for guard := 0; ; guard++ {
+		if guard > 4*len(needed)+64 {
+			return fmt.Errorf("refresh did not converge: %d values exceed window pressure under bound %d", len(needed), fe.bound)
+		}
+		var worst *ir.Value
+		worstD := 0
+		for _, v := range needed {
+			if !c.resident(v) {
+				continue
+			}
+			d, err := c.dist(v)
+			if err != nil {
+				continue
+			}
+			// Values already beyond the bound cannot be relayed. The
+			// static needed set is per-block, so this occurs for values
+			// past their last use that drifted during a long expansion
+			// (e.g. a call sequence); a genuinely live value cannot get
+			// here and would fail loudly at its use.
+			if d > limit && d <= fe.bound && d > worstD {
+				worst, worstD = v, d
+			}
+		}
+		if worst == nil {
+			return nil
+		}
+		fe.op(c, "RMOV [%d]", worstD)
+		c.local[worst] = c.pos - 1
+	}
+}
+
+// spill stores v's current value to its stack slot.
+func (fe *fnEmitter) spill(c *blockCtx, v *ir.Value) error {
+	off := fe.slotOf[v]
+	// Materialize the value first (it is typically a fresh def or a
+	// frame-resident phi, so this emits nothing), then get a bounded SP
+	// anchor; both distances are then read at the same emission point.
+	if err := fe.materialize(c, v); err != nil {
+		return err
+	}
+	dsp, err := fe.useSP(c)
+	if err != nil {
+		return err
+	}
+	dv, err := fe.use(c, v)
+	if err != nil {
+		return err
+	}
+	if off >= -8 && off <= 7 {
+		fe.op(c, "SW [%d], [%d], %d", dsp, dv, off)
+		return nil
+	}
+	// Large offset: form the address; the ADDi shifts v by exactly one.
+	fe.op(c, "ADDi [%d], %d", dsp, off)
+	if dv+1 > fe.bound {
+		return fmt.Errorf("spill of %s: value drifted to %d during address formation", v.Name(), dv+1)
+	}
+	fe.op(c, "SW [1], [%d], 0", dv+1)
+	return nil
+}
+
+// emitConst materializes a 32-bit constant (1 or 2 instructions).
+func (fe *fnEmitter) emitConst(c *blockCtx, v int32) {
+	if v >= -8192 && v <= 8191 {
+		fe.op(c, "ADDi [0], %d", v)
+		return
+	}
+	fe.op(c, "LUI %d", uint32(v)>>8)
+	fe.op(c, "ORi [1], %d", uint32(v)&0xFF)
+}
+
+func (fe *fnEmitter) emitGlobalAddr(c *blockCtx, sym string) {
+	fe.op(c, "LUI hi(%s)", sym)
+	fe.op(c, "ORi [1], lo(%s)", sym)
+}
+
+// ---- Instruction emission ----
+
+func (fe *fnEmitter) emitInsn(c *blockCtx, v *ir.Value, idx int) error {
+	// Keep everything this block still needs FROM HERE ON within the
+	// distance bound (values past their last use are left to drift).
+	// The margin covers the worst-case expansion of one IR instruction
+	// (two 2-instruction materializations, a stale reload chain, the
+	// operation itself, and a slot-backed def's spill sequence).
+	if err := fe.refresh(c, fe.planFor(v.Block).neededAt(idx), 12); err != nil {
+		return err
+	}
+	switch v.Op {
+	case ir.OpConst:
+		// Rematerialized on demand.
+		return nil
+	case ir.OpGlobalAddr, ir.OpAlloca:
+		if fe.remat[v] {
+			return nil
+		}
+		if v.Op == ir.OpGlobalAddr {
+			fe.emitGlobalAddr(c, v.Sym)
+		} else {
+			if err := fe.materialize(c, fe.vSP); err != nil {
+				return err
+			}
+			d, _ := c.dist(fe.vSP)
+			fe.op(c, "ADDi [%d], %d", d, fe.allocaOff[v])
+		}
+		c.local[v] = c.pos - 1
+		return fe.afterDef(c, v)
+	case ir.OpParam:
+		return nil // defined by the entry frame
+	case ir.OpBin:
+		if fe.deferred[v] || fe.foldAddr[v] {
+			return nil
+		}
+		if err := fe.emitBin(c, v); err != nil {
+			return err
+		}
+		return fe.afterDef(c, v)
+	case ir.OpCmp:
+		if fe.deferred[v] {
+			return nil
+		}
+		if err := fe.emitCmp(c, v); err != nil {
+			return err
+		}
+		return fe.afterDef(c, v)
+	case ir.OpSext, ir.OpZext:
+		if err := fe.emitExt(c, v); err != nil {
+			return err
+		}
+		return fe.afterDef(c, v)
+	case ir.OpLoad:
+		addr, off, err := fe.memOperand(c, v.Args[0], 4095)
+		if err != nil {
+			return err
+		}
+		fe.op(c, "%s [%d], %d", loadMnemonic[ir.MemKind(v.Aux)], addr, off)
+		c.local[v] = c.pos - 1
+		return fe.afterDef(c, v)
+	case ir.OpStore:
+		return fe.emitStore(c, v)
+	case ir.OpCall:
+		return fe.emitCall(c, v)
+	case ir.OpRet:
+		return fe.emitRet(c, v)
+	case ir.OpBr:
+		return fe.emitEdge(c, v.Block, v.Block.Succs[0], true)
+	case ir.OpCondBr:
+		return fe.emitCondBr(c, v)
+	}
+	return fmt.Errorf("unhandled op %v", v.Op)
+}
+
+// afterDef handles spilling of slot-backed defs.
+func (fe *fnEmitter) afterDef(c *blockCtx, v *ir.Value) error {
+	if fe.slotBacked[v] {
+		return fe.spill(c, v)
+	}
+	return nil
+}
+
+// memOperand resolves an address value, folding Add(x, const) into the
+// offset when the value was marked foldable and the offset fits.
+func (fe *fnEmitter) memOperand(c *blockCtx, addr *ir.Value, maxOff int32) (int, int32, error) {
+	if fe.foldAddr[addr] {
+		cst := addr.Args[1].Const
+		if cst >= -maxOff-1 && cst <= maxOff {
+			d, err := fe.use(c, addr.Args[0])
+			return d, cst, err
+		}
+		// Folded elsewhere but out of range here: rebuild the address.
+		if err := fe.materialize(c, addr.Args[0]); err != nil {
+			return 0, 0, err
+		}
+		d, err := fe.use(c, addr.Args[0])
+		if err != nil {
+			return 0, 0, err
+		}
+		fe.op(c, "ADDi [%d], %d", d, cst)
+		return 1, 0, nil
+	}
+	d, err := fe.use(c, addr)
+	return d, 0, err
+}
+
+func (fe *fnEmitter) emitBin(c *blockCtx, v *ir.Value) error {
+	k := ir.BinKind(v.Aux)
+	// Immediate form.
+	if rhs := v.Args[1]; rhs.Op == ir.OpConst {
+		imm := rhs.Const
+		if k == ir.BinSub {
+			imm = -imm
+		}
+		if mn := binImmMnemonic(k); mn != "" && immFits(mn, rhs.Const) {
+			d, err := fe.use(c, v.Args[0])
+			if err != nil {
+				return err
+			}
+			fe.op(c, "%s [%d], %d", mn, d, imm)
+			c.local[v] = c.pos - 1
+			return nil
+		}
+	}
+	// Materialize both operands first so neither emission shifts the
+	// other's distance after it is read.
+	if err := fe.materialize(c, v.Args[0]); err != nil {
+		return err
+	}
+	if err := fe.materialize(c, v.Args[1]); err != nil {
+		return err
+	}
+	d1, err := fe.use(c, v.Args[0])
+	if err != nil {
+		return err
+	}
+	d2, err := fe.use(c, v.Args[1])
+	if err != nil {
+		return err
+	}
+	fe.op(c, "%s [%d], [%d]", binMnemonic[k], d1, d2)
+	c.local[v] = c.pos - 1
+	return nil
+}
+
+func (fe *fnEmitter) emitCmp(c *blockCtx, v *ir.Value) error {
+	k := ir.CmpKind(v.Aux)
+	a, b := v.Args[0], v.Args[1]
+	// Normalize: Gt/Le families swap operands so the core op is SLT(U):
+	// a>b == b<a, a<=b == b>=a.
+	switch k {
+	case ir.CmpGt, ir.CmpUGt, ir.CmpLe, ir.CmpULe:
+		a, b = b, a
+		k = k.Swap()
+	}
+	emitPair := func(x, y *ir.Value) (int, int, error) {
+		if err := fe.materialize(c, x); err != nil {
+			return 0, 0, err
+		}
+		if err := fe.materialize(c, y); err != nil {
+			return 0, 0, err
+		}
+		dx, err := fe.use(c, x)
+		if err != nil {
+			return 0, 0, err
+		}
+		dy, err := fe.use(c, y)
+		if err != nil {
+			return 0, 0, err
+		}
+		return dx, dy, nil
+	}
+	switch k {
+	case ir.CmpLt, ir.CmpULt:
+		mn := "SLT"
+		if k == ir.CmpULt {
+			mn = "SLTU"
+		}
+		// Immediate form when rhs is constant.
+		if b.Op == ir.OpConst && b.Const >= -8192 && b.Const <= 8191 {
+			d, err := fe.use(c, a)
+			if err != nil {
+				return err
+			}
+			if k == ir.CmpLt {
+				fe.op(c, "SLTi [%d], %d", d, b.Const)
+			} else {
+				fe.op(c, "SLTiu [%d], %d", d, b.Const)
+			}
+			c.local[v] = c.pos - 1
+			return nil
+		}
+		dx, dy, err := emitPair(a, b)
+		if err != nil {
+			return err
+		}
+		fe.op(c, "%s [%d], [%d]", mn, dx, dy)
+		c.local[v] = c.pos - 1
+		return nil
+	case ir.CmpGe, ir.CmpUGe:
+		mn := "SLT"
+		if k == ir.CmpUGe {
+			mn = "SLTU"
+		}
+		dx, dy, err := emitPair(a, b)
+		if err != nil {
+			return err
+		}
+		fe.op(c, "%s [%d], [%d]", mn, dx, dy)
+		fe.op(c, "XORi [1], 1")
+		c.local[v] = c.pos - 1
+		return nil
+	case ir.CmpEq, ir.CmpNe:
+		// x == y  ->  (x^y) <u 1 ; x != y -> 0 <u (x^y)
+		if b.Op == ir.OpConst && b.Const == 0 {
+			d, err := fe.use(c, a)
+			if err != nil {
+				return err
+			}
+			if k == ir.CmpEq {
+				fe.op(c, "SLTiu [%d], 1", d)
+			} else {
+				fe.op(c, "SLTU [0], [%d]", d)
+			}
+			c.local[v] = c.pos - 1
+			return nil
+		}
+		dx, dy, err := emitPair(a, b)
+		if err != nil {
+			return err
+		}
+		fe.op(c, "XOR [%d], [%d]", dx, dy)
+		if k == ir.CmpEq {
+			fe.op(c, "SLTiu [1], 1")
+		} else {
+			fe.op(c, "SLTU [0], [1]")
+		}
+		c.local[v] = c.pos - 1
+		return nil
+	}
+	return fmt.Errorf("unhandled cmp kind %v", k)
+}
+
+func (fe *fnEmitter) emitExt(c *blockCtx, v *ir.Value) error {
+	d, err := fe.use(c, v.Args[0])
+	if err != nil {
+		return err
+	}
+	switch {
+	case v.Op == ir.OpZext && v.Aux == 8:
+		fe.op(c, "ANDi [%d], 255", d)
+	case v.Op == ir.OpZext:
+		fe.op(c, "SLLi [%d], 16", d)
+		fe.op(c, "SRLi [1], 16")
+	case v.Aux == 8:
+		fe.op(c, "SLLi [%d], 24", d)
+		fe.op(c, "SRAi [1], 24")
+	default:
+		fe.op(c, "SLLi [%d], 16", d)
+		fe.op(c, "SRAi [1], 16")
+	}
+	c.local[v] = c.pos - 1
+	return nil
+}
+
+func (fe *fnEmitter) emitStore(c *blockCtx, v *ir.Value) error {
+	// Materialize value and address base before reading any distance.
+	if err := fe.materialize(c, v.Args[1]); err != nil {
+		return err
+	}
+	base := v.Args[0]
+	var off int32
+	if fe.foldAddr[base] && base.Args[1].Const >= -8 && base.Args[1].Const <= 7 {
+		off = base.Args[1].Const
+		base = base.Args[0]
+	}
+	if err := fe.materialize(c, base); err != nil {
+		return err
+	}
+	dval, err := fe.use(c, v.Args[1])
+	if err != nil {
+		return err
+	}
+	daddr, err := fe.use(c, base)
+	if err != nil {
+		return err
+	}
+	fe.op(c, "%s [%d], [%d], %d", storeMnemonic[ir.MemKind(v.Aux)], daddr, dval, off)
+	return nil
+}

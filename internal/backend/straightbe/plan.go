@@ -1,0 +1,135 @@
+package straightbe
+
+import (
+	"math"
+
+	"straight/internal/ir"
+)
+
+// blockPlan holds per-block lifetime information used to keep the
+// distance-bounding machinery precise: refresh only relays values that
+// still have uses ahead, and pressure eviction is computed over
+// simultaneously-live values rather than the whole-block union.
+type blockPlan struct {
+	// lastUse maps a value to the index (within the block's non-phi
+	// instructions) of its last in-block use; lastUseEdge marks values
+	// consumed by the outgoing edges or return (alive to the block end).
+	lastUse map[*ir.Value]int
+	// defIdx maps values defined in this block to their defining index.
+	defIdx map[*ir.Value]int
+	// needed is the block's window-resident refresh set (values that are
+	// neither rematerializable nor stack-relayed).
+	needed []*ir.Value
+}
+
+const lastUseEdge = math.MaxInt32
+
+// planFor computes (and caches) the block plan.
+func (fe *fnEmitter) planFor(b *ir.Block) *blockPlan {
+	if fe.plans == nil {
+		fe.plans = make(map[*ir.Block]*blockPlan)
+	}
+	if p, ok := fe.plans[b]; ok {
+		return p
+	}
+	p := &blockPlan{
+		lastUse: make(map[*ir.Value]int),
+		defIdx:  make(map[*ir.Value]int),
+	}
+	insns := b.Insns[len(b.Phis()):]
+	for i, w := range insns {
+		for _, a := range w.Args {
+			if liveTracked(a) {
+				p.lastUse[a] = i
+			}
+		}
+		p.defIdx[w] = i
+	}
+	// Edge slot sources (and deferred producers' arguments) live to the
+	// end of the block.
+	for _, s := range b.Succs {
+		idx := s.PredIndex(b)
+		for _, slot := range fe.frames[s] {
+			src := slot
+			if slot.Op == ir.OpPhi && slot.Block == s {
+				src = slot.Args[idx]
+			}
+			if liveTracked(src) {
+				p.lastUse[src] = lastUseEdge
+			}
+			if fe.deferred[src] {
+				for _, a := range src.Args {
+					if liveTracked(a) {
+						p.lastUse[a] = lastUseEdge
+					}
+				}
+			}
+		}
+	}
+	if hasRet(b) && !fe.slotBacked[fe.vLINK] {
+		p.lastUse[fe.vLINK] = lastUseEdge
+	}
+	p.needed = fe.neededFor(b)
+	fe.plans[b] = p
+	return p
+}
+
+// neededAt returns the refresh set restricted to values still live at or
+// after instruction index i.
+func (p *blockPlan) neededAt(i int) []*ir.Value {
+	out := make([]*ir.Value, 0, len(p.needed))
+	for _, v := range p.needed {
+		if lu, ok := p.lastUse[v]; ok && lu >= i {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// peakPressure computes the maximum number of simultaneously live
+// window-resident values in the block, and returns the set of values live
+// at that peak (candidates for eviction).
+func (fe *fnEmitter) peakPressure(b *ir.Block) (int, []*ir.Value) {
+	p := fe.planFor(b)
+	n := len(b.Insns) - len(b.Phis())
+	clip := func(x int) int {
+		if x > n {
+			return n
+		}
+		return x
+	}
+	// Interval per needed value: [start, end] in instruction indices.
+	type span struct {
+		v          *ir.Value
+		start, end int
+	}
+	spans := make([]span, 0, len(p.needed))
+	for _, v := range p.needed {
+		lu := p.lastUse[v]
+		start := 0
+		if d, ok := p.defIdx[v]; ok {
+			start = d
+		}
+		spans = append(spans, span{v: v, start: start, end: clip(lu)})
+	}
+	// Sweep.
+	delta := make([]int, n+2)
+	for _, s := range spans {
+		delta[s.start]++
+		delta[s.end+1]--
+	}
+	peak, peakAt, cur := 0, 0, 0
+	for i := 0; i <= n; i++ {
+		cur += delta[i]
+		if cur > peak {
+			peak, peakAt = cur, i
+		}
+	}
+	var at []*ir.Value
+	for _, s := range spans {
+		if s.start <= peakAt && peakAt <= s.end {
+			at = append(at, s.v)
+		}
+	}
+	return peak, at
+}

@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"straight/internal/program"
+	"straight/internal/uarch"
+	"straight/internal/workloads"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out, plus
+// the window-scalability extension the paper motivates ("STRAIGHT
+// enables the instruction window to be further increased", §III-B).
+
+// AblationRow reports one knob's effect on both cores (CoreMark cycles).
+type AblationRow struct {
+	Knob           string
+	SSCycles       int64
+	StraightCycles int64
+}
+
+// Ablations runs the knob sweep: memory-dependence policy, SPADD group
+// limit and predictor on CoreMark; the prefetcher knob on the
+// L1-exceeding micro-stream workload (CoreMark is L1-resident).
+func Ablations(s Scale) ([]AblationRow, error) {
+	n := iters(s, workloads.CoreMark)
+	ssIm, err := BuildRISCV(workloads.CoreMark, n)
+	if err != nil {
+		return nil, err
+	}
+	stIm, err := BuildSTRAIGHT(workloads.CoreMark, n, 31, ModeREP)
+	if err != nil {
+		return nil, err
+	}
+	ssStream, err := BuildRISCV(workloads.MicroStream, 1)
+	if err != nil {
+		return nil, err
+	}
+	stStream, err := BuildSTRAIGHT(workloads.MicroStream, 1, 31, ModeREP)
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(knob string, ss, st *program.Image, mod func(*uarch.Config)) (AblationRow, error) {
+		ssCfg, stCfg := uarch.SS4Way(), uarch.Straight4Way()
+		mod(&ssCfg)
+		mod(&stCfg)
+		ssRes, err := RunSS(ssCfg, ss)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		stRes, err := RunStraight(stCfg, st)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		return AblationRow{Knob: knob, SSCycles: ssRes.Stats.Cycles, StraightCycles: stRes.Stats.Cycles}, nil
+	}
+
+	var rows []AblationRow
+	for _, k := range []struct {
+		name   string
+		ss, st *program.Image
+		mod    func(*uarch.Config)
+	}{
+		{"baseline", ssIm, stIm, func(c *uarch.Config) {}},
+		{"memdep-speculate", ssIm, stIm, func(c *uarch.Config) { c.MemDep = uarch.MemDepAlwaysSpeculate }},
+		{"memdep-wait", ssIm, stIm, func(c *uarch.Config) { c.MemDep = uarch.MemDepAlwaysWait }},
+		{"spadd-per-group-2", ssIm, stIm, func(c *uarch.Config) { c.SPAddPerGroup = 2 }},
+		{"tage", ssIm, stIm, func(c *uarch.Config) { c.Predictor = uarch.PredTAGE }},
+		{"stream-baseline", ssStream, stStream, func(c *uarch.Config) {}},
+		{"stream-no-prefetch", ssStream, stStream, func(c *uarch.Config) { c.NoPrefetch = true }},
+	} {
+		r, err := run(k.name, k.ss, k.st, k.mod)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// FormatAblations renders the ablation table.
+func FormatAblations(rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString("Ablations (CoreMark, 4-way models, cycles; lower is better)\n")
+	fmt.Fprintf(&b, "%-20s %12s %14s\n", "knob", "SS", "STRAIGHT RE+")
+	base := rows[0]
+	for _, r := range rows {
+		if strings.HasSuffix(r.Knob, "baseline") {
+			base = r
+		}
+		fmt.Fprintf(&b, "%-20s %12d %14d", r.Knob, r.SSCycles, r.StraightCycles)
+		if !strings.HasSuffix(r.Knob, "baseline") {
+			fmt.Fprintf(&b, "   (%+.1f%% / %+.1f%%)",
+				100*(float64(r.SSCycles)/float64(base.SSCycles)-1),
+				100*(float64(r.StraightCycles)/float64(base.StraightCycles)-1))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WindowPoint is one instruction-window size in the scalability sweep.
+type WindowPoint struct {
+	ROB            int
+	SSCycles       int64
+	StraightCycles int64
+}
+
+// WindowScaling sweeps the instruction-window (ROB) size on CoreMark for
+// both cores, growing the SS physical register file and the STRAIGHT
+// MAX_RP with it. The paper argues STRAIGHT's one-read recovery lets the
+// window grow without the ROB-walk penalty growing with it (§III-B).
+func WindowScaling(s Scale) ([]WindowPoint, error) {
+	n := iters(s, workloads.CoreMark)
+	ssIm, err := BuildRISCV(workloads.CoreMark, n)
+	if err != nil {
+		return nil, err
+	}
+	stIm, err := BuildSTRAIGHT(workloads.CoreMark, n, 31, ModeREP)
+	if err != nil {
+		return nil, err
+	}
+	var pts []WindowPoint
+	for _, rob := range []int{64, 128, 224, 448} {
+		ssCfg := uarch.SS4Way()
+		ssCfg.ROBSize = rob
+		ssCfg.RegFileSize = 32 + rob // enough physical registers
+		stCfg := uarch.Straight4Way()
+		stCfg.ROBSize = rob // MAX_RP = 31 + rob follows automatically
+		ssRes, err := RunSS(ssCfg, ssIm)
+		if err != nil {
+			return nil, err
+		}
+		stRes, err := RunStraight(stCfg, stIm)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, WindowPoint{ROB: rob, SSCycles: ssRes.Stats.Cycles, StraightCycles: stRes.Stats.Cycles})
+	}
+	return pts, nil
+}
+
+// FormatWindowScaling renders the sweep.
+func FormatWindowScaling(pts []WindowPoint) string {
+	var b strings.Builder
+	b.WriteString("Instruction-window scaling (CoreMark, 4-way, cycles)\n")
+	fmt.Fprintf(&b, "%6s %12s %14s %10s\n", "ROB", "SS", "STRAIGHT RE+", "ST/SS")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%6d %12d %14d %10.3f\n", p.ROB, p.SSCycles, p.StraightCycles,
+			float64(p.SSCycles)/float64(p.StraightCycles))
+	}
+	return b.String()
+}

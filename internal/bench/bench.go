@@ -1,0 +1,183 @@
+// Package bench is the experiment harness: for every table and figure of
+// the paper's evaluation (§VI) it compiles the workloads, runs the cycle
+// simulators in the Table I configurations, and produces the same rows or
+// series the paper reports. The root bench_test.go exposes one
+// testing.B benchmark per experiment, and cmd/experiments prints them
+// all.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"straight/internal/backend/riscvbe"
+	"straight/internal/backend/straightbe"
+	"straight/internal/cores/sscore"
+	"straight/internal/cores/straightcore"
+	"straight/internal/emu/riscvemu"
+	"straight/internal/emu/straightemu"
+	"straight/internal/ir"
+	"straight/internal/irgen"
+	"straight/internal/minic"
+	"straight/internal/program"
+	"straight/internal/rasm"
+	"straight/internal/sasm"
+	"straight/internal/uarch"
+	"straight/internal/workloads"
+)
+
+// Scale selects iteration counts. The paper runs 9000 Dhrystone
+// iterations and 9 CoreMark iterations; the default here is smaller so
+// the full suite completes in minutes, and ScalePaper approaches the
+// paper's run lengths.
+type Scale struct {
+	DhrystoneIters int
+	CoreMarkIters  int
+	MicroIters     int
+}
+
+// ScaleQuick is used by tests.
+var ScaleQuick = Scale{DhrystoneIters: 30, CoreMarkIters: 1, MicroIters: 1}
+
+// ScaleDefault is used by the benchmarks and cmd/experiments.
+var ScaleDefault = Scale{DhrystoneIters: 200, CoreMarkIters: 1, MicroIters: 2}
+
+// CompilerMode selects RAW or RE+ code generation.
+type CompilerMode string
+
+const (
+	ModeRAW CompilerMode = "RAW"
+	ModeREP CompilerMode = "RE+"
+)
+
+// buildKey caches compiled images across experiments.
+type buildKey struct {
+	w       workloads.Workload
+	iters   int
+	target  string // "riscv" or "straight"
+	maxDist int
+	mode    CompilerMode
+}
+
+var (
+	buildMu    sync.Mutex
+	buildCache = map[buildKey]*program.Image{}
+	irCache    = map[string]*ir.Module{}
+)
+
+func module(w workloads.Workload, iters int) (*ir.Module, error) {
+	key := fmt.Sprintf("%s/%d", w, iters)
+	if m, ok := irCache[key]; ok {
+		return m, nil
+	}
+	src, err := workloads.Source(w, iters)
+	if err != nil {
+		return nil, err
+	}
+	file, err := minic.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w, err)
+	}
+	mod, err := irgen.Build(file)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", w, err)
+	}
+	ir.OptimizeModule(mod)
+	irCache[key] = mod
+	return mod, nil
+}
+
+// BuildRISCV compiles (and caches) a workload for the SS core.
+func BuildRISCV(w workloads.Workload, iters int) (*program.Image, error) {
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	key := buildKey{w: w, iters: iters, target: "riscv"}
+	if im, ok := buildCache[key]; ok {
+		return im, nil
+	}
+	mod, err := module(w, iters)
+	if err != nil {
+		return nil, err
+	}
+	asm, err := riscvbe.Compile(mod)
+	if err != nil {
+		return nil, err
+	}
+	im, err := rasm.Assemble(asm)
+	if err != nil {
+		return nil, err
+	}
+	buildCache[key] = im
+	return im, nil
+}
+
+// BuildSTRAIGHT compiles (and caches) a workload for the STRAIGHT core.
+func BuildSTRAIGHT(w workloads.Workload, iters, maxDist int, mode CompilerMode) (*program.Image, error) {
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	key := buildKey{w: w, iters: iters, target: "straight", maxDist: maxDist, mode: mode}
+	if im, ok := buildCache[key]; ok {
+		return im, nil
+	}
+	mod, err := module(w, iters)
+	if err != nil {
+		return nil, err
+	}
+	asm, err := straightbe.Compile(mod, straightbe.Options{
+		MaxDistance:    maxDist,
+		RedundancyElim: mode == ModeREP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	im, err := sasm.Assemble(asm)
+	if err != nil {
+		return nil, err
+	}
+	buildCache[key] = im
+	return im, nil
+}
+
+const simCycleCap = 2_000_000_000
+
+// RunSS simulates an image on the superscalar core.
+func RunSS(cfg uarch.Config, im *program.Image) (*sscore.Result, error) {
+	opts := sscore.Options{MaxCycles: simCycleCap}
+	return sscore.New(cfg, im, opts).Run(opts)
+}
+
+// RunStraight simulates an image on the STRAIGHT core.
+func RunStraight(cfg uarch.Config, im *program.Image) (*straightcore.Result, error) {
+	opts := straightcore.Options{MaxCycles: simCycleCap}
+	return straightcore.New(cfg, im, opts).Run(opts)
+}
+
+// EmulateStraight runs the functional STRAIGHT emulator (for the
+// instruction-mix and distance experiments).
+func EmulateStraight(im *program.Image) (*straightemu.Machine, error) {
+	m := straightemu.New(im)
+	if _, err := m.Run(4_000_000_000); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// EmulateRISCV runs the functional RV32IM emulator.
+func EmulateRISCV(im *program.Image) (*riscvemu.Machine, error) {
+	m := riscvemu.New(im)
+	if _, err := m.Run(4_000_000_000); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func iters(s Scale, w workloads.Workload) int {
+	switch w {
+	case workloads.Dhrystone:
+		return s.DhrystoneIters
+	case workloads.CoreMark:
+		return s.CoreMarkIters
+	default:
+		return s.MicroIters
+	}
+}

@@ -1,0 +1,437 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"straight/internal/emu/riscvemu"
+	"straight/internal/emu/straightemu"
+	"straight/internal/isa/riscv"
+	"straight/internal/isa/straight"
+	"straight/internal/power"
+	"straight/internal/uarch"
+	"straight/internal/workloads"
+)
+
+// ---- Fig 11 / Fig 12: performance comparison ----
+
+// PerfRow is one workload's relative-performance bars (Fig 11/12): SS is
+// 1.0 by construction; RAW and REP are SS-cycles / STRAIGHT-cycles.
+type PerfRow struct {
+	Workload  workloads.Workload
+	SSCycles  int64
+	RAWCycles int64
+	REPCycles int64
+}
+
+// RelRAW returns STRAIGHT-RAW performance relative to SS.
+func (r PerfRow) RelRAW() float64 { return float64(r.SSCycles) / float64(r.RAWCycles) }
+
+// RelREP returns STRAIGHT-RE+ performance relative to SS.
+func (r PerfRow) RelREP() float64 { return float64(r.SSCycles) / float64(r.REPCycles) }
+
+// PerfComparison runs Fig 11 (fourWay=true) or Fig 12 (fourWay=false):
+// Dhrystone and CoreMark on SS vs STRAIGHT RAW and RE+ at equal sizing.
+func PerfComparison(s Scale, fourWay bool, predictor uarch.PredictorKind) ([]PerfRow, error) {
+	ssCfg, stCfg := uarch.SS2Way(), uarch.Straight2Way()
+	if fourWay {
+		ssCfg, stCfg = uarch.SS4Way(), uarch.Straight4Way()
+	}
+	ssCfg.Predictor = predictor
+	stCfg.Predictor = predictor
+	var rows []PerfRow
+	for _, w := range workloads.All {
+		n := iters(s, w)
+		ssIm, err := BuildRISCV(w, n)
+		if err != nil {
+			return nil, err
+		}
+		ssRes, err := RunSS(ssCfg, ssIm)
+		if err != nil {
+			return nil, err
+		}
+		row := PerfRow{Workload: w, SSCycles: ssRes.Stats.Cycles}
+		for _, mode := range []CompilerMode{ModeRAW, ModeREP} {
+			im, err := BuildSTRAIGHT(w, n, stCfg.MaxDistance, mode)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunStraight(stCfg, im)
+			if err != nil {
+				return nil, err
+			}
+			if res.Output != ssRes.Output {
+				return nil, fmt.Errorf("%s %s: output mismatch vs SS", w, mode)
+			}
+			if mode == ModeRAW {
+				row.RAWCycles = res.Stats.Cycles
+			} else {
+				row.REPCycles = res.Stats.Cycles
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatPerf renders Fig 11/12 rows.
+func FormatPerf(title string, rows []PerfRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (relative performance, SS = 1.0)\n", title)
+	fmt.Fprintf(&b, "%-12s %12s %14s %14s\n", "workload", "SS", "STRAIGHT RAW", "STRAIGHT RE+")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12.3f %14.3f %14.3f\n", r.Workload, 1.0, r.RelRAW(), r.RelREP())
+	}
+	return b.String()
+}
+
+// ---- Fig 13: misprediction-penalty effect ----
+
+// MissPenaltyRow is one configuration's bars of Fig 13, normalized to
+// SS 2-way.
+type MissPenaltyRow struct {
+	Width       string
+	SS          float64
+	SSNoPenalty float64
+	StraightREP float64
+}
+
+// MissPenalty reproduces Fig 13: CoreMark on SS, SS with idealized
+// zero-cost recovery, and STRAIGHT RE+, for both widths, normalized to
+// SS 2-way performance.
+func MissPenalty(s Scale) ([]MissPenaltyRow, error) {
+	n := iters(s, workloads.CoreMark)
+	ssIm, err := BuildRISCV(workloads.CoreMark, n)
+	if err != nil {
+		return nil, err
+	}
+	var base float64
+	var rows []MissPenaltyRow
+	for _, fourWay := range []bool{false, true} {
+		ssCfg, stCfg := uarch.SS2Way(), uarch.Straight2Way()
+		width := "2-way"
+		if fourWay {
+			ssCfg, stCfg = uarch.SS4Way(), uarch.Straight4Way()
+			width = "4-way"
+		}
+		ssRes, err := RunSS(ssCfg, ssIm)
+		if err != nil {
+			return nil, err
+		}
+		idealCfg := ssCfg
+		idealCfg.ZeroMispredictPenalty = true
+		idealRes, err := RunSS(idealCfg, ssIm)
+		if err != nil {
+			return nil, err
+		}
+		stIm, err := BuildSTRAIGHT(workloads.CoreMark, n, stCfg.MaxDistance, ModeREP)
+		if err != nil {
+			return nil, err
+		}
+		stRes, err := RunStraight(stCfg, stIm)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = float64(ssRes.Stats.Cycles)
+		}
+		rows = append(rows, MissPenaltyRow{
+			Width:       width,
+			SS:          base / float64(ssRes.Stats.Cycles),
+			SSNoPenalty: base / float64(idealRes.Stats.Cycles),
+			StraightREP: base / float64(stRes.Stats.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// FormatMissPenalty renders Fig 13 rows.
+func FormatMissPenalty(rows []MissPenaltyRow) string {
+	var b strings.Builder
+	b.WriteString("Fig 13: misprediction-penalty effect (CoreMark, normalized to SS 2-way)\n")
+	fmt.Fprintf(&b, "%-6s %10s %14s %14s\n", "width", "SS", "SS no-penalty", "STRAIGHT RE+")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %10.3f %14.3f %14.3f\n", r.Width, r.SS, r.SSNoPenalty, r.StraightREP)
+	}
+	return b.String()
+}
+
+// ---- Fig 15: retired instruction mix ----
+
+// MixRow is one bar of Fig 15: fraction of each instruction type,
+// normalized to the SS total instruction count.
+type MixRow struct {
+	Label string
+	// Fractions of the SS total (so the SS bar sums to 1.0 and the
+	// STRAIGHT bars exceed 1.0 by their added instructions).
+	JumpBranch, ALU, Load, Store, RMOV, NOP, Others float64
+}
+
+// Total returns the bar height.
+func (r MixRow) Total() float64 {
+	return r.JumpBranch + r.ALU + r.Load + r.Store + r.RMOV + r.NOP + r.Others
+}
+
+// InstructionMix reproduces Fig 15 on CoreMark: retired-instruction type
+// fractions for SS, STRAIGHT RAW and STRAIGHT RE+ (functional runs; the
+// retirement mix is microarchitecture-independent).
+func InstructionMix(s Scale) ([]MixRow, error) {
+	n := iters(s, workloads.CoreMark)
+	ssIm, err := BuildRISCV(workloads.CoreMark, n)
+	if err != nil {
+		return nil, err
+	}
+	ssEmu, err := EmulateRISCV(ssIm)
+	if err != nil {
+		return nil, err
+	}
+	ssTotal := float64(ssEmu.Stats().Total())
+
+	rows := []MixRow{ssMixRow(ssEmu, ssTotal)}
+	for _, mode := range []CompilerMode{ModeRAW, ModeREP} {
+		im, err := BuildSTRAIGHT(workloads.CoreMark, n, 31, mode)
+		if err != nil {
+			return nil, err
+		}
+		emu, err := EmulateStraight(im)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, straightMixRow(fmt.Sprintf("STRAIGHT(%s)", mode), emu, ssTotal))
+	}
+	return rows, nil
+}
+
+func ssMixRow(m interface{ Stats() *riscvemu.Stats }, total float64) MixRow {
+	st := m.Stats()
+	row := MixRow{Label: "SS"}
+	for op := riscv.Op(0); op < riscv.Op(riscv.NumOps); op++ {
+		n := float64(st.Retired[op]) / total
+		switch op.Class() {
+		case riscv.ClassBranch, riscv.ClassJump:
+			row.JumpBranch += n
+		case riscv.ClassLoad:
+			row.Load += n
+		case riscv.ClassStore:
+			row.Store += n
+		case riscv.ClassALU, riscv.ClassMul, riscv.ClassDiv:
+			row.ALU += n
+		default:
+			row.Others += n
+		}
+	}
+	return row
+}
+
+func straightMixRow(label string, m interface{ Stats() *straightemu.Stats }, ssTotal float64) MixRow {
+	st := m.Stats()
+	row := MixRow{Label: label}
+	for op := straight.Op(0); op < straight.Op(straight.NumOps); op++ {
+		n := float64(st.Retired[op]) / ssTotal
+		switch {
+		case op == straight.RMOV:
+			row.RMOV += n
+		case op == straight.NOP:
+			row.NOP += n
+		case op.Class() == straight.ClassBranch || op.Class() == straight.ClassJump:
+			row.JumpBranch += n
+		case op.Class() == straight.ClassLoad:
+			row.Load += n
+		case op.Class() == straight.ClassStore:
+			row.Store += n
+		case op.Class() == straight.ClassALU || op.Class() == straight.ClassMul || op.Class() == straight.ClassDiv:
+			row.ALU += n
+		default:
+			row.Others += n
+		}
+	}
+	return row
+}
+
+// FormatMix renders Fig 15 rows.
+func FormatMix(rows []MixRow) string {
+	var b strings.Builder
+	b.WriteString("Fig 15: retired instruction mix (normalized to SS total)\n")
+	fmt.Fprintf(&b, "%-15s %7s %7s %7s %7s %7s %7s %7s %7s\n",
+		"model", "J+Br", "ALU", "LD", "ST", "RMOV", "NOP", "Other", "Total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-15s %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f\n",
+			r.Label, r.JumpBranch, r.ALU, r.Load, r.Store, r.RMOV, r.NOP, r.Others, r.Total())
+	}
+	return b.String()
+}
+
+// ---- Fig 16: source-distance CDF ----
+
+// DistancePoint is one point of the cumulative distance distribution.
+type DistancePoint struct {
+	Distance int
+	CumFrac  float64
+}
+
+// DistanceCDF reproduces Fig 16: cumulative fraction of source operand
+// distances, for code generated with the ISA-maximum distance limit
+// (1023), per workload.
+func DistanceCDF(s Scale) (map[workloads.Workload][]DistancePoint, error) {
+	out := make(map[workloads.Workload][]DistancePoint)
+	for _, w := range workloads.All {
+		im, err := BuildSTRAIGHT(w, iters(s, w), 1023, ModeREP)
+		if err != nil {
+			return nil, err
+		}
+		emu, err := EmulateStraight(im)
+		if err != nil {
+			return nil, err
+		}
+		hist := emu.Stats().DistanceHist
+		var total uint64
+		for _, n := range hist {
+			total += n
+		}
+		var pts []DistancePoint
+		var cum uint64
+		next := 1
+		maxD := int(emu.Stats().MaxObservedDistance)
+		for d := 1; d < len(hist); d++ {
+			cum += hist[d]
+			if d == next {
+				pts = append(pts, DistancePoint{Distance: d, CumFrac: float64(cum) / float64(total)})
+				next *= 2
+				if d >= maxD {
+					break
+				}
+			}
+		}
+		if len(pts) == 0 || pts[len(pts)-1].Distance < maxD {
+			pts = append(pts, DistancePoint{Distance: maxD, CumFrac: 1.0})
+		}
+		out[w] = pts
+	}
+	return out, nil
+}
+
+// FormatCDF renders Fig 16 series.
+func FormatCDF(cdfs map[workloads.Workload][]DistancePoint) string {
+	var b strings.Builder
+	b.WriteString("Fig 16: cumulative fraction of source operand distance\n")
+	for _, w := range workloads.All {
+		fmt.Fprintf(&b, "%s:\n", w)
+		for _, p := range cdfs[w] {
+			fmt.Fprintf(&b, "  d<=%4d: %6.3f\n", p.Distance, p.CumFrac)
+		}
+	}
+	return b.String()
+}
+
+// ---- §VI-B: maximum-distance sensitivity ----
+
+// MaxDistPoint is one sweep point.
+type MaxDistPoint struct {
+	MaxDistance int
+	Cycles      int64
+	RelPerf     float64 // vs the 1023 configuration
+}
+
+// MaxDistSweep reproduces the §VI-B sensitivity experiment: CoreMark
+// RE+ compiled and simulated at several maximum distances. The register
+// file shrinks with the distance (MAX_RP = dist + ROB).
+func MaxDistSweep(s Scale) ([]MaxDistPoint, error) {
+	n := iters(s, workloads.CoreMark)
+	dists := []int{31, 63, 127, 255, 1023}
+	var pts []MaxDistPoint
+	var base int64
+	// Run in reverse so the 1023 baseline is known first.
+	for i := len(dists) - 1; i >= 0; i-- {
+		d := dists[i]
+		cfg := uarch.Straight4Way()
+		cfg.MaxDistance = d
+		im, err := BuildSTRAIGHT(workloads.CoreMark, n, d, ModeREP)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunStraight(cfg, im)
+		if err != nil {
+			return nil, err
+		}
+		if d == 1023 {
+			base = res.Stats.Cycles
+		}
+		pts = append([]MaxDistPoint{{MaxDistance: d, Cycles: res.Stats.Cycles}}, pts...)
+	}
+	for i := range pts {
+		pts[i].RelPerf = float64(base) / float64(pts[i].Cycles)
+	}
+	return pts, nil
+}
+
+// FormatMaxDist renders the sweep.
+func FormatMaxDist(pts []MaxDistPoint) string {
+	var b strings.Builder
+	b.WriteString("Max-distance sensitivity (CoreMark RE+, STRAIGHT-4way, rel. to 1023)\n")
+	fmt.Fprintf(&b, "%8s %12s %8s\n", "maxdist", "cycles", "rel")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%8d %12d %8.3f\n", p.MaxDistance, p.Cycles, p.RelPerf)
+	}
+	return b.String()
+}
+
+// ---- Fig 17: power ----
+
+// PowerAnalysis reproduces Fig 17 with the activity-based power model:
+// CoreMark on the 2-way models (the paper's RTL is 2-way-like) at 1.0x,
+// 2.5x and 4.0x clock.
+func PowerAnalysis(s Scale) ([]power.Figure17Row, float64, error) {
+	n := iters(s, workloads.CoreMark)
+	ssIm, err := BuildRISCV(workloads.CoreMark, n)
+	if err != nil {
+		return nil, 0, err
+	}
+	ssRes, err := RunSS(uarch.SS2Way(), ssIm)
+	if err != nil {
+		return nil, 0, err
+	}
+	stIm, err := BuildSTRAIGHT(workloads.CoreMark, n, 31, ModeREP)
+	if err != nil {
+		return nil, 0, err
+	}
+	stRes, err := RunStraight(uarch.Straight2Way(), stIm)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := power.NewModel()
+	rows := m.Figure17(&ssRes.Stats, &stRes.Stats, []float64{1.0, 2.5, 4.0})
+	return rows, m.RenameShareOfOther(&ssRes.Stats), nil
+}
+
+// ---- Table I ----
+
+// FormatTableI prints the evaluated model parameters.
+func FormatTableI() string {
+	var b strings.Builder
+	b.WriteString("Table I: evaluated models\n")
+	cfgs := []uarch.Config{uarch.SS2Way(), uarch.Straight2Way(), uarch.SS4Way(), uarch.Straight4Way()}
+	fmt.Fprintf(&b, "%-22s %10s %14s %10s %14s\n", "parameter", cfgs[0].Name, cfgs[1].Name, cfgs[2].Name, cfgs[3].Name)
+	row := func(name string, f func(uarch.Config) string) {
+		fmt.Fprintf(&b, "%-22s %10s %14s %10s %14s\n", name,
+			f(cfgs[0]), f(cfgs[1]), f(cfgs[2]), f(cfgs[3]))
+	}
+	row("fetch width", func(c uarch.Config) string { return fmt.Sprint(c.FetchWidth) })
+	row("front-end latency", func(c uarch.Config) string { return fmt.Sprint(c.FrontEndLatency) })
+	row("ROB capacity", func(c uarch.Config) string { return fmt.Sprint(c.ROBSize) })
+	row("scheduler", func(c uarch.Config) string { return fmt.Sprintf("%dw/%de", c.IssueWidth, c.SchedulerSize) })
+	row("register file", func(c uarch.Config) string {
+		if c.MaxDistance > 0 {
+			return fmt.Sprintf("%d(RP)", c.MaxRP())
+		}
+		return fmt.Sprint(c.RegFileSize)
+	})
+	row("LSQ (LD/ST)", func(c uarch.Config) string { return fmt.Sprintf("%d/%d", c.LQSize, c.SQSize) })
+	row("commit width", func(c uarch.Config) string { return fmt.Sprint(c.CommitWidth) })
+	row("max distance", func(c uarch.Config) string {
+		if c.MaxDistance > 0 {
+			return fmt.Sprint(c.MaxDistance)
+		}
+		return "-"
+	})
+	return b.String()
+}

@@ -1,0 +1,512 @@
+package sscore
+
+import (
+	"fmt"
+
+	"straight/internal/emu/riscvemu"
+	"straight/internal/isa/riscv"
+	"straight/internal/uarch"
+)
+
+// issue selects ready scheduler entries up to the issue width, respecting
+// per-class functional-unit counts. Load latency is resolved at issue
+// (the cache model is consulted immediately), which is equivalent to a
+// perfect cache-hit predictor: dependents wake exactly when the data
+// arrives and never need a replay.
+func (c *Core) issue() {
+	issued := 0
+	unit := map[uarch.Class]int{}
+	avail := map[uarch.Class]int{
+		uarch.ClassALU: c.cfg.NumALU, uarch.ClassMul: c.cfg.NumMul,
+		uarch.ClassDiv: c.cfg.NumDiv, uarch.ClassBranch: c.cfg.NumBr,
+		uarch.ClassJump: c.cfg.NumBr,
+		uarch.ClassLoad: c.cfg.NumMem, uarch.ClassStore: c.cfg.NumMem,
+	}
+	kept := c.iq[:0]
+	for _, u := range c.iq {
+		if issued >= c.cfg.IssueWidth {
+			kept = append(kept, u)
+			continue
+		}
+		cl := u.Class
+		pool := cl
+		if cl == uarch.ClassJump {
+			pool = uarch.ClassBranch
+		}
+		if cl == uarch.ClassStore {
+			pool = uarch.ClassLoad
+		}
+		if unit[pool] >= avail[pool] || !c.srcReady(u) {
+			kept = append(kept, u)
+			continue
+		}
+		if cl == uarch.ClassDiv && c.cycle < c.divBusy {
+			kept = append(kept, u)
+			continue
+		}
+		// Conservative loads wait until all older store addresses are
+		// known (memory-dependence predictor said so).
+		p := u.Payload.(*uopPayload)
+		if u.IsLoad && c.shouldWaitForStores(u.PC) && !c.lsq.OlderStoresResolved(u.Seq) {
+			kept = append(kept, u)
+			continue
+		}
+		if !c.execute(u, p) {
+			kept = append(kept, u) // must retry (e.g. store-forward wait)
+			continue
+		}
+		unit[pool]++
+		issued++
+		c.stats.IQIssued++
+		u.State = uarch.StateIssued
+		u.IssuedAt = c.cycle
+		c.executing = append(c.executing, u)
+	}
+	c.iq = kept
+}
+
+// shouldWaitForStores applies the configured memory-dependence policy.
+func (c *Core) shouldWaitForStores(pc uint32) bool {
+	switch c.cfg.MemDep {
+	case uarch.MemDepAlwaysSpeculate:
+		return false
+	case uarch.MemDepAlwaysWait:
+		return true
+	default:
+		return c.mdp.ShouldWait(pc)
+	}
+}
+
+func (c *Core) srcReady(u *uarch.UOp) bool {
+	if u.Src1 >= 0 && c.prfReady[u.Src1] > c.cycle {
+		return false
+	}
+	if u.Src2 >= 0 && c.prfReady[u.Src2] > c.cycle {
+		return false
+	}
+	c.stats.IQWakeups++
+	return true
+}
+
+func (c *Core) readSrc(phys int32) uint32 {
+	if phys < 0 {
+		return 0
+	}
+	c.stats.RegReads++
+	return c.prf[phys]
+}
+
+// execute computes the µop's result and schedules its completion. It
+// returns false when the µop cannot proceed yet (load waiting on a
+// store).
+func (c *Core) execute(u *uarch.UOp, p *uopPayload) bool {
+	inst := p.inst
+	rs1 := c.readSrc(u.Src1)
+	rs2 := c.readSrc(u.Src2)
+	lat := int64(c.cfg.LatencyFor(u.Class))
+
+	switch inst.Op.Class() {
+	case riscv.ClassALU, riscv.ClassMul, riscv.ClassDiv:
+		var res uint32
+		switch inst.Op {
+		case riscv.LUI:
+			res = uint32(inst.Imm)
+		case riscv.AUIPC:
+			res = u.PC + uint32(inst.Imm)
+		case riscv.FENCE:
+		default:
+			b := rs2
+			if isImmOp(inst.Op) {
+				b = uint32(inst.Imm)
+			}
+			res = riscv.Eval(inst.Op, rs1, b)
+		}
+		u.Result = res
+		u.ReadyAt = c.cycle + lat
+		if inst.Op.Class() == riscv.ClassDiv {
+			c.divBusy = u.ReadyAt
+		}
+	case riscv.ClassLoad:
+		return c.executeLoad(u, p, rs1)
+	case riscv.ClassStore:
+		c.executeStore(u, p, rs1, rs2)
+	case riscv.ClassBranch:
+		u.Taken = riscv.BranchTaken(inst.Op, rs1, rs2)
+		u.Target = u.PC + 4
+		if u.Taken {
+			u.Target = u.PC + uint32(inst.Imm)
+		}
+		u.ReadyAt = c.cycle + lat
+	case riscv.ClassJump:
+		u.Result = u.PC + 4
+		u.Taken = true
+		if inst.Op == riscv.JAL {
+			u.Target = u.PC + uint32(inst.Imm)
+		} else {
+			u.Target = (rs1 + uint32(inst.Imm)) &^ 1
+		}
+		u.ReadyAt = c.cycle + lat
+	}
+	if u.Dest >= 0 {
+		// Speculative wakeup: dependents may issue to catch the result on
+		// the bypass the cycle it becomes ready.
+		c.prfReady[u.Dest] = u.ReadyAt
+	}
+	return true
+}
+
+func isImmOp(op riscv.Op) bool {
+	switch op {
+	case riscv.ADDI, riscv.SLTI, riscv.SLTIU, riscv.XORI, riscv.ORI, riscv.ANDI,
+		riscv.SLLI, riscv.SRLI, riscv.SRAI, riscv.JALR:
+		return true
+	}
+	return false
+}
+
+func (c *Core) executeLoad(u *uarch.UOp, p *uopPayload, rs1 uint32) bool {
+	inst := p.inst
+	addr := rs1 + uint32(inst.Imm)
+	width, _ := riscv.LoadWidth(inst.Op)
+	le := p.lsq
+	le.Addr = addr
+	le.Size = uint8(width)
+	le.AddrReady = true
+	u.MemAddr = addr
+
+	unknownOK := !c.shouldWaitForStores(u.PC)
+	res, fwd := c.lsq.LookupLoad(le, unknownOK)
+	switch res {
+	case uarch.LoadMustWait:
+		le.AddrReady = false // retry fully next cycle
+		return false
+	case uarch.LoadForwarded:
+		u.Result = riscv.ExtendLoad(inst.Op, fwd)
+		u.ReadyAt = c.cycle + 2 // AGU + forward
+		c.stats.StoreForwards++
+	case uarch.LoadFromMemory:
+		// Wrong-path or misaligned accesses read as zero harmlessly.
+		var raw uint32
+		if addr%uint32(width) == 0 {
+			raw = c.mem.Load(addr, width)
+		}
+		u.Result = riscv.ExtendLoad(inst.Op, raw)
+		lat := c.hier.AccessData(c.cycle, addr)
+		u.ReadyAt = c.cycle + 1 + int64(lat)
+	}
+	le.Executed = true
+	c.stats.Loads++
+	if u.Dest >= 0 {
+		c.prfReady[u.Dest] = u.ReadyAt
+	}
+	return true
+}
+
+func (c *Core) executeStore(u *uarch.UOp, p *uopPayload, rs1, rs2 uint32) {
+	inst := p.inst
+	addr := rs1 + uint32(inst.Imm)
+	le := p.lsq
+	le.Addr = addr
+	le.Size = uint8(riscv.StoreWidth(inst.Op))
+	le.AddrReady = true
+	le.Data = rs2
+	le.DataReady = true
+	u.MemAddr = addr
+	u.ReadyAt = c.cycle + 1
+	c.stats.Stores++
+
+	// Disambiguation: younger loads that already executed and overlap
+	// have consumed stale data.
+	if viol := c.lsq.StoreViolations(le); len(viol) > 0 {
+		oldest := viol[0]
+		for _, v := range viol {
+			if v.U.Seq < oldest.U.Seq {
+				oldest = v
+			}
+		}
+		c.mdp.RecordViolation(oldest.U.PC)
+		c.stats.MemDepViolations++
+		c.queueRecovery(&recovery{u: oldest.U, targetPC: oldest.U.PC, isMemViolation: true})
+	}
+}
+
+// completeExecution retires finished executions from the FU tracking list
+// and handles branch resolution and load-miss replay.
+func (c *Core) completeExecution() {
+	kept := c.executing[:0]
+	for _, u := range c.executing {
+		if u.Squashed {
+			continue
+		}
+		if c.cycle < u.ReadyAt {
+			kept = append(kept, u)
+			continue
+		}
+		if u.Dest >= 0 {
+			c.prf[u.Dest] = u.Result
+			c.stats.RegWrites++
+		}
+		u.State = uarch.StateDone
+		u.Completed = true
+		if u.Class == uarch.ClassBranch || u.Class == uarch.ClassJump {
+			c.resolveControl(u)
+		}
+	}
+	c.executing = kept
+}
+
+// resolveControl trains the predictors and queues recovery on a
+// mispredict.
+func (c *Core) resolveControl(u *uarch.UOp) {
+	p := u.Payload.(*uopPayload)
+	if p.fe.isBranch {
+		c.stats.CondBranches++
+		c.pred.Update(u.PC, u.Taken, u.PredMeta)
+	}
+	if p.inst.Op == riscv.JALR {
+		c.btb.Insert(u.PC, u.Target)
+	}
+	predNext := u.PC + 4
+	if u.PredTaken {
+		predNext = u.PredTarget
+	}
+	actualNext := u.PC + 4
+	if u.Taken {
+		actualNext = u.Target
+	}
+	if predNext == actualNext {
+		if c.mdpTrainOnGoodLoad(u) {
+			// no-op; placeholder for symmetric training hooks
+		}
+		return
+	}
+	if p.fe.isBranch {
+		c.stats.Mispredicts++
+		c.pred.Recover(u.PredMeta, u.Taken)
+	} else {
+		c.stats.TargetMispredict++
+	}
+	c.queueRecovery(&recovery{u: u, targetPC: actualNext})
+}
+
+func (c *Core) mdpTrainOnGoodLoad(u *uarch.UOp) bool { return false }
+
+// queueRecovery records the oldest pending recovery of this cycle.
+func (c *Core) queueRecovery(r *recovery) {
+	if c.recov == nil || r.u.Seq < c.recov.u.Seq {
+		c.recov = r
+	}
+}
+
+// applyRecovery squashes the wrong path and models the SS recovery cost:
+// the ROB is walked from the tail to the faulting instruction, restoring
+// the RMT and free list at the front-end width per cycle; rename stalls
+// until the walk completes (paper §V-A).
+func (c *Core) applyRecovery() {
+	r := c.recov
+	if r == nil {
+		return
+	}
+	c.recov = nil
+	boundary := r.u.Seq // squash everything younger than r.u
+	if r.isMemViolation {
+		boundary = r.u.Seq - 1 // the violating load itself re-executes
+	}
+
+	// Walk the ROB tail-first, undoing register mappings.
+	walked := 0
+	for i := len(c.rob) - 1; i >= 0; i-- {
+		u := c.rob[i]
+		if u.Seq <= boundary {
+			c.rob = c.rob[:i+1]
+			break
+		}
+		p := u.Payload.(*uopPayload)
+		if p.logDest >= 0 {
+			c.rmt[p.logDest] = p.oldDest
+			if c.inFreeList[u.Dest] {
+				panic(fmt.Sprintf("walk double-free of phys %d (seq %d pc %#x %v)", u.Dest, u.Seq, u.PC, p.inst))
+			}
+			c.inFreeList[u.Dest] = true
+			c.freeList = append([]int32{u.Dest}, c.freeList...)
+			c.stats.FreeListOps++
+		}
+		u.Squashed = true
+		walked++
+		if i == 0 {
+			c.rob = c.rob[:0]
+		}
+	}
+	c.stats.ROBWalkSteps += uint64(walked)
+	c.squashYounger(boundary)
+
+	// Fetch redirect (next cycle); rename blocked until the walk is done.
+	c.fetchPC = r.targetPC
+	c.fetchHalted = false
+	c.feQueue = c.feQueue[:0]
+	if c.fetchOracle != nil {
+		// Oracle fetch never leaves the true path; a memory-violation
+		// replay still rewinds it.
+		c.resyncOracle()
+	}
+	if r.u.RASSnap != nil {
+		c.ras.Restore(r.u.RASSnap)
+		if p := r.u.Payload.(*uopPayload); p.inst.Op == riscv.JAL || p.inst.Op == riscv.JALR {
+			if p.inst.Rd == riscv.RegRA {
+				c.ras.Push(r.u.PC + 4)
+			}
+			if p.inst.Rd == 0 && p.inst.Rs1 == riscv.RegRA {
+				c.ras.Pop()
+			}
+		}
+	}
+	if c.cfg.ZeroMispredictPenalty {
+		c.fetchStallUntil = c.cycle + 1
+		return
+	}
+	c.fetchStallUntil = c.cycle + 2
+	walkCycles := int64((walked + c.cfg.FetchWidth - 1) / c.cfg.FetchWidth)
+	blockUntil := c.cycle + 1 + walkCycles
+	if blockUntil > c.renameBlock {
+		c.renameBlock = blockUntil
+	}
+	c.stats.RecoveryStall += walkCycles
+}
+
+// resyncOracle rebuilds the fetch oracle at the redirect point: a clone
+// of the commit-point golden emulator stepped over the surviving ROB
+// entries. Only needed for memory-violation recoveries in oracle mode
+// (branch recoveries never occur there: fetch follows the true path).
+func (c *Core) resyncOracle() {
+	o := c.emu.Clone()
+	for range c.rob {
+		if o.Step() != nil {
+			break
+		}
+	}
+	c.fetchOracle = o
+}
+
+// squashYounger removes wrong-path µops from every structure.
+func (c *Core) squashYounger(seq uint64) {
+	kept := c.iq[:0]
+	for _, u := range c.iq {
+		if u.Seq <= seq {
+			kept = append(kept, u)
+		} else {
+			u.Squashed = true
+		}
+	}
+	c.iq = kept
+	keptX := c.executing[:0]
+	for _, u := range c.executing {
+		if u.Seq <= seq {
+			keptX = append(keptX, u)
+		} else {
+			u.Squashed = true
+		}
+	}
+	c.executing = keptX
+	c.lsq.SquashYounger(seq)
+	c.serializing = serializingStill(c.rob)
+}
+
+func serializingStill(rob []*uarch.UOp) bool {
+	for _, u := range rob {
+		if u.Payload.(*uopPayload).inst.Op == riscv.ECALL {
+			return true
+		}
+	}
+	return false
+}
+
+// commit retires completed µops in order, performing stores and
+// (serialized) syscalls against architectural state, and cross-validates
+// against the golden emulator.
+func (c *Core) commit(opts Options) error {
+	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
+		u := c.rob[0]
+		if !u.Completed || u.Squashed || c.cycle < u.ReadyAt {
+			return nil
+		}
+		p := u.Payload.(*uopPayload)
+
+		if p.inst.Op == riscv.ECALL {
+			// Execute via the golden emulator (it is exactly at this
+			// instruction), propagating output and exit.
+			if c.emu.PC() != u.PC {
+				return fmt.Errorf("sscore: ecall desync: core pc=%#x emu pc=%#x", u.PC, c.emu.PC())
+			}
+			c.emu.Step()
+			if done, code := c.emu.Exited(); done {
+				c.exited = true
+				c.exitCode = code
+			}
+			// a0 may have been written (SysCycle): update the committed
+			// physical copy.
+			c.prf[c.rmt[riscv.RegA0]] = c.emu.Reg(riscv.RegA0)
+			c.prfReady[c.rmt[riscv.RegA0]] = c.cycle
+			c.serializing = false
+			c.finishRetire(u, p)
+			continue
+		}
+
+		if u.IsStore {
+			width := int(p.lsq.Size)
+			if u.MemAddr%uint32(width) != 0 {
+				return fmt.Errorf("sscore: misaligned store committed at pc=%#x addr=%#x", u.PC, u.MemAddr)
+			}
+			c.mem.Store(u.MemAddr, p.lsq.Data, width)
+			c.hier.AccessData(c.cycle, u.MemAddr) // fill/dirty the line
+		}
+		if u.IsLoad && c.cfg.MemDep == uarch.MemDepPredict && c.mdp.ShouldWait(u.PC) {
+			c.mdp.RecordSuccess(u.PC)
+		}
+
+		// Cross-validation against the golden model.
+		if opts.CrossValidate {
+			if c.emu.PC() != u.PC {
+				return fmt.Errorf("sscore: retire desync at seq %d: core pc=%#x emu pc=%#x", u.Seq, u.PC, c.emu.PC())
+			}
+			var wantVal uint32
+			var checks bool
+			c.emu.TraceFn = func(r riscvemu.Retired) {
+				if r.Inst.WritesRd() && r.Inst.Rd != 0 {
+					wantVal = r.Result
+					checks = true
+				}
+			}
+			c.emu.Step()
+			c.emu.TraceFn = nil
+			if checks && u.Dest >= 0 && c.prf[u.Dest] != wantVal {
+				return fmt.Errorf("sscore: value desync at pc=%#x: core=%#x emu=%#x", u.PC, c.prf[u.Dest], wantVal)
+			}
+		} else {
+			c.emu.Step()
+		}
+		if done, code := c.emu.Exited(); done {
+			c.exited = true
+			c.exitCode = code
+		}
+
+		c.finishRetire(u, p)
+	}
+	return nil
+}
+
+func (c *Core) finishRetire(u *uarch.UOp, p *uopPayload) {
+	if p.logDest >= 0 && p.oldDest >= 0 {
+		if c.inFreeList[p.oldDest] {
+			panic(fmt.Sprintf("retire double-free of phys %d (seq %d pc %#x %v)", p.oldDest, u.Seq, u.PC, p.inst))
+		}
+		c.inFreeList[p.oldDest] = true
+		c.freeList = append(c.freeList, p.oldDest)
+		c.stats.FreeListOps++
+	}
+	if u.IsLoad || u.IsStore {
+		c.lsq.Retire(u)
+	}
+	c.rob = c.rob[1:]
+	c.stats.Retired++
+	c.stats.RetiredByClass[u.Class]++
+}

@@ -1,0 +1,286 @@
+// Package sscore is the cycle-level model of the conventional
+// out-of-order superscalar baseline ("SS", paper §V-A): an RV32IM core
+// with a RAM-based register mapping table (RMT), a free list, and
+// ROB-walking misprediction recovery that blocks the rename stage until
+// the walk completes. The back-end machinery (scheduler, LSQ, caches,
+// predictors) comes from internal/uarch and is shared verbatim with the
+// STRAIGHT core.
+package sscore
+
+import (
+	"fmt"
+	"io"
+
+	"straight/internal/emu/riscvemu"
+	"straight/internal/isa/riscv"
+	"straight/internal/program"
+	"straight/internal/uarch"
+)
+
+// Options control a simulation run.
+type Options struct {
+	// MaxInsns bounds retired instructions (0 = unlimited; the program
+	// must exit).
+	MaxInsns uint64
+	// MaxCycles bounds simulated cycles (safety net; 0 = 2^62).
+	MaxCycles int64
+	// CrossValidate retires in lockstep with the functional emulator and
+	// fails on any architectural divergence.
+	CrossValidate bool
+	// Output receives console syscall output.
+	Output io.Writer
+}
+
+// Result summarizes a run.
+type Result struct {
+	Stats    uarch.Stats
+	ExitCode int32
+	Output   string
+}
+
+type feEntry struct {
+	pc        uint32
+	inst      riscv.Inst
+	fetchedAt int64
+
+	isBranch   bool
+	predTaken  bool
+	predTarget uint32
+	predMeta   uint64
+	rasSnap    []uint32
+	isControl  bool
+}
+
+type uopPayload struct {
+	inst    riscv.Inst
+	oldDest int32 // previous physical mapping of rd (for walk/free)
+	logDest int8  // logical rd (-1 none)
+	fe      feEntry
+	lsq     *uarch.LSQEntry
+}
+
+// Core is the SS cycle simulator.
+type Core struct {
+	cfg  uarch.Config
+	img  *program.Image
+	mem  *program.Memory
+	hier *uarch.Hierarchy
+	pred uarch.DirPredictor
+	btb  *uarch.BTB
+	ras  *uarch.RAS
+	mdp  *uarch.MemDepPredictor
+	lsq  *uarch.LSQ
+
+	stats uarch.Stats
+	cycle int64
+	seq   uint64
+
+	// Front end.
+	fetchPC         uint32
+	fetchStallUntil int64
+	feQueue         []feEntry
+	feCap           int
+	fetchHalted     bool // ran off decodable text; wait for redirect
+
+	// Oracle front end (ZeroMispredictPenalty / PredOracle): a functional
+	// emulator stepped at fetch to follow the true path.
+	fetchOracle *riscvemu.Machine
+
+	// Rename.
+	rmt         [32]int32
+	freeList    []int32
+	renameBlock int64 // rename blocked until this cycle (ROB walk)
+	serializing bool  // an ECALL is draining the ROB
+
+	// Backend.
+	inFreeList []bool       // debug guard against double-free
+	rob        []*uarch.UOp // program order, head first
+	iq         []*uarch.UOp
+	executing  []*uarch.UOp
+	prf        []uint32
+	prfReady   []int64 // cycle value becomes available; future = pending
+	divBusy    int64
+
+	// Pending recovery (applied at end of cycle; oldest wins).
+	recov *recovery
+
+	// Golden model for cross-validation and syscalls.
+	emu      *riscvemu.Machine
+	exited   bool
+	exitCode int32
+
+	outBuf *captureWriter
+}
+
+type recovery struct {
+	u        *uarch.UOp
+	targetPC uint32
+	// isMemViolation refetches the violating load itself.
+	isMemViolation bool
+}
+
+type captureWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+func (c *captureWriter) Write(p []byte) (int, error) {
+	c.buf = append(c.buf, p...)
+	if c.w != nil {
+		return c.w.Write(p)
+	}
+	return len(p), nil
+}
+
+const farFuture = int64(1) << 62
+
+// New builds a core for the image.
+func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
+	c := &Core{
+		cfg:     cfg,
+		img:     img,
+		mem:     program.NewMemory(),
+		hier:    uarch.NewHierarchy(cfg),
+		btb:     uarch.NewBTB(cfg.BTBEntries),
+		ras:     uarch.NewRAS(cfg.RASEntries),
+		mdp:     uarch.NewMemDepPredictor(4096),
+		lsq:     uarch.NewLSQ(cfg.LQSize, cfg.SQSize),
+		fetchPC: img.Entry,
+		feCap:   cfg.FetchWidth * (cfg.FrontEndLatency + 4),
+		prf:     make([]uint32, cfg.RegFileSize),
+		outBuf:  &captureWriter{w: opts.Output},
+	}
+	switch cfg.Predictor {
+	case uarch.PredTAGE:
+		c.pred = uarch.NewTAGE()
+	default:
+		c.pred = uarch.NewGshare(cfg.GshareHistBits, cfg.GshareEntries)
+	}
+	c.mem.LoadImage(img)
+	c.prfReady = make([]int64, cfg.RegFileSize)
+
+	// Initial RMT: logical register i maps to physical i; the remaining
+	// physical registers populate the free list.
+	for i := 0; i < 32; i++ {
+		c.rmt[i] = int32(i)
+	}
+	c.prf[riscv.RegSP] = program.DefaultStackTop
+	c.inFreeList = make([]bool, cfg.RegFileSize)
+	for p := 32; p < cfg.RegFileSize; p++ {
+		c.freeList = append(c.freeList, int32(p))
+		c.inFreeList[p] = true
+	}
+
+	// Golden model: drives syscalls and (optionally) cross-validation.
+	c.emu = riscvemu.New(img)
+	c.emu.SetOutput(c.outBuf)
+
+	if cfg.ZeroMispredictPenalty || cfg.Predictor == uarch.PredOracle {
+		c.fetchOracle = riscvemu.New(img)
+		c.fetchOracle.SetOutput(io.Discard)
+	}
+	return c
+}
+
+// Run simulates until program exit or a bound is hit.
+func (c *Core) Run(opts Options) (*Result, error) {
+	maxCycles := opts.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = farFuture
+	}
+	lastRetired := uint64(0)
+	lastProgress := int64(0)
+	for !c.exited {
+		if c.cycle >= maxCycles {
+			return nil, fmt.Errorf("sscore: cycle limit %d reached (retired %d)", maxCycles, c.stats.Retired)
+		}
+		if c.stats.Retired != lastRetired {
+			lastRetired = c.stats.Retired
+			lastProgress = c.cycle
+		} else if c.cycle-lastProgress > 500_000 {
+			return nil, fmt.Errorf("sscore: deadlock at cycle %d (retired %d)\n%s", c.cycle, c.stats.Retired, c.deadlockDump())
+		}
+		if opts.MaxInsns > 0 && c.stats.Retired >= opts.MaxInsns {
+			break
+		}
+		if err := c.step(opts); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Stats: c.stats, ExitCode: c.exitCode, Output: string(c.outBuf.buf)}, nil
+}
+
+// step advances one cycle: commit, execute-complete, issue, dispatch,
+// fetch, then recovery resolution (order chosen so same-cycle hand-offs
+// behave like a real pipeline with forwarding).
+func (c *Core) step(opts Options) error {
+	if err := c.commit(opts); err != nil {
+		return err
+	}
+	c.completeExecution()
+	c.issue()
+	if err := c.dispatch(); err != nil {
+		return err
+	}
+	c.fetch()
+	c.applyRecovery()
+	c.stats.Cycles++
+	c.stats.ROBOccupancy += int64(len(c.rob))
+	c.stats.IQOccupancy += int64(len(c.iq))
+	c.cycle++
+	return nil
+}
+
+// deadlockDump renders the pipeline state for deadlock diagnostics.
+func (c *Core) deadlockDump() string {
+	s := fmt.Sprintf("rob=%d iq=%d exec=%d feq=%d freeList=%d fetchPC=%#x halted=%v stall=%d renameBlock=%d serializing=%v\n",
+		len(c.rob), len(c.iq), len(c.executing), len(c.feQueue), len(c.freeList),
+		c.fetchPC, c.fetchHalted, c.fetchStallUntil, c.renameBlock, c.serializing)
+	if len(c.rob) > 0 {
+		u := c.rob[0]
+		p := u.Payload.(*uopPayload)
+		s += fmt.Sprintf("rob head: seq=%d pc=%#x %v class=%v completed=%v squashed=%v readyAt=%d state=%d\n",
+			u.Seq, u.PC, p.inst, u.Class, u.Completed, u.Squashed, u.ReadyAt, u.State)
+		// Walk the dependency chain from the head's pending source.
+		pending := u.Src1
+		if pending < 0 || c.prfReady[pending] <= c.cycle {
+			pending = u.Src2
+		}
+		for depth := 0; depth < 10 && pending >= 0 && c.prfReady[pending] > c.cycle; depth++ {
+			var owner *uarch.UOp
+			for _, w := range c.rob {
+				if w.Dest == pending {
+					owner = w
+				}
+			}
+			if owner == nil {
+				s += fmt.Sprintf("  reg %d: NO in-flight producer (prfReady=%d)\n", pending, c.prfReady[pending])
+				break
+			}
+			s += fmt.Sprintf("  reg %d <- seq=%d pc=%#x %v state=%d squashed=%v src1=%d src2=%d\n",
+				pending, owner.Seq, owner.PC, owner.Payload.(*uopPayload).inst, owner.State, owner.Squashed, owner.Src1, owner.Src2)
+			next := owner.Src1
+			if next < 0 || c.prfReady[next] <= c.cycle {
+				next = owner.Src2
+			}
+			pending = next
+		}
+	}
+	for i, u := range c.iq {
+		if i >= 4 {
+			break
+		}
+		s += fmt.Sprintf("iq[%d]: seq=%d pc=%#x %v src1=%d(r@%d) src2=%d(r@%d)\n",
+			i, u.Seq, u.PC, u.Payload.(*uopPayload).inst, u.Src1, rdy(c, u.Src1), u.Src2, rdy(c, u.Src2))
+	}
+	lq, sq := c.lsq.Occupancy()
+	s += fmt.Sprintf("lsq: loads=%d stores=%d\n", lq, sq)
+	return s
+}
+
+func rdy(c *Core, r int32) int64 {
+	if r < 0 {
+		return 0
+	}
+	return c.prfReady[r]
+}

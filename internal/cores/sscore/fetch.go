@@ -1,0 +1,241 @@
+package sscore
+
+import (
+	"straight/internal/isa/riscv"
+	"straight/internal/uarch"
+)
+
+// fetch models the front end: I-cache access, pre-decode-assisted branch
+// prediction (direct targets computed from the instruction bytes; BTB for
+// indirect jumps; RAS for returns), and the fetch-to-dispatch pipe of
+// FrontEndLatency stages. On the speculative path it fetches whatever the
+// predicted PC points at — wrong-path fetch pollutes the caches just like
+// the real machine.
+func (c *Core) fetch() {
+	if c.cycle < c.fetchStallUntil || c.fetchHalted {
+		c.stats.StallFrontEnd++
+		return
+	}
+	if len(c.feQueue)+c.cfg.FetchWidth > c.feCap {
+		return
+	}
+	pc := c.fetchPC
+
+	// One I-cache access per fetch group; a miss stalls the group.
+	lat := c.hier.AccessInst(c.cycle, pc)
+	if lat > c.cfg.L1I.HitLatency {
+		c.fetchStallUntil = c.cycle + int64(lat-c.cfg.L1I.HitLatency)
+		return
+	}
+
+	for i := 0; i < c.cfg.FetchWidth; i++ {
+		if !c.img.ContainsText(pc) {
+			c.fetchHalted = true // wrong path ran off the text segment
+			return
+		}
+		raw, err := c.img.FetchWord(pc)
+		if err != nil {
+			c.fetchHalted = true
+			return
+		}
+		inst := riscv.Decode(raw)
+		if inst.Op == riscv.ILLEGAL {
+			// Wrong-path garbage; stop until a redirect arrives.
+			c.fetchHalted = true
+			return
+		}
+		e := feEntry{pc: pc, inst: inst, fetchedAt: c.cycle, isControl: inst.IsControl()}
+		nextPC := pc + 4
+		if c.fetchOracle != nil {
+			// Oracle mode: the emulator is in lockstep with fetch; one
+			// step yields the true next PC for every instruction.
+			if inst.Op.Class() == riscv.ClassBranch {
+				e.isBranch = true
+				_, meta := c.pred.Predict(pc) // statistics only
+				e.predMeta = meta
+			}
+			c.fetchOracle.Step()
+			next := c.fetchOracle.PC()
+			if inst.IsControl() {
+				e.predTaken = next != pc+4 || inst.Op == riscv.JAL || inst.Op == riscv.JALR
+				e.predTarget = next
+			}
+			nextPC = next
+		} else if inst.IsControl() {
+			e.rasSnap = c.ras.Snapshot()
+			taken, target := c.predictControl(pc, inst, &e)
+			if taken {
+				nextPC = target
+			}
+			e.predTaken = taken
+			e.predTarget = target
+		}
+		c.feQueue = append(c.feQueue, e)
+		c.stats.FetchedInsts++
+		pc = nextPC
+		c.fetchPC = pc
+		if e.isControl && nextPC != e.pc+4 {
+			break // redirected fetch group ends at a taken branch
+		}
+	}
+}
+
+// predictControl produces the front end's next-PC guess for a control
+// instruction and maintains the RAS.
+func (c *Core) predictControl(pc uint32, inst riscv.Inst, e *feEntry) (bool, uint32) {
+	switch inst.Op.Class() {
+	case riscv.ClassBranch:
+		e.isBranch = true
+		taken, meta := c.pred.Predict(pc)
+		e.predMeta = meta
+		return taken, pc + uint32(inst.Imm)
+	default: // JAL / JALR
+		if inst.Op == riscv.JAL {
+			if inst.Rd == riscv.RegRA {
+				c.ras.Push(pc + 4)
+			}
+			return true, pc + uint32(inst.Imm)
+		}
+		// JALR: return if rs1==ra && rd==x0; else indirect via BTB.
+		if inst.Rd == riscv.RegRA {
+			c.ras.Push(pc + 4)
+		}
+		if inst.Rd == 0 && inst.Rs1 == riscv.RegRA {
+			if t, ok := c.ras.Pop(); ok {
+				return true, t
+			}
+		}
+		if t, ok := c.btb.Lookup(pc); ok {
+			return true, t
+		}
+		// No target known: guess fall-through; execute will redirect.
+		return false, pc + 4
+	}
+}
+
+// dispatch renames and inserts up to FetchWidth instructions into the
+// ROB/scheduler/LSQ.
+func (c *Core) dispatch() error {
+	if c.cycle < c.renameBlock {
+		c.stats.RecoveryStall++
+		return nil
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.feQueue) == 0 {
+			c.stats.StallFrontEnd++
+			return nil
+		}
+		e := c.feQueue[0]
+		if c.cycle-e.fetchedAt < int64(c.cfg.FrontEndLatency) {
+			return nil
+		}
+		if c.serializing {
+			// An ECALL is draining the ROB.
+			return nil
+		}
+		inst := e.inst
+		if inst.Op == riscv.ECALL {
+			if len(c.rob) > 0 {
+				c.serializingWait()
+				return nil
+			}
+		}
+		if len(c.rob) >= c.cfg.ROBSize {
+			c.stats.StallROBFull++
+			return nil
+		}
+		if len(c.iq) >= c.cfg.SchedulerSize {
+			c.stats.StallIQFull++
+			return nil
+		}
+		isLoad := inst.Op.Class() == riscv.ClassLoad
+		isStore := inst.Op.Class() == riscv.ClassStore
+		if (isLoad || isStore) && !c.lsq.CanAllocate(isLoad) {
+			c.stats.StallLSQFull++
+			return nil
+		}
+
+		// Rename: source lookups, old-destination lookup, free-list pop,
+		// RMT update — the RAM-RMT port activity the power model counts.
+		p := &uopPayload{inst: inst, fe: e, logDest: -1, oldDest: -1}
+		u := &uarch.UOp{
+			Seq: c.nextSeq(), PC: e.pc,
+			Dest: -1, Src1: -1, Src2: -1,
+			PredTaken: e.predTaken, PredTarget: e.predTarget, PredMeta: e.predMeta,
+			RASSnap: e.rasSnap,
+			IsLoad:  isLoad, IsStore: isStore,
+			Payload: p,
+		}
+		u.Class = classOf(inst)
+		if inst.ReadsRs1() {
+			u.Src1 = c.rmt[inst.Rs1]
+			c.stats.RenameReads++
+		}
+		if inst.ReadsRs2() {
+			u.Src2 = c.rmt[inst.Rs2]
+			c.stats.RenameReads++
+		}
+		if inst.WritesRd() && inst.Rd != 0 {
+			c.stats.RenameReads++ // old-mapping read for recovery/retire
+			if len(c.freeList) == 0 {
+				c.stats.StallFreeList++
+				return nil
+			}
+			p.logDest = int8(inst.Rd)
+			p.oldDest = c.rmt[inst.Rd]
+			phys := c.freeList[0]
+			c.freeList = c.freeList[1:]
+			c.inFreeList[phys] = false
+			c.stats.FreeListOps++
+			c.rmt[inst.Rd] = phys
+			c.stats.RenameWrites++
+			u.Dest = phys
+			c.prfReady[phys] = farFuture
+		}
+		c.feQueue = c.feQueue[1:]
+		c.rob = append(c.rob, u)
+		if isLoad || isStore {
+			p.lsq = c.lsq.Allocate(u)
+		}
+		if inst.Op == riscv.ECALL {
+			// Executes at commit; ready immediately.
+			u.State = uarch.StateDone
+			u.ReadyAt = c.cycle
+			u.Completed = true
+			c.serializing = true
+			continue
+		}
+		c.iq = append(c.iq, u)
+	}
+	return nil
+}
+
+func (c *Core) serializingWait() {
+	// Nothing to count specially; dispatch stalls until the ROB drains.
+}
+
+func (c *Core) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+func classOf(inst riscv.Inst) uarch.Class {
+	switch inst.Op.Class() {
+	case riscv.ClassMul:
+		return uarch.ClassMul
+	case riscv.ClassDiv:
+		return uarch.ClassDiv
+	case riscv.ClassLoad:
+		return uarch.ClassLoad
+	case riscv.ClassStore:
+		return uarch.ClassStore
+	case riscv.ClassBranch:
+		return uarch.ClassBranch
+	case riscv.ClassJump:
+		return uarch.ClassJump
+	case riscv.ClassSys:
+		return uarch.ClassSys
+	default:
+		return uarch.ClassALU
+	}
+}

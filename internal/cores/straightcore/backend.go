@@ -1,0 +1,488 @@
+package straightcore
+
+import (
+	"fmt"
+
+	"straight/internal/emu/straightemu"
+	"straight/internal/isa/straight"
+	"straight/internal/program"
+	"straight/internal/uarch"
+)
+
+// issue selects ready scheduler entries (identical policy to the SS
+// core: the scheduler is shared machinery).
+func (c *Core) issue() {
+	issued := 0
+	unit := map[uarch.Class]int{}
+	avail := map[uarch.Class]int{
+		uarch.ClassALU: c.cfg.NumALU, uarch.ClassMul: c.cfg.NumMul,
+		uarch.ClassDiv: c.cfg.NumDiv, uarch.ClassBranch: c.cfg.NumBr,
+		uarch.ClassJump: c.cfg.NumBr,
+		uarch.ClassLoad: c.cfg.NumMem, uarch.ClassStore: c.cfg.NumMem,
+		uarch.ClassNop: c.cfg.NumALU,
+	}
+	kept := c.iq[:0]
+	for _, u := range c.iq {
+		if issued >= c.cfg.IssueWidth {
+			kept = append(kept, u)
+			continue
+		}
+		pool := u.Class
+		switch pool {
+		case uarch.ClassJump:
+			pool = uarch.ClassBranch
+		case uarch.ClassStore:
+			pool = uarch.ClassLoad
+		case uarch.ClassNop:
+			pool = uarch.ClassALU
+		}
+		if unit[pool] >= avail[pool] || !c.srcReady(u) {
+			kept = append(kept, u)
+			continue
+		}
+		if u.Class == uarch.ClassDiv && c.cycle < c.divBusy {
+			kept = append(kept, u)
+			continue
+		}
+		p := u.Payload.(*uopPayload)
+		if u.IsLoad && c.shouldWaitForStores(u.PC) && !c.lsq.OlderStoresResolved(u.Seq) {
+			kept = append(kept, u)
+			continue
+		}
+		if !c.execute(u, p) {
+			kept = append(kept, u)
+			continue
+		}
+		unit[pool]++
+		issued++
+		c.stats.IQIssued++
+		u.State = uarch.StateIssued
+		u.IssuedAt = c.cycle
+		c.executing = append(c.executing, u)
+	}
+	c.iq = kept
+}
+
+// shouldWaitForStores applies the configured memory-dependence policy.
+func (c *Core) shouldWaitForStores(pc uint32) bool {
+	switch c.cfg.MemDep {
+	case uarch.MemDepAlwaysSpeculate:
+		return false
+	case uarch.MemDepAlwaysWait:
+		return true
+	default:
+		return c.mdp.ShouldWait(pc)
+	}
+}
+
+func (c *Core) srcReady(u *uarch.UOp) bool {
+	if u.Src1 >= 0 && c.prfReady[u.Src1] > c.cycle {
+		return false
+	}
+	if u.Src2 >= 0 && c.prfReady[u.Src2] > c.cycle {
+		return false
+	}
+	c.stats.IQWakeups++
+	return true
+}
+
+func (c *Core) readSrc(phys int32) uint32 {
+	if phys < 0 {
+		return 0
+	}
+	c.stats.RegReads++
+	return c.prf[phys]
+}
+
+func (c *Core) execute(u *uarch.UOp, p *uopPayload) bool {
+	inst := p.inst
+	s1 := c.readSrc(u.Src1)
+	s2 := c.readSrc(u.Src2)
+	lat := int64(c.cfg.LatencyFor(u.Class))
+	op := inst.Op
+
+	switch op.Class() {
+	case straight.ClassNop:
+		u.Result = 0
+		u.ReadyAt = c.cycle + lat
+	case straight.ClassALU, straight.ClassMul, straight.ClassDiv:
+		switch {
+		case op == straight.RMOV:
+			u.Result = s1
+		case op == straight.SPADD:
+			u.Result = p.spRes // computed in order at dispatch
+		case op == straight.LUI:
+			u.Result = straight.LUIValue(inst.Imm)
+		case op.Format() == straight.FmtR:
+			u.Result = straight.EvalALU(op, s1, s2)
+		default:
+			u.Result = straight.EvalALUImm(op, s1, inst.Imm)
+		}
+		u.ReadyAt = c.cycle + lat
+		if op.Class() == straight.ClassDiv {
+			c.divBusy = u.ReadyAt
+		}
+	case straight.ClassLoad:
+		return c.executeLoad(u, p, s1)
+	case straight.ClassStore:
+		c.executeStore(u, p, s1, s2)
+	case straight.ClassBranch:
+		u.Taken = straight.BranchTaken(op, s1)
+		u.Target = u.PC + 4
+		u.Result = 0
+		if u.Taken {
+			u.Target = u.PC + uint32(inst.Imm)*4
+			u.Result = 1
+		}
+		u.ReadyAt = c.cycle + lat
+	case straight.ClassJump:
+		u.Taken = true
+		switch op {
+		case straight.J:
+			u.Target = u.PC + uint32(inst.Imm)*4
+		case straight.JAL:
+			u.Result = u.PC + 4
+			u.Target = u.PC + uint32(inst.Imm)*4
+		case straight.JR:
+			u.Target = s1
+		case straight.JALR:
+			u.Result = u.PC + 4
+			u.Target = s1
+		}
+		u.ReadyAt = c.cycle + lat
+	}
+	if u.Dest >= 0 {
+		c.prfReady[u.Dest] = u.ReadyAt
+	}
+	return true
+}
+
+func (c *Core) executeLoad(u *uarch.UOp, p *uopPayload, s1 uint32) bool {
+	inst := p.inst
+	addr := s1 + uint32(inst.Imm)
+	width, _ := straight.LoadWidth(inst.Op)
+	le := p.lsq
+	le.Addr = addr
+	le.Size = uint8(width)
+	le.AddrReady = true
+	u.MemAddr = addr
+
+	unknownOK := !c.shouldWaitForStores(u.PC)
+	res, fwd := c.lsq.LookupLoad(le, unknownOK)
+	switch res {
+	case uarch.LoadMustWait:
+		le.AddrReady = false
+		return false
+	case uarch.LoadForwarded:
+		u.Result = straight.ExtendLoad(inst.Op, fwd)
+		u.ReadyAt = c.cycle + 2
+		c.stats.StoreForwards++
+	case uarch.LoadFromMemory:
+		var raw uint32
+		if addr%uint32(width) == 0 {
+			raw = c.mem.Load(addr, width)
+		}
+		u.Result = straight.ExtendLoad(inst.Op, raw)
+		lat := c.hier.AccessData(c.cycle, addr)
+		u.ReadyAt = c.cycle + 1 + int64(lat)
+	}
+	le.Executed = true
+	c.stats.Loads++
+	if u.Dest >= 0 {
+		c.prfReady[u.Dest] = u.ReadyAt
+	}
+	return true
+}
+
+func (c *Core) executeStore(u *uarch.UOp, p *uopPayload, s1, s2 uint32) {
+	inst := p.inst
+	addr := s1 + uint32(inst.Imm)
+	le := p.lsq
+	le.Addr = addr
+	le.Size = uint8(straight.StoreWidth(inst.Op))
+	le.AddrReady = true
+	le.Data = s2
+	le.DataReady = true
+	u.MemAddr = addr
+	u.Result = s2 // stores return the stored value (§III-A)
+	u.ReadyAt = c.cycle + 1
+	c.stats.Stores++
+
+	if viol := c.lsq.StoreViolations(le); len(viol) > 0 {
+		oldest := viol[0]
+		for _, v := range viol {
+			if v.U.Seq < oldest.U.Seq {
+				oldest = v
+			}
+		}
+		c.mdp.RecordViolation(oldest.U.PC)
+		c.stats.MemDepViolations++
+		c.queueRecovery(&recovery{u: oldest.U, targetPC: oldest.U.PC, isMemViolation: true})
+	}
+}
+
+func (c *Core) completeExecution() {
+	kept := c.executing[:0]
+	for _, u := range c.executing {
+		if u.Squashed {
+			continue
+		}
+		if c.cycle < u.ReadyAt {
+			kept = append(kept, u)
+			continue
+		}
+		if u.Dest >= 0 {
+			c.prf[u.Dest] = u.Result
+			c.stats.RegWrites++
+		}
+		u.State = uarch.StateDone
+		u.Completed = true
+		if u.Class == uarch.ClassBranch || u.Class == uarch.ClassJump {
+			c.resolveControl(u)
+		}
+	}
+	c.executing = kept
+}
+
+func (c *Core) resolveControl(u *uarch.UOp) {
+	p := u.Payload.(*uopPayload)
+	if p.fe.isBranch {
+		c.stats.CondBranches++
+		c.pred.Update(u.PC, u.Taken, u.PredMeta)
+	}
+	if p.inst.Op == straight.JALR || p.inst.Op == straight.JR {
+		c.btb.Insert(u.PC, u.Target)
+	}
+	predNext := u.PC + 4
+	if u.PredTaken {
+		predNext = u.PredTarget
+	}
+	actualNext := u.PC + 4
+	if u.Taken {
+		actualNext = u.Target
+	}
+	if predNext == actualNext {
+		return
+	}
+	if p.fe.isBranch {
+		c.stats.Mispredicts++
+		c.pred.Recover(u.PredMeta, u.Taken)
+	} else {
+		c.stats.TargetMispredict++
+	}
+	c.queueRecovery(&recovery{u: u, targetPC: actualNext})
+}
+
+func (c *Core) queueRecovery(r *recovery) {
+	if c.recov == nil || r.u.Seq < c.recov.u.Seq {
+		c.recov = r
+	}
+}
+
+// applyRecovery is where STRAIGHT differs fundamentally from the
+// superscalar (paper §III-B, Fig 4): a single ROB entry read restores the
+// register pointer (the squashed instruction's own destination number),
+// the decode-time SP, and the restart PC. No table is walked; rename can
+// accept instructions again the very next cycle.
+func (c *Core) applyRecovery() {
+	r := c.recov
+	if r == nil {
+		return
+	}
+	c.recov = nil
+	boundary := r.u.Seq
+	if r.isMemViolation {
+		boundary = r.u.Seq - 1
+	}
+
+	// One ROB read: locate the oldest discarded entry and restore RP/SP
+	// from it; then drop the tail (tail-pointer move only).
+	restored := false
+	for i := len(c.rob) - 1; i >= 0; i-- {
+		u := c.rob[i]
+		if u.Seq <= boundary {
+			c.rob = c.rob[:i+1]
+			restored = true
+			// RP restarts at the register after the last surviving
+			// instruction's destination.
+			c.rp = u.Dest + 1
+			if c.rp >= int32(c.cfg.MaxRP()) {
+				c.rp = 0
+			}
+			c.decSP = u.Payload.(*uopPayload).spAfter
+			break
+		}
+		u.Squashed = true
+	}
+	if !restored {
+		// Entire ROB discarded: restore from the recovery µop itself.
+		c.rob = c.rob[:0]
+		c.rp = r.u.Dest
+		if r.isMemViolation {
+			// the violating load re-executes into the same register
+		}
+		c.decSP = r.u.Payload.(*uopPayload).spAfter
+		if sp := prevSPOf(r.u); sp != nil {
+			c.decSP = *sp
+		}
+	}
+	c.squashYounger(boundary)
+
+	c.fetchPC = r.targetPC
+	c.fetchHalted = false
+	c.feQueue = c.feQueue[:0]
+	if c.fetchOracle != nil {
+		c.resyncOracle()
+	}
+	if r.u.RASSnap != nil {
+		c.ras.Restore(r.u.RASSnap)
+		switch r.u.Payload.(*uopPayload).inst.Op {
+		case straight.JAL, straight.JALR:
+			c.ras.Push(r.u.PC + 4)
+		case straight.JR:
+			c.ras.Pop()
+		}
+	}
+	if c.cfg.ZeroMispredictPenalty {
+		c.fetchStallUntil = c.cycle + 1
+		return
+	}
+	// Redirect next cycle; the single ROB-entry read costs one cycle of
+	// rename availability — no walk (§III-B).
+	c.fetchStallUntil = c.cycle + 2
+	c.renameBlock = c.cycle + 1
+	c.stats.RecoveryStall++
+}
+
+// prevSPOf returns the µop's pre-decode SP when it was an SPADD (its
+// spAfter already includes the update, which must also be undone when the
+// µop itself is squashed). For memory violations the load's own spAfter
+// is correct.
+func prevSPOf(u *uarch.UOp) *uint32 {
+	p := u.Payload.(*uopPayload)
+	if p.inst.Op == straight.SPADD {
+		v := p.spAfter - uint32(p.inst.Imm)
+		return &v
+	}
+	return nil
+}
+
+func (c *Core) resyncOracle() {
+	o := c.emu.Clone()
+	for range c.rob {
+		if o.Step() != nil {
+			break
+		}
+	}
+	c.fetchOracle = o
+}
+
+func (c *Core) squashYounger(seq uint64) {
+	kept := c.iq[:0]
+	for _, u := range c.iq {
+		if u.Seq <= seq {
+			kept = append(kept, u)
+		} else {
+			u.Squashed = true
+		}
+	}
+	c.iq = kept
+	keptX := c.executing[:0]
+	for _, u := range c.executing {
+		if u.Seq <= seq {
+			keptX = append(keptX, u)
+		} else {
+			u.Squashed = true
+		}
+	}
+	c.executing = keptX
+	c.lsq.SquashYounger(seq)
+	c.serializing = serializingStill(c.rob)
+}
+
+func serializingStill(rob []*uarch.UOp) bool {
+	for _, u := range rob {
+		if u.Payload.(*uopPayload).inst.Op == straight.SYS {
+			return true
+		}
+	}
+	return false
+}
+
+// commit retires in order, performing stores and serialized SYS calls,
+// cross-validating against the golden emulator.
+func (c *Core) commit(opts Options) error {
+	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
+		u := c.rob[0]
+		if !u.Completed || u.Squashed || c.cycle < u.ReadyAt {
+			return nil
+		}
+		p := u.Payload.(*uopPayload)
+
+		if p.inst.Op == straight.SYS {
+			if c.emu.PC() != u.PC {
+				return fmt.Errorf("straightcore: sys desync: core pc=%#x emu pc=%#x", u.PC, c.emu.PC())
+			}
+			var res uint32
+			c.emu.TraceFn = func(r straightemu.Retired) { res = r.Result }
+			c.emu.Step()
+			c.emu.TraceFn = nil
+			if done, code := c.emu.Exited(); done {
+				c.exited = true
+				c.exitCode = code
+			}
+			c.prf[u.Dest] = res
+			c.prfReady[u.Dest] = c.cycle
+			c.serializing = false
+			c.finishRetire(u)
+			continue
+		}
+
+		if u.IsStore {
+			width := int(p.lsq.Size)
+			if u.MemAddr%uint32(width) != 0 {
+				return fmt.Errorf("straightcore: misaligned store committed at pc=%#x addr=%#x", u.PC, u.MemAddr)
+			}
+			c.mem.Store(u.MemAddr, p.lsq.Data, width)
+			c.hier.AccessData(c.cycle, u.MemAddr)
+		}
+		if u.IsLoad && c.cfg.MemDep == uarch.MemDepPredict && c.mdp.ShouldWait(u.PC) {
+			c.mdp.RecordSuccess(u.PC)
+		}
+
+		if opts.CrossValidate {
+			if c.emu.PC() != u.PC {
+				return fmt.Errorf("straightcore: retire desync at seq %d: core pc=%#x emu pc=%#x", u.Seq, u.PC, c.emu.PC())
+			}
+			var want straightemu.Retired
+			c.emu.TraceFn = func(r straightemu.Retired) { want = r }
+			c.emu.Step()
+			c.emu.TraceFn = nil
+			if u.Dest >= 0 && c.prf[u.Dest] != want.Result {
+				return fmt.Errorf("straightcore: value desync at pc=%#x (%v): core=%#x emu=%#x",
+					u.PC, p.inst, c.prf[u.Dest], want.Result)
+			}
+		} else {
+			c.emu.Step()
+		}
+		if done, code := c.emu.Exited(); done {
+			c.exited = true
+			c.exitCode = code
+		}
+
+		c.finishRetire(u)
+	}
+	return nil
+}
+
+func (c *Core) finishRetire(u *uarch.UOp) {
+	if u.IsLoad || u.IsStore {
+		c.lsq.Retire(u)
+	}
+	c.rob = c.rob[1:]
+	c.stats.Retired++
+	c.stats.RetiredByClass[u.Class]++
+}
+
+// ensure program import is used (stack constant referenced in core.go).
+var _ = program.DefaultStackTop

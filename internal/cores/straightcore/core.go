@@ -1,0 +1,474 @@
+// Package straightcore is the cycle-level model of the STRAIGHT processor
+// (paper §III): an out-of-order core with no register renaming. The
+// front end determines operands by subtracting the encoded distance from
+// the register pointer RP (Fig 3) — pure per-slot adders instead of a
+// multi-ported RMT and free list — and recovery from a misprediction
+// reads a single ROB entry to restore RP, SP, and PC (Fig 4), instead of
+// walking the ROB. SPADD executes its SP update in order at dispatch.
+//
+// MAX_RP = maximum distance + ROB entries (§III-B), so an in-flight
+// destination register can never alias a live older value.
+//
+// Everything else — scheduler, LSQ, caches, predictors, functional units
+// — is the shared machinery of internal/uarch, identical to the SS core.
+package straightcore
+
+import (
+	"fmt"
+	"io"
+
+	"straight/internal/emu/straightemu"
+	"straight/internal/isa/straight"
+	"straight/internal/program"
+	"straight/internal/uarch"
+)
+
+// Options control a simulation run.
+type Options struct {
+	MaxInsns      uint64
+	MaxCycles     int64
+	CrossValidate bool
+	Output        io.Writer
+}
+
+// Result summarizes a run.
+type Result struct {
+	Stats    uarch.Stats
+	ExitCode int32
+	Output   string
+}
+
+type feEntry struct {
+	pc        uint32
+	inst      straight.Inst
+	fetchedAt int64
+
+	isBranch   bool
+	predTaken  bool
+	predTarget uint32
+	predMeta   uint64
+	rasSnap    []uint32
+	isControl  bool
+}
+
+type uopPayload struct {
+	inst    straight.Inst
+	fe      feEntry
+	lsq     *uarch.LSQEntry
+	spAfter uint32 // SP after this instruction's decode (recovery state)
+	spRes   uint32 // SPADD: precomputed result
+}
+
+const farFuture = int64(1) << 62
+
+// Core is the STRAIGHT cycle simulator.
+type Core struct {
+	cfg  uarch.Config
+	img  *program.Image
+	mem  *program.Memory
+	hier *uarch.Hierarchy
+	pred uarch.DirPredictor
+	btb  *uarch.BTB
+	ras  *uarch.RAS
+	mdp  *uarch.MemDepPredictor
+	lsq  *uarch.LSQ
+
+	stats uarch.Stats
+	cycle int64
+	seq   uint64
+
+	fetchPC         uint32
+	fetchStallUntil int64
+	feQueue         []feEntry
+	feCap           int
+	fetchHalted     bool
+
+	fetchOracle *straightemu.Machine
+
+	// Operand determination state (the "rename" substitute).
+	rp          int32  // next destination register
+	decSP       uint32 // in-order SP at decode
+	renameBlock int64
+	serializing bool
+
+	rob       []*uarch.UOp
+	iq        []*uarch.UOp
+	executing []*uarch.UOp
+	prf       []uint32
+	prfReady  []int64
+	divBusy   int64
+
+	recov *recovery
+
+	emu      *straightemu.Machine
+	exited   bool
+	exitCode int32
+
+	outBuf *captureWriter
+}
+
+type recovery struct {
+	u              *uarch.UOp
+	targetPC       uint32
+	isMemViolation bool
+}
+
+type captureWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+func (c *captureWriter) Write(p []byte) (int, error) {
+	c.buf = append(c.buf, p...)
+	if c.w != nil {
+		return c.w.Write(p)
+	}
+	return len(p), nil
+}
+
+// New builds a core for the image.
+func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
+	if cfg.MaxDistance == 0 {
+		cfg.MaxDistance = straight.MaxDistance
+	}
+	c := &Core{
+		cfg:     cfg,
+		img:     img,
+		mem:     program.NewMemory(),
+		hier:    uarch.NewHierarchy(cfg),
+		btb:     uarch.NewBTB(cfg.BTBEntries),
+		ras:     uarch.NewRAS(cfg.RASEntries),
+		mdp:     uarch.NewMemDepPredictor(4096),
+		lsq:     uarch.NewLSQ(cfg.LQSize, cfg.SQSize),
+		fetchPC: img.Entry,
+		feCap:   cfg.FetchWidth * (cfg.FrontEndLatency + 4),
+		decSP:   program.DefaultStackTop,
+		outBuf:  &captureWriter{w: opts.Output},
+	}
+	switch cfg.Predictor {
+	case uarch.PredTAGE:
+		c.pred = uarch.NewTAGE()
+	default:
+		c.pred = uarch.NewGshare(cfg.GshareHistBits, cfg.GshareEntries)
+	}
+	c.mem.LoadImage(img)
+	n := cfg.MaxRP()
+	c.prf = make([]uint32, n)
+	c.prfReady = make([]int64, n)
+
+	c.emu = straightemu.New(img)
+	c.emu.SetOutput(c.outBuf)
+	if cfg.ZeroMispredictPenalty || cfg.Predictor == uarch.PredOracle {
+		c.fetchOracle = straightemu.New(img)
+		c.fetchOracle.SetOutput(io.Discard)
+	}
+	return c
+}
+
+// Run simulates until program exit or a bound is hit.
+func (c *Core) Run(opts Options) (*Result, error) {
+	maxCycles := opts.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = farFuture
+	}
+	lastRetired := uint64(0)
+	lastProgress := int64(0)
+	for !c.exited {
+		if c.cycle >= maxCycles {
+			return nil, fmt.Errorf("straightcore: cycle limit %d reached (retired %d)", maxCycles, c.stats.Retired)
+		}
+		if c.stats.Retired != lastRetired {
+			lastRetired = c.stats.Retired
+			lastProgress = c.cycle
+		} else if c.cycle-lastProgress > 500_000 {
+			return nil, fmt.Errorf("straightcore: deadlock at cycle %d (retired %d)\n%s", c.cycle, c.stats.Retired, c.deadlockDump())
+		}
+		if opts.MaxInsns > 0 && c.stats.Retired >= opts.MaxInsns {
+			break
+		}
+		if err := c.step(opts); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Stats: c.stats, ExitCode: c.exitCode, Output: string(c.outBuf.buf)}, nil
+}
+
+func (c *Core) step(opts Options) error {
+	if err := c.commit(opts); err != nil {
+		return err
+	}
+	c.completeExecution()
+	c.issue()
+	if err := c.dispatch(); err != nil {
+		return err
+	}
+	c.fetch()
+	c.applyRecovery()
+	c.stats.Cycles++
+	c.stats.ROBOccupancy += int64(len(c.rob))
+	c.stats.IQOccupancy += int64(len(c.iq))
+	c.cycle++
+	return nil
+}
+
+// ---- Front end ----
+
+func (c *Core) fetch() {
+	if c.cycle < c.fetchStallUntil || c.fetchHalted {
+		c.stats.StallFrontEnd++
+		return
+	}
+	if len(c.feQueue)+c.cfg.FetchWidth > c.feCap {
+		return
+	}
+	pc := c.fetchPC
+	lat := c.hier.AccessInst(c.cycle, pc)
+	if lat > c.cfg.L1I.HitLatency {
+		c.fetchStallUntil = c.cycle + int64(lat-c.cfg.L1I.HitLatency)
+		return
+	}
+	for i := 0; i < c.cfg.FetchWidth; i++ {
+		if !c.img.ContainsText(pc) {
+			c.fetchHalted = true
+			return
+		}
+		raw, err := c.img.FetchWord(pc)
+		if err != nil {
+			c.fetchHalted = true
+			return
+		}
+		inst, derr := straight.Decode(raw)
+		if derr != nil {
+			c.fetchHalted = true
+			return
+		}
+		e := feEntry{pc: pc, inst: inst, fetchedAt: c.cycle, isControl: inst.IsControl()}
+		nextPC := pc + 4
+		if c.fetchOracle != nil {
+			// Oracle mode: lockstep emulator gives the true next PC.
+			if inst.Op == straight.BEZ || inst.Op == straight.BNZ {
+				e.isBranch = true
+				_, meta := c.pred.Predict(pc) // statistics only
+				e.predMeta = meta
+			}
+			c.fetchOracle.Step()
+			next := c.fetchOracle.PC()
+			if inst.IsControl() {
+				e.predTaken = next != pc+4 || inst.Op.Class() == straight.ClassJump
+				e.predTarget = next
+			}
+			nextPC = next
+		} else if inst.IsControl() {
+			e.rasSnap = c.ras.Snapshot()
+			taken, target := c.predictControl(pc, inst, &e)
+			if taken {
+				nextPC = target
+			}
+			e.predTaken = taken
+			e.predTarget = target
+		}
+		c.feQueue = append(c.feQueue, e)
+		c.stats.FetchedInsts++
+		pc = nextPC
+		c.fetchPC = pc
+		if e.isControl && nextPC != e.pc+4 {
+			break
+		}
+	}
+}
+
+func (c *Core) predictControl(pc uint32, inst straight.Inst, e *feEntry) (bool, uint32) {
+	switch inst.Op {
+	case straight.BEZ, straight.BNZ:
+		e.isBranch = true
+		taken, meta := c.pred.Predict(pc)
+		e.predMeta = meta
+		return taken, pc + uint32(inst.Imm)*4
+	case straight.J:
+		return true, pc + uint32(inst.Imm)*4
+	case straight.JAL:
+		c.ras.Push(pc + 4)
+		return true, pc + uint32(inst.Imm)*4
+	case straight.JALR:
+		c.ras.Push(pc + 4)
+		if t, ok := c.btb.Lookup(pc); ok {
+			return true, t
+		}
+		return false, pc + 4
+	case straight.JR:
+		if t, ok := c.ras.Pop(); ok {
+			return true, t
+		}
+		if t, ok := c.btb.Lookup(pc); ok {
+			return true, t
+		}
+		return false, pc + 4
+	}
+	return false, pc + 4
+}
+
+// ---- Dispatch (operand determination, Fig 3) ----
+
+func (c *Core) dispatch() error {
+	if c.cycle < c.renameBlock {
+		c.stats.RecoveryStall++
+		return nil
+	}
+	spadds := 0
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		if len(c.feQueue) == 0 {
+			c.stats.StallFrontEnd++
+			return nil
+		}
+		e := c.feQueue[0]
+		if c.cycle-e.fetchedAt < int64(c.cfg.FrontEndLatency) {
+			return nil
+		}
+		if c.serializing {
+			return nil
+		}
+		inst := e.inst
+		if inst.Op == straight.SYS {
+			if len(c.rob) > 0 {
+				return nil // drain before the serializing SYS
+			}
+		}
+		if inst.Op == straight.SPADD && spadds >= c.cfg.SPAddPerGroup {
+			c.stats.StallSPAddLimit++
+			return nil
+		}
+		if len(c.rob) >= c.cfg.ROBSize {
+			c.stats.StallROBFull++
+			return nil
+		}
+		if len(c.iq) >= c.cfg.SchedulerSize {
+			c.stats.StallIQFull++
+			return nil
+		}
+		isLoad := inst.Op.Class() == straight.ClassLoad
+		isStore := inst.Op.Class() == straight.ClassStore
+		if (isLoad || isStore) && !c.lsq.CanAllocate(isLoad) {
+			c.stats.StallLSQFull++
+			return nil
+		}
+
+		// Operand determination: dest = RP; src_i = RP - distance_i
+		// (mod MAX_RP). No table is read or written.
+		p := &uopPayload{inst: inst, fe: e}
+		u := &uarch.UOp{
+			Seq: c.nextSeq(), PC: e.pc,
+			Dest: c.rp, Src1: -1, Src2: -1,
+			PredTaken: e.predTaken, PredTarget: e.predTarget, PredMeta: e.predMeta,
+			RASSnap: e.rasSnap,
+			IsLoad:  isLoad, IsStore: isStore,
+			Payload: p,
+		}
+		u.Class = classOf(inst)
+		maxRP := int32(c.cfg.MaxRP())
+		src := func(d uint16) int32 {
+			if d == 0 {
+				return -1
+			}
+			c.stats.RPAdditions++
+			s := c.rp - int32(d)
+			if s < 0 {
+				s += maxRP
+			}
+			return s
+		}
+		switch inst.NumSources() {
+		case 2:
+			u.Src1 = src(inst.Src1)
+			u.Src2 = src(inst.Src2)
+		case 1:
+			u.Src1 = src(inst.Src1)
+		}
+		c.prfReady[u.Dest] = farFuture
+		c.rp++
+		if c.rp >= maxRP {
+			c.rp = 0
+		}
+
+		// In-order SP update at decode (§III-B).
+		if inst.Op == straight.SPADD {
+			c.decSP += uint32(inst.Imm)
+			p.spRes = c.decSP
+			c.stats.SPAddExecuted++
+			spadds++
+		}
+		p.spAfter = c.decSP
+
+		c.feQueue = c.feQueue[1:]
+		c.rob = append(c.rob, u)
+		if isLoad || isStore {
+			p.lsq = c.lsq.Allocate(u)
+		}
+		if inst.Op == straight.SYS {
+			u.State = uarch.StateDone
+			u.ReadyAt = c.cycle
+			u.Completed = true
+			c.serializing = true
+			continue
+		}
+		c.iq = append(c.iq, u)
+	}
+	return nil
+}
+
+func (c *Core) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+func classOf(inst straight.Inst) uarch.Class {
+	switch inst.Op.Class() {
+	case straight.ClassMul:
+		return uarch.ClassMul
+	case straight.ClassDiv:
+		return uarch.ClassDiv
+	case straight.ClassLoad:
+		return uarch.ClassLoad
+	case straight.ClassStore:
+		return uarch.ClassStore
+	case straight.ClassBranch:
+		return uarch.ClassBranch
+	case straight.ClassJump:
+		return uarch.ClassJump
+	case straight.ClassSys:
+		return uarch.ClassSys
+	case straight.ClassNop:
+		return uarch.ClassNop
+	default:
+		return uarch.ClassALU
+	}
+}
+
+// deadlockDump renders the pipeline state for deadlock diagnostics.
+func (c *Core) deadlockDump() string {
+	s := fmt.Sprintf("rob=%d iq=%d exec=%d feq=%d rp=%d fetchPC=%#x halted=%v stall=%d renameBlock=%d serializing=%v\n",
+		len(c.rob), len(c.iq), len(c.executing), len(c.feQueue), c.rp,
+		c.fetchPC, c.fetchHalted, c.fetchStallUntil, c.renameBlock, c.serializing)
+	if len(c.rob) > 0 {
+		u := c.rob[0]
+		p := u.Payload.(*uopPayload)
+		s += fmt.Sprintf("rob head: seq=%d pc=%#x %v class=%v completed=%v squashed=%v readyAt=%d state=%d\n",
+			u.Seq, u.PC, p.inst, u.Class, u.Completed, u.Squashed, u.ReadyAt, u.State)
+	}
+	for i, u := range c.iq {
+		if i >= 4 {
+			break
+		}
+		s += fmt.Sprintf("iq[%d]: seq=%d pc=%#x %v src1=%d(r@%d) src2=%d(r@%d)\n",
+			i, u.Seq, u.PC, u.Payload.(*uopPayload).inst, u.Src1, rdy(c, u.Src1), u.Src2, rdy(c, u.Src2))
+	}
+	lq, sq := c.lsq.Occupancy()
+	s += fmt.Sprintf("lsq: loads=%d stores=%d\n", lq, sq)
+	return s
+}
+
+func rdy(c *Core, r int32) int64 {
+	if r < 0 {
+		return 0
+	}
+	return c.prfReady[r]
+}

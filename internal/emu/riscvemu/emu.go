@@ -1,0 +1,282 @@
+// Package riscvemu implements the architectural (functional) model of
+// RV32IM used to validate the superscalar baseline: the golden reference
+// for the RISC-V compiler backend and the SS cycle core.
+package riscvemu
+
+import (
+	"fmt"
+	"io"
+
+	"straight/internal/isa/riscv"
+	"straight/internal/program"
+)
+
+// Fault is an architectural execution fault.
+type Fault struct {
+	PC    uint32
+	Count uint64
+	Msg   string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("riscvemu: fault at pc=%#08x insn#%d: %s", f.PC, f.Count, f.Msg)
+}
+
+// Syscall function codes, passed in a7 with the argument in a0. They
+// mirror the STRAIGHT SYS functions so the same workload source produces
+// identical console output on both ISAs.
+const (
+	SysExit  = 0
+	SysPutc  = 1
+	SysPuti  = 2
+	SysCycle = 3
+	SysPutu  = 4
+	SysPutx  = 5
+)
+
+// Stats accumulates architectural execution statistics.
+type Stats struct {
+	Retired       [riscv.NumOps]uint64
+	Branches      uint64
+	TakenBranches uint64
+	Loads         uint64
+	Stores        uint64
+}
+
+// Total returns the total retired instruction count.
+func (s *Stats) Total() uint64 {
+	var t uint64
+	for _, n := range s.Retired {
+		t += n
+	}
+	return t
+}
+
+// Machine is an RV32IM architectural machine.
+type Machine struct {
+	image *program.Image
+	mem   *program.Memory
+
+	pc    uint32
+	regs  [32]uint32
+	count uint64
+
+	exited   bool
+	exitCode int32
+
+	out   io.Writer
+	stats Stats
+
+	// TraceFn, when non-nil, receives every retired instruction.
+	TraceFn func(Retired)
+}
+
+// Retired describes one architecturally executed instruction.
+type Retired struct {
+	Count  uint64
+	PC     uint32
+	Inst   riscv.Inst
+	Result uint32 // value written to Rd (0 if none)
+	NextPC uint32
+}
+
+// New creates a machine for the image with an isolated memory copy.
+// SP (x2) starts at the top of the stack.
+func New(im *program.Image) *Machine {
+	m := &Machine{
+		image: im,
+		mem:   program.NewMemory(),
+		pc:    im.Entry,
+		out:   io.Discard,
+	}
+	m.regs[riscv.RegSP] = program.DefaultStackTop
+	m.mem.LoadImage(im)
+	return m
+}
+
+// SetOutput directs console syscall output to w.
+func (m *Machine) SetOutput(w io.Writer) { m.out = w }
+
+// Mem exposes the machine memory.
+func (m *Machine) Mem() *program.Memory { return m.mem }
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint32 { return m.pc }
+
+// Reg returns register x[i].
+func (m *Machine) Reg(i int) uint32 { return m.regs[i] }
+
+// InstCount returns the retired instruction count.
+func (m *Machine) InstCount() uint64 { return m.count }
+
+// Exited reports whether the program executed the exit syscall.
+func (m *Machine) Exited() (bool, int32) { return m.exited, m.exitCode }
+
+// Stats returns the accumulated statistics.
+func (m *Machine) Stats() *Stats { return &m.stats }
+
+func (m *Machine) fault(msg string, args ...any) error {
+	return &Fault{PC: m.pc, Count: m.count, Msg: fmt.Sprintf(msg, args...)}
+}
+
+// Step executes one instruction. It returns io.EOF after exit.
+func (m *Machine) Step() error {
+	if m.exited {
+		return io.EOF
+	}
+	w, err := m.image.FetchWord(m.pc)
+	if err != nil {
+		return m.fault("%v", err)
+	}
+	inst := riscv.Decode(w)
+	op := inst.Op
+	if op == riscv.ILLEGAL {
+		return m.fault("illegal instruction %#08x", w)
+	}
+
+	rs1 := m.regs[inst.Rs1]
+	rs2 := m.regs[inst.Rs2]
+	nextPC := m.pc + 4
+	var result uint32
+	writes := inst.WritesRd()
+
+	switch op.Class() {
+	case riscv.ClassALU, riscv.ClassMul, riscv.ClassDiv:
+		switch op {
+		case riscv.LUI:
+			result = uint32(inst.Imm)
+		case riscv.AUIPC:
+			result = m.pc + uint32(inst.Imm)
+		case riscv.FENCE:
+			// no-op
+		default:
+			b := rs2
+			if isImmOp(op) {
+				b = uint32(inst.Imm)
+			}
+			result = riscv.Eval(op, rs1, b)
+		}
+	case riscv.ClassLoad:
+		addr := rs1 + uint32(inst.Imm)
+		width, _ := riscv.LoadWidth(op)
+		if addr%uint32(width) != 0 {
+			return m.fault("misaligned %s at %#08x", op, addr)
+		}
+		result = riscv.ExtendLoad(op, m.mem.Load(addr, width))
+		m.stats.Loads++
+	case riscv.ClassStore:
+		addr := rs1 + uint32(inst.Imm)
+		width := riscv.StoreWidth(op)
+		if addr%uint32(width) != 0 {
+			return m.fault("misaligned %s at %#08x", op, addr)
+		}
+		m.mem.Store(addr, rs2, width)
+		m.stats.Stores++
+	case riscv.ClassBranch:
+		m.stats.Branches++
+		if riscv.BranchTaken(op, rs1, rs2) {
+			m.stats.TakenBranches++
+			nextPC = m.pc + uint32(inst.Imm)
+		}
+	case riscv.ClassJump:
+		result = m.pc + 4
+		if op == riscv.JAL {
+			nextPC = m.pc + uint32(inst.Imm)
+		} else {
+			nextPC = (rs1 + uint32(inst.Imm)) &^ 1
+		}
+		if nextPC%4 != 0 {
+			return m.fault("jump to misaligned address %#08x", nextPC)
+		}
+	case riscv.ClassSys:
+		if op == riscv.EBREAK {
+			return m.fault("ebreak")
+		}
+		if err := m.syscall(); err != nil {
+			return err
+		}
+		if m.regs[riscv.RegA7] == SysCycle {
+			result = uint32(m.count)
+			writes = true
+			inst.Rd = riscv.RegA0
+		}
+	}
+
+	if writes && inst.Rd != 0 {
+		m.regs[inst.Rd] = result
+	}
+	prevPC := m.pc
+	m.pc = nextPC
+	m.count++
+	m.stats.Retired[op]++
+	if m.TraceFn != nil {
+		m.TraceFn(Retired{Count: m.count - 1, PC: prevPC, Inst: inst, Result: result, NextPC: nextPC})
+	}
+	if m.exited {
+		return io.EOF
+	}
+	return nil
+}
+
+func isImmOp(op riscv.Op) bool {
+	switch op {
+	case riscv.ADDI, riscv.SLTI, riscv.SLTIU, riscv.XORI, riscv.ORI, riscv.ANDI,
+		riscv.SLLI, riscv.SRLI, riscv.SRAI:
+		return true
+	}
+	return false
+}
+
+func (m *Machine) syscall() error {
+	fn := m.regs[riscv.RegA7]
+	arg := m.regs[riscv.RegA0]
+	switch fn {
+	case SysExit:
+		m.exitCode = int32(arg)
+		m.exited = true
+	case SysPutc:
+		fmt.Fprintf(m.out, "%c", byte(arg))
+	case SysPuti:
+		fmt.Fprintf(m.out, "%d", int32(arg))
+	case SysPutu:
+		fmt.Fprintf(m.out, "%d", arg)
+	case SysPutx:
+		fmt.Fprintf(m.out, "%x", arg)
+	case SysCycle:
+		// handled by caller (writes a0)
+	default:
+		return m.fault("unknown syscall %d", fn)
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the architectural state (fresh
+// statistics, discarded output) for oracle replay.
+func (m *Machine) Clone() *Machine {
+	n := &Machine{
+		image:    m.image,
+		mem:      m.mem.Clone(),
+		pc:       m.pc,
+		regs:     m.regs,
+		count:    m.count,
+		exited:   m.exited,
+		exitCode: m.exitCode,
+		out:      io.Discard,
+	}
+	return n
+}
+
+// Run executes until exit, a fault, or maxInsns instructions. Reaching
+// the limit without exit is an error.
+func (m *Machine) Run(maxInsns uint64) (uint64, error) {
+	start := m.count
+	for m.count-start < maxInsns {
+		if err := m.Step(); err != nil {
+			if err == io.EOF {
+				return m.count - start, nil
+			}
+			return m.count - start, err
+		}
+	}
+	return m.count - start, m.fault("instruction limit %d reached without exit", maxInsns)
+}

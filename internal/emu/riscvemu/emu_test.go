@@ -1,0 +1,255 @@
+package riscvemu
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"straight/internal/rasm"
+)
+
+func run(t *testing.T, src string, max uint64) (*Machine, string) {
+	t.Helper()
+	im, err := rasm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := New(im)
+	var out bytes.Buffer
+	m.SetOutput(&out)
+	if _, err := m.Run(max); err != nil {
+		t.Fatalf("run: %v\noutput so far: %q", err, out.String())
+	}
+	return m, out.String()
+}
+
+const exitSeq = `
+    li a7, 0
+    li a0, 0
+    ecall
+`
+
+func TestArithmeticLoop(t *testing.T) {
+	// Sum 1..10 = 55.
+	src := `
+main:
+    li t0, 0        # sum
+    li t1, 1        # i
+    li t2, 10
+loop:
+    add t0, t0, t1
+    addi t1, t1, 1
+    ble: bge t2, t1, loop
+    mv a0, t0
+    li a7, 2        # puti
+    ecall
+` + exitSeq
+	// "ble:" is a label here; keep it simple and use bge t2,t1 (10 >= i).
+	_, out := run(t, src, 1000)
+	if out != "55" {
+		t.Errorf("sum output %q, want 55", out)
+	}
+}
+
+func TestCallAndStack(t *testing.T) {
+	src := `
+main:
+    li a0, 12
+    li a1, 30
+    call add2
+    li a7, 2
+    ecall
+` + exitSeq + `
+add2:
+    addi sp, sp, -8
+    sw ra, 4(sp)
+    sw a0, 0(sp)
+    lw t0, 0(sp)
+    add a0, t0, a1
+    lw ra, 4(sp)
+    addi sp, sp, 8
+    ret
+`
+	m, out := run(t, src, 1000)
+	if out != "42" {
+		t.Errorf("call output %q, want 42", out)
+	}
+	if m.Reg(2) != 0x7FFFF000 {
+		t.Errorf("sp not restored: %#x", m.Reg(2))
+	}
+}
+
+func TestGlobalDataAccess(t *testing.T) {
+	src := `
+    .data
+tbl:
+    .word 10, 20, 30
+    .text
+main:
+    la t0, tbl
+    lw t1, 4(t0)
+    mv a0, t1
+    li a7, 2
+    ecall
+` + exitSeq
+	_, out := run(t, src, 100)
+	if out != "20" {
+		t.Errorf("data output %q, want 20", out)
+	}
+}
+
+func TestHiLoAddressing(t *testing.T) {
+	src := `
+    .data
+v:
+    .word 777
+    .text
+main:
+    lui t0, %hi(v)
+    addi t0, t0, %lo(v)
+    lw a0, 0(t0)
+    li a7, 2
+    ecall
+` + exitSeq
+	_, out := run(t, src, 100)
+	if out != "777" {
+		t.Errorf("hi/lo output %q, want 777", out)
+	}
+}
+
+func TestSubWordMemory(t *testing.T) {
+	src := `
+    .data
+buf:
+    .word 0
+    .text
+main:
+    la t0, buf
+    li t1, -2
+    sb t1, 0(t0)
+    lbu a0, 0(t0)
+    li a7, 5        # putx
+    ecall
+    lb a0, 0(t0)
+    li a7, 2        # puti
+    ecall
+` + exitSeq
+	_, out := run(t, src, 100)
+	if out != "fe-2" {
+		t.Errorf("subword output %q, want fe-2", out)
+	}
+}
+
+func TestX0IsAlwaysZero(t *testing.T) {
+	src := `
+main:
+    addi x0, x0, 55
+    mv a0, x0
+    li a7, 2
+    ecall
+` + exitSeq
+	_, out := run(t, src, 100)
+	if out != "0" {
+		t.Errorf("x0 output %q, want 0", out)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	im, err := rasm.Assemble("main:\n jalr x0, 0(x0)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(im)
+	m.Step()
+	if err := m.Step(); err == nil {
+		t.Error("expected fetch fault after jump to 0")
+	}
+
+	im2, _ := rasm.Assemble("main:\n li t0, 2\n lw t1, 0(t0)\n")
+	m2 := New(im2)
+	m2.Step()
+	m2.Step()
+	if err := m2.Step(); err == nil {
+		t.Error("expected misaligned load fault")
+	}
+
+	im3, _ := rasm.Assemble("main:\n j main\n")
+	m3 := New(im3)
+	if _, err := m3.Run(64); err == nil {
+		t.Error("expected instruction-limit error")
+	}
+}
+
+func TestStepAfterExit(t *testing.T) {
+	_, err := rasm.Assemble("main:\n" + exitSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, _ := rasm.Assemble("main:\n" + exitSeq)
+	m := New(im)
+	m.Run(100)
+	if err := m.Step(); err != io.EOF {
+		t.Errorf("Step after exit: %v", err)
+	}
+}
+
+func TestTraceAndStats(t *testing.T) {
+	im, err := rasm.Assemble(`
+main:
+    li t0, 3
+loop:
+    addi t0, t0, -1
+    bne t0, zero, loop
+` + exitSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(im)
+	var n int
+	m.TraceFn = func(r Retired) { n++ }
+	m.Run(1000)
+	if uint64(n) != m.InstCount() {
+		t.Errorf("trace count %d vs retired %d", n, m.InstCount())
+	}
+	st := m.Stats()
+	if st.Branches != 3 || st.TakenBranches != 2 {
+		t.Errorf("branch stats: %d/%d", st.TakenBranches, st.Branches)
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	im, err := rasm.Assemble("main:\n addi a0, zero, 1\n sw a0, 4(sp)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := rasm.Disassemble(im)
+	for _, want := range []string{"main:", "addi a0, zero, 1", "sw a0, 4(sp)"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+// TestCloneIndependence checks Clone for oracle replay.
+func TestCloneIndependence(t *testing.T) {
+	im, err := rasm.Assemble("main:\n li t0, 9\n li t1, 1\n li a7, 0\n li a0, 0\n ecall\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(im)
+	m.Step()
+	m.Step()
+	c := m.Clone()
+	if c.PC() != m.PC() || c.Reg(5) != m.Reg(5) {
+		t.Fatal("clone state mismatch")
+	}
+	c.Step()
+	if c.InstCount() == m.InstCount() {
+		t.Error("clone must advance independently")
+	}
+	m.Mem().Store(0x20000000, 7, 4)
+	if c.Mem().Load(0x20000000, 4) == 7 {
+		t.Error("clone memory must be isolated")
+	}
+}

@@ -1,0 +1,317 @@
+// Package straightemu implements the architectural (functional) model of
+// the STRAIGHT ISA. It is the golden reference: the compiler test suite
+// checks generated code against it, and the cycle-accurate core
+// cross-validates every retired instruction against it.
+//
+// Architecturally, STRAIGHT state is: the PC, the stack pointer SP, the
+// memory, and the results of the last MaxDistance dynamically executed
+// instructions (a sliding window — each instruction writes exactly one new
+// value and the oldest becomes dead). The emulator models the window as a
+// ring buffer indexed by the dynamic instruction count.
+package straightemu
+
+import (
+	"fmt"
+	"io"
+
+	"straight/internal/isa/straight"
+	"straight/internal/program"
+)
+
+// Fault is an architectural execution fault (bad fetch, bad opcode,
+// distance beyond the window, misaligned access).
+type Fault struct {
+	PC    uint32
+	Count uint64
+	Msg   string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("straightemu: fault at pc=%#08x insn#%d: %s", f.PC, f.Count, f.Msg)
+}
+
+// ringSize is the result-window ring size; it must exceed MaxDistance and
+// be a power of two so the index math is a mask.
+const ringSize = 2048
+
+// Stats accumulates architectural execution statistics used by the
+// instruction-mix and operand-distance experiments (paper Fig 15 and 16).
+type Stats struct {
+	// Retired counts executed instructions per opcode.
+	Retired [straight.NumOps]uint64
+	// DistanceHist[d] counts source operands read at distance d
+	// (distance 0 — the zero register — is excluded, matching the
+	// paper's "distance between producer and consumer" metric).
+	DistanceHist [straight.MaxDistance + 1]uint64
+	// MaxObservedDistance is the largest non-zero distance read.
+	MaxObservedDistance uint16
+	// Branches and TakenBranches count conditional branches.
+	Branches      uint64
+	TakenBranches uint64
+	// Loads and Stores count memory operations.
+	Loads  uint64
+	Stores uint64
+}
+
+// Total returns the total retired instruction count in the stats.
+func (s *Stats) Total() uint64 {
+	var t uint64
+	for _, n := range s.Retired {
+		t += n
+	}
+	return t
+}
+
+// Machine is a STRAIGHT architectural machine.
+type Machine struct {
+	image *program.Image
+	mem   *program.Memory
+
+	pc    uint32
+	sp    uint32
+	count uint64 // dynamic instruction count == destination register id
+	ring  [ringSize]uint32
+
+	exited   bool
+	exitCode int32
+
+	out        io.Writer
+	stats      Stats
+	collectHot bool
+
+	// TraceFn, when non-nil, receives every retired instruction. The cycle
+	// simulator's cross-validation and the examples' tracing hook in here.
+	TraceFn func(Retired)
+}
+
+// Retired describes one architecturally executed instruction.
+type Retired struct {
+	Count  uint64 // dynamic instruction number (destination id)
+	PC     uint32
+	Inst   straight.Inst
+	Result uint32
+	NextPC uint32
+	SP     uint32 // SP after the instruction
+	// MemAddr is the effective address of a load or store (else 0).
+	MemAddr uint32
+}
+
+// New creates a machine for the image with an isolated memory copy.
+func New(im *program.Image) *Machine {
+	m := &Machine{
+		image: im,
+		mem:   program.NewMemory(),
+		pc:    im.Entry,
+		sp:    program.DefaultStackTop,
+		out:   io.Discard,
+	}
+	m.mem.LoadImage(im)
+	return m
+}
+
+// SetOutput directs console syscall output (SysPutc etc.) to w.
+func (m *Machine) SetOutput(w io.Writer) { m.out = w }
+
+// Mem exposes the machine memory (for test setup and inspection).
+func (m *Machine) Mem() *program.Memory { return m.mem }
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint32 { return m.pc }
+
+// SP returns the current stack pointer.
+func (m *Machine) SP() uint32 { return m.sp }
+
+// InstCount returns the dynamic instruction count.
+func (m *Machine) InstCount() uint64 { return m.count }
+
+// Exited reports whether the program executed SYS exit, and its code.
+func (m *Machine) Exited() (bool, int32) { return m.exited, m.exitCode }
+
+// Stats returns the accumulated statistics.
+func (m *Machine) Stats() *Stats { return &m.stats }
+
+// Reg reads the value produced by the instruction at the given distance
+// from the *next* instruction to execute (distance 1 = most recently
+// executed). Distance 0 reads zero.
+func (m *Machine) Reg(distance uint16) uint32 {
+	if distance == 0 {
+		return 0
+	}
+	return m.ring[(m.count-uint64(distance))&(ringSize-1)]
+}
+
+func (m *Machine) fault(msg string, args ...any) error {
+	return &Fault{PC: m.pc, Count: m.count, Msg: fmt.Sprintf(msg, args...)}
+}
+
+// Step executes one instruction. It returns io.EOF after SYS exit.
+func (m *Machine) Step() error {
+	if m.exited {
+		return io.EOF
+	}
+	w, err := m.image.FetchWord(m.pc)
+	if err != nil {
+		return m.fault("%v", err)
+	}
+	inst, err := straight.Decode(w)
+	if err != nil {
+		return m.fault("%v", err)
+	}
+
+	read := func(d uint16) uint32 {
+		if d != 0 {
+			m.stats.DistanceHist[d]++
+			if d > m.stats.MaxObservedDistance {
+				m.stats.MaxObservedDistance = d
+			}
+		}
+		return m.Reg(d)
+	}
+
+	var result uint32
+	var memAddr uint32
+	nextPC := m.pc + program.InstructionBytes
+	op := inst.Op
+	switch op.Class() {
+	case straight.ClassNop:
+		// result 0
+	case straight.ClassALU, straight.ClassMul, straight.ClassDiv:
+		switch {
+		case op == straight.RMOV:
+			result = read(inst.Src1)
+		case op == straight.SPADD:
+			m.sp += uint32(inst.Imm)
+			result = m.sp
+		case op == straight.LUI:
+			result = straight.LUIValue(inst.Imm)
+		case op.Format() == straight.FmtR:
+			result = straight.EvalALU(op, read(inst.Src1), read(inst.Src2))
+		default:
+			result = straight.EvalALUImm(op, read(inst.Src1), inst.Imm)
+		}
+	case straight.ClassLoad:
+		addr := read(inst.Src1) + uint32(inst.Imm)
+		memAddr = addr
+		width, _ := straight.LoadWidth(op)
+		if addr%uint32(width) != 0 {
+			return m.fault("misaligned %s at address %#08x", op, addr)
+		}
+		result = straight.ExtendLoad(op, m.mem.Load(addr, width))
+		m.stats.Loads++
+	case straight.ClassStore:
+		addr := read(inst.Src1) + uint32(inst.Imm)
+		memAddr = addr
+		val := read(inst.Src2)
+		width := straight.StoreWidth(op)
+		if addr%uint32(width) != 0 {
+			return m.fault("misaligned %s at address %#08x", op, addr)
+		}
+		m.mem.Store(addr, val, width)
+		result = val // stores return the stored value (paper §III-A)
+		m.stats.Stores++
+	case straight.ClassBranch:
+		v := read(inst.Src1)
+		taken := straight.BranchTaken(op, v)
+		m.stats.Branches++
+		if taken {
+			m.stats.TakenBranches++
+			nextPC = m.pc + uint32(inst.Imm)*program.InstructionBytes
+			result = 1
+		}
+	case straight.ClassJump:
+		switch op {
+		case straight.J:
+			nextPC = m.pc + uint32(inst.Imm)*program.InstructionBytes
+		case straight.JAL:
+			result = m.pc + program.InstructionBytes
+			nextPC = m.pc + uint32(inst.Imm)*program.InstructionBytes
+		case straight.JR:
+			nextPC = read(inst.Src1)
+		case straight.JALR:
+			result = m.pc + program.InstructionBytes
+			nextPC = read(inst.Src1)
+		}
+		if nextPC%program.InstructionBytes != 0 {
+			return m.fault("jump to misaligned address %#08x", nextPC)
+		}
+	case straight.ClassSys:
+		var err error
+		result, err = m.syscall(inst, read)
+		if err != nil {
+			return err
+		}
+	default:
+		return m.fault("unimplemented opcode %v", op)
+	}
+
+	m.ring[m.count&(ringSize-1)] = result
+	m.count++
+	prevPC := m.pc
+	m.pc = nextPC
+	m.stats.Retired[op]++
+	if m.TraceFn != nil {
+		m.TraceFn(Retired{Count: m.count - 1, PC: prevPC, Inst: inst, Result: result, NextPC: nextPC, SP: m.sp, MemAddr: memAddr})
+	}
+	if m.exited {
+		return io.EOF
+	}
+	return nil
+}
+
+func (m *Machine) syscall(inst straight.Inst, read func(uint16) uint32) (uint32, error) {
+	switch inst.Imm {
+	case straight.SysExit:
+		m.exitCode = int32(read(inst.Src1))
+		m.exited = true
+		return 0, nil
+	case straight.SysPutc:
+		fmt.Fprintf(m.out, "%c", byte(read(inst.Src1)))
+		return 0, nil
+	case straight.SysPuti:
+		fmt.Fprintf(m.out, "%d", int32(read(inst.Src1)))
+		return 0, nil
+	case straight.SysPutu:
+		fmt.Fprintf(m.out, "%d", read(inst.Src1))
+		return 0, nil
+	case straight.SysPutx:
+		fmt.Fprintf(m.out, "%x", read(inst.Src1))
+		return 0, nil
+	case straight.SysCycle:
+		return uint32(m.count), nil
+	}
+	return 0, m.fault("unknown SYS function %d", inst.Imm)
+}
+
+// Clone returns an independent copy of the architectural state (fresh
+// statistics, discarded output) for oracle replay.
+func (m *Machine) Clone() *Machine {
+	n := &Machine{
+		image:    m.image,
+		mem:      m.mem.Clone(),
+		pc:       m.pc,
+		sp:       m.sp,
+		count:    m.count,
+		ring:     m.ring,
+		exited:   m.exited,
+		exitCode: m.exitCode,
+		out:      io.Discard,
+	}
+	return n
+}
+
+// Run executes until SYS exit, a fault, or maxInsns instructions.
+// It returns the number of instructions executed. Reaching the
+// instruction limit returns an error: benchmarks must terminate via
+// SYS exit so truncated runs are never mistaken for results.
+func (m *Machine) Run(maxInsns uint64) (uint64, error) {
+	start := m.count
+	for m.count-start < maxInsns {
+		if err := m.Step(); err != nil {
+			if err == io.EOF {
+				return m.count - start, nil
+			}
+			return m.count - start, err
+		}
+	}
+	return m.count - start, m.fault("instruction limit %d reached without exit", maxInsns)
+}

@@ -1,0 +1,86 @@
+package ir
+
+// Dominator-tree computation using the Cooper–Harvey–Kennedy iterative
+// algorithm. The verifier uses dominance to check SSA def-before-use, and
+// the backends use it for sanity checks on value lifetimes.
+
+// DomTree holds immediate dominators for the reachable blocks of a
+// function.
+type DomTree struct {
+	idom  map[*Block]*Block
+	order map[*Block]int // RPO number
+}
+
+// BuildDomTree computes the dominator tree of f's reachable blocks.
+func BuildDomTree(f *Func) *DomTree {
+	rpo := f.RPO()
+	order := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		order[b] = i
+	}
+	idom := make(map[*Block]*Block, len(rpo))
+	if len(rpo) == 0 {
+		return &DomTree{idom: idom, order: order}
+	}
+	entry := rpo[0]
+	idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if _, ok := idom[p]; !ok {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(idom, order, p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return &DomTree{idom: idom, order: order}
+}
+
+func intersect(idom map[*Block]*Block, order map[*Block]int, a, b *Block) *Block {
+	for a != b {
+		for order[a] > order[b] {
+			a = idom[a]
+		}
+		for order[b] > order[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b (entry returns itself).
+func (d *DomTree) IDom(b *Block) *Block { return d.idom[b] }
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b *Block) bool {
+	if _, ok := d.order[b]; !ok {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (d *DomTree) Reachable(b *Block) bool {
+	_, ok := d.order[b]
+	return ok
+}

@@ -1,0 +1,274 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+
+	"straight/internal/program"
+)
+
+// Interp executes an IR module directly. It is the semantic oracle for
+// the compiler: the same MiniC program must produce identical output
+// under IR interpretation, the STRAIGHT backend on the STRAIGHT emulator,
+// and the RISC-V backend on the RISC-V emulator.
+type Interp struct {
+	mod     *Module
+	mem     *program.Memory
+	globals map[string]uint32
+	funcsAt map[uint32]*Func // pseudo-addresses for indirect calls
+	addrOf  map[string]uint32
+	sp      uint32
+	out     io.Writer
+
+	exited   bool
+	exitCode int32
+	steps    uint64
+	maxSteps uint64
+}
+
+// NewInterp lays out the module's globals and prepares execution.
+func NewInterp(mod *Module, out io.Writer) *Interp {
+	in := &Interp{
+		mod:      mod,
+		mem:      program.NewMemory(),
+		globals:  make(map[string]uint32),
+		funcsAt:  make(map[uint32]*Func),
+		addrOf:   make(map[string]uint32),
+		sp:       program.DefaultStackTop,
+		out:      out,
+		maxSteps: 1 << 32,
+	}
+	addr := uint32(program.DefaultDataBase)
+	for _, g := range mod.Globals {
+		a := uint32(g.Align)
+		if a == 0 {
+			a = 1
+		}
+		addr = (addr + a - 1) &^ (a - 1)
+		in.globals[g.Name] = addr
+		addr += uint32(g.Size)
+	}
+	// Initialize after all addresses are known (relocations).
+	for _, g := range mod.Globals {
+		base := in.globals[g.Name]
+		in.mem.WriteBytes(base, g.Init)
+		for off, sym := range g.Relocs {
+			target, ok := in.symbolAddr(sym)
+			if !ok {
+				continue
+			}
+			in.mem.Store(base+uint32(off), target, 4)
+		}
+	}
+	// Pseudo text addresses for functions (for function pointers).
+	faddr := uint32(program.DefaultTextBase)
+	for _, f := range mod.Funcs {
+		in.funcsAt[faddr] = f
+		in.addrOf[f.Name] = faddr
+		faddr += 16
+	}
+	return in
+}
+
+func (in *Interp) symbolAddr(sym string) (uint32, bool) {
+	if a, ok := in.globals[sym]; ok {
+		return a, true
+	}
+	a, ok := in.addrOf[sym]
+	return a, ok
+}
+
+// SetMaxSteps bounds execution (instructions across all calls).
+func (in *Interp) SetMaxSteps(n uint64) { in.maxSteps = n }
+
+// Mem exposes the interpreter memory for test inspection.
+func (in *Interp) Mem() *program.Memory { return in.mem }
+
+// Steps returns the number of IR instructions executed.
+func (in *Interp) Steps() uint64 { return in.steps }
+
+// Run calls the named function with arguments and returns its result.
+// Execution stops early if the program calls exit().
+func (in *Interp) Run(name string, args ...uint32) (uint32, error) {
+	f := in.mod.Func(name)
+	if f == nil {
+		return 0, fmt.Errorf("ir interp: no function %q", name)
+	}
+	return in.callFunc(f, args)
+}
+
+// Exited reports whether exit() was called, and the exit code.
+func (in *Interp) Exited() (bool, int32) { return in.exited, in.exitCode }
+
+func (in *Interp) callFunc(f *Func, args []uint32) (uint32, error) {
+	// Frame allocation for allocas.
+	frameStart := in.sp
+	defer func() { in.sp = frameStart }()
+	vals := make(map[*Value]uint32)
+	for _, b := range f.Blocks {
+		for _, v := range b.Insns {
+			if v.Op == OpAlloca {
+				in.sp -= uint32(v.Aux)
+				in.sp &^= 3
+				vals[v] = in.sp
+			}
+		}
+	}
+
+	block := f.Entry()
+	var prev *Block
+	for {
+		if in.exited {
+			return 0, nil
+		}
+		// Phis evaluate in parallel from the incoming edge.
+		phis := block.Phis()
+		if len(phis) > 0 {
+			idx := block.PredIndex(prev)
+			if idx < 0 {
+				return 0, fmt.Errorf("ir interp: %s: entered %s from unknown block", f.Name, block.Name)
+			}
+			tmp := make([]uint32, len(phis))
+			for i, phi := range phis {
+				tmp[i] = vals[phi.Args[idx]]
+			}
+			for i, phi := range phis {
+				vals[phi] = tmp[i]
+			}
+		}
+		for _, v := range block.Insns[len(phis):] {
+			in.steps++
+			if in.steps > in.maxSteps {
+				return 0, fmt.Errorf("ir interp: step limit exceeded in %s", f.Name)
+			}
+			switch v.Op {
+			case OpConst:
+				vals[v] = uint32(v.Const)
+			case OpGlobalAddr:
+				a, ok := in.symbolAddr(v.Sym)
+				if !ok {
+					return 0, fmt.Errorf("ir interp: undefined symbol %q", v.Sym)
+				}
+				vals[v] = a
+			case OpParam:
+				if v.Aux >= len(args) {
+					return 0, fmt.Errorf("ir interp: %s: param %d out of %d args", f.Name, v.Aux, len(args))
+				}
+				vals[v] = args[v.Aux]
+			case OpAlloca:
+				// pre-assigned
+			case OpLoad:
+				vals[v] = in.loadMem(vals[v.Args[0]], MemKind(v.Aux))
+			case OpStore:
+				in.storeMem(vals[v.Args[0]], vals[v.Args[1]], MemKind(v.Aux))
+			case OpBin:
+				vals[v] = EvalBin(BinKind(v.Aux), vals[v.Args[0]], vals[v.Args[1]])
+			case OpCmp:
+				vals[v] = EvalCmp(CmpKind(v.Aux), vals[v.Args[0]], vals[v.Args[1]])
+			case OpSext:
+				if v.Aux == 8 {
+					vals[v] = uint32(int32(int8(vals[v.Args[0]])))
+				} else {
+					vals[v] = uint32(int32(int16(vals[v.Args[0]])))
+				}
+			case OpZext:
+				if v.Aux == 8 {
+					vals[v] = uint32(uint8(vals[v.Args[0]]))
+				} else {
+					vals[v] = uint32(uint16(vals[v.Args[0]]))
+				}
+			case OpCall:
+				r, err := in.interpCall(v, vals)
+				if err != nil {
+					return 0, err
+				}
+				vals[v] = r
+				if in.exited {
+					return 0, nil
+				}
+			case OpRet:
+				if len(v.Args) == 1 {
+					return vals[v.Args[0]], nil
+				}
+				return 0, nil
+			case OpBr:
+				// handled below via terminator
+			case OpCondBr:
+				// handled below
+			default:
+				return 0, fmt.Errorf("ir interp: unhandled op %v", v.Op)
+			}
+		}
+		term := block.Terminator()
+		prev = block
+		switch term.Op {
+		case OpBr:
+			block = block.Succs[0]
+		case OpCondBr:
+			if vals[term.Args[0]] != 0 {
+				block = block.Succs[0]
+			} else {
+				block = block.Succs[1]
+			}
+		case OpRet:
+			// already returned above
+			return 0, nil
+		}
+	}
+}
+
+func (in *Interp) interpCall(v *Value, vals map[*Value]uint32) (uint32, error) {
+	argVals := make([]uint32, len(v.Args))
+	for i, a := range v.Args {
+		argVals[i] = vals[a]
+	}
+	switch v.Sym {
+	case "__putc":
+		fmt.Fprintf(in.out, "%c", byte(argVals[0]))
+		return 0, nil
+	case "__puti":
+		fmt.Fprintf(in.out, "%d", int32(argVals[0]))
+		return 0, nil
+	case "__putu":
+		fmt.Fprintf(in.out, "%d", argVals[0])
+		return 0, nil
+	case "__putx":
+		fmt.Fprintf(in.out, "%x", argVals[0])
+		return 0, nil
+	case "__exit":
+		in.exited = true
+		in.exitCode = int32(argVals[0])
+		return 0, nil
+	case "__cycles":
+		return uint32(in.steps), nil
+	case "":
+		// Indirect call: Args[0] is the target pseudo-address.
+		target, ok := in.funcsAt[argVals[0]]
+		if !ok {
+			return 0, fmt.Errorf("ir interp: indirect call to bad address %#x", argVals[0])
+		}
+		return in.callFunc(target, argVals[1:])
+	default:
+		callee := in.mod.Func(v.Sym)
+		if callee == nil {
+			return 0, fmt.Errorf("ir interp: call to undefined function %q", v.Sym)
+		}
+		return in.callFunc(callee, argVals)
+	}
+}
+
+func (in *Interp) loadMem(addr uint32, k MemKind) uint32 {
+	raw := in.mem.Load(addr, k.Bytes())
+	switch k {
+	case MemB:
+		return uint32(int32(int8(raw)))
+	case MemH:
+		return uint32(int32(int16(raw)))
+	default:
+		return raw
+	}
+}
+
+func (in *Interp) storeMem(addr, val uint32, k MemKind) {
+	in.mem.Store(addr, val, k.Bytes())
+}

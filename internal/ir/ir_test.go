@@ -1,0 +1,373 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildDiamond constructs:
+//
+//	entry: x=alloca; store 1,x; condbr p -> then, else
+//	then:  store 2,x; br join
+//	else:  br join
+//	join:  v=load x; ret v
+func buildDiamond() (*Func, *Value) {
+	f := NewFunc("diamond", 1, false)
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	join := f.NewBlock("join")
+
+	p := f.NewValue(OpParam, TypeI32)
+	entry.Append(p)
+	x := f.NewValue(OpAlloca, TypePtr)
+	x.Aux = 4
+	entry.Append(x)
+	one := f.NewValue(OpConst, TypeI32)
+	one.Const = 1
+	entry.Append(one)
+	st1 := f.NewValue(OpStore, TypeVoid, x, one)
+	entry.Append(st1)
+	cb := f.NewValue(OpCondBr, TypeVoid, p)
+	entry.Append(cb)
+	AddEdge(entry, then)
+	AddEdge(entry, els)
+
+	two := f.NewValue(OpConst, TypeI32)
+	two.Const = 2
+	then.Append(two)
+	st2 := f.NewValue(OpStore, TypeVoid, x, two)
+	then.Append(st2)
+	then.Append(f.NewValue(OpBr, TypeVoid))
+	AddEdge(then, join)
+
+	els.Append(f.NewValue(OpBr, TypeVoid))
+	AddEdge(els, join)
+
+	ld := f.NewValue(OpLoad, TypeI32, x)
+	join.Append(ld)
+	ret := f.NewValue(OpRet, TypeVoid, ld)
+	join.Append(ret)
+	return f, x
+}
+
+func TestVerifyAcceptsDiamond(t *testing.T) {
+	f, _ := buildDiamond()
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsBrokenIR(t *testing.T) {
+	// Use before def in the same block.
+	f := NewFunc("bad", 0, false)
+	b := f.NewBlock("entry")
+	c := f.NewValue(OpConst, TypeI32)
+	use := f.NewValue(OpBin, TypeI32, c, c)
+	use.Aux = int(BinAdd)
+	b.Append(use)
+	b.Append(c) // defined after use
+	b.Append(f.NewValue(OpRet, TypeVoid, use))
+	if err := Verify(f); err == nil {
+		t.Error("expected use-before-def error")
+	}
+
+	// Missing terminator.
+	f2 := NewFunc("bad2", 0, false)
+	b2 := f2.NewBlock("entry")
+	c2 := f2.NewValue(OpConst, TypeI32)
+	b2.Append(c2)
+	if err := Verify(f2); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("expected terminator error, got %v", err)
+	}
+
+	// Phi arity mismatch.
+	f3, _ := buildDiamond()
+	join := f3.Blocks[3]
+	phi := f3.NewValue(OpPhi, TypeI32, f3.Blocks[0].Insns[2]) // one arg, two preds
+	join.InsertPhi(phi)
+	if err := Verify(f3); err == nil || !strings.Contains(err.Error(), "phi") {
+		t.Errorf("expected phi arity error, got %v", err)
+	}
+}
+
+func TestMem2RegInsertsPhiInDiamond(t *testing.T) {
+	f, _ := buildDiamond()
+	Mem2Reg(f)
+	if err := Verify(f); err != nil {
+		t.Fatalf("Verify after mem2reg: %v\n%s", err, f)
+	}
+	join := f.Blocks[3]
+	phis := join.Phis()
+	if len(phis) != 1 {
+		t.Fatalf("want 1 phi in join, got %d:\n%s", len(phis), f)
+	}
+	phi := phis[0]
+	if len(phi.Args) != 2 {
+		t.Fatalf("phi args: %d", len(phi.Args))
+	}
+	// Arg for "then" pred must be const 2, for "else" pred const 1.
+	for i, pred := range join.Preds {
+		want := int32(1)
+		if pred.Name == "then" {
+			want = 2
+		}
+		if phi.Args[i].Op != OpConst || phi.Args[i].Const != want {
+			t.Errorf("phi arg for %s: %s", pred.Name, phi.Args[i].insnString())
+		}
+	}
+	// No load/store/alloca should remain.
+	for _, b := range f.Blocks {
+		for _, v := range b.Insns {
+			if v.Op == OpAlloca || v.Op == OpLoad || v.Op == OpStore {
+				t.Errorf("mem op %s survived mem2reg", v.insnString())
+			}
+		}
+	}
+}
+
+// TestMem2RegLoop checks phi insertion for a loop-carried variable:
+// i = 0; while (i < n) i = i + 1; return i.
+func TestMem2RegLoop(t *testing.T) {
+	f := NewFunc("loop", 1, false)
+	entry := f.NewBlock("entry")
+	head := f.NewBlock("head")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+
+	n := f.NewValue(OpParam, TypeI32)
+	entry.Append(n)
+	iv := f.NewValue(OpAlloca, TypePtr)
+	iv.Aux = 4
+	entry.Append(iv)
+	zero := f.NewValue(OpConst, TypeI32)
+	entry.Append(zero)
+	entry.Append(f.NewValue(OpStore, TypeVoid, iv, zero))
+	entry.Append(f.NewValue(OpBr, TypeVoid))
+	AddEdge(entry, head)
+
+	ld := f.NewValue(OpLoad, TypeI32, iv)
+	head.Append(ld)
+	cmp := f.NewValue(OpCmp, TypeI32, ld, n)
+	cmp.Aux = int(CmpLt)
+	head.Append(cmp)
+	head.Append(f.NewValue(OpCondBr, TypeVoid, cmp))
+	AddEdge(head, body)
+	AddEdge(head, exit)
+
+	ld2 := f.NewValue(OpLoad, TypeI32, iv)
+	body.Append(ld2)
+	one := f.NewValue(OpConst, TypeI32)
+	one.Const = 1
+	body.Append(one)
+	inc := f.NewValue(OpBin, TypeI32, ld2, one)
+	inc.Aux = int(BinAdd)
+	body.Append(inc)
+	body.Append(f.NewValue(OpStore, TypeVoid, iv, inc))
+	body.Append(f.NewValue(OpBr, TypeVoid))
+	AddEdge(body, head)
+
+	ld3 := f.NewValue(OpLoad, TypeI32, iv)
+	exit.Append(ld3)
+	exit.Append(f.NewValue(OpRet, TypeVoid, ld3))
+
+	if err := Verify(f); err != nil {
+		t.Fatalf("pre-verify: %v", err)
+	}
+	Mem2Reg(f)
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify after mem2reg: %v\n%s", err, f)
+	}
+	if len(head.Phis()) != 1 {
+		t.Fatalf("want exactly 1 phi at loop head, got %d:\n%s", len(head.Phis()), f)
+	}
+	phi := head.Phis()[0]
+	// The phi must merge const 0 (entry) and the increment (body).
+	foundZero, foundInc := false, false
+	for _, a := range phi.Args {
+		if a.Op == OpConst && a.Const == 0 {
+			foundZero = true
+		}
+		if a == inc {
+			foundInc = true
+		}
+	}
+	if !foundZero || !foundInc {
+		t.Errorf("loop phi args wrong:\n%s", f)
+	}
+}
+
+func TestConstFoldAndDCE(t *testing.T) {
+	f := NewFunc("fold", 0, false)
+	b := f.NewBlock("entry")
+	c3 := f.NewValue(OpConst, TypeI32)
+	c3.Const = 3
+	b.Append(c3)
+	c4 := f.NewValue(OpConst, TypeI32)
+	c4.Const = 4
+	b.Append(c4)
+	add := f.NewValue(OpBin, TypeI32, c3, c4)
+	add.Aux = int(BinAdd)
+	b.Append(add)
+	dead := f.NewValue(OpBin, TypeI32, c3, c3)
+	dead.Aux = int(BinMul)
+	b.Append(dead)
+	b.Append(f.NewValue(OpRet, TypeVoid, add))
+
+	if !ConstFold(f) {
+		t.Error("ConstFold reported no change")
+	}
+	if add.Op != OpConst || add.Const != 7 {
+		t.Errorf("3+4 folded to %s", add.insnString())
+	}
+	if !DCE(f) {
+		t.Error("DCE reported no change")
+	}
+	for _, v := range b.Insns {
+		if v == dead {
+			t.Error("dead mul survived DCE")
+		}
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestAlgebraicSimplify(t *testing.T) {
+	f := NewFunc("alg", 1, false)
+	b := f.NewBlock("entry")
+	x := f.NewValue(OpParam, TypeI32)
+	b.Append(x)
+	zero := f.NewValue(OpConst, TypeI32)
+	b.Append(zero)
+	add := f.NewValue(OpBin, TypeI32, x, zero)
+	add.Aux = int(BinAdd)
+	b.Append(add)
+	ret := f.NewValue(OpRet, TypeVoid, add)
+	b.Append(ret)
+	ConstFold(f)
+	if ret.Args[0] != x {
+		t.Errorf("x+0 not simplified: ret uses %s", ret.Args[0].insnString())
+	}
+}
+
+func TestSimplifyCFGFoldsConstBranchAndMerges(t *testing.T) {
+	f := NewFunc("cfg", 0, false)
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	join := f.NewBlock("join")
+
+	one := f.NewValue(OpConst, TypeI32)
+	one.Const = 1
+	entry.Append(one)
+	entry.Append(f.NewValue(OpCondBr, TypeVoid, one))
+	AddEdge(entry, then)
+	AddEdge(entry, els)
+
+	c10 := f.NewValue(OpConst, TypeI32)
+	c10.Const = 10
+	then.Append(c10)
+	then.Append(f.NewValue(OpBr, TypeVoid))
+	AddEdge(then, join)
+
+	c20 := f.NewValue(OpConst, TypeI32)
+	c20.Const = 20
+	els.Append(c20)
+	els.Append(f.NewValue(OpBr, TypeVoid))
+	AddEdge(els, join)
+
+	phi := f.NewValue(OpPhi, TypeI32, c10, c20)
+	join.InsertPhi(phi)
+	join.Append(f.NewValue(OpRet, TypeVoid, phi))
+
+	if err := Verify(f); err != nil {
+		t.Fatalf("pre-verify: %v", err)
+	}
+	if !SimplifyCFG(f) {
+		t.Fatal("SimplifyCFG reported no change")
+	}
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify after simplify: %v\n%s", err, f)
+	}
+	// After folding the always-taken branch and merging, the function
+	// should collapse to a single block returning 10.
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks after simplify: %d\n%s", len(f.Blocks), f)
+	}
+	term := f.Blocks[0].Terminator()
+	if term.Op != OpRet || term.Args[0].Const != 10 {
+		t.Errorf("wrong result:\n%s", f)
+	}
+}
+
+func TestOptimizePipelineOnDiamond(t *testing.T) {
+	f, _ := buildDiamond()
+	Optimize(f)
+	if err := Verify(f); err != nil {
+		t.Fatalf("verify after optimize: %v\n%s", err, f)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	f, _ := buildDiamond()
+	d := BuildDomTree(f)
+	entry, then, els, join := f.Blocks[0], f.Blocks[1], f.Blocks[2], f.Blocks[3]
+	if d.IDom(join) != entry {
+		t.Errorf("idom(join) = %v", d.IDom(join).Name)
+	}
+	if !d.Dominates(entry, join) || d.Dominates(then, join) || d.Dominates(els, join) {
+		t.Error("dominance relation wrong")
+	}
+	if !d.Dominates(entry, entry) {
+		t.Error("dominance should be reflexive")
+	}
+}
+
+func TestCmpKindHelpers(t *testing.T) {
+	if CmpLt.Negate() != CmpGe || CmpEq.Negate() != CmpNe {
+		t.Error("Negate")
+	}
+	if CmpLt.Swap() != CmpGt || CmpULe.Swap() != CmpUGe {
+		t.Error("Swap")
+	}
+	if EvalCmp(CmpLt, 0xFFFFFFFF, 0) != 1 {
+		t.Error("signed lt")
+	}
+	if EvalCmp(CmpULt, 0xFFFFFFFF, 0) != 0 {
+		t.Error("unsigned lt")
+	}
+}
+
+func TestEvalBinDivisionSemantics(t *testing.T) {
+	if EvalBin(BinDiv, 7, 0) != 0xFFFFFFFF {
+		t.Error("div by zero")
+	}
+	if EvalBin(BinRem, 7, 0) != 7 {
+		t.Error("rem by zero")
+	}
+	if EvalBin(BinDiv, 0x80000000, 0xFFFFFFFF) != 0x80000000 {
+		t.Error("div overflow")
+	}
+	if EvalBin(BinSar, 0x80000000, 1) != 0xC0000000 {
+		t.Error("sar")
+	}
+}
+
+func TestRPOAndPrint(t *testing.T) {
+	f, _ := buildDiamond()
+	rpo := f.RPO()
+	if len(rpo) != 4 || rpo[0].Name != "entry" || rpo[len(rpo)-1].Name != "join" {
+		names := make([]string, len(rpo))
+		for i, b := range rpo {
+			names[i] = b.Name
+		}
+		t.Errorf("RPO order: %v", names)
+	}
+	s := f.String()
+	for _, want := range []string{"func diamond", "entry:", "condbr", "store.w", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("print missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package ir
+
+// Liveness computes per-block live-in/live-out sets of SSA values with
+// the usual phi convention: a phi's i-th argument is live-out of the i-th
+// predecessor (not live-in of the phi's block); the phi itself is treated
+// as defined at its block's entry.
+//
+// The STRAIGHT backend builds its register frames (the fixed ordering of
+// live values at block entry that makes operand distances path-invariant,
+// paper §IV-C2) directly from these sets.
+type Liveness struct {
+	In  map[*Block]map[*Value]bool
+	Out map[*Block]map[*Value]bool
+}
+
+// ComputeLiveness runs backward dataflow to a fixpoint.
+func ComputeLiveness(f *Func) *Liveness {
+	lv := &Liveness{
+		In:  make(map[*Block]map[*Value]bool, len(f.Blocks)),
+		Out: make(map[*Block]map[*Value]bool, len(f.Blocks)),
+	}
+	for _, b := range f.Blocks {
+		lv.In[b] = make(map[*Value]bool)
+		lv.Out[b] = make(map[*Value]bool)
+	}
+	// use[b]: values used in b before any def in b (phis excluded —
+	// their args belong to predecessors). def[b]: values defined in b
+	// (including phis).
+	use := make(map[*Block]map[*Value]bool, len(f.Blocks))
+	def := make(map[*Block]map[*Value]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		u := make(map[*Value]bool)
+		d := make(map[*Value]bool)
+		for _, v := range b.Insns {
+			if v.Op != OpPhi {
+				for _, a := range v.Args {
+					if !d[a] && producesValue(a) {
+						u[a] = true
+					}
+				}
+			}
+			d[v] = true
+		}
+		use[b], def[b] = u, d
+	}
+	// Iterate to fixpoint over the reverse postorder reversed (postorder)
+	// for fast convergence.
+	rpo := f.RPO()
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := make(map[*Value]bool)
+			for _, s := range b.Succs {
+				// A successor's live-in never contains its own phis
+				// (they are defs of s), so no filtering is needed; and a
+				// phi ARG may legitimately be a phi — including the phi
+				// itself on a loop back edge — so args are added as-is.
+				for v := range lv.In[s] {
+					out[v] = true
+				}
+				idx := s.PredIndex(b)
+				for _, phi := range s.Phis() {
+					a := phi.Args[idx]
+					if producesValue(a) {
+						out[a] = true
+					}
+				}
+			}
+			in := make(map[*Value]bool)
+			for v := range use[b] {
+				in[v] = true
+			}
+			for v := range out {
+				if !def[b][v] {
+					in[v] = true
+				}
+			}
+			if !sameSet(out, lv.Out[b]) || !sameSet(in, lv.In[b]) {
+				lv.Out[b], lv.In[b] = out, in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// producesValue reports whether v yields a register value that liveness
+// should track (void calls, stores, and terminators do not).
+func producesValue(v *Value) bool {
+	switch v.Op {
+	case OpStore, OpRet, OpBr, OpCondBr:
+		return false
+	case OpCall:
+		return v.Type != TypeVoid
+	}
+	return true
+}
+
+func sameSet(a, b map[*Value]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// LoopInfo describes the natural loops of a function.
+type LoopInfo struct {
+	// Loops maps each loop header to the set of blocks in its natural
+	// loop (including the header).
+	Loops map[*Block]map[*Block]bool
+}
+
+// FindLoops locates natural loops via back edges (tail -> header where
+// header dominates tail).
+func FindLoops(f *Func) *LoopInfo {
+	dom := BuildDomTree(f)
+	li := &LoopInfo{Loops: make(map[*Block]map[*Block]bool)}
+	for _, b := range f.RPO() {
+		for _, s := range b.Succs {
+			if dom.Dominates(s, b) {
+				// Back edge b -> s: collect the natural loop.
+				body := li.Loops[s]
+				if body == nil {
+					body = map[*Block]bool{s: true}
+					li.Loops[s] = body
+				}
+				var stack []*Block
+				if !body[b] {
+					body[b] = true
+					stack = append(stack, b)
+				}
+				for len(stack) > 0 {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if n == s {
+						continue
+					}
+					for _, p := range n.Preds {
+						if !body[p] {
+							body[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	return li
+}

@@ -1,0 +1,105 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders a function in a readable textual form for tests and
+// debugging:
+//
+//	func main(0):
+//	  entry:
+//	    v1 = const 10
+//	    v2 = bin add v1, v1
+//	    condbr v2, then, else
+func (f *Func) String() string {
+	var b strings.Builder
+	ret := "i32"
+	if f.RetVoid {
+		ret = "void"
+	}
+	fmt.Fprintf(&b, "func %s(%d) %s:\n", f.Name, f.NParams, ret)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "  %s:", blk.Name)
+		if len(blk.Preds) > 0 {
+			names := make([]string, len(blk.Preds))
+			for i, p := range blk.Preds {
+				names[i] = p.Name
+			}
+			fmt.Fprintf(&b, "  ; preds: %s", strings.Join(names, ", "))
+		}
+		b.WriteByte('\n')
+		for _, v := range blk.Insns {
+			fmt.Fprintf(&b, "    %s\n", v.insnString())
+		}
+	}
+	return b.String()
+}
+
+func (v *Value) insnString() string {
+	argNames := make([]string, len(v.Args))
+	for i, a := range v.Args {
+		argNames[i] = a.Name()
+	}
+	args := strings.Join(argNames, ", ")
+	switch v.Op {
+	case OpConst:
+		return fmt.Sprintf("%s = const %d", v.Name(), v.Const)
+	case OpGlobalAddr:
+		return fmt.Sprintf("%s = gaddr @%s", v.Name(), v.Sym)
+	case OpParam:
+		return fmt.Sprintf("%s = param %d", v.Name(), v.Aux)
+	case OpAlloca:
+		return fmt.Sprintf("%s = alloca %d", v.Name(), v.Aux)
+	case OpLoad:
+		return fmt.Sprintf("%s = load.%s %s", v.Name(), MemKind(v.Aux), args)
+	case OpStore:
+		return fmt.Sprintf("store.%s %s", MemKind(v.Aux), args)
+	case OpBin:
+		return fmt.Sprintf("%s = %s %s", v.Name(), BinKind(v.Aux), args)
+	case OpCmp:
+		return fmt.Sprintf("%s = cmp.%s %s", v.Name(), CmpKind(v.Aux), args)
+	case OpPhi:
+		parts := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			pred := "?"
+			if v.Block != nil && i < len(v.Block.Preds) {
+				pred = v.Block.Preds[i].Name
+			}
+			parts[i] = fmt.Sprintf("[%s, %s]", a.Name(), pred)
+		}
+		return fmt.Sprintf("%s = phi %s", v.Name(), strings.Join(parts, " "))
+	case OpCall:
+		if v.Type == TypeVoid {
+			return fmt.Sprintf("call @%s(%s)", v.Sym, args)
+		}
+		return fmt.Sprintf("%s = call @%s(%s)", v.Name(), v.Sym, args)
+	case OpRet:
+		if len(v.Args) == 0 {
+			return "ret"
+		}
+		return fmt.Sprintf("ret %s", args)
+	case OpBr:
+		return fmt.Sprintf("br %s", v.Block.Succs[0].Name)
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s, %s, %s", args, v.Block.Succs[0].Name, v.Block.Succs[1].Name)
+	case OpSext:
+		return fmt.Sprintf("%s = sext%d %s", v.Name(), v.Aux, args)
+	case OpZext:
+		return fmt.Sprintf("%s = zext%d %s", v.Name(), v.Aux, args)
+	}
+	return fmt.Sprintf("%s = %s %s", v.Name(), v.Op, args)
+}
+
+// String renders the whole module.
+func (m *Module) String() string {
+	var b strings.Builder
+	for _, g := range m.Globals {
+		fmt.Fprintf(&b, "global @%s size=%d align=%d\n", g.Name, g.Size, g.Align)
+	}
+	for _, f := range m.Funcs {
+		b.WriteString(f.String())
+	}
+	return b.String()
+}

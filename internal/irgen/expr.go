@@ -1,0 +1,771 @@
+package irgen
+
+import (
+	"straight/internal/ir"
+	"straight/internal/minic"
+)
+
+// expr lowers an expression for effect or value. Void calls are allowed;
+// the returned value is nil only for void-typed expressions.
+func (fg *funcGen) expr(e minic.Expr) (*ir.Value, *minic.Type, error) {
+	return fg.exprInner(e, true)
+}
+
+// rvalue lowers an expression and requires a value.
+func (fg *funcGen) rvalue(e minic.Expr) (*ir.Value, *minic.Type, error) {
+	v, t, err := fg.exprInner(e, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, t, nil
+}
+
+func (fg *funcGen) exprInner(e minic.Expr, allowVoid bool) (*ir.Value, *minic.Type, error) {
+	switch x := e.(type) {
+	case *minic.NumberLit:
+		t := minic.TypeInt
+		if x.Unsigned {
+			t = minic.TypeUInt
+		}
+		return fg.constVal(x.Val), t, nil
+
+	case *minic.StringLit:
+		sym := fg.g.stringGlobal(x.Val)
+		v := fg.f.NewValue(ir.OpGlobalAddr, ir.TypePtr)
+		v.Sym = sym
+		return fg.emit(v), minic.PtrTo(minic.TypeChar), nil
+
+	case *minic.Ident:
+		// Enum constant?
+		if c, ok := fg.g.file.EnumConsts[x.Name]; ok {
+			return fg.constVal(c), minic.TypeInt, nil
+		}
+		// Function name decays to a function pointer.
+		if fd, ok := fg.g.funcs[x.Name]; ok {
+			v := fg.f.NewValue(ir.OpGlobalAddr, ir.TypePtr)
+			v.Sym = x.Name
+			return fg.emit(v), minic.PtrTo(fd.Sig()), nil
+		}
+		addr, t, err := fg.lvalue(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fg.loadOrDecay(addr, t), decay(t), nil
+
+	case *minic.Unary:
+		return fg.unary(x)
+
+	case *minic.Binary:
+		return fg.binary(x)
+
+	case *minic.Assign:
+		return fg.assign(x)
+
+	case *minic.Cond:
+		return fg.ternary(x)
+
+	case *minic.Call:
+		v, t, err := fg.call(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		if t.Kind == minic.TVoid && !allowVoid {
+			return nil, nil, fg.g.errf(x.Pos, "void value used")
+		}
+		return v, t, nil
+
+	case *minic.Index, *minic.Member:
+		addr, t, err := fg.lvalue(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fg.loadOrDecay(addr, t), decay(t), nil
+
+	case *minic.Cast:
+		v, vt, err := fg.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fg.convert(v, vt, x.To), x.To, nil
+
+	case *minic.SizeofType:
+		return fg.constVal(int32(x.T.Size())), minic.TypeUInt, nil
+
+	case *minic.SizeofExpr:
+		t, err := fg.typeOf(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fg.constVal(int32(t.Size())), minic.TypeUInt, nil
+	}
+	return nil, nil, fg.g.errf(minic.Pos{}, "unhandled expression %T", e)
+}
+
+// loadOrDecay loads a scalar from addr, or returns the address itself for
+// arrays (array-to-pointer decay) and structs (struct lvalues are used
+// via copies).
+func (fg *funcGen) loadOrDecay(addr *ir.Value, t *minic.Type) *ir.Value {
+	if t.Kind == minic.TArray || t.Kind == minic.TStruct {
+		return addr
+	}
+	return fg.load(addr, t)
+}
+
+// decay rewrites array types to pointer types (C's rvalue conversion).
+func decay(t *minic.Type) *minic.Type {
+	if t.Kind == minic.TArray {
+		return minic.PtrTo(t.Elem)
+	}
+	return t
+}
+
+// lvalue lowers an expression to an address and the pointed-to type.
+func (fg *funcGen) lvalue(e minic.Expr) (*ir.Value, *minic.Type, error) {
+	switch x := e.(type) {
+	case *minic.Ident:
+		if l := fg.lookup(x.Name); l != nil {
+			return l.addr, l.typ, nil
+		}
+		if vd, ok := fg.g.globals[x.Name]; ok {
+			v := fg.f.NewValue(ir.OpGlobalAddr, ir.TypePtr)
+			v.Sym = x.Name
+			return fg.emit(v), vd.Type, nil
+		}
+		return nil, nil, fg.g.errf(x.Pos, "undefined identifier %q", x.Name)
+
+	case *minic.Unary:
+		if x.Op == "*" {
+			v, vt, err := fg.rvalue(x.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			if vt.Kind != minic.TPtr {
+				return nil, nil, fg.g.errf(x.Pos, "dereference of non-pointer %s", vt)
+			}
+			return v, vt.Elem, nil
+		}
+
+	case *minic.Index:
+		base, bt, err := fg.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		bt = decay(bt)
+		if bt.Kind != minic.TPtr {
+			return nil, nil, fg.g.errf(x.Pos, "subscript of non-pointer %s", bt)
+		}
+		idx, _, err := fg.rvalue(x.I)
+		if err != nil {
+			return nil, nil, err
+		}
+		off := fg.scaleIndex(idx, bt.Elem.Size())
+		return fg.binOp(ir.BinAdd, base, off), bt.Elem, nil
+
+	case *minic.Member:
+		var base *ir.Value
+		var bt *minic.Type
+		var err error
+		if x.Arrow {
+			base, bt, err = fg.rvalue(x.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			bt = decay(bt)
+			if bt.Kind != minic.TPtr || bt.Elem.Kind != minic.TStruct {
+				return nil, nil, fg.g.errf(x.Pos, "-> on non-struct-pointer %s", bt)
+			}
+			bt = bt.Elem
+		} else {
+			base, bt, err = fg.lvalue(x.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			if bt.Kind != minic.TStruct {
+				return nil, nil, fg.g.errf(x.Pos, ". on non-struct %s", bt)
+			}
+		}
+		fld := bt.Struct.Field(x.Name)
+		if fld == nil {
+			return nil, nil, fg.g.errf(x.Pos, "struct %s has no field %q", bt.Struct.Name, x.Name)
+		}
+		if fld.Offset == 0 {
+			return base, fld.Type, nil
+		}
+		return fg.binOp(ir.BinAdd, base, fg.constVal(int32(fld.Offset))), fld.Type, nil
+	}
+	return nil, nil, fg.g.errf(minic.Pos{}, "expression is not an lvalue (%T)", e)
+}
+
+// scaleIndex multiplies an index by an element size, using shifts for
+// powers of two.
+func (fg *funcGen) scaleIndex(idx *ir.Value, size int) *ir.Value {
+	switch size {
+	case 1:
+		return idx
+	case 2, 4, 8, 16, 32:
+		sh := 0
+		for 1<<sh != size {
+			sh++
+		}
+		return fg.binOp(ir.BinShl, idx, fg.constVal(int32(sh)))
+	default:
+		return fg.binOp(ir.BinMul, idx, fg.constVal(int32(size)))
+	}
+}
+
+// convert adjusts a register value from type `from` to type `to` (C value
+// conversions: truncation/extension to sub-word types; pointers and int
+// are freely interconvertible in MiniC).
+func (fg *funcGen) convert(v *ir.Value, from, to *minic.Type) *ir.Value {
+	if to == nil || from == nil {
+		return v
+	}
+	switch to.Kind {
+	case minic.TChar:
+		op, bits := ir.OpSext, 8
+		if to.Unsigned {
+			op = ir.OpZext
+		}
+		nv := fg.f.NewValue(op, ir.TypeI32, v)
+		nv.Aux = bits
+		return fg.emit(nv)
+	case minic.TShort:
+		op, bits := ir.OpSext, 16
+		if to.Unsigned {
+			op = ir.OpZext
+		}
+		nv := fg.f.NewValue(op, ir.TypeI32, v)
+		nv.Aux = bits
+		return fg.emit(nv)
+	}
+	return v
+}
+
+func (fg *funcGen) unary(x *minic.Unary) (*ir.Value, *minic.Type, error) {
+	switch x.Op {
+	case "&":
+		// &function yields the function pointer directly.
+		if id, ok := x.X.(*minic.Ident); ok {
+			if fd, isF := fg.g.funcs[id.Name]; isF {
+				v := fg.f.NewValue(ir.OpGlobalAddr, ir.TypePtr)
+				v.Sym = id.Name
+				return fg.emit(v), minic.PtrTo(fd.Sig()), nil
+			}
+		}
+		addr, t, err := fg.lvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return addr, minic.PtrTo(t), nil
+	case "*":
+		addr, t, err := fg.lvalue(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fg.loadOrDecay(addr, t), decay(t), nil
+	case "-":
+		v, t, err := fg.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fg.binOp(ir.BinSub, fg.constVal(0), v), t.Promote(), nil
+	case "+":
+		v, t, err := fg.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return v, t.Promote(), nil
+	case "~":
+		v, t, err := fg.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fg.binOp(ir.BinXor, v, fg.constVal(-1)), t.Promote(), nil
+	case "!":
+		v, _, err := fg.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return fg.cmpOp(ir.CmpEq, v, fg.constVal(0)), minic.TypeInt, nil
+	case "++", "--":
+		addr, t, err := fg.lvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		old := fg.load(addr, t)
+		step := int32(1)
+		if t.Kind == minic.TPtr {
+			step = int32(t.Elem.Size())
+		}
+		k := ir.BinAdd
+		if x.Op == "--" {
+			k = ir.BinSub
+		}
+		nv := fg.binOp(k, old, fg.constVal(step))
+		nv = fg.convert(nv, minic.TypeInt, t)
+		fg.store(addr, nv, t)
+		if x.Postfix {
+			return old, decay(t), nil
+		}
+		return nv, decay(t), nil
+	}
+	return nil, nil, fg.g.errf(x.Pos, "unhandled unary %q", x.Op)
+}
+
+func (fg *funcGen) binary(x *minic.Binary) (*ir.Value, *minic.Type, error) {
+	switch x.Op {
+	case "&&", "||":
+		return fg.logical(x)
+	case ",":
+		if _, _, err := fg.expr(x.X); err != nil {
+			return nil, nil, err
+		}
+		return fg.rvalue(x.Y)
+	}
+	a, at, err := fg.rvalue(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, bt, err := fg.rvalue(x.Y)
+	if err != nil {
+		return nil, nil, err
+	}
+	at, bt = decay(at), decay(bt)
+
+	// Pointer arithmetic.
+	if x.Op == "+" || x.Op == "-" {
+		switch {
+		case at.Kind == minic.TPtr && bt.IsInteger():
+			off := fg.scaleIndex(b, at.Elem.Size())
+			k := ir.BinAdd
+			if x.Op == "-" {
+				k = ir.BinSub
+			}
+			return fg.binOp(k, a, off), at, nil
+		case x.Op == "+" && bt.Kind == minic.TPtr && at.IsInteger():
+			off := fg.scaleIndex(a, bt.Elem.Size())
+			return fg.binOp(ir.BinAdd, b, off), bt, nil
+		case x.Op == "-" && at.Kind == minic.TPtr && bt.Kind == minic.TPtr:
+			diff := fg.binOp(ir.BinSub, a, b)
+			sz := at.Elem.Size()
+			if sz > 1 {
+				diff = fg.binOp(ir.BinDiv, diff, fg.constVal(int32(sz)))
+			}
+			return diff, minic.TypeInt, nil
+		}
+	}
+
+	unsigned := at.Unsigned || bt.Unsigned || at.Kind == minic.TPtr || bt.Kind == minic.TPtr
+	resType := minic.TypeInt
+	if unsigned {
+		resType = minic.TypeUInt
+	}
+
+	if k, isCmp := cmpKinds[x.Op]; isCmp {
+		if unsigned && k != ir.CmpEq && k != ir.CmpNe {
+			k = toUnsignedCmp(k)
+		}
+		return fg.cmpOp(k, a, b), minic.TypeInt, nil
+	}
+
+	k, ok := binKinds[x.Op]
+	if !ok {
+		return nil, nil, fg.g.errf(x.Pos, "unhandled binary %q", x.Op)
+	}
+	if unsigned {
+		switch k {
+		case ir.BinDiv:
+			k = ir.BinUDiv
+		case ir.BinRem:
+			k = ir.BinURem
+		}
+	}
+	// Shift-right signedness follows the left operand.
+	if x.Op == ">>" {
+		if at.Unsigned {
+			k = ir.BinShr
+		} else {
+			k = ir.BinSar
+		}
+		resType = at.Promote()
+	}
+	return fg.binOp(k, a, b), resType, nil
+}
+
+var binKinds = map[string]ir.BinKind{
+	"+": ir.BinAdd, "-": ir.BinSub, "*": ir.BinMul, "/": ir.BinDiv, "%": ir.BinRem,
+	"&": ir.BinAnd, "|": ir.BinOr, "^": ir.BinXor, "<<": ir.BinShl, ">>": ir.BinSar,
+}
+
+var cmpKinds = map[string]ir.CmpKind{
+	"==": ir.CmpEq, "!=": ir.CmpNe, "<": ir.CmpLt, "<=": ir.CmpLe,
+	">": ir.CmpGt, ">=": ir.CmpGe,
+}
+
+func toUnsignedCmp(k ir.CmpKind) ir.CmpKind {
+	switch k {
+	case ir.CmpLt:
+		return ir.CmpULt
+	case ir.CmpLe:
+		return ir.CmpULe
+	case ir.CmpGt:
+		return ir.CmpUGt
+	case ir.CmpGe:
+		return ir.CmpUGe
+	}
+	return k
+}
+
+// logical lowers && and || with short-circuit evaluation, merging the 0/1
+// result through a phi.
+func (fg *funcGen) logical(x *minic.Binary) (*ir.Value, *minic.Type, error) {
+	a, _, err := fg.rvalue(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	aBool := fg.cmpOp(ir.CmpNe, a, fg.constVal(0))
+	rhs := fg.newBlock("sc_rhs")
+	join := fg.newBlock("sc_join")
+	shortBlock := fg.cur
+	if x.Op == "&&" {
+		fg.condBranch(aBool, rhs, join)
+	} else {
+		fg.condBranch(aBool, join, rhs)
+	}
+	fg.cur = rhs
+	b, _, err := fg.rvalue(x.Y)
+	if err != nil {
+		return nil, nil, err
+	}
+	bBool := fg.cmpOp(ir.CmpNe, b, fg.constVal(0))
+	rhsEnd := fg.cur
+	fg.branchTo(join)
+	fg.cur = join
+	// join.Preds order: shortBlock first (from condBranch), then rhsEnd.
+	shortVal := fg.f.NewValue(ir.OpConst, ir.TypeI32)
+	if x.Op == "||" {
+		shortVal.Const = 1
+	}
+	shortBlock.Insns = insertBeforeTerminator(shortBlock, shortVal)
+	phi := fg.f.NewValue(ir.OpPhi, ir.TypeI32)
+	for _, p := range join.Preds {
+		if p == rhsEnd {
+			phi.Args = append(phi.Args, bBool)
+		} else {
+			phi.Args = append(phi.Args, shortVal)
+		}
+	}
+	join.InsertPhi(phi)
+	return phi, minic.TypeInt, nil
+}
+
+// insertBeforeTerminator places v immediately before b's terminator.
+func insertBeforeTerminator(b *ir.Block, v *ir.Value) []*ir.Value {
+	v.Block = b
+	n := len(b.Insns)
+	insns := append(b.Insns, nil)
+	copy(insns[n:], insns[n-1:])
+	insns[n-1] = v
+	return insns
+}
+
+// ternary lowers c ? x : y through a phi.
+func (fg *funcGen) ternary(x *minic.Cond) (*ir.Value, *minic.Type, error) {
+	c, _, err := fg.rvalue(x.C)
+	if err != nil {
+		return nil, nil, err
+	}
+	thenB := fg.newBlock("t_then")
+	elseB := fg.newBlock("t_else")
+	join := fg.newBlock("t_join")
+	fg.condBranch(c, thenB, elseB)
+
+	fg.cur = thenB
+	tv, tt, err := fg.rvalue(x.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	thenEnd := fg.cur
+	fg.branchTo(join)
+
+	fg.cur = elseB
+	ev, et, err := fg.rvalue(x.Y)
+	if err != nil {
+		return nil, nil, err
+	}
+	elseEnd := fg.cur
+	fg.branchTo(join)
+
+	fg.cur = join
+	phi := fg.f.NewValue(ir.OpPhi, tv.Type)
+	for _, p := range join.Preds {
+		if p == thenEnd {
+			phi.Args = append(phi.Args, tv)
+		} else if p == elseEnd {
+			phi.Args = append(phi.Args, ev)
+		}
+	}
+	join.InsertPhi(phi)
+	rt := decay(tt)
+	if rt.IsInteger() {
+		rt = rt.Promote()
+		if decay(et).Unsigned {
+			rt = minic.TypeUInt
+		}
+	}
+	return phi, rt, nil
+}
+
+func (fg *funcGen) assign(x *minic.Assign) (*ir.Value, *minic.Type, error) {
+	addr, t, err := fg.lvalue(x.LHS)
+	if err != nil {
+		return nil, nil, err
+	}
+	if x.Op == "=" && t.Kind == minic.TStruct {
+		srcAddr, st, err := fg.lvalue(x.RHS)
+		if err != nil {
+			return nil, nil, err
+		}
+		if st.Kind != minic.TStruct || st.Struct != t.Struct {
+			return nil, nil, fg.g.errf(x.Pos, "mismatched struct assignment")
+		}
+		fg.structCopy(addr, srcAddr, t)
+		return addr, t, nil
+	}
+	rhs, rt, err := fg.rvalue(x.RHS)
+	if err != nil {
+		return nil, nil, err
+	}
+	var val *ir.Value
+	if x.Op == "=" {
+		val = rhs
+	} else {
+		cur := fg.load(addr, t)
+		op := x.Op[:len(x.Op)-1] // strip '='
+		k, ok := binKinds[op]
+		if !ok {
+			return nil, nil, fg.g.errf(x.Pos, "unhandled compound assignment %q", x.Op)
+		}
+		unsigned := t.Unsigned
+		if unsigned {
+			switch k {
+			case ir.BinDiv:
+				k = ir.BinUDiv
+			case ir.BinRem:
+				k = ir.BinURem
+			case ir.BinSar:
+				k = ir.BinShr
+			}
+		}
+		if t.Kind == minic.TPtr && (k == ir.BinAdd || k == ir.BinSub) {
+			rhs = fg.scaleIndex(rhs, t.Elem.Size())
+		}
+		val = fg.binOp(k, cur, rhs)
+	}
+	val = fg.convert(val, rt, t)
+	fg.store(addr, val, t)
+	return val, decay(t), nil
+}
+
+// structCopy copies a struct value word-by-word (byte tail as needed).
+func (fg *funcGen) structCopy(dst, src *ir.Value, t *minic.Type) {
+	size := t.Size()
+	off := 0
+	for ; off+4 <= size; off += 4 {
+		sa := fg.addrOff(src, off)
+		da := fg.addrOff(dst, off)
+		v := fg.load(sa, minic.TypeInt)
+		fg.store(da, v, minic.TypeInt)
+	}
+	for ; off < size; off++ {
+		sa := fg.addrOff(src, off)
+		da := fg.addrOff(dst, off)
+		v := fg.load(sa, minic.TypeChar)
+		fg.store(da, v, minic.TypeChar)
+	}
+}
+
+func (fg *funcGen) addrOff(base *ir.Value, off int) *ir.Value {
+	if off == 0 {
+		return base
+	}
+	return fg.binOp(ir.BinAdd, base, fg.constVal(int32(off)))
+}
+
+// builtinSigs maps builtin names to (symbol, hasArg, returnsValue).
+var builtins = map[string]struct {
+	sym  string
+	args int
+	ret  *minic.Type
+}{
+	"putchar": {SymPutc, 1, minic.TypeInt},
+	"putint":  {SymPuti, 1, minic.TypeVoid},
+	"putuint": {SymPutu, 1, minic.TypeVoid},
+	"puthex":  {SymPutx, 1, minic.TypeVoid},
+	"exit":    {SymExit, 1, minic.TypeVoid},
+	"cycles":  {SymCycles, 0, minic.TypeInt},
+}
+
+func (fg *funcGen) call(x *minic.Call) (*ir.Value, *minic.Type, error) {
+	// Builtin?
+	if id, ok := x.Fun.(*minic.Ident); ok {
+		if b, isB := builtins[id.Name]; isB {
+			if _, userDefined := fg.g.funcs[id.Name]; !userDefined {
+				if len(x.Args) != b.args {
+					return nil, nil, fg.g.errf(x.Pos, "%s expects %d argument(s)", id.Name, b.args)
+				}
+				var args []*ir.Value
+				for _, a := range x.Args {
+					av, _, err := fg.rvalue(a)
+					if err != nil {
+						return nil, nil, err
+					}
+					args = append(args, av)
+				}
+				cv := fg.f.NewValue(ir.OpCall, irType(b.ret), args...)
+				if b.ret.Kind == minic.TVoid {
+					cv.Type = ir.TypeVoid
+				}
+				cv.Sym = b.sym
+				fg.emit(cv)
+				return cv, b.ret, nil
+			}
+		}
+	}
+
+	// Direct call to a known function.
+	if id, ok := x.Fun.(*minic.Ident); ok {
+		if fd, isF := fg.g.funcs[id.Name]; isF {
+			return fg.emitCall(x, fd.Sig(), id.Name, nil)
+		}
+	}
+
+	// Indirect call through a function pointer value.
+	fv, ft, err := fg.rvalue(x.Fun)
+	if err != nil {
+		return nil, nil, err
+	}
+	ft = decay(ft)
+	if ft.Kind != minic.TPtr || ft.Elem.Kind != minic.TFunc {
+		return nil, nil, fg.g.errf(x.Pos, "call of non-function type %s", ft)
+	}
+	return fg.emitCall(x, ft.Elem, "", fv)
+}
+
+// emitCall lowers argument conversion and the call itself. target != nil
+// selects an indirect call (the callee address is Args[0] and Sym == "").
+func (fg *funcGen) emitCall(x *minic.Call, sig *minic.Type, sym string, target *ir.Value) (*ir.Value, *minic.Type, error) {
+	if len(x.Args) != len(sig.Params) {
+		return nil, nil, fg.g.errf(x.Pos, "call to %s with %d args, want %d", sym, len(x.Args), len(sig.Params))
+	}
+	var args []*ir.Value
+	if target != nil {
+		args = append(args, target)
+	}
+	for i, a := range x.Args {
+		av, at, err := fg.rvalue(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		av = fg.convert(av, at, sig.Params[i])
+		args = append(args, av)
+	}
+	cv := fg.f.NewValue(ir.OpCall, irType(sig.Ret), args...)
+	if sig.Ret.Kind == minic.TVoid {
+		cv.Type = ir.TypeVoid
+	}
+	cv.Sym = sym
+	fg.emit(cv)
+	return cv, sig.Ret, nil
+}
+
+// typeOf computes an expression's type without emitting code (sizeof).
+func (fg *funcGen) typeOf(e minic.Expr) (*minic.Type, error) {
+	switch x := e.(type) {
+	case *minic.NumberLit:
+		return minic.TypeInt, nil
+	case *minic.StringLit:
+		return minic.ArrayOf(minic.TypeChar, len(x.Val)+1), nil
+	case *minic.Ident:
+		if _, ok := fg.g.file.EnumConsts[x.Name]; ok {
+			return minic.TypeInt, nil
+		}
+		if l := fg.lookup(x.Name); l != nil {
+			return l.typ, nil
+		}
+		if vd, ok := fg.g.globals[x.Name]; ok {
+			return vd.Type, nil
+		}
+		return nil, fg.g.errf(x.Pos, "undefined identifier %q", x.Name)
+	case *minic.Unary:
+		t, err := fg.typeOf(x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "*":
+			t = decay(t)
+			if t.Kind != minic.TPtr {
+				return nil, fg.g.errf(x.Pos, "dereference of non-pointer")
+			}
+			return t.Elem, nil
+		case "&":
+			return minic.PtrTo(t), nil
+		case "!":
+			return minic.TypeInt, nil
+		default:
+			return t.Promote(), nil
+		}
+	case *minic.Index:
+		t, err := fg.typeOf(x.X)
+		if err != nil {
+			return nil, err
+		}
+		t = decay(t)
+		if t.Kind != minic.TPtr {
+			return nil, fg.g.errf(x.Pos, "subscript of non-pointer")
+		}
+		return t.Elem, nil
+	case *minic.Member:
+		t, err := fg.typeOf(x.X)
+		if err != nil {
+			return nil, err
+		}
+		if x.Arrow {
+			t = decay(t)
+			if t.Kind != minic.TPtr {
+				return nil, fg.g.errf(x.Pos, "-> on non-pointer")
+			}
+			t = t.Elem
+		}
+		if t.Kind != minic.TStruct {
+			return nil, fg.g.errf(x.Pos, "member of non-struct")
+		}
+		fld := t.Struct.Field(x.Name)
+		if fld == nil {
+			return nil, fg.g.errf(x.Pos, "no field %q", x.Name)
+		}
+		return fld.Type, nil
+	case *minic.Cast:
+		return x.To, nil
+	case *minic.Binary:
+		at, err := fg.typeOf(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return at.Promote(), nil
+	case *minic.Assign:
+		return fg.typeOf(x.LHS)
+	case *minic.Call:
+		if id, ok := x.Fun.(*minic.Ident); ok {
+			if fd, isF := fg.g.funcs[id.Name]; isF {
+				return fd.Ret, nil
+			}
+			if b, isB := builtins[id.Name]; isB {
+				return b.ret, nil
+			}
+		}
+		return minic.TypeInt, nil
+	}
+	return minic.TypeInt, nil
+}

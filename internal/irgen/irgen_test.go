@@ -1,0 +1,465 @@
+package irgen
+
+import (
+	"bytes"
+	"testing"
+
+	"straight/internal/ir"
+	"straight/internal/minic"
+)
+
+// compileAndRun parses, lowers, optionally optimizes, and interprets a
+// MiniC program's main(), returning console output.
+func compileAndRun(t *testing.T, src string, optimize bool) string {
+	t.Helper()
+	file, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	mod, err := Build(file)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	if optimize {
+		ir.OptimizeModule(mod)
+		if err := ir.VerifyModule(mod); err != nil {
+			t.Fatalf("verify after optimize: %v", err)
+		}
+	}
+	var out bytes.Buffer
+	interp := ir.NewInterp(mod, &out)
+	interp.SetMaxSteps(50_000_000)
+	if _, err := interp.Run("main"); err != nil {
+		t.Fatalf("interp: %v\noutput: %q", err, out.String())
+	}
+	return out.String()
+}
+
+// checkBoth runs the program unoptimized and optimized and requires the
+// same expected output — catching both irgen and pass bugs.
+func checkBoth(t *testing.T, src, want string) {
+	t.Helper()
+	if got := compileAndRun(t, src, false); got != want {
+		t.Errorf("unoptimized output %q, want %q", got, want)
+	}
+	if got := compileAndRun(t, src, true); got != want {
+		t.Errorf("optimized output %q, want %q", got, want)
+	}
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	checkBoth(t, `
+int main() {
+    putint(2 + 3 * 4);        // 14
+    putchar(' ');
+    putint((2 + 3) * 4);      // 20
+    putchar(' ');
+    putint(100 / 7);          // 14
+    putchar(' ');
+    putint(100 % 7);          // 2
+    putchar(' ');
+    putint(-5 / 2);           // -2
+    putchar(' ');
+    putint(1 << 10);          // 1024
+    putchar(' ');
+    putint(-8 >> 1);          // -4
+    return 0;
+}`, "14 20 14 2 -2 1024 -4")
+}
+
+func TestUnsignedSemantics(t *testing.T) {
+	checkBoth(t, `
+int main() {
+    unsigned a = 0u - 1u;     // 0xFFFFFFFF
+    putuint(a / 2u);          // 2147483647
+    putchar(' ');
+    putint(a > 1u);           // 1 (unsigned compare)
+    putchar(' ');
+    int b = -1;
+    putint(b > 1);            // 0 (signed compare)
+    putchar(' ');
+    unsigned c = 0x80000000u;
+    putuint(c >> 4);          // logical shift: 0x08000000
+    return 0;
+}`, "2147483647 1 0 134217728")
+}
+
+func TestLoopsAndControlFlow(t *testing.T) {
+	checkBoth(t, `
+int main() {
+    int i, sum;
+    sum = 0;
+    for (i = 1; i <= 10; i++) sum += i;
+    putint(sum);              // 55
+    putchar(' ');
+    i = 0;
+    while (i < 5) { i = i + 2; }
+    putint(i);                // 6
+    putchar(' ');
+    i = 10;
+    do { i--; } while (i > 7);
+    putint(i);                // 7
+    putchar(' ');
+    sum = 0;
+    for (i = 0; i < 10; i++) {
+        if (i == 3) continue;
+        if (i == 6) break;
+        sum += i;
+    }
+    putint(sum);              // 0+1+2+4+5 = 12
+    return 0;
+}`, "55 6 7 12")
+}
+
+func TestRecursionFib(t *testing.T) {
+	checkBoth(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    putint(fib(15));
+    return 0;
+}`, "610")
+}
+
+func TestArraysAndPointers(t *testing.T) {
+	checkBoth(t, `
+int arr[10];
+int main() {
+    int i;
+    for (i = 0; i < 10; i++) arr[i] = i * i;
+    int *p = arr + 3;
+    putint(*p);               // 9
+    putchar(' ');
+    putint(p[2]);             // 25
+    putchar(' ');
+    putint(*(p + 4));         // 49
+    putchar(' ');
+    putint(p - arr);          // 3
+    putchar(' ');
+    int local[4];
+    local[0] = 7; local[1] = 8; local[2] = 9; local[3] = 10;
+    int sum = 0;
+    for (i = 0; i < 4; i++) sum += local[i];
+    putint(sum);              // 34
+    return 0;
+}`, "9 25 49 3 34")
+}
+
+func TestStringsAndChars(t *testing.T) {
+	checkBoth(t, `
+int mystrlen(char *s) {
+    int n = 0;
+    while (*s++) n++;
+    return n;
+}
+int main() {
+    char *msg = "hello";
+    putint(mystrlen(msg));    // 5
+    putchar(' ');
+    putchar(msg[1]);          // e
+    char buf[8] = "abc";
+    buf[1] = 'X';
+    putchar(buf[0]); putchar(buf[1]); putchar(buf[2]);
+    putchar(' ');
+    char c = 200;             // signed char wraps negative
+    putint(c);                // -56
+    putchar(' ');
+    unsigned char u = 200;
+    putint(u);                // 200
+    return 0;
+}`, "5 eaXc -56 200")
+}
+
+func TestStructsAndMembers(t *testing.T) {
+	checkBoth(t, `
+struct Point { int x; int y; };
+struct Rect { struct Point a; struct Point b; char tag; };
+int area(struct Rect *r) {
+    return (r->b.x - r->a.x) * (r->b.y - r->a.y);
+}
+int main() {
+    struct Rect r;
+    r.a.x = 1; r.a.y = 2;
+    r.b.x = 5; r.b.y = 7;
+    r.tag = 'R';
+    putint(area(&r));         // 4*5 = 20
+    putchar(' ');
+    struct Rect s;
+    s = r;                    // struct assignment
+    s.a.x = 0;
+    putint(area(&s));         // 5*5 = 25
+    putchar(' ');
+    putint(area(&r));         // unchanged: 20
+    putchar(' ');
+    putchar(s.tag);
+    putchar(' ');
+    putint(sizeof(struct Rect)); // 4 ints + char + padding = 20
+    return 0;
+}`, "20 25 20 R 20")
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	checkBoth(t, `
+int table[5] = {10, 20, 30};
+char greeting[8] = "hey";
+int answer = 6 * 7;
+struct Pair { int a; int b; };
+struct Pair pair = {3, 4};
+int *ptr = table;
+int main() {
+    putint(table[1]);         // 20
+    putchar(' ');
+    putint(table[4]);         // 0 (zero fill)
+    putchar(' ');
+    putchar(greeting[0]);     // h
+    putchar(' ');
+    putint(answer);           // 42
+    putchar(' ');
+    putint(pair.b);           // 4
+    putchar(' ');
+    putint(ptr[2]);           // 30 via pointer reloc
+    return 0;
+}`, "20 0 h 42 4 30")
+}
+
+func TestSwitchWithFallthrough(t *testing.T) {
+	checkBoth(t, `
+int classify(int v) {
+    int r = 0;
+    switch (v) {
+    case 0:
+    case 1:
+        r = 10;
+        break;
+    case 2:
+        r = 20;
+        /* fallthrough */
+    case 3:
+        r += 1;
+        break;
+    default:
+        r = -1;
+    }
+    return r;
+}
+int main() {
+    putint(classify(0)); putchar(' ');
+    putint(classify(1)); putchar(' ');
+    putint(classify(2)); putchar(' ');
+    putint(classify(3)); putchar(' ');
+    putint(classify(9));
+    return 0;
+}`, "10 10 21 1 -1")
+}
+
+func TestLogicalAndTernary(t *testing.T) {
+	checkBoth(t, `
+int called = 0;
+int sideEffect() { called++; return 1; }
+int main() {
+    int a = 0;
+    if (a && sideEffect()) {}
+    putint(called);           // 0: && short-circuits
+    putchar(' ');
+    if (a || sideEffect()) {}
+    putint(called);           // 1: || evaluates rhs
+    putchar(' ');
+    putint(a ? 111 : 222);    // 222
+    putchar(' ');
+    putint(!a);               // 1
+    putchar(' ');
+    putint(5 && 3);           // 1
+    putchar(' ');
+    putint(0 || 0);           // 0
+    return 0;
+}`, "0 1 222 1 1 0")
+}
+
+func TestFunctionPointers(t *testing.T) {
+	checkBoth(t, `
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int apply(int (*f)(int, int), int x, int y) { return f(x, y); }
+int main() {
+    int (*op)(int, int);
+    op = add;
+    putint(apply(op, 10, 4)); // 14
+    putchar(' ');
+    op = &sub;
+    putint(apply(op, 10, 4)); // 6
+    putchar(' ');
+    putint(op(3, 1));         // 2
+    return 0;
+}`, "14 6 2")
+}
+
+func TestEnumsAndSizeof(t *testing.T) {
+	checkBoth(t, `
+enum State { IDLE, RUN = 5, STOP };
+int main() {
+    putint(IDLE); putchar(' ');
+    putint(RUN); putchar(' ');
+    putint(STOP); putchar(' ');
+    putint(sizeof(int)); putchar(' ');
+    putint(sizeof(char)); putchar(' ');
+    putint(sizeof(short)); putchar(' ');
+    int arr[7];
+    putint(sizeof arr);       // 28
+    return 0;
+}`, "0 5 6 4 1 2 28")
+}
+
+func TestIncDecAndCompound(t *testing.T) {
+	checkBoth(t, `
+int main() {
+    int i = 5;
+    putint(i++); putchar(' '); // 5
+    putint(i);   putchar(' '); // 6
+    putint(++i); putchar(' '); // 7
+    putint(i--); putchar(' '); // 7
+    putint(--i); putchar(' '); // 5
+    i <<= 2; putint(i); putchar(' ');   // 20
+    i |= 3; putint(i); putchar(' ');    // 23
+    i &= 0xF; putint(i); putchar(' ');  // 7
+    i ^= 1; putint(i); putchar(' ');    // 6
+    i %= 4; putint(i);                  // 2
+    return 0;
+}`, "5 6 7 7 5 20 23 7 6 2")
+}
+
+func TestShortAndMultidimArrays(t *testing.T) {
+	checkBoth(t, `
+short m[3][4];
+int main() {
+    int i, j;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            m[i][j] = (short)(i * 10 + j);
+    putint(m[2][3]);          // 23
+    putchar(' ');
+    short s = -1;
+    unsigned short us = 65535;
+    putint(s); putchar(' ');  // -1
+    putint(us);               // 65535
+    return 0;
+}`, "23 -1 65535")
+}
+
+func TestExitBuiltinStopsProgram(t *testing.T) {
+	checkBoth(t, `
+int main() {
+    putint(1);
+    exit(3);
+    putint(2);
+    return 0;
+}`, "1")
+}
+
+func TestCommaAndNestedCalls(t *testing.T) {
+	checkBoth(t, `
+int twice(int x) { return x * 2; }
+int main() {
+    int i, j;
+    for (i = 0, j = 10; i < j; i++, j--) {}
+    putint(i);                // 5
+    putchar(' ');
+    putint(twice(twice(twice(1)))); // 8
+    return 0;
+}`, "5 8")
+}
+
+func TestDhrystoneStylePatterns(t *testing.T) {
+	// Record copy, pointer-to-pointer parameter, char comparison — the
+	// idioms Dhrystone exercises.
+	checkBoth(t, `
+struct Record {
+    struct Record *next;
+    int discr;
+    int enumComp;
+    int intComp;
+    char str[31];
+};
+struct Record recA;
+struct Record recB;
+void assign(struct Record *dst, struct Record *src) {
+    *dst = *src;
+}
+int cmpchar(char c1, char c2) {
+    if (c1 == c2) return 1;
+    return 0;
+}
+int main() {
+    recA.discr = 0;
+    recA.intComp = 40;
+    recA.next = &recB;
+    recA.str[0] = 'D';
+    assign(&recB, &recA);
+    putint(recB.intComp);     // 40
+    putchar(' ');
+    putchar(recB.str[0]);     // D
+    putchar(' ');
+    putint(cmpchar('A', 'A')); // 1
+    putchar(' ');
+    putint(recB.next == &recB); // 1 (copied pointer)
+    return 0;
+}`, "40 D 1 1")
+}
+
+func TestVerifierRunsOnGeneratedIR(t *testing.T) {
+	file, err := minic.Parse(`
+int gcd(int a, int b) {
+    while (b != 0) { int t = b; b = a % b; a = t; }
+    return a;
+}
+int main() { putint(gcd(1071, 462)); return 0; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := Build(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range mod.Funcs {
+		if err := ir.Verify(f); err != nil {
+			t.Errorf("verify %s: %v", f.Name, err)
+		}
+		ir.Optimize(f)
+		if err := ir.Verify(f); err != nil {
+			t.Errorf("verify %s after optimize: %v", f.Name, err)
+		}
+	}
+	var out bytes.Buffer
+	in := ir.NewInterp(mod, &out)
+	if _, err := in.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "21" {
+		t.Errorf("gcd output %q", out.String())
+	}
+}
+
+func TestErrorDiagnostics(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"undefined var", `int main() { return x; }`},
+		{"undefined func", `int main() { return f(); }`},
+		{"bad member", `struct S { int a; }; int main() { struct S s; return s.b; }`},
+		{"arity", `int f(int a) { return a; } int main() { return f(1, 2); }`},
+		{"void value", `void f() {} int main() { int x = f(); return x; }`},
+		{"break outside", `int main() { break; return 0; }`},
+		{"deref int", `int main() { int x; return *x; }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			file, err := minic.Parse(c.src)
+			if err != nil {
+				return // parse-time rejection is fine too
+			}
+			if _, err := Build(file); err == nil {
+				t.Errorf("expected error for %s", c.name)
+			}
+		})
+	}
+}

@@ -1,0 +1,357 @@
+package irgen
+
+import (
+	"straight/internal/ir"
+	"straight/internal/minic"
+)
+
+// stmt lowers one statement into the current block.
+func (fg *funcGen) stmt(s minic.Stmt) error {
+	// Statements after a terminator (e.g. code after return) are lowered
+	// into a fresh unreachable block, which SimplifyCFG prunes.
+	if fg.cur.Terminator() != nil {
+		fg.cur = fg.newBlock("dead")
+	}
+	switch x := s.(type) {
+	case *minic.EmptyStmt:
+		return nil
+	case *minic.BlockStmt:
+		fg.pushScope()
+		defer fg.popScope()
+		for _, sub := range x.Stmts {
+			if err := fg.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *minic.DeclStmt:
+		for _, vd := range x.Decls {
+			if err := fg.localDecl(vd); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *minic.ExprStmt:
+		_, _, err := fg.expr(x.X)
+		return err
+	case *minic.IfStmt:
+		return fg.ifStmt(x)
+	case *minic.WhileStmt:
+		return fg.whileStmt(x)
+	case *minic.DoWhileStmt:
+		return fg.doWhileStmt(x)
+	case *minic.ForStmt:
+		return fg.forStmt(x)
+	case *minic.ReturnStmt:
+		return fg.returnStmt(x)
+	case *minic.BreakStmt:
+		if len(fg.breakStack) == 0 {
+			return fg.g.errf(x.Pos, "break outside loop or switch")
+		}
+		fg.branchTo(fg.breakStack[len(fg.breakStack)-1])
+		return nil
+	case *minic.ContinueStmt:
+		if len(fg.continueStack) == 0 {
+			return fg.g.errf(x.Pos, "continue outside loop")
+		}
+		fg.branchTo(fg.continueStack[len(fg.continueStack)-1])
+		return nil
+	case *minic.SwitchStmt:
+		return fg.switchStmt(x)
+	}
+	return fg.g.errf(minic.Pos{}, "unhandled statement %T", s)
+}
+
+func (fg *funcGen) localDecl(vd *minic.VarDecl) error {
+	size := vd.Type.Size()
+	if size <= 0 {
+		return fg.g.errf(vd.Pos, "local %s has incomplete type %s", vd.Name, vd.Type)
+	}
+	slot := fg.f.NewValue(ir.OpAlloca, ir.TypePtr)
+	slot.Aux = alignUp(size, 4)
+	// Allocas must dominate all uses; hoisting them into the entry block
+	// keeps loop-declared locals valid.
+	fg.f.Entry().InsertPhi(slot)
+	slot.Block = fg.f.Entry()
+	fg.scopes[len(fg.scopes)-1][vd.Name] = &local{addr: slot, typ: vd.Type}
+	if vd.Init == nil {
+		return nil
+	}
+	return fg.initLocal(slot, vd.Type, vd.Init)
+}
+
+func alignUp(n, a int) int { return (n + a - 1) &^ (a - 1) }
+
+func (fg *funcGen) initLocal(addr *ir.Value, t *minic.Type, init minic.Expr) error {
+	switch t.Kind {
+	case minic.TArray:
+		switch x := init.(type) {
+		case *minic.InitList:
+			esz := t.Elem.Size()
+			for i, item := range x.Items {
+				if i >= t.ArrayLen {
+					return fg.g.errf(x.Pos, "too many initializers")
+				}
+				ea := fg.binOp(ir.BinAdd, addr, fg.constVal(int32(i*esz)))
+				if err := fg.initLocal(ea, t.Elem, item); err != nil {
+					return err
+				}
+			}
+			// Zero the uninitialized tail.
+			for i := len(x.Items); i < t.ArrayLen; i++ {
+				ea := fg.binOp(ir.BinAdd, addr, fg.constVal(int32(i*esz)))
+				fg.zeroFill(ea, t.Elem)
+			}
+			return nil
+		case *minic.StringLit:
+			for i := 0; i <= len(x.Val); i++ {
+				var c int32
+				if i < len(x.Val) {
+					c = int32(x.Val[i])
+				}
+				ea := fg.binOp(ir.BinAdd, addr, fg.constVal(int32(i)))
+				fg.store(ea, fg.constVal(c), minic.TypeChar)
+			}
+			return nil
+		}
+		return fg.g.errf(minic.Pos{}, "bad array initializer")
+	case minic.TStruct:
+		il, ok := init.(*minic.InitList)
+		if !ok {
+			// struct x = y; (copy initialization)
+			val, vt, err := fg.lvalue(init)
+			if err != nil {
+				return err
+			}
+			if vt.Kind != minic.TStruct || vt.Struct != t.Struct {
+				return fg.g.errf(minic.Pos{}, "mismatched struct initializer")
+			}
+			fg.structCopy(addr, val, t)
+			return nil
+		}
+		for i, item := range il.Items {
+			if i >= len(t.Struct.Fields) {
+				return fg.g.errf(il.Pos, "too many initializers")
+			}
+			fld := t.Struct.Fields[i]
+			fa := fg.binOp(ir.BinAdd, addr, fg.constVal(int32(fld.Offset)))
+			if err := fg.initLocal(fa, fld.Type, item); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		val, vt, err := fg.rvalue(init)
+		if err != nil {
+			return err
+		}
+		val = fg.convert(val, vt, t)
+		fg.store(addr, val, t)
+		return nil
+	}
+}
+
+// zeroFill stores zeros over a scalar/aggregate location.
+func (fg *funcGen) zeroFill(addr *ir.Value, t *minic.Type) {
+	switch t.Kind {
+	case minic.TArray:
+		esz := t.Elem.Size()
+		for i := 0; i < t.ArrayLen; i++ {
+			ea := fg.binOp(ir.BinAdd, addr, fg.constVal(int32(i*esz)))
+			fg.zeroFill(ea, t.Elem)
+		}
+	case minic.TStruct:
+		for _, fld := range t.Struct.Fields {
+			fa := fg.binOp(ir.BinAdd, addr, fg.constVal(int32(fld.Offset)))
+			fg.zeroFill(fa, fld.Type)
+		}
+	default:
+		fg.store(addr, fg.constVal(0), t)
+	}
+}
+
+func (fg *funcGen) ifStmt(x *minic.IfStmt) error {
+	cond, _, err := fg.rvalue(x.Cond)
+	if err != nil {
+		return err
+	}
+	then := fg.newBlock("then")
+	done := fg.newBlock("endif")
+	els := done
+	if x.Else != nil {
+		els = fg.newBlock("else")
+	}
+	fg.condBranch(cond, then, els)
+	fg.cur = then
+	if err := fg.stmt(x.Then); err != nil {
+		return err
+	}
+	fg.branchTo(done)
+	if x.Else != nil {
+		fg.cur = els
+		if err := fg.stmt(x.Else); err != nil {
+			return err
+		}
+		fg.branchTo(done)
+	}
+	fg.cur = done
+	return nil
+}
+
+func (fg *funcGen) whileStmt(x *minic.WhileStmt) error {
+	head := fg.newBlock("while")
+	body := fg.newBlock("body")
+	exit := fg.newBlock("endwhile")
+	fg.branchTo(head)
+	fg.cur = head
+	cond, _, err := fg.rvalue(x.Cond)
+	if err != nil {
+		return err
+	}
+	fg.condBranch(cond, body, exit)
+	fg.cur = body
+	fg.breakStack = append(fg.breakStack, exit)
+	fg.continueStack = append(fg.continueStack, head)
+	if err := fg.stmt(x.Body); err != nil {
+		return err
+	}
+	fg.breakStack = fg.breakStack[:len(fg.breakStack)-1]
+	fg.continueStack = fg.continueStack[:len(fg.continueStack)-1]
+	fg.branchTo(head)
+	fg.cur = exit
+	return nil
+}
+
+func (fg *funcGen) doWhileStmt(x *minic.DoWhileStmt) error {
+	body := fg.newBlock("do")
+	check := fg.newBlock("docheck")
+	exit := fg.newBlock("enddo")
+	fg.branchTo(body)
+	fg.cur = body
+	fg.breakStack = append(fg.breakStack, exit)
+	fg.continueStack = append(fg.continueStack, check)
+	if err := fg.stmt(x.Body); err != nil {
+		return err
+	}
+	fg.breakStack = fg.breakStack[:len(fg.breakStack)-1]
+	fg.continueStack = fg.continueStack[:len(fg.continueStack)-1]
+	fg.branchTo(check)
+	fg.cur = check
+	cond, _, err := fg.rvalue(x.Cond)
+	if err != nil {
+		return err
+	}
+	fg.condBranch(cond, body, exit)
+	fg.cur = exit
+	return nil
+}
+
+func (fg *funcGen) forStmt(x *minic.ForStmt) error {
+	fg.pushScope()
+	defer fg.popScope()
+	if x.Init != nil {
+		if err := fg.stmt(x.Init); err != nil {
+			return err
+		}
+	}
+	head := fg.newBlock("for")
+	body := fg.newBlock("forbody")
+	post := fg.newBlock("forpost")
+	exit := fg.newBlock("endfor")
+	fg.branchTo(head)
+	fg.cur = head
+	if x.Cond != nil {
+		cond, _, err := fg.rvalue(x.Cond)
+		if err != nil {
+			return err
+		}
+		fg.condBranch(cond, body, exit)
+	} else {
+		fg.branchTo(body)
+	}
+	fg.cur = body
+	fg.breakStack = append(fg.breakStack, exit)
+	fg.continueStack = append(fg.continueStack, post)
+	if err := fg.stmt(x.Body); err != nil {
+		return err
+	}
+	fg.breakStack = fg.breakStack[:len(fg.breakStack)-1]
+	fg.continueStack = fg.continueStack[:len(fg.continueStack)-1]
+	fg.branchTo(post)
+	fg.cur = post
+	if x.Post != nil {
+		if _, _, err := fg.expr(x.Post); err != nil {
+			return err
+		}
+	}
+	fg.branchTo(head)
+	fg.cur = exit
+	return nil
+}
+
+func (fg *funcGen) returnStmt(x *minic.ReturnStmt) error {
+	if x.X == nil {
+		fg.emit(fg.f.NewValue(ir.OpRet, ir.TypeVoid))
+		return nil
+	}
+	v, vt, err := fg.rvalue(x.X)
+	if err != nil {
+		return err
+	}
+	v = fg.convert(v, vt, fg.fd.Ret)
+	fg.emit(fg.f.NewValue(ir.OpRet, ir.TypeVoid, v))
+	return nil
+}
+
+// switchStmt lowers a C switch to a comparison chain with fallthrough
+// bodies (no jump table; the simulated ISAs take the same branches either
+// way).
+func (fg *funcGen) switchStmt(x *minic.SwitchStmt) error {
+	cond, _, err := fg.rvalue(x.Cond)
+	if err != nil {
+		return err
+	}
+	exit := fg.newBlock("endswitch")
+	bodies := make([]*ir.Block, len(x.Cases))
+	for i := range x.Cases {
+		bodies[i] = fg.newBlock("case")
+	}
+	defaultTarget := exit
+	for i, c := range x.Cases {
+		if c.IsDflt {
+			defaultTarget = bodies[i]
+		}
+	}
+	// Dispatch chain.
+	for i, c := range x.Cases {
+		for _, lbl := range c.Labels {
+			v, ok := fg.g.file.EvalConstExpr(lbl)
+			if !ok {
+				return fg.g.errf(c.Pos, "case label is not constant")
+			}
+			eq := fg.cmpOp(ir.CmpEq, cond, fg.constVal(v))
+			next := fg.newBlock("dispatch")
+			fg.condBranch(eq, bodies[i], next)
+			fg.cur = next
+		}
+	}
+	fg.branchTo(defaultTarget)
+	// Bodies with fallthrough.
+	fg.breakStack = append(fg.breakStack, exit)
+	for i, c := range x.Cases {
+		fg.cur = bodies[i]
+		for _, s := range c.Body {
+			if err := fg.stmt(s); err != nil {
+				return err
+			}
+		}
+		if i+1 < len(x.Cases) {
+			fg.branchTo(bodies[i+1])
+		} else {
+			fg.branchTo(exit)
+		}
+	}
+	fg.breakStack = fg.breakStack[:len(fg.breakStack)-1]
+	fg.cur = exit
+	return nil
+}

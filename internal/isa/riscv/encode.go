@@ -1,0 +1,344 @@
+package riscv
+
+import "fmt"
+
+// Standard RV32 opcode major groups.
+const (
+	opcLUI    = 0b0110111
+	opcAUIPC  = 0b0010111
+	opcJAL    = 0b1101111
+	opcJALR   = 0b1100111
+	opcBranch = 0b1100011
+	opcLoad   = 0b0000011
+	opcStore  = 0b0100011
+	opcOpImm  = 0b0010011
+	opcOp     = 0b0110011
+	opcSystem = 0b1110011
+	opcFence  = 0b0001111
+)
+
+// Encode packs a decoded instruction into its standard 32-bit form.
+func Encode(i Inst) (uint32, error) {
+	rd, rs1, rs2 := uint32(i.Rd), uint32(i.Rs1), uint32(i.Rs2)
+	if rd > 31 || rs1 > 31 || rs2 > 31 {
+		return 0, fmt.Errorf("riscv: encode %s: register out of range", i.Op)
+	}
+	imm := i.Imm
+	switch i.Op {
+	case LUI, AUIPC:
+		if imm&0xFFF != 0 {
+			return 0, fmt.Errorf("riscv: encode %s: immediate %#x has low bits set", i.Op, imm)
+		}
+		opc := uint32(opcLUI)
+		if i.Op == AUIPC {
+			opc = opcAUIPC
+		}
+		return uint32(imm) | rd<<7 | opc, nil
+	case JAL:
+		if imm < -(1<<20) || imm > (1<<20)-1 || imm%2 != 0 {
+			return 0, fmt.Errorf("riscv: encode jal: offset %d out of range", imm)
+		}
+		u := uint32(imm)
+		w := (u>>20&1)<<31 | (u>>1&0x3FF)<<21 | (u>>11&1)<<20 | (u>>12&0xFF)<<12
+		return w | rd<<7 | opcJAL, nil
+	case JALR:
+		return encI(0b000, opcJALR, rd, rs1, imm)
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		f3 := map[Op]uint32{BEQ: 0, BNE: 1, BLT: 4, BGE: 5, BLTU: 6, BGEU: 7}[i.Op]
+		if imm < -(1<<12) || imm > (1<<12)-1 || imm%2 != 0 {
+			return 0, fmt.Errorf("riscv: encode %s: offset %d out of range", i.Op, imm)
+		}
+		u := uint32(imm)
+		w := (u>>12&1)<<31 | (u>>5&0x3F)<<25 | rs2<<20 | rs1<<15 | f3<<12 |
+			(u>>1&0xF)<<8 | (u>>11&1)<<7 | opcBranch
+		return w, nil
+	case LB, LH, LW, LBU, LHU:
+		f3 := map[Op]uint32{LB: 0, LH: 1, LW: 2, LBU: 4, LHU: 5}[i.Op]
+		return encI(f3, opcLoad, rd, rs1, imm)
+	case SB, SH, SW:
+		f3 := map[Op]uint32{SB: 0, SH: 1, SW: 2}[i.Op]
+		if imm < -2048 || imm > 2047 {
+			return 0, fmt.Errorf("riscv: encode %s: offset %d out of range", i.Op, imm)
+		}
+		u := uint32(imm) & 0xFFF
+		return (u>>5)<<25 | rs2<<20 | rs1<<15 | f3<<12 | (u&0x1F)<<7 | opcStore, nil
+	case ADDI, SLTI, SLTIU, XORI, ORI, ANDI:
+		f3 := map[Op]uint32{ADDI: 0, SLTI: 2, SLTIU: 3, XORI: 4, ORI: 6, ANDI: 7}[i.Op]
+		return encI(f3, opcOpImm, rd, rs1, imm)
+	case SLLI, SRLI, SRAI:
+		if imm < 0 || imm > 31 {
+			return 0, fmt.Errorf("riscv: encode %s: shift amount %d out of range", i.Op, imm)
+		}
+		f3 := map[Op]uint32{SLLI: 1, SRLI: 5, SRAI: 5}[i.Op]
+		hi := uint32(0)
+		if i.Op == SRAI {
+			hi = 0b0100000 << 25
+		}
+		return hi | uint32(imm)<<20 | rs1<<15 | f3<<12 | rd<<7 | opcOpImm, nil
+	case ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND:
+		type rspec struct{ f7, f3 uint32 }
+		m := map[Op]rspec{
+			ADD: {0, 0}, SUB: {0b0100000, 0}, SLL: {0, 1}, SLT: {0, 2}, SLTU: {0, 3},
+			XOR: {0, 4}, SRL: {0, 5}, SRA: {0b0100000, 5}, OR: {0, 6}, AND: {0, 7},
+		}
+		s := m[i.Op]
+		return s.f7<<25 | rs2<<20 | rs1<<15 | s.f3<<12 | rd<<7 | opcOp, nil
+	case MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU:
+		f3 := map[Op]uint32{MUL: 0, MULH: 1, MULHSU: 2, MULHU: 3, DIV: 4, DIVU: 5, REM: 6, REMU: 7}[i.Op]
+		return 1<<25 | rs2<<20 | rs1<<15 | f3<<12 | rd<<7 | opcOp, nil
+	case ECALL:
+		return opcSystem, nil
+	case EBREAK:
+		return 1<<20 | opcSystem, nil
+	case FENCE:
+		return opcFence, nil
+	}
+	return 0, fmt.Errorf("riscv: encode: unsupported op %v", i.Op)
+}
+
+func encI(f3, opc, rd, rs1 uint32, imm int32) (uint32, error) {
+	if imm < -2048 || imm > 2047 {
+		return 0, fmt.Errorf("riscv: I-immediate %d out of range", imm)
+	}
+	return (uint32(imm)&0xFFF)<<20 | rs1<<15 | f3<<12 | rd<<7 | opc, nil
+}
+
+// MustEncode panics on encoding error; for tests and internal codegen.
+func MustEncode(i Inst) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit RV32IM instruction word. Unknown encodings
+// decode to ILLEGAL rather than an error so the pipeline can raise the
+// fault at the right architectural point.
+func Decode(w uint32) Inst {
+	opc := w & 0x7F
+	rd := uint8(w >> 7 & 0x1F)
+	f3 := w >> 12 & 7
+	rs1 := uint8(w >> 15 & 0x1F)
+	rs2 := uint8(w >> 20 & 0x1F)
+	f7 := w >> 25
+
+	immI := int32(w) >> 20
+	immS := int32(w)>>25<<5 | int32(w>>7&0x1F)
+	immB := int32(w)>>31<<12 | int32(w>>7&1)<<11 | int32(w>>25&0x3F)<<5 | int32(w>>8&0xF)<<1
+	immU := int32(w & 0xFFFFF000)
+	immJ := int32(w)>>31<<20 | int32(w>>12&0xFF)<<12 | int32(w>>20&1)<<11 | int32(w>>21&0x3FF)<<1
+
+	switch opc {
+	case opcLUI:
+		return Inst{Op: LUI, Rd: rd, Imm: immU}
+	case opcAUIPC:
+		return Inst{Op: AUIPC, Rd: rd, Imm: immU}
+	case opcJAL:
+		return Inst{Op: JAL, Rd: rd, Imm: immJ}
+	case opcJALR:
+		if f3 == 0 {
+			return Inst{Op: JALR, Rd: rd, Rs1: rs1, Imm: immI}
+		}
+	case opcBranch:
+		ops := map[uint32]Op{0: BEQ, 1: BNE, 4: BLT, 5: BGE, 6: BLTU, 7: BGEU}
+		if op, ok := ops[f3]; ok {
+			return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immB}
+		}
+	case opcLoad:
+		ops := map[uint32]Op{0: LB, 1: LH, 2: LW, 4: LBU, 5: LHU}
+		if op, ok := ops[f3]; ok {
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: immI}
+		}
+	case opcStore:
+		ops := map[uint32]Op{0: SB, 1: SH, 2: SW}
+		if op, ok := ops[f3]; ok {
+			return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immS}
+		}
+	case opcOpImm:
+		switch f3 {
+		case 0:
+			return Inst{Op: ADDI, Rd: rd, Rs1: rs1, Imm: immI}
+		case 2:
+			return Inst{Op: SLTI, Rd: rd, Rs1: rs1, Imm: immI}
+		case 3:
+			return Inst{Op: SLTIU, Rd: rd, Rs1: rs1, Imm: immI}
+		case 4:
+			return Inst{Op: XORI, Rd: rd, Rs1: rs1, Imm: immI}
+		case 6:
+			return Inst{Op: ORI, Rd: rd, Rs1: rs1, Imm: immI}
+		case 7:
+			return Inst{Op: ANDI, Rd: rd, Rs1: rs1, Imm: immI}
+		case 1:
+			if f7 == 0 {
+				return Inst{Op: SLLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}
+			}
+		case 5:
+			if f7 == 0 {
+				return Inst{Op: SRLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}
+			}
+			if f7 == 0b0100000 {
+				return Inst{Op: SRAI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}
+			}
+		}
+	case opcOp:
+		if f7 == 1 {
+			ops := [8]Op{MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU}
+			return Inst{Op: ops[f3], Rd: rd, Rs1: rs1, Rs2: rs2}
+		}
+		type key struct {
+			f7, f3 uint32
+		}
+		ops := map[key]Op{
+			{0, 0}: ADD, {0b0100000, 0}: SUB, {0, 1}: SLL, {0, 2}: SLT, {0, 3}: SLTU,
+			{0, 4}: XOR, {0, 5}: SRL, {0b0100000, 5}: SRA, {0, 6}: OR, {0, 7}: AND,
+		}
+		if op, ok := ops[key{f7, f3}]; ok {
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+		}
+	case opcSystem:
+		if w == opcSystem {
+			return Inst{Op: ECALL}
+		}
+		if w == 1<<20|opcSystem {
+			return Inst{Op: EBREAK}
+		}
+	case opcFence:
+		return Inst{Op: FENCE}
+	}
+	return Inst{Op: ILLEGAL}
+}
+
+// Eval computes register-register and register-immediate ALU results with
+// RV32IM semantics (shared by the functional emulator and the cycle core).
+func Eval(op Op, a, b uint32) uint32 {
+	switch op {
+	case ADD, ADDI:
+		return a + b
+	case SUB:
+		return a - b
+	case SLL, SLLI:
+		return a << (b & 31)
+	case SLT, SLTI:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case SLTU, SLTIU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case XOR, XORI:
+		return a ^ b
+	case SRL, SRLI:
+		return a >> (b & 31)
+	case SRA, SRAI:
+		return uint32(int32(a) >> (b & 31))
+	case OR, ORI:
+		return a | b
+	case AND, ANDI:
+		return a & b
+	case MUL:
+		return a * b
+	case MULH:
+		return uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+	case MULHSU:
+		return uint32(uint64(int64(int32(a))*int64(uint64(b))) >> 32)
+	case MULHU:
+		return uint32(uint64(a) * uint64(b) >> 32)
+	case DIV:
+		if b == 0 {
+			return 0xFFFFFFFF
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return a
+		}
+		return uint32(int32(a) / int32(b))
+	case DIVU:
+		if b == 0 {
+			return 0xFFFFFFFF
+		}
+		return a / b
+	case REM:
+		if b == 0 {
+			return a
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return 0
+		}
+		return uint32(int32(a) % int32(b))
+	case REMU:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	}
+	return 0
+}
+
+// BranchTaken evaluates a conditional branch with operands a, b.
+func BranchTaken(op Op, a, b uint32) bool {
+	switch op {
+	case BEQ:
+		return a == b
+	case BNE:
+		return a != b
+	case BLT:
+		return int32(a) < int32(b)
+	case BGE:
+		return int32(a) >= int32(b)
+	case BLTU:
+		return a < b
+	case BGEU:
+		return a >= b
+	}
+	return false
+}
+
+// LoadWidth returns the access width and signedness of a load.
+func LoadWidth(op Op) (bytes int, signExt bool) {
+	switch op {
+	case LW:
+		return 4, false
+	case LH:
+		return 2, true
+	case LHU:
+		return 2, false
+	case LB:
+		return 1, true
+	case LBU:
+		return 1, false
+	}
+	return 0, false
+}
+
+// StoreWidth returns the access width of a store.
+func StoreWidth(op Op) int {
+	switch op {
+	case SW:
+		return 4
+	case SH:
+		return 2
+	case SB:
+		return 1
+	}
+	return 0
+}
+
+// ExtendLoad applies width/sign extension to a raw loaded value.
+func ExtendLoad(op Op, raw uint32) uint32 {
+	switch op {
+	case LW:
+		return raw
+	case LH:
+		return uint32(int32(int16(raw)))
+	case LHU:
+		return uint32(uint16(raw))
+	case LB:
+		return uint32(int32(int8(raw)))
+	case LBU:
+		return uint32(uint8(raw))
+	}
+	return raw
+}

@@ -1,0 +1,188 @@
+package riscv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: LUI, Rd: 5, Imm: 0x12345000},
+		{Op: AUIPC, Rd: 1, Imm: -4096},
+		{Op: JAL, Rd: 1, Imm: 2048},
+		{Op: JAL, Rd: 0, Imm: -4},
+		{Op: JALR, Rd: 1, Rs1: 5, Imm: -2048},
+		{Op: BEQ, Rs1: 1, Rs2: 2, Imm: -4096},
+		{Op: BNE, Rs1: 31, Rs2: 30, Imm: 4094},
+		{Op: BLT, Rs1: 3, Rs2: 4, Imm: 8},
+		{Op: BGEU, Rs1: 3, Rs2: 4, Imm: -8},
+		{Op: LW, Rd: 7, Rs1: 2, Imm: 2047},
+		{Op: LB, Rd: 7, Rs1: 2, Imm: -2048},
+		{Op: LHU, Rd: 9, Rs1: 8, Imm: 0},
+		{Op: SW, Rs1: 2, Rs2: 7, Imm: -4},
+		{Op: SB, Rs1: 2, Rs2: 7, Imm: 2047},
+		{Op: ADDI, Rd: 10, Rs1: 10, Imm: -1},
+		{Op: SLTIU, Rd: 1, Rs1: 2, Imm: 100},
+		{Op: SLLI, Rd: 1, Rs1: 2, Imm: 31},
+		{Op: SRAI, Rd: 1, Rs1: 2, Imm: 1},
+		{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: SUB, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: SRA, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: MUL, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: MULHSU, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: REMU, Rd: 4, Rs1: 5, Rs2: 6},
+		{Op: ECALL},
+		{Op: EBREAK},
+		{Op: FENCE},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		out := Decode(w)
+		if out != in {
+			t.Errorf("round trip %v -> %#08x -> %v", in, w, out)
+		}
+	}
+}
+
+func TestDecodeQuickNeverPanics(t *testing.T) {
+	f := func(w uint32) bool {
+		inst := Decode(w)
+		_ = inst.String()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncodeDecodeQuick round-trips random valid instructions.
+func TestEncodeDecodeQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	encodable := []Op{
+		LUI, AUIPC, JAL, JALR, BEQ, BNE, BLT, BGE, BLTU, BGEU,
+		LB, LH, LW, LBU, LHU, SB, SH, SW,
+		ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI,
+		ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+		MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU,
+	}
+	for n := 0; n < 5000; n++ {
+		op := encodable[r.Intn(len(encodable))]
+		in := Inst{Op: op, Rd: uint8(r.Intn(32)), Rs1: uint8(r.Intn(32)), Rs2: uint8(r.Intn(32))}
+		switch op {
+		case LUI, AUIPC:
+			in.Imm = int32(uint32(r.Intn(1<<20)) << 12)
+			in.Rs1, in.Rs2 = 0, 0
+		case JAL:
+			in.Imm = int32(r.Intn(1<<20)-1<<19) &^ 1
+			in.Rs1, in.Rs2 = 0, 0
+		case JALR:
+			in.Imm = int32(r.Intn(4096) - 2048)
+			in.Rs2 = 0
+		case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+			in.Imm = int32(r.Intn(4096)-2048) &^ 1
+			in.Rd = 0
+		case LB, LH, LW, LBU, LHU:
+			in.Imm = int32(r.Intn(4096) - 2048)
+			in.Rs2 = 0
+		case SB, SH, SW:
+			in.Imm = int32(r.Intn(4096) - 2048)
+			in.Rd = 0
+		case SLLI, SRLI, SRAI:
+			in.Imm = int32(r.Intn(32))
+			in.Rs2 = 0
+		case ADDI, SLTI, SLTIU, XORI, ORI, ANDI:
+			in.Imm = int32(r.Intn(4096) - 2048)
+			in.Rs2 = 0
+		default:
+			in.Imm = 0
+		}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		if out := Decode(w); out != in {
+			t.Fatalf("round trip %v -> %#08x -> %v", in, w, out)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: JAL, Imm: 1 << 20},
+		{Op: JAL, Imm: 3}, // odd
+		{Op: BEQ, Imm: 4096},
+		{Op: BEQ, Imm: 1}, // odd
+		{Op: ADDI, Imm: 2048},
+		{Op: SW, Imm: -2049},
+		{Op: SLLI, Imm: 32},
+		{Op: LUI, Imm: 0x123}, // low bits set
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v): expected error", in)
+		}
+	}
+}
+
+func negOne() uint32 { return ^uint32(0) }
+
+func TestEvalMatchesSpec(t *testing.T) {
+	if Eval(DIV, 0x80000000, 0xFFFFFFFF) != 0x80000000 {
+		t.Error("div overflow")
+	}
+	if Eval(DIV, 10, 0) != 0xFFFFFFFF {
+		t.Error("div by zero")
+	}
+	if Eval(REM, 10, 0) != 10 {
+		t.Error("rem by zero")
+	}
+	if Eval(MULHSU, negOne(), 0xFFFFFFFF) != 0xFFFFFFFF {
+		t.Error("mulhsu")
+	}
+	if Eval(SRA, 0x80000000, 4) != 0xF8000000 {
+		t.Error("sra")
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	neg1 := uint32(0xFFFFFFFF)
+	cases := []struct {
+		op   Op
+		a, b uint32
+		want bool
+	}{
+		{BEQ, 1, 1, true}, {BEQ, 1, 2, false},
+		{BNE, 1, 2, true}, {BNE, 1, 1, false},
+		{BLT, neg1, 0, true}, {BLT, 0, neg1, false},
+		{BGE, 0, neg1, true}, {BGE, neg1, 0, false},
+		{BLTU, 0, neg1, true}, {BLTU, neg1, 0, false},
+		{BGEU, neg1, 0, true}, {BGEU, 0, neg1, false},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a, c.b); got != c.want {
+			t.Errorf("BranchTaken(%v,%#x,%#x)=%v want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestReadWriteClassification(t *testing.T) {
+	if (Inst{Op: LUI}).ReadsRs1() {
+		t.Error("LUI should not read rs1")
+	}
+	if !(Inst{Op: ADDI}).ReadsRs1() {
+		t.Error("ADDI reads rs1")
+	}
+	if !(Inst{Op: SW}).ReadsRs2() || (Inst{Op: LW}).ReadsRs2() {
+		t.Error("store/load rs2 classification")
+	}
+	if (Inst{Op: BEQ}).WritesRd() || !(Inst{Op: JAL}).WritesRd() {
+		t.Error("rd write classification")
+	}
+	if !(Inst{Op: JALR}).IsControl() || (Inst{Op: ADD}).IsControl() {
+		t.Error("control classification")
+	}
+}

@@ -1,0 +1,132 @@
+package straight
+
+import "fmt"
+
+// Field layout (32-bit word, bit 31 = MSB):
+//
+//	FmtN : op[31:24]
+//	FmtR : op[31:24] src1[23:14] src2[13:4]
+//	FmtI : op[31:24] src1[23:14] imm14[13:0]  (signed)
+//	FmtS : op[31:24] src1[23:14] src2[13:4] imm4[3:0] (signed; SYS: func code)
+//	FmtJ : op[31:24] imm24[23:0] (signed; J/JAL in units of 4 bytes,
+//	       SPADD in bytes, LUI zero-extended then shifted left 8)
+//	FmtJR: op[31:24] src1[23:14]
+const (
+	immBitsI = 14
+	immBitsS = 4
+	immBitsJ = 24
+
+	// ImmMinI..ImmMaxJ give the encodable immediate ranges per format.
+	ImmMinI = -(1 << (immBitsI - 1))
+	ImmMaxI = 1<<(immBitsI-1) - 1
+	ImmMinS = -(1 << (immBitsS - 1))
+	ImmMaxS = 1<<(immBitsS-1) - 1
+	ImmMinJ = -(1 << (immBitsJ - 1))
+	ImmMaxJ = 1<<(immBitsJ-1) - 1
+
+	// LUIMax is the largest operand accepted by LUI (unsigned 24 bits).
+	LUIMax = 1<<24 - 1
+)
+
+// Encode packs the instruction into its 32-bit binary form. It validates
+// distances and immediate ranges and returns a descriptive error on
+// violation, so toolchain bugs surface at assembly time rather than as
+// corrupted programs.
+func Encode(inst Inst) (uint32, error) {
+	if inst.Op >= numOps {
+		return 0, fmt.Errorf("straight: encode: invalid opcode %d", inst.Op)
+	}
+	if inst.Src1 > MaxDistance {
+		return 0, fmt.Errorf("straight: encode %s: src1 distance %d exceeds %d", inst.Op, inst.Src1, MaxDistance)
+	}
+	if inst.Src2 > MaxDistance {
+		return 0, fmt.Errorf("straight: encode %s: src2 distance %d exceeds %d", inst.Op, inst.Src2, MaxDistance)
+	}
+	w := uint32(inst.Op) << 24
+	switch inst.Op.Format() {
+	case FmtN:
+		// no operands
+	case FmtR:
+		w |= uint32(inst.Src1) << 14
+		w |= uint32(inst.Src2) << 4
+	case FmtI:
+		if inst.Imm < ImmMinI || inst.Imm > ImmMaxI {
+			return 0, fmt.Errorf("straight: encode %s: imm %d out of 14-bit range", inst.Op, inst.Imm)
+		}
+		w |= uint32(inst.Src1) << 14
+		w |= uint32(inst.Imm) & (1<<immBitsI - 1)
+	case FmtS:
+		if inst.Op == SYS {
+			if inst.Imm < 0 || inst.Imm > 15 {
+				return 0, fmt.Errorf("straight: encode SYS: func %d out of range 0..15", inst.Imm)
+			}
+		} else if inst.Imm < ImmMinS || inst.Imm > ImmMaxS {
+			return 0, fmt.Errorf("straight: encode %s: imm %d out of 4-bit range", inst.Op, inst.Imm)
+		}
+		w |= uint32(inst.Src1) << 14
+		w |= uint32(inst.Src2) << 4
+		w |= uint32(inst.Imm) & (1<<immBitsS - 1)
+	case FmtJ:
+		if inst.Op == LUI {
+			if inst.Imm < 0 || inst.Imm > LUIMax {
+				return 0, fmt.Errorf("straight: encode LUI: imm %d out of 24-bit unsigned range", inst.Imm)
+			}
+		} else if inst.Imm < ImmMinJ || inst.Imm > ImmMaxJ {
+			return 0, fmt.Errorf("straight: encode %s: imm %d out of 24-bit range", inst.Op, inst.Imm)
+		}
+		w |= uint32(inst.Imm) & (1<<immBitsJ - 1)
+	case FmtJR:
+		w |= uint32(inst.Src1) << 14
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for known-valid instructions; it panics on error.
+// It is intended for tests and internal code generation.
+func MustEncode(inst Inst) uint32 {
+	w, err := Encode(inst)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w uint32) (Inst, error) {
+	op := Op(w >> 24)
+	if op >= numOps {
+		return Inst{}, fmt.Errorf("straight: decode: invalid opcode byte %#02x", w>>24)
+	}
+	inst := Inst{Op: op}
+	switch op.Format() {
+	case FmtN:
+	case FmtR:
+		inst.Src1 = uint16(w >> 14 & 0x3FF)
+		inst.Src2 = uint16(w >> 4 & 0x3FF)
+	case FmtI:
+		inst.Src1 = uint16(w >> 14 & 0x3FF)
+		inst.Imm = signExtend(w&(1<<immBitsI-1), immBitsI)
+	case FmtS:
+		inst.Src1 = uint16(w >> 14 & 0x3FF)
+		inst.Src2 = uint16(w >> 4 & 0x3FF)
+		if op == SYS {
+			inst.Imm = int32(w & 0xF)
+		} else {
+			inst.Imm = signExtend(w&0xF, immBitsS)
+		}
+	case FmtJ:
+		if op == LUI {
+			inst.Imm = int32(w & (1<<immBitsJ - 1))
+		} else {
+			inst.Imm = signExtend(w&(1<<immBitsJ-1), immBitsJ)
+		}
+	case FmtJR:
+		inst.Src1 = uint16(w >> 14 & 0x3FF)
+	}
+	return inst, nil
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}

@@ -1,0 +1,264 @@
+package straight
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTripAllFormats(t *testing.T) {
+	cases := []Inst{
+		{Op: NOP},
+		{Op: ADD, Src1: 1, Src2: 2},
+		{Op: SUB, Src1: 1023, Src2: 0},
+		{Op: MULH, Src1: 512, Src2: 511},
+		{Op: ADDI, Src1: 4, Imm: -1},
+		{Op: ADDI, Src1: 0, Imm: ImmMaxI},
+		{Op: SLTIU, Src1: 7, Imm: ImmMinI},
+		{Op: LW, Src1: 3, Imm: 4},
+		{Op: LBU, Src1: 1, Imm: -8},
+		{Op: SW, Src1: 4, Src2: 7, Imm: 0},
+		{Op: SB, Src1: 1, Src2: 2, Imm: -8},
+		{Op: SH, Src1: 9, Src2: 10, Imm: 7},
+		{Op: BEZ, Src1: 1, Imm: -100},
+		{Op: BNZ, Src1: 2, Imm: 100},
+		{Op: J, Imm: -(1 << 20)},
+		{Op: JAL, Imm: 1 << 20},
+		{Op: JR, Src1: 5},
+		{Op: JALR, Src1: 1023},
+		{Op: RMOV, Src1: 4},
+		{Op: SPADD, Imm: -64},
+		{Op: SPADD, Imm: ImmMaxJ},
+		{Op: LUI, Imm: LUIMax},
+		{Op: LUI, Imm: 0},
+		{Op: SYS, Src1: 1, Src2: 0, Imm: SysExit},
+		{Op: SYS, Src1: 2, Src2: 3, Imm: 15},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x): %v", w, err)
+		}
+		if out != in {
+			t.Errorf("round trip %v -> %#08x -> %v", in, w, out)
+		}
+	}
+}
+
+// TestEncodeDecodeQuick checks by property that every valid random
+// instruction round-trips exactly through the binary encoding.
+func TestEncodeDecodeQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	gen := func() Inst {
+		op := Op(r.Intn(NumOps))
+		in := Inst{Op: op}
+		switch op.Format() {
+		case FmtR:
+			in.Src1 = uint16(r.Intn(MaxDistance + 1))
+			in.Src2 = uint16(r.Intn(MaxDistance + 1))
+		case FmtI:
+			in.Src1 = uint16(r.Intn(MaxDistance + 1))
+			in.Imm = int32(r.Intn(ImmMaxI-ImmMinI+1)) + ImmMinI
+		case FmtS:
+			in.Src1 = uint16(r.Intn(MaxDistance + 1))
+			in.Src2 = uint16(r.Intn(MaxDistance + 1))
+			if op == SYS {
+				in.Imm = int32(r.Intn(16))
+			} else {
+				in.Imm = int32(r.Intn(ImmMaxS-ImmMinS+1)) + ImmMinS
+			}
+		case FmtJ:
+			if op == LUI {
+				in.Imm = int32(r.Intn(LUIMax + 1))
+			} else {
+				in.Imm = int32(r.Intn(ImmMaxJ-ImmMinJ+1)) + ImmMinJ
+			}
+		case FmtJR:
+			in.Src1 = uint16(r.Intn(MaxDistance + 1))
+		}
+		return in
+	}
+	f := func(seed int64) bool {
+		in := gen()
+		w, err := Encode(in)
+		if err != nil {
+			t.Logf("unexpected encode error for %v: %v", in, err)
+			return false
+		}
+		out, err := Decode(w)
+		if err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsOutOfRange(t *testing.T) {
+	bad := []Inst{
+		{Op: ADD, Src1: MaxDistance + 1},
+		{Op: ADD, Src2: MaxDistance + 1},
+		{Op: ADDI, Imm: ImmMaxI + 1},
+		{Op: ADDI, Imm: ImmMinI - 1},
+		{Op: SW, Imm: ImmMaxS + 1},
+		{Op: SW, Imm: ImmMinS - 1},
+		{Op: J, Imm: ImmMaxJ + 1},
+		{Op: LUI, Imm: -1},
+		{Op: LUI, Imm: LUIMax + 1},
+		{Op: SYS, Imm: 16},
+		{Op: SYS, Imm: -1},
+		{Op: numOps},
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%v): expected range error", in)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOps) << 24); err == nil {
+		t.Fatal("expected invalid opcode error")
+	}
+	if _, err := Decode(0xFF << 24); err == nil {
+		t.Fatal("expected invalid opcode error for 0xFF")
+	}
+}
+
+func TestLookupAndAliases(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		got, ok := Lookup(op.String())
+		if !ok || got != op {
+			t.Errorf("Lookup(%q) = %v,%v", op.String(), got, ok)
+		}
+		// Case-insensitive.
+		got, ok = Lookup(strings.ToLower(op.String()))
+		if !ok || got != op {
+			t.Errorf("Lookup(lower %q) = %v,%v", op.String(), got, ok)
+		}
+	}
+	if op, ok := Lookup("LD"); !ok || op != LW {
+		t.Errorf("alias LD: got %v,%v", op, ok)
+	}
+	if op, ok := Lookup("ST"); !ok || op != SW {
+		t.Errorf("alias ST: got %v,%v", op, ok)
+	}
+	if _, ok := Lookup("BOGUS"); ok {
+		t.Error("Lookup(BOGUS) should fail")
+	}
+}
+
+func u32(v int32) uint32 { return uint32(v) }
+
+func TestEvalALUBasics(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b    uint32
+		want    uint32
+		comment string
+	}{
+		{ADD, 2, 3, 5, "add"},
+		{SUB, 2, 3, 0xFFFFFFFF, "sub wraps"},
+		{AND, 0b1100, 0b1010, 0b1000, "and"},
+		{OR, 0b1100, 0b1010, 0b1110, "or"},
+		{XOR, 0b1100, 0b1010, 0b0110, "xor"},
+		{SLL, 1, 33, 2, "shift amount mod 32"},
+		{SRL, 0x80000000, 31, 1, "srl"},
+		{SRA, 0x80000000, 31, 0xFFFFFFFF, "sra sign"},
+		{SLT, 0xFFFFFFFF, 0, 1, "-1 < 0 signed"},
+		{SLTU, 0xFFFFFFFF, 0, 0, "max !< 0 unsigned"},
+		{MUL, 7, 6, 42, "mul"},
+		{MULH, 0x80000000, 2, 0xFFFFFFFF, "mulh signed"},
+		{MULHU, 0x80000000, 2, 1, "mulhu"},
+		{DIV, 7, 2, 3, "div"},
+		{DIV, u32(-7), 2, u32(-3), "div signed"},
+		{DIV, 5, 0, 0xFFFFFFFF, "div by zero"},
+		{DIV, 0x80000000, 0xFFFFFFFF, 0x80000000, "div overflow"},
+		{DIVU, 7, 2, 3, "divu"},
+		{REM, u32(-7), 2, u32(-1), "rem signed"},
+		{REM, 5, 0, 5, "rem by zero"},
+		{REM, 0x80000000, 0xFFFFFFFF, 0, "rem overflow"},
+		{REMU, 7, 0, 7, "remu by zero"},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b); got != c.want {
+			t.Errorf("%s: EvalALU(%v,%#x,%#x) = %#x want %#x", c.comment, c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUImm(t *testing.T) {
+	if got := EvalALUImm(ADDI, 5, -3); got != 2 {
+		t.Errorf("ADDI: got %d", got)
+	}
+	if got := EvalALUImm(SLTI, u32(-5), -3); got != 1 {
+		t.Errorf("SLTI signed: got %d", got)
+	}
+	if got := EvalALUImm(SLTIU, 5, -1); got != 1 {
+		t.Errorf("SLTIU treats imm as unsigned: got %d", got)
+	}
+	if got := EvalALUImm(SRAI, 0x80000000, 4); got != 0xF8000000 {
+		t.Errorf("SRAI: got %#x", got)
+	}
+}
+
+func TestLoadStoreHelpers(t *testing.T) {
+	if b, s := LoadWidth(LW); b != 4 || s {
+		t.Errorf("LW width: %d,%v", b, s)
+	}
+	if b, s := LoadWidth(LB); b != 1 || !s {
+		t.Errorf("LB width: %d,%v", b, s)
+	}
+	if StoreWidth(SH) != 2 {
+		t.Error("SH width")
+	}
+	if got := ExtendLoad(LB, 0x80); got != 0xFFFFFF80 {
+		t.Errorf("LB sign extend: %#x", got)
+	}
+	if got := ExtendLoad(LHU, 0xFFFF); got != 0xFFFF {
+		t.Errorf("LHU zero extend: %#x", got)
+	}
+}
+
+func TestBranchTakenAndLUI(t *testing.T) {
+	if !BranchTaken(BEZ, 0) || BranchTaken(BEZ, 1) {
+		t.Error("BEZ condition")
+	}
+	if BranchTaken(BNZ, 0) || !BranchTaken(BNZ, 1) {
+		t.Error("BNZ condition")
+	}
+	if LUIValue(0x123456) != 0x12345600 {
+		t.Error("LUI value")
+	}
+}
+
+func TestInstStringAndSources(t *testing.T) {
+	if s := (Inst{Op: ADD, Src1: 1, Src2: 2}).String(); s != "ADD [1], [2]" {
+		t.Errorf("ADD string: %q", s)
+	}
+	if s := (Inst{Op: ADDI, Src1: 4, Imm: 1}).String(); s != "ADDi [4], 1" {
+		t.Errorf("ADDi string: %q", s)
+	}
+	if n := (Inst{Op: SW}).NumSources(); n != 2 {
+		t.Errorf("SW sources: %d", n)
+	}
+	if n := (Inst{Op: RMOV}).NumSources(); n != 1 {
+		t.Errorf("RMOV sources: %d", n)
+	}
+	if n := (Inst{Op: J}).NumSources(); n != 0 {
+		t.Errorf("J sources: %d", n)
+	}
+	if !(Inst{Op: BEZ}).IsControl() || !(Inst{Op: JR}).IsControl() || (Inst{Op: ADD}).IsControl() {
+		t.Error("IsControl classification")
+	}
+	if !(Inst{Op: JAL}).WritesLink() || (Inst{Op: J}).WritesLink() {
+		t.Error("WritesLink classification")
+	}
+}

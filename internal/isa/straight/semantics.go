@@ -1,0 +1,170 @@
+package straight
+
+// This file defines the architectural value semantics of STRAIGHT
+// instructions as pure functions. The functional emulator and the
+// cycle-accurate core share these helpers so their results can never
+// diverge: the cycle model's execute stage calls exactly this code.
+
+// EvalALU computes the result of a register-register ALU/MUL/DIV operation.
+// Division semantics follow RV32M (the evaluation's RV32IM counterpart):
+// divide-by-zero yields all-ones quotient (DIV/DIVU) and the dividend as
+// remainder (REM/REMU); overflow (MinInt32 / -1) yields MinInt32 and 0.
+func EvalALU(op Op, a, b uint32) uint32 {
+	switch op {
+	case ADD:
+		return a + b
+	case SUB:
+		return a - b
+	case AND:
+		return a & b
+	case OR:
+		return a | b
+	case XOR:
+		return a ^ b
+	case SLL:
+		return a << (b & 31)
+	case SRL:
+		return a >> (b & 31)
+	case SRA:
+		return uint32(int32(a) >> (b & 31))
+	case SLT:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case SLTU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case MUL:
+		return a * b
+	case MULH:
+		return uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+	case MULHU:
+		return uint32(uint64(a) * uint64(b) >> 32)
+	case DIV:
+		if b == 0 {
+			return 0xFFFFFFFF
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return a
+		}
+		return uint32(int32(a) / int32(b))
+	case DIVU:
+		if b == 0 {
+			return 0xFFFFFFFF
+		}
+		return a / b
+	case REM:
+		if b == 0 {
+			return a
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return 0
+		}
+		return uint32(int32(a) % int32(b))
+	case REMU:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	}
+	return 0
+}
+
+// EvalALUImm computes the result of a register-immediate ALU operation.
+func EvalALUImm(op Op, a uint32, imm int32) uint32 {
+	b := uint32(imm)
+	switch op {
+	case ADDI:
+		return a + b
+	case ANDI:
+		return a & b
+	case ORI:
+		return a | b
+	case XORI:
+		return a ^ b
+	case SLLI:
+		return a << (b & 31)
+	case SRLI:
+		return a >> (b & 31)
+	case SRAI:
+		return uint32(int32(a) >> (b & 31))
+	case SLTI:
+		if int32(a) < imm {
+			return 1
+		}
+		return 0
+	case SLTIU:
+		if a < b {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// BranchTaken evaluates a conditional branch condition on operand v.
+func BranchTaken(op Op, v uint32) bool {
+	switch op {
+	case BEZ:
+		return v == 0
+	case BNZ:
+		return v != 0
+	}
+	return false
+}
+
+// LUIValue returns the value materialized by LUI with the given 24-bit
+// immediate operand.
+func LUIValue(imm int32) uint32 { return uint32(imm) << 8 }
+
+// LoadWidth returns the access width in bytes and whether the load
+// sign-extends.
+func LoadWidth(op Op) (bytes int, signExt bool) {
+	switch op {
+	case LW:
+		return 4, false
+	case LH:
+		return 2, true
+	case LHU:
+		return 2, false
+	case LB:
+		return 1, true
+	case LBU:
+		return 1, false
+	}
+	return 0, false
+}
+
+// StoreWidth returns the access width in bytes of a store.
+func StoreWidth(op Op) int {
+	switch op {
+	case SW:
+		return 4
+	case SH:
+		return 2
+	case SB:
+		return 1
+	}
+	return 0
+}
+
+// ExtendLoad applies the width/sign extension of op to a raw little-endian
+// value read from memory.
+func ExtendLoad(op Op, raw uint32) uint32 {
+	switch op {
+	case LW:
+		return raw
+	case LH:
+		return uint32(int32(int16(raw)))
+	case LHU:
+		return uint32(uint16(raw))
+	case LB:
+		return uint32(int32(int8(raw)))
+	case LBU:
+		return uint32(uint8(raw))
+	}
+	return raw
+}

@@ -1,0 +1,269 @@
+package minic
+
+// AST node definitions. Every node records the source position of its
+// first token for diagnostics.
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Funcs   []*FuncDecl
+	Globals []*VarDecl
+	// Structs and EnumConsts are registered during parsing and shared
+	// with the IR generator.
+	Structs    map[string]*StructType
+	EnumConsts map[string]int32
+}
+
+// FuncDecl is a function definition or prototype (Body == nil).
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Ret    *Type
+	Params []Param
+	Body   *BlockStmt
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// Sig returns the function's signature as a TFunc type.
+func (f *FuncDecl) Sig() *Type {
+	sig := &Type{Kind: TFunc, Ret: f.Ret}
+	for _, p := range f.Params {
+		sig.Params = append(sig.Params, p.Type)
+	}
+	return sig
+}
+
+// VarDecl declares a variable (global or local).
+type VarDecl struct {
+	Pos  Pos
+	Name string
+	Type *Type
+	Init Expr // nil, scalar Expr, *InitList, or *StringLit
+}
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmt() }
+
+// BlockStmt is a brace-enclosed statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt declares local variables.
+type DeclStmt struct {
+	Pos   Pos
+	Decls []*VarDecl
+}
+
+// ExprStmt evaluates an expression for its effects.
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is a do { } while loop.
+type DoWhileStmt struct {
+	Pos  Pos
+	Body Stmt
+	Cond Expr
+}
+
+// ForStmt is a for loop; Init may be a DeclStmt or ExprStmt; any part may
+// be nil.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// ReturnStmt returns from a function.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // nil for void return
+}
+
+// BreakStmt exits the innermost loop or switch.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// SwitchStmt is a C switch restricted to top-level case/default labels.
+// Cases execute in order with fallthrough, as in C.
+type SwitchStmt struct {
+	Pos   Pos
+	Cond  Expr
+	Cases []SwitchCase
+}
+
+// SwitchCase is one labeled arm; Labels empty means "default".
+type SwitchCase struct {
+	Pos    Pos
+	Labels []Expr // constant expressions
+	IsDflt bool
+	Body   []Stmt
+}
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct{ Pos Pos }
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*DoWhileStmt) stmt()  {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*SwitchStmt) stmt()   {}
+func (*EmptyStmt) stmt()    {}
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ expr() }
+
+// NumberLit is an integer or character literal.
+type NumberLit struct {
+	Pos Pos
+	Val int32
+	// Unsigned marks literals with a 'u' suffix or hex literals with the
+	// sign bit set.
+	Unsigned bool
+}
+
+// StringLit is a string literal (decays to char* backed by static data).
+type StringLit struct {
+	Pos Pos
+	Val string
+}
+
+// Ident names a variable, parameter, function, or enum constant.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+// Unary is a prefix or postfix unary operation: one of
+// "-", "+", "!", "~", "*", "&", "++", "--".
+type Unary struct {
+	Pos     Pos
+	Op      string
+	X       Expr
+	Postfix bool // for ++/--
+}
+
+// Binary is a binary operation (arithmetic, comparison, logical).
+type Binary struct {
+	Pos  Pos
+	Op   string
+	X, Y Expr
+}
+
+// Assign is "=" or a compound assignment ("+=", ...).
+type Assign struct {
+	Pos Pos
+	Op  string // "=", "+=", ...
+	LHS Expr
+	RHS Expr
+}
+
+// Cond is the ternary operator.
+type Cond struct {
+	Pos     Pos
+	C, X, Y Expr
+}
+
+// Call invokes a function (direct by name, or through a function
+// pointer expression).
+type Call struct {
+	Pos  Pos
+	Fun  Expr
+	Args []Expr
+}
+
+// Index is array subscripting.
+type Index struct {
+	Pos  Pos
+	X, I Expr
+}
+
+// Member is field access: X.Name or X->Name.
+type Member struct {
+	Pos   Pos
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// Cast is an explicit type conversion.
+type Cast struct {
+	Pos Pos
+	To  *Type
+	X   Expr
+}
+
+// SizeofType is sizeof(type); sizeof expr parses to a NumberLit after
+// type checking in irgen.
+type SizeofType struct {
+	Pos Pos
+	T   *Type
+}
+
+// SizeofExpr is sizeof applied to an expression.
+type SizeofExpr struct {
+	Pos Pos
+	X   Expr
+}
+
+// InitList is a braced initializer list for arrays and structs.
+type InitList struct {
+	Pos   Pos
+	Items []Expr
+}
+
+func (*NumberLit) expr()  {}
+func (*StringLit) expr()  {}
+func (*Ident) expr()      {}
+func (*Unary) expr()      {}
+func (*Binary) expr()     {}
+func (*Assign) expr()     {}
+func (*Cond) expr()       {}
+func (*Call) expr()       {}
+func (*Index) expr()      {}
+func (*Member) expr()     {}
+func (*Cast) expr()       {}
+func (*SizeofType) expr() {}
+func (*SizeofExpr) expr() {}
+func (*InitList) expr()   {}

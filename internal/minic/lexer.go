@@ -1,0 +1,250 @@
+// Package minic implements the front end of the MiniC language: a C
+// subset sufficient for the paper's workloads (Dhrystone- and
+// CoreMark-class integer programs). It provides a lexer, a recursive-
+// descent parser producing an AST, and the type definitions shared with
+// the IR generator.
+//
+// Supported: void/char/short/int (signed and unsigned), pointers, fixed
+// arrays, structs, enums, function pointers `T (*f)(...)`, all integer
+// operators, control flow (if/else, while, do-while, for, switch, break,
+// continue, return), globals with initializers, string/char literals,
+// sizeof, and the builtins putchar/putint/putuint/puthex/exit/cycles.
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokChar
+	TokPunct   // operators and punctuation
+	TokKeyword // reserved words
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	// Val is the value of a number or char literal.
+	Val int32
+	// Str is the decoded value of a string literal.
+	Str  string
+	Line int
+	Col  int
+}
+
+// Error is a front-end diagnostic with position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: %d:%d: %s", e.Line, e.Col, e.Msg) }
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"unsigned": true, "signed": true, "struct": true, "enum": true,
+	"if": true, "else": true, "while": true, "do": true, "for": true,
+	"return": true, "break": true, "continue": true, "switch": true,
+	"case": true, "default": true, "sizeof": true, "const": true,
+	"static": true, "register": true, "extern": true,
+}
+
+// punct3/punct2 list multi-character operators, longest match first.
+var punct3 = []string{"<<=", ">>=", "..."}
+var punct2 = []string{
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+}
+
+// Lex scans the whole source into tokens. Comments (// and /* */) and
+// preprocessor-style lines beginning with '#' are skipped (the workloads
+// use no macros; #-lines are tolerated so headers can be pasted).
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	adv := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				adv(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				adv(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			startLine, startCol := line, col
+			adv(2)
+			closed := false
+			for i+1 < n {
+				if src[i] == '*' && src[i+1] == '/' {
+					adv(2)
+					closed = true
+					break
+				}
+				adv(1)
+			}
+			if !closed {
+				return nil, &Error{startLine, startCol, "unterminated block comment"}
+			}
+		case isIdentStart(c):
+			start := i
+			startLine, startCol := line, col
+			for i < n && isIdentChar(src[i]) {
+				adv(1)
+			}
+			text := src[start:i]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+		case c >= '0' && c <= '9':
+			start := i
+			startLine, startCol := line, col
+			for i < n && (isIdentChar(src[i])) {
+				adv(1)
+			}
+			text := src[start:i]
+			v, err := parseNumber(text)
+			if err != nil {
+				return nil, &Error{startLine, startCol, err.Error()}
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: text, Val: v, Line: startLine, Col: startCol})
+		case c == '"':
+			startLine, startCol := line, col
+			s, consumed, err := scanString(src[i:], '"')
+			if err != nil {
+				return nil, &Error{startLine, startCol, err.Error()}
+			}
+			adv(consumed)
+			toks = append(toks, Token{Kind: TokString, Text: src[i-consumed : i], Str: s, Line: startLine, Col: startCol})
+		case c == '\'':
+			startLine, startCol := line, col
+			s, consumed, err := scanString(src[i:], '\'')
+			if err != nil {
+				return nil, &Error{startLine, startCol, err.Error()}
+			}
+			if len(s) != 1 {
+				return nil, &Error{startLine, startCol, "char literal must be one character"}
+			}
+			adv(consumed)
+			toks = append(toks, Token{Kind: TokChar, Text: s, Val: int32(s[0]), Line: startLine, Col: startCol})
+		default:
+			startLine, startCol := line, col
+			matched := ""
+			for _, p := range punct3 {
+				if strings.HasPrefix(src[i:], p) {
+					matched = p
+					break
+				}
+			}
+			if matched == "" {
+				for _, p := range punct2 {
+					if strings.HasPrefix(src[i:], p) {
+						matched = p
+						break
+					}
+				}
+			}
+			if matched == "" {
+				if strings.IndexByte("+-*/%&|^~!<>=?:;,.(){}[]", c) < 0 {
+					return nil, &Error{startLine, startCol, fmt.Sprintf("unexpected character %q", c)}
+				}
+				matched = string(c)
+			}
+			adv(len(matched))
+			toks = append(toks, Token{Kind: TokPunct, Text: matched, Line: startLine, Col: startCol})
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || ('0' <= c && c <= '9') }
+
+func parseNumber(text string) (int32, error) {
+	// Strip C suffixes (u, U, l, L).
+	t := strings.TrimRight(text, "uUlL")
+	v, err := strconv.ParseUint(t, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number literal %q", text)
+	}
+	if v > 0xFFFFFFFF {
+		return 0, fmt.Errorf("number literal %q exceeds 32 bits", text)
+	}
+	return int32(uint32(v)), nil
+}
+
+// scanString scans a quoted literal starting at s[0]==quote, returning the
+// decoded contents and the number of bytes consumed.
+func scanString(s string, quote byte) (string, int, error) {
+	var b strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		if c == quote {
+			return b.String(), i + 1, nil
+		}
+		if c == '\n' {
+			break
+		}
+		if c == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '0':
+				b.WriteByte(0)
+			case '\\':
+				b.WriteByte('\\')
+			case '\'':
+				b.WriteByte('\'')
+			case '"':
+				b.WriteByte('"')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return "", 0, fmt.Errorf("unterminated literal")
+}

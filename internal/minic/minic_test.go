@@ -1,0 +1,247 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`int x = 0x2A; // comment
+/* block
+   comment */
+char c = 'a';
+char *s = "hi\n";
+if (x <= 42 && x != 0) x <<= 2;
+#pragma ignored
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		if tk.Kind == TokEOF {
+			break
+		}
+		kinds = append(kinds, tk.Text)
+	}
+	want := []string{"int", "x", "=", "0x2A", ";", "char", "c", "=", "a", ";",
+		"char", "*", "s", "=", `"hi\n"`, ";",
+		"if", "(", "x", "<=", "42", "&&", "x", "!=", "0", ")", "x", "<<=", "2", ";"}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count %d want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: %q want %q", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexNumberForms(t *testing.T) {
+	toks, err := Lex("0 42 0x10 0755 4000000000u 'z' '\\n' '\\0'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVals := []int32{0, 42, 16, 493, u32val(4000000000), 'z', '\n', 0}
+	i := 0
+	for _, tk := range toks {
+		if tk.Kind == TokNumber || tk.Kind == TokChar {
+			if tk.Val != wantVals[i] {
+				t.Errorf("literal %d: %d want %d", i, tk.Val, wantVals[i])
+			}
+			i++
+		}
+	}
+	if i != len(wantVals) {
+		t.Errorf("found %d literals, want %d", i, len(wantVals))
+	}
+}
+
+func u32val(v uint32) int32 { return int32(v) }
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"\"unterminated", "'ab'", "/* unterminated", "int @ x;"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, _ := Lex("int\n  x;")
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("positions: %+v %+v", toks[0], toks[1])
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	f, err := Parse(`
+struct Pt { int x, y; char tag; };
+enum { A, B = 5, C };
+int g1, g2 = 3;
+short m[2][3];
+int (*fp)(int, int);
+int add(int a, int b) { return a + b; }
+void proto(int);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs: %d", len(f.Funcs))
+	}
+	if f.Funcs[0].Name != "add" || len(f.Funcs[0].Params) != 2 {
+		t.Errorf("add decl wrong: %+v", f.Funcs[0])
+	}
+	if f.Funcs[1].Body != nil {
+		t.Error("prototype should have nil body")
+	}
+	if len(f.Globals) != 4 {
+		t.Fatalf("globals: %d", len(f.Globals))
+	}
+	if f.EnumConsts["B"] != 5 || f.EnumConsts["C"] != 6 {
+		t.Errorf("enum values: %v", f.EnumConsts)
+	}
+	pt := f.Structs["Pt"]
+	if pt == nil || len(pt.Fields) != 3 {
+		t.Fatalf("struct Pt: %+v", pt)
+	}
+	if pt.Fields[1].Offset != 4 || pt.Fields[2].Offset != 8 {
+		t.Errorf("Pt layout: %+v", pt.Fields)
+	}
+	var m *VarDecl
+	for _, g := range f.Globals {
+		if g.Name == "m" {
+			m = g
+		}
+	}
+	if m == nil || m.Type.Kind != TArray || m.Type.ArrayLen != 2 ||
+		m.Type.Elem.Kind != TArray || m.Type.Elem.ArrayLen != 3 {
+		t.Errorf("m type: %v", m.Type)
+	}
+	var fp *VarDecl
+	for _, g := range f.Globals {
+		if g.Name == "fp" {
+			fp = g
+		}
+	}
+	if fp == nil || fp.Type.Kind != TPtr || fp.Type.Elem.Kind != TFunc ||
+		len(fp.Type.Elem.Params) != 2 {
+		t.Errorf("fp type: %v", fp.Type)
+	}
+}
+
+func TestParseStatementsAndExprs(t *testing.T) {
+	f, err := Parse(`
+int main() {
+    int i;
+    for (i = 0; i < 10; i++) { if (i == 3) continue; else break; }
+    while (i) i--;
+    do { i += 2; } while (i < 4);
+    switch (i) { case 1: case 2: i = 9; break; default: ; }
+    int x = i > 0 ? -i : ~i;
+    return x && 1 || 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Funcs[0].Body
+	if len(body.Stmts) != 7 {
+		t.Errorf("statement count: %d", len(body.Stmts))
+	}
+	if _, ok := body.Stmts[1].(*ForStmt); !ok {
+		t.Errorf("stmt 1 is %T, want ForStmt", body.Stmts[1])
+	}
+	if _, ok := body.Stmts[4].(*SwitchStmt); !ok {
+		t.Errorf("stmt 4 is %T, want SwitchStmt", body.Stmts[4])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"int main( { }",
+		"int main() { int x = ; }",
+		"struct S { int x; ",
+		"int a[0];",
+		"bogus decl;",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestTypeSizesAndAlignment(t *testing.T) {
+	if TypeInt.Size() != 4 || TypeChar.Size() != 1 || TypeShort.Size() != 2 {
+		t.Error("scalar sizes")
+	}
+	p := PtrTo(TypeChar)
+	if p.Size() != 4 || p.Align() != 4 {
+		t.Error("pointer size/align")
+	}
+	a := ArrayOf(TypeShort, 5)
+	if a.Size() != 10 || a.Align() != 2 {
+		t.Error("array size/align")
+	}
+	st := &StructType{Name: "S", Fields: []Field{
+		{Name: "c", Type: TypeChar},
+		{Name: "i", Type: TypeInt},
+		{Name: "h", Type: TypeShort},
+	}}
+	if err := st.Layout(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Fields[1].Offset != 4 || st.Fields[2].Offset != 8 {
+		t.Errorf("layout: %+v", st.Fields)
+	}
+	tS := &Type{Kind: TStruct, Struct: st}
+	if tS.Size() != 12 || tS.Align() != 4 {
+		t.Errorf("struct size %d align %d", tS.Size(), tS.Align())
+	}
+}
+
+func TestTypeEqualAndPromote(t *testing.T) {
+	if !PtrTo(TypeInt).Equal(PtrTo(TypeInt)) {
+		t.Error("identical pointer types must be equal")
+	}
+	if PtrTo(TypeInt).Equal(PtrTo(TypeChar)) {
+		t.Error("different pointee types must differ")
+	}
+	if TypeChar.Promote() != TypeInt || TypeUShort.Promote() != TypeInt {
+		t.Error("integer promotion to int")
+	}
+	if TypeUInt.Promote() != TypeUInt {
+		t.Error("unsigned int stays unsigned")
+	}
+}
+
+// TestLexNeverPanics feeds random bytes to the lexer.
+func TestLexNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		Lex(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNeverPanics feeds token-shaped noise to the parser.
+func TestParseNeverPanics(t *testing.T) {
+	words := []string{"int", "char", "struct", "if", "(", ")", "{", "}", "x",
+		"1", "+", "*", ";", ",", "[", "]", "=", "for", "while", "return"}
+	f := func(seed []uint8) bool {
+		var b strings.Builder
+		for _, s := range seed {
+			b.WriteString(words[int(s)%len(words)])
+			b.WriteByte(' ')
+		}
+		Parse(b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+package minic
+
+import "fmt"
+
+// TypeKind classifies MiniC types.
+type TypeKind uint8
+
+const (
+	TVoid TypeKind = iota
+	TChar
+	TShort
+	TInt
+	TPtr
+	TArray
+	TStruct
+	TFunc // function or function-pointer target signature
+)
+
+// Type is a MiniC type. Types are structural except structs, which are
+// nominal (identified by their StructType).
+type Type struct {
+	Kind     TypeKind
+	Unsigned bool
+	Elem     *Type // pointee (TPtr) or element (TArray)
+	ArrayLen int
+	Struct   *StructType
+	// Function signature (TFunc): result and parameter types.
+	Ret    *Type
+	Params []*Type
+}
+
+// StructType is a named aggregate with laid-out fields.
+type StructType struct {
+	Name   string
+	Fields []Field
+	size   int
+	align  int
+}
+
+// Field is one struct member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int
+}
+
+// Field returns the named field, or nil.
+func (s *StructType) Field(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
+// Layout computes field offsets, size, and alignment.
+func (s *StructType) Layout() error {
+	off := 0
+	align := 1
+	for i := range s.Fields {
+		t := s.Fields[i].Type
+		a := t.Align()
+		if a > align {
+			align = a
+		}
+		off = alignUp(off, a)
+		s.Fields[i].Offset = off
+		sz := t.Size()
+		if sz <= 0 {
+			return fmt.Errorf("field %s has incomplete type", s.Fields[i].Name)
+		}
+		off += sz
+	}
+	s.size = alignUp(off, align)
+	s.align = align
+	return nil
+}
+
+func alignUp(n, a int) int { return (n + a - 1) &^ (a - 1) }
+
+// Predefined scalar types.
+var (
+	TypeVoid   = &Type{Kind: TVoid}
+	TypeChar   = &Type{Kind: TChar}
+	TypeUChar  = &Type{Kind: TChar, Unsigned: true}
+	TypeShort  = &Type{Kind: TShort}
+	TypeUShort = &Type{Kind: TShort, Unsigned: true}
+	TypeInt    = &Type{Kind: TInt}
+	TypeUInt   = &Type{Kind: TInt, Unsigned: true}
+)
+
+// PtrTo returns a pointer type to t.
+func PtrTo(t *Type) *Type { return &Type{Kind: TPtr, Elem: t} }
+
+// ArrayOf returns an array type.
+func ArrayOf(t *Type, n int) *Type { return &Type{Kind: TArray, Elem: t, ArrayLen: n} }
+
+// Size returns the size of the type in bytes (0 for void/function).
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TChar:
+		return 1
+	case TShort:
+		return 2
+	case TInt, TPtr:
+		return 4
+	case TArray:
+		return t.ArrayLen * t.Elem.Size()
+	case TStruct:
+		return t.Struct.size
+	}
+	return 0
+}
+
+// Align returns the alignment of the type in bytes.
+func (t *Type) Align() int {
+	switch t.Kind {
+	case TChar:
+		return 1
+	case TShort:
+		return 2
+	case TInt, TPtr:
+		return 4
+	case TArray:
+		return t.Elem.Align()
+	case TStruct:
+		return t.Struct.align
+	}
+	return 1
+}
+
+// IsInteger reports whether t is an integer scalar.
+func (t *Type) IsInteger() bool {
+	return t.Kind == TChar || t.Kind == TShort || t.Kind == TInt
+}
+
+// IsScalar reports whether t is usable in arithmetic/conditions.
+func (t *Type) IsScalar() bool { return t.IsInteger() || t.Kind == TPtr }
+
+// Promote returns the type after integer promotion (everything computes
+// as 32-bit int; unsignedness of int is preserved, smaller types promote
+// to signed int as in C).
+func (t *Type) Promote() *Type {
+	switch t.Kind {
+	case TChar, TShort:
+		return TypeInt
+	case TInt:
+		if t.Unsigned {
+			return TypeUInt
+		}
+		return TypeInt
+	}
+	return t
+}
+
+// Equal reports structural type equality (nominal for structs).
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind || t.Unsigned != o.Unsigned {
+		return false
+	}
+	switch t.Kind {
+	case TPtr:
+		return t.Elem.Equal(o.Elem)
+	case TArray:
+		return t.ArrayLen == o.ArrayLen && t.Elem.Equal(o.Elem)
+	case TStruct:
+		return t.Struct == o.Struct
+	case TFunc:
+		if !t.Ret.Equal(o.Ret) || len(t.Params) != len(o.Params) {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Equal(o.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	u := ""
+	if t.Unsigned {
+		u = "unsigned "
+	}
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TChar:
+		return u + "char"
+	case TShort:
+		return u + "short"
+	case TInt:
+		if t.Unsigned {
+			return "unsigned"
+		}
+		return "int"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.ArrayLen)
+	case TStruct:
+		return "struct " + t.Struct.Name
+	case TFunc:
+		return "func"
+	}
+	return "?"
+}

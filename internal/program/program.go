@@ -1,0 +1,236 @@
+// Package program defines the executable image shared by the assemblers,
+// linkers, functional emulators and cycle-accurate simulators: a flat
+// text+data memory layout with a symbol table and an entry point.
+package program
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Default memory layout. The layout is a simulator convention, not an ISA
+// property: text low, static data in the middle, stack descending from the
+// top of a 31-bit space (keeping addresses positive as int32 simplifies
+// pointer arithmetic in compiled code).
+const (
+	DefaultTextBase  = 0x0000_1000
+	DefaultDataBase  = 0x1000_0000
+	DefaultStackTop  = 0x7FFF_F000
+	DefaultHeapBase  = 0x2000_0000
+	WordBytes        = 4
+	InstructionBytes = 4
+)
+
+// Image is a linked, loadable program.
+type Image struct {
+	// Entry is the address of the first instruction to execute.
+	Entry uint32
+	// TextBase is the load address of Text[0].
+	TextBase uint32
+	// Text holds the encoded instruction words in program order.
+	Text []uint32
+	// DataBase is the load address of Data[0].
+	DataBase uint32
+	// Data holds the initialized static data bytes.
+	Data []byte
+	// Symbols maps label names to addresses (text or data).
+	Symbols map[string]uint32
+	// Source optionally maps text indexes to source descriptions
+	// (assembler line or compiler origin) for disassembly and tracing.
+	Source map[int]string
+}
+
+// New returns an empty image with the default layout.
+func New() *Image {
+	return &Image{
+		TextBase: DefaultTextBase,
+		DataBase: DefaultDataBase,
+		Symbols:  make(map[string]uint32),
+		Source:   make(map[int]string),
+	}
+}
+
+// TextEnd returns the first address past the text segment.
+func (im *Image) TextEnd() uint32 {
+	return im.TextBase + uint32(len(im.Text))*InstructionBytes
+}
+
+// DataEnd returns the first address past the initialized data segment.
+func (im *Image) DataEnd() uint32 {
+	return im.DataBase + uint32(len(im.Data))
+}
+
+// ContainsText reports whether addr falls inside the text segment.
+func (im *Image) ContainsText(addr uint32) bool {
+	return addr >= im.TextBase && addr < im.TextEnd()
+}
+
+// FetchWord returns the instruction word at addr. It reports an error for
+// misaligned or out-of-range fetches, which the simulators treat as a fatal
+// program fault.
+func (im *Image) FetchWord(addr uint32) (uint32, error) {
+	if addr%InstructionBytes != 0 {
+		return 0, fmt.Errorf("program: misaligned instruction fetch at %#08x", addr)
+	}
+	if !im.ContainsText(addr) {
+		return 0, fmt.Errorf("program: instruction fetch outside text at %#08x", addr)
+	}
+	return im.Text[(addr-im.TextBase)/InstructionBytes], nil
+}
+
+// Symbol returns the address of a named symbol.
+func (im *Image) Symbol(name string) (uint32, bool) {
+	a, ok := im.Symbols[name]
+	return a, ok
+}
+
+// SymbolNames returns all symbol names sorted by address (ties by name),
+// convenient for stable disassembly listings.
+func (im *Image) SymbolNames() []string {
+	names := make([]string, 0, len(im.Symbols))
+	for n := range im.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ai, aj := im.Symbols[names[i]], im.Symbols[names[j]]
+		if ai != aj {
+			return ai < aj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// NearestSymbol returns the name and offset of the closest symbol at or
+// below addr, for trace annotation. ok is false if no symbol precedes addr.
+func (im *Image) NearestSymbol(addr uint32) (name string, offset uint32, ok bool) {
+	var bestAddr uint32
+	for n, a := range im.Symbols {
+		if a <= addr && (!ok || a > bestAddr || (a == bestAddr && n < name)) {
+			name, bestAddr, ok = n, a, true
+		}
+	}
+	return name, addr - bestAddr, ok
+}
+
+// Memory is a sparse byte-addressed little-endian memory used by the
+// functional emulators and as the backing store behind the simulated cache
+// hierarchy. The zero value is ready to use.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+)
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	if m.pages == nil {
+		if !create {
+			return nil
+		}
+		m.pages = make(map[uint32]*[pageSize]byte)
+	}
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte reads one byte; unmapped memory reads as zero.
+func (m *Memory) LoadByte(addr uint32) byte {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&(pageSize-1)]
+	}
+	return 0
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Load reads width bytes little-endian (width must be 1, 2 or 4).
+func (m *Memory) Load(addr uint32, width int) uint32 {
+	// Fast path: access within one page.
+	off := addr & (pageSize - 1)
+	if p := m.page(addr, false); p != nil && int(off)+width <= pageSize {
+		switch width {
+		case 1:
+			return uint32(p[off])
+		case 2:
+			return uint32(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return binary.LittleEndian.Uint32(p[off:])
+		}
+	}
+	var v uint32
+	for i := 0; i < width; i++ {
+		v |= uint32(m.LoadByte(addr+uint32(i))) << (8 * i)
+	}
+	return v
+}
+
+// Store writes width bytes little-endian (width must be 1, 2 or 4).
+func (m *Memory) Store(addr uint32, v uint32, width int) {
+	off := addr & (pageSize - 1)
+	if int(off)+width <= pageSize {
+		p := m.page(addr, true)
+		switch width {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], v)
+			return
+		}
+	}
+	for i := 0; i < width; i++ {
+		m.StoreByte(addr+uint32(i), byte(v>>(8*i)))
+	}
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	for i, c := range b {
+		m.StoreByte(addr+uint32(i), c)
+	}
+}
+
+// LoadImage installs the image's text and data segments. Text is written
+// so that memory-mapped instruction reads (e.g. by a unified L2) see the
+// same bytes the fetch path decodes.
+func (m *Memory) LoadImage(im *Image) {
+	for i, w := range im.Text {
+		m.Store(im.TextBase+uint32(i)*InstructionBytes, w, 4)
+	}
+	m.WriteBytes(im.DataBase, im.Data)
+}
+
+// Clone returns a deep copy, used to run several simulations from one
+// loaded state.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, p := range m.pages {
+		cp := new([pageSize]byte)
+		*cp = *p
+		c.pages[pn] = cp
+	}
+	return c
+}
+
+// MappedBytes returns the number of bytes in mapped pages (for stats).
+func (m *Memory) MappedBytes() int { return len(m.pages) * pageSize }

@@ -1,0 +1,254 @@
+package uarch
+
+// Set-associative cache hierarchy with LRU replacement and a simple
+// next-line stream prefetcher on the data side (paper §V-A lists a
+// "stream prefetcher for data caches").
+//
+// The timing model is latency-accumulating: an access pays each level's
+// hit latency down to the level that hits (or memory), and all levels on
+// the path are filled. A limited number of misses overlap (the MSHR
+// count); when all miss registers are busy a new miss queues behind the
+// earliest one to complete. Prefetch fills bypass the MSHRs (background
+// fill bandwidth).
+
+// Cache is one set-associative level.
+type Cache struct {
+	cfg   CacheConfig
+	sets  int
+	shift uint       // line offset bits
+	tags  [][]uint64 // tags[set][way]; 0 = invalid (tag stored +1)
+	lru   [][]uint32 // larger = more recent
+	tick  uint32
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache builds a cache level.
+func NewCache(cfg CacheConfig) *Cache {
+	line := cfg.LineBytes
+	sets := cfg.SizeBytes / (line * cfg.Ways)
+	if sets < 1 {
+		sets = 1
+	}
+	shift := uint(0)
+	for 1<<shift < line {
+		shift++
+	}
+	c := &Cache{cfg: cfg, sets: sets, shift: shift}
+	c.tags = make([][]uint64, sets)
+	c.lru = make([][]uint32, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, cfg.Ways)
+		c.lru[i] = make([]uint32, cfg.Ways)
+	}
+	return c
+}
+
+func (c *Cache) index(addr uint32) (set int, tag uint64) {
+	line := uint64(addr) >> c.shift
+	return int(line % uint64(c.sets)), line + 1
+}
+
+// Lookup probes the cache; on hit it refreshes LRU.
+func (c *Cache) Lookup(addr uint32) bool {
+	set, tag := c.index(addr)
+	for w, t := range c.tags[set] {
+		if t == tag {
+			c.tick++
+			c.lru[set][w] = c.tick
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Fill installs the line, evicting LRU.
+func (c *Cache) Fill(addr uint32) {
+	set, tag := c.index(addr)
+	victim := 0
+	for w, t := range c.tags[set] {
+		if t == tag {
+			return // already present
+		}
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	c.tick++
+	c.tags[set][victim] = tag
+	c.lru[set][victim] = c.tick
+}
+
+// Probe checks presence without updating LRU or stats.
+func (c *Cache) Probe(addr uint32) bool {
+	set, tag := c.index(addr)
+	for _, t := range c.tags[set] {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// HitLatency returns the level's hit latency.
+func (c *Cache) HitLatency() int { return c.cfg.HitLatency }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// Hierarchy is the full memory system: L1I + L1D front, shared L2
+// (and optional L3), and main memory latency.
+type Hierarchy struct {
+	L1I    *Cache
+	L1D    *Cache
+	L2     *Cache
+	L3     *Cache // may be nil
+	memLat int
+
+	prefetch *streamPrefetcher
+	// mshr holds the completion cycle of each in-flight data miss.
+	mshr []int64
+
+	// DemandFetches counts instruction-side accesses; DemandData counts
+	// data-side (for power accounting).
+	DemandFetches uint64
+	DemandData    uint64
+	Prefetches    uint64
+}
+
+// NewHierarchy builds the memory system from a model config.
+func NewHierarchy(cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		L1I:    NewCache(cfg.L1I),
+		L1D:    NewCache(cfg.L1D),
+		L2:     NewCache(cfg.L2),
+		memLat: cfg.MemLatency,
+	}
+	if cfg.L3 != nil {
+		h.L3 = NewCache(*cfg.L3)
+	}
+	if !cfg.NoPrefetch {
+		h.prefetch = newStreamPrefetcher(cfg.L1D.LineBytes)
+	}
+	n := cfg.MSHRs
+	if n == 0 {
+		n = 8
+	}
+	h.mshr = make([]int64, n)
+	return h
+}
+
+// mshrDelay allocates a miss register at time now, returning the queuing
+// delay before the miss can start.
+func (h *Hierarchy) mshrDelay(now int64) (slot int, delay int64) {
+	best := 0
+	for i, busy := range h.mshr {
+		if busy <= now {
+			return i, 0
+		}
+		if busy < h.mshr[best] {
+			best = i
+		}
+	}
+	return best, h.mshr[best] - now
+}
+
+// beyondL1 accumulates the latency of servicing a miss below L1 and fills
+// the levels on the path.
+func (h *Hierarchy) beyondL1(addr uint32) int {
+	lat := h.L2.HitLatency()
+	if h.L2.Lookup(addr) {
+		return lat
+	}
+	if h.L3 != nil {
+		lat += h.L3.HitLatency()
+		if h.L3.Lookup(addr) {
+			h.L2.Fill(addr)
+			return lat
+		}
+		h.L3.Fill(addr)
+	}
+	lat += h.memLat
+	h.L2.Fill(addr)
+	return lat
+}
+
+// AccessInst returns the latency of an instruction fetch at addr
+// starting at cycle now.
+func (h *Hierarchy) AccessInst(now int64, addr uint32) int {
+	h.DemandFetches++
+	lat := h.L1I.HitLatency()
+	if h.L1I.Lookup(addr) {
+		return lat
+	}
+	slot, delay := h.mshrDelay(now)
+	lat += int(delay) + h.beyondL1(addr)
+	h.mshr[slot] = now + int64(lat)
+	h.L1I.Fill(addr)
+	return lat
+}
+
+// AccessData returns the latency of a data access at addr (load or
+// store-at-commit fill) starting at cycle now. The stream prefetcher
+// trains on L1D misses and pulls subsequent lines into L1D.
+func (h *Hierarchy) AccessData(now int64, addr uint32) int {
+	h.DemandData++
+	lat := h.L1D.HitLatency()
+	if h.L1D.Lookup(addr) {
+		return lat
+	}
+	slot, delay := h.mshrDelay(now)
+	lat += int(delay) + h.beyondL1(addr)
+	h.mshr[slot] = now + int64(lat)
+	h.L1D.Fill(addr)
+	if h.prefetch == nil {
+		return lat
+	}
+	for _, pf := range h.prefetch.onMiss(addr) {
+		h.Prefetches++
+		// Prefetches are charged no demand latency: they fill L1D (and
+		// L2 on the way) in the background.
+		if !h.L1D.Probe(pf) {
+			h.L2.Fill(pf)
+			h.L1D.Fill(pf)
+		}
+	}
+	return lat
+}
+
+// WouldHitL1D reports whether a data access would hit L1D right now,
+// without changing any state — the cores' cache-hit predictor uses this
+// as a "perfect" hit predictor input and the schedulers replay on
+// mispredicted hits.
+func (h *Hierarchy) WouldHitL1D(addr uint32) bool { return h.L1D.Probe(addr) }
+
+// streamPrefetcher detects up to 8 concurrent ascending streams and
+// prefetches the next two lines on a detected stream.
+type streamPrefetcher struct {
+	lineBytes uint32
+	last      [8]uint32
+	valid     [8]bool
+	next      int
+}
+
+func newStreamPrefetcher(lineBytes int) *streamPrefetcher {
+	return &streamPrefetcher{lineBytes: uint32(lineBytes)}
+}
+
+func (s *streamPrefetcher) onMiss(addr uint32) []uint32 {
+	line := addr &^ (s.lineBytes - 1)
+	for i := range s.last {
+		if s.valid[i] && line == s.last[i]+s.lineBytes {
+			// Ascending stream confirmed: prefetch the next two lines.
+			s.last[i] = line
+			return []uint32{line + s.lineBytes, line + 2*s.lineBytes}
+		}
+	}
+	s.last[s.next] = line
+	s.valid[s.next] = true
+	s.next = (s.next + 1) % len(s.last)
+	return nil
+}

@@ -1,0 +1,221 @@
+// Package uarch provides the shared microarchitecture components of the
+// two cycle-level simulators: the evaluated-model configurations (paper
+// Table I), branch predictors (gshare and TAGE), BTB and return-address
+// stack, the cache hierarchy with a stream prefetcher, the load/store
+// queue with forwarding and disambiguation, a memory-dependence
+// predictor, and the statistics the experiments report.
+//
+// Mirroring the paper ("both simulators can share common codes for the
+// most part", §V-A), everything except the front-end register-management
+// and the retire/recovery mechanism lives here and is used unchanged by
+// both the STRAIGHT core and the superscalar (SS) core.
+package uarch
+
+// MemDepMode selects how loads treat older unresolved store addresses.
+type MemDepMode int
+
+const (
+	// MemDepPredict uses the collision-history predictor (default).
+	MemDepPredict MemDepMode = iota
+	// MemDepAlwaysSpeculate always bypasses unknown store addresses.
+	MemDepAlwaysSpeculate
+	// MemDepAlwaysWait always waits for older store addresses.
+	MemDepAlwaysWait
+)
+
+// PredictorKind selects the conditional branch predictor.
+type PredictorKind int
+
+const (
+	// PredGshare is the evaluation's default (global history 10 bits,
+	// 32K entries).
+	PredGshare PredictorKind = iota
+	// PredTAGE is the 8-component TAGE used in Fig 14.
+	PredTAGE
+	// PredOracle predicts perfectly (the "SS no penalty" idealization of
+	// Fig 13 uses ZeroMispredictPenalty instead, but an oracle is useful
+	// for ablations).
+	PredOracle
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes  int
+	Ways       int
+	LineBytes  int
+	HitLatency int
+}
+
+// Config holds every model parameter of Table I plus the experiment
+// knobs. The same struct configures both cores; fields that apply to only
+// one (e.g. MaxDistance) are ignored by the other.
+type Config struct {
+	Name string
+
+	FetchWidth      int
+	FrontEndLatency int // fetch-to-dispatch stages: SS 8, STRAIGHT 6
+	ROBSize         int
+	IssueWidth      int
+	SchedulerSize   int
+	RegFileSize     int // SS physical registers; STRAIGHT derives MAX_RP
+	LQSize          int
+	SQSize          int
+
+	NumALU int
+	NumMul int
+	NumDiv int
+	NumBr  int
+	NumMem int
+
+	CommitWidth int
+
+	Predictor      PredictorKind
+	GshareHistBits int
+	GshareEntries  int
+	BTBEntries     int
+	RASEntries     int
+
+	L1I        CacheConfig
+	L1D        CacheConfig
+	L2         CacheConfig
+	L3         *CacheConfig // nil = absent (2-way models have no L3)
+	MemLatency int
+
+	// MaxDistance is the STRAIGHT model's maximum operand distance
+	// (31 in the evaluated models; MAX_RP = MaxDistance + ROBSize).
+	MaxDistance int
+
+	// ZeroMispredictPenalty idealizes recovery: the correct path is
+	// refetched in the very next cycle with no walk or redirect cost
+	// (the "SS no penalty" bars of Fig 13).
+	ZeroMispredictPenalty bool
+
+	// NoPrefetch disables the L1D stream prefetcher (ablation).
+	NoPrefetch bool
+
+	// MSHRs caps concurrently outstanding misses (0 = default 8).
+	MSHRs int
+
+	// MemDep selects the memory-dependence policy (ablation; the default
+	// is the collision-history predictor).
+	MemDep MemDepMode
+
+	// SPAddPerGroup caps SPADD instructions renamed per cycle
+	// (STRAIGHT §III-B; the cascaded SP adders limit).
+	SPAddPerGroup int
+
+	// FuncLatency overrides (zero = defaults: ALU 1, MUL 3, DIV 20).
+	ALULatency int
+	MulLatency int
+	DivLatency int
+}
+
+func (c Config) alu() int {
+	if c.ALULatency == 0 {
+		return 1
+	}
+	return c.ALULatency
+}
+
+func (c Config) mul() int {
+	if c.MulLatency == 0 {
+		return 3
+	}
+	return c.MulLatency
+}
+
+func (c Config) div() int {
+	if c.DivLatency == 0 {
+		return 20
+	}
+	return c.DivLatency
+}
+
+// LatencyFor returns the execution latency of a class.
+func (c Config) LatencyFor(cl Class) int {
+	switch cl {
+	case ClassMul:
+		return c.mul()
+	case ClassDiv:
+		return c.div()
+	default:
+		return c.alu()
+	}
+}
+
+// MaxRP returns the STRAIGHT physical register count:
+// max distance + ROB entries (§III-B).
+func (c Config) MaxRP() int { return c.MaxDistance + c.ROBSize }
+
+// Common cache settings of Table I.
+func tableICaches(threeLevel bool) (l1i, l1d, l2 CacheConfig, l3 *CacheConfig) {
+	l1i = CacheConfig{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64, HitLatency: 4}
+	l1d = CacheConfig{SizeBytes: 32 << 10, Ways: 4, LineBytes: 64, HitLatency: 4}
+	l2 = CacheConfig{SizeBytes: 256 << 10, Ways: 4, LineBytes: 64, HitLatency: 12}
+	if threeLevel {
+		l3 = &CacheConfig{SizeBytes: 2 << 20, Ways: 4, LineBytes: 64, HitLatency: 42}
+	}
+	return
+}
+
+func baseConfig(name string) Config {
+	return Config{
+		Name:           name,
+		GshareHistBits: 10,
+		GshareEntries:  32 << 10,
+		BTBEntries:     4096,
+		RASEntries:     16,
+		MemLatency:     200,
+		SPAddPerGroup:  1,
+	}
+}
+
+// SS2Way is the 2-way superscalar model of Table I.
+func SS2Way() Config {
+	c := baseConfig("SS-2way")
+	c.FetchWidth = 2
+	c.FrontEndLatency = 8
+	c.ROBSize = 64
+	c.IssueWidth = 2
+	c.SchedulerSize = 16
+	c.RegFileSize = 96
+	c.LQSize, c.SQSize = 48, 48
+	c.NumALU, c.NumMul, c.NumDiv, c.NumBr, c.NumMem = 2, 1, 1, 2, 2
+	c.CommitWidth = 3
+	c.L1I, c.L1D, c.L2, c.L3 = tableICaches(false)
+	return c
+}
+
+// Straight2Way is the 2-way STRAIGHT model of Table I.
+func Straight2Way() Config {
+	c := SS2Way()
+	c.Name = "STRAIGHT-2way"
+	c.FrontEndLatency = 6
+	c.MaxDistance = 31 // MAX_RP = 31 + 64 = 95 (+zero) ~ the 96-entry RF
+	return c
+}
+
+// SS4Way is the 4-way superscalar model of Table I.
+func SS4Way() Config {
+	c := baseConfig("SS-4way")
+	c.FetchWidth = 6
+	c.FrontEndLatency = 8
+	c.ROBSize = 224
+	c.IssueWidth = 4
+	c.SchedulerSize = 96
+	c.RegFileSize = 256
+	c.LQSize, c.SQSize = 72, 56
+	c.NumALU, c.NumMul, c.NumDiv, c.NumBr, c.NumMem = 4, 2, 1, 4, 4
+	c.CommitWidth = 4
+	c.L1I, c.L1D, c.L2, c.L3 = tableICaches(true)
+	return c
+}
+
+// Straight4Way is the 4-way STRAIGHT model of Table I.
+func Straight4Way() Config {
+	c := SS4Way()
+	c.Name = "STRAIGHT-4way"
+	c.FrontEndLatency = 6
+	c.MaxDistance = 31 // MAX_RP = 31 + 224 = 255 (+zero) ~ the 256-entry RF
+	return c
+}

@@ -1,0 +1,172 @@
+package uarch
+
+// LSQ models the load and store queues: allocation at dispatch in program
+// order, store-to-load forwarding, memory disambiguation with violation
+// detection, and squash on recovery (paper §V-A: "a load-store queue
+// (LSQ) for memory disambiguation").
+type LSQ struct {
+	lqCap, sqCap int
+	loads        []*LSQEntry
+	stores       []*LSQEntry
+}
+
+// LSQEntry tracks one in-flight memory operation.
+type LSQEntry struct {
+	U         *UOp
+	Addr      uint32
+	Size      uint8
+	AddrReady bool
+	Data      uint32
+	DataReady bool
+	Executed  bool   // loads: value obtained
+	fwdSeq    uint64 // loads: Seq of the store that forwarded the value
+}
+
+// NewLSQ builds the queues.
+func NewLSQ(lqCap, sqCap int) *LSQ {
+	return &LSQ{lqCap: lqCap, sqCap: sqCap}
+}
+
+// CanAllocate reports whether a µop of the given kind fits.
+func (q *LSQ) CanAllocate(isLoad bool) bool {
+	if isLoad {
+		return len(q.loads) < q.lqCap
+	}
+	return len(q.stores) < q.sqCap
+}
+
+// Allocate inserts a µop at dispatch (program order) and returns its
+// entry.
+func (q *LSQ) Allocate(u *UOp) *LSQEntry {
+	e := &LSQEntry{U: u}
+	if u.IsLoad {
+		q.loads = append(q.loads, e)
+	} else {
+		q.stores = append(q.stores, e)
+	}
+	return e
+}
+
+// Occupancy returns current load/store queue occupancy.
+func (q *LSQ) Occupancy() (int, int) { return len(q.loads), len(q.stores) }
+
+func overlap(a1 uint32, s1 uint8, a2 uint32, s2 uint8) bool {
+	return a1 < a2+uint32(s2) && a2 < a1+uint32(s1)
+}
+
+// LoadResult describes the disambiguation outcome for a load.
+type LoadResult int
+
+const (
+	// LoadFromMemory: no older conflicting store; read memory.
+	LoadFromMemory LoadResult = iota
+	// LoadForwarded: value fully supplied by an older store.
+	LoadForwarded
+	// LoadMustWait: an older store's address or data is unknown, or the
+	// overlap is partial; retry later.
+	LoadMustWait
+)
+
+// LookupLoad checks older stores for the load entry. On LoadForwarded the
+// forwarded value (already size-extracted, unextended) is returned.
+// unknownOK selects speculation: when true, unknown older store addresses
+// are ignored (the memory-dependence predictor said "speculate").
+func (q *LSQ) LookupLoad(le *LSQEntry, unknownOK bool) (LoadResult, uint32) {
+	var match *LSQEntry
+	for _, se := range q.stores {
+		if se.U.Seq > le.U.Seq {
+			break
+		}
+		if !se.AddrReady {
+			if !unknownOK {
+				return LoadMustWait, 0
+			}
+			continue
+		}
+		if overlap(se.Addr, se.Size, le.Addr, le.Size) {
+			match = se // youngest older overlapping store wins
+		}
+	}
+	if match == nil {
+		return LoadFromMemory, 0
+	}
+	if !match.DataReady {
+		return LoadMustWait, 0
+	}
+	// Forward only on containment; partial overlap waits for commit.
+	if match.Addr <= le.Addr && match.Addr+uint32(match.Size) >= le.Addr+uint32(le.Size) {
+		shift := (le.Addr - match.Addr) * 8
+		mask := uint32(0xFFFFFFFF)
+		if le.Size < 4 {
+			mask = 1<<(8*uint32(le.Size)) - 1
+		}
+		return LoadForwarded, (match.Data >> shift) & mask
+	}
+	return LoadMustWait, 0
+}
+
+// StoreViolations returns executed younger loads that overlap a store
+// whose address just became known — each is a memory-dependence
+// violation requiring a flush.
+func (q *LSQ) StoreViolations(se *LSQEntry) []*LSQEntry {
+	var out []*LSQEntry
+	for _, le := range q.loads {
+		if le.U.Seq > se.U.Seq && le.Executed &&
+			overlap(se.Addr, se.Size, le.Addr, le.Size) && !le.ForwardedFrom(se) {
+			out = append(out, le)
+		}
+	}
+	return out
+}
+
+// forwardedSeq records which store supplied a forwarded load, so a
+// just-resolved store does not flag the load it itself fed.
+func (e *LSQEntry) ForwardedFrom(se *LSQEntry) bool {
+	return e.fwdSeq != 0 && e.fwdSeq == se.U.Seq
+}
+
+// MarkForwarded records the supplying store.
+func (e *LSQEntry) MarkForwarded(storeSeq uint64) { e.fwdSeq = storeSeq }
+
+// SquashYounger drops entries with Seq > seq (recovery).
+func (q *LSQ) SquashYounger(seq uint64) {
+	q.loads = filterLSQ(q.loads, seq)
+	q.stores = filterLSQ(q.stores, seq)
+}
+
+func filterLSQ(s []*LSQEntry, seq uint64) []*LSQEntry {
+	out := s[:0]
+	for _, e := range s {
+		if e.U.Seq <= seq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Retire removes the µop's entry from the head of its queue.
+func (q *LSQ) Retire(u *UOp) {
+	if u.IsLoad {
+		if len(q.loads) > 0 && q.loads[0].U == u {
+			q.loads = q.loads[1:]
+		}
+		return
+	}
+	if len(q.stores) > 0 && q.stores[0].U == u {
+		q.stores = q.stores[1:]
+	}
+}
+
+// OldestStoreSeqBefore returns whether all older stores than seq have
+// known addresses (used by conservative loads).
+func (q *LSQ) OlderStoresResolved(seq uint64) bool {
+	for _, se := range q.stores {
+		if se.U.Seq >= seq {
+			break
+		}
+		if !se.AddrReady {
+			return false
+		}
+	}
+	return true
+}

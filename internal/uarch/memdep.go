@@ -1,0 +1,50 @@
+package uarch
+
+// MemDepPredictor is a collision-history memory-dependence predictor
+// (paper §V-A lists "memory dependency prediction"). Loads that have
+// previously violated (executed before an older overlapping store) are
+// predicted "conservative" and wait for all older store addresses;
+// others speculate freely. Entries decay so stale conservatism fades.
+type MemDepPredictor struct {
+	table []uint8 // 2-bit saturating "collided" counters
+	mask  uint32
+
+	Violations   uint64
+	Predictions  uint64
+	Conservative uint64
+}
+
+// NewMemDepPredictor builds the predictor with a power-of-two table.
+func NewMemDepPredictor(entries int) *MemDepPredictor {
+	return &MemDepPredictor{table: make([]uint8, entries), mask: uint32(entries - 1)}
+}
+
+func (m *MemDepPredictor) idx(pc uint32) uint32 { return (pc >> 2) & m.mask }
+
+// ShouldWait predicts whether the load at pc must wait for older stores.
+func (m *MemDepPredictor) ShouldWait(pc uint32) bool {
+	m.Predictions++
+	if m.table[m.idx(pc)] >= 2 {
+		m.Conservative++
+		return true
+	}
+	return false
+}
+
+// RecordViolation trains the predictor after a disambiguation flush.
+func (m *MemDepPredictor) RecordViolation(pc uint32) {
+	m.Violations++
+	i := m.idx(pc)
+	if m.table[i] < 3 {
+		m.table[i] = 3
+	}
+}
+
+// RecordSuccess decays conservatism when a predicted-wait load turns out
+// independent.
+func (m *MemDepPredictor) RecordSuccess(pc uint32) {
+	i := m.idx(pc)
+	if m.table[i] > 0 {
+		m.table[i]--
+	}
+}

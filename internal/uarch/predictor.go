@@ -1,0 +1,187 @@
+package uarch
+
+// Branch prediction machinery: a direction predictor (gshare by default,
+// TAGE for Fig 14), a branch target buffer for taken targets and indirect
+// jumps, and a return address stack. Both cores instantiate one
+// Frontend-side predictor and update it at branch resolution.
+
+// DirPredictor predicts conditional branch directions.
+type DirPredictor interface {
+	// Predict returns the predicted direction and an opaque checkpoint
+	// the caller passes back to Update (predictors are speculative-
+	// history machines; the checkpoint lets Update repair state).
+	Predict(pc uint32) (taken bool, meta uint64)
+	// Update trains the predictor with the actual outcome.
+	Update(pc uint32, taken bool, meta uint64)
+	// Recover rewinds speculative history to the checkpoint of a
+	// mispredicted branch (called before refetch).
+	Recover(meta uint64, taken bool)
+	// Name identifies the predictor in statistics.
+	Name() string
+}
+
+// ---- gshare ----
+
+// Gshare is the evaluation's default predictor: global history XOR PC
+// indexing a table of 2-bit counters (Table I: 10-bit history, 32K
+// entries).
+type Gshare struct {
+	histBits uint
+	history  uint64 // speculative global history
+	table    []uint8
+	mask     uint32
+}
+
+// NewGshare builds a gshare predictor.
+func NewGshare(histBits, entries int) *Gshare {
+	g := &Gshare{
+		histBits: uint(histBits),
+		table:    make([]uint8, entries),
+		mask:     uint32(entries - 1),
+	}
+	for i := range g.table {
+		g.table[i] = 1 // weakly not-taken
+	}
+	return g
+}
+
+func (g *Gshare) index(pc uint32, hist uint64) uint32 {
+	return (uint32(hist) ^ (pc >> 2)) & g.mask
+}
+
+// Predict implements DirPredictor.
+func (g *Gshare) Predict(pc uint32) (bool, uint64) {
+	hist := g.history
+	taken := g.table[g.index(pc, hist)] >= 2
+	// Speculatively shift predicted outcome into the history.
+	g.history = (hist<<1 | b2u(taken)) & (1<<g.histBits - 1)
+	return taken, hist
+}
+
+// Update implements DirPredictor.
+func (g *Gshare) Update(pc uint32, taken bool, meta uint64) {
+	idx := g.index(pc, meta)
+	c := g.table[idx]
+	if taken && c < 3 {
+		g.table[idx] = c + 1
+	}
+	if !taken && c > 0 {
+		g.table[idx] = c - 1
+	}
+}
+
+// Recover implements DirPredictor: rebuild history as if the branch
+// resolved with the actual outcome.
+func (g *Gshare) Recover(meta uint64, taken bool) {
+	g.history = (meta<<1 | b2u(taken)) & (1<<g.histBits - 1)
+}
+
+// Name implements DirPredictor.
+func (g *Gshare) Name() string { return "gshare" }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---- Oracle ----
+
+// Oracle predicts perfectly by asking the caller for the outcome; the
+// cores wire OutcomeFn to their in-order golden model.
+type Oracle struct {
+	OutcomeFn func(pc uint32) bool
+}
+
+// Predict implements DirPredictor.
+func (o *Oracle) Predict(pc uint32) (bool, uint64) {
+	if o.OutcomeFn == nil {
+		return false, 0
+	}
+	return o.OutcomeFn(pc), 0
+}
+
+// Update implements DirPredictor.
+func (o *Oracle) Update(uint32, bool, uint64) {}
+
+// Recover implements DirPredictor.
+func (o *Oracle) Recover(uint64, bool) {}
+
+// Name implements DirPredictor.
+func (o *Oracle) Name() string { return "oracle" }
+
+// ---- BTB ----
+
+// BTB caches targets of taken branches and jumps (direct-mapped with
+// tags).
+type BTB struct {
+	entries []btbEntry
+	mask    uint32
+	Hits    uint64
+	Misses  uint64
+}
+
+type btbEntry struct {
+	tag    uint32
+	target uint32
+	valid  bool
+}
+
+// NewBTB builds a BTB with a power-of-two entry count.
+func NewBTB(entries int) *BTB {
+	return &BTB{entries: make([]btbEntry, entries), mask: uint32(entries - 1)}
+}
+
+// Lookup returns the cached target for pc.
+func (b *BTB) Lookup(pc uint32) (uint32, bool) {
+	e := &b.entries[(pc>>2)&b.mask]
+	if e.valid && e.tag == pc {
+		b.Hits++
+		return e.target, true
+	}
+	b.Misses++
+	return 0, false
+}
+
+// Insert records a taken target.
+func (b *BTB) Insert(pc, target uint32) {
+	b.entries[(pc>>2)&b.mask] = btbEntry{tag: pc, target: target, valid: true}
+}
+
+// ---- RAS ----
+
+// RAS is the return address stack (checkpointed by copy on recovery —
+// with 16 entries a full copy is cheap).
+type RAS struct {
+	stack []uint32
+	size  int
+}
+
+// NewRAS builds a return-address stack.
+func NewRAS(size int) *RAS { return &RAS{size: size} }
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint32) {
+	if len(r.stack) == r.size {
+		copy(r.stack, r.stack[1:])
+		r.stack = r.stack[:r.size-1]
+	}
+	r.stack = append(r.stack, addr)
+}
+
+// Pop predicts a return target.
+func (r *RAS) Pop() (uint32, bool) {
+	if len(r.stack) == 0 {
+		return 0, false
+	}
+	a := r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	return a, true
+}
+
+// Snapshot copies the stack for recovery.
+func (r *RAS) Snapshot() []uint32 { return append([]uint32(nil), r.stack...) }
+
+// Restore rewinds to a snapshot.
+func (r *RAS) Restore(s []uint32) { r.stack = append(r.stack[:0], s...) }

@@ -1,0 +1,94 @@
+package uarch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats collects the simulation counters the experiments and the power
+// model consume. Both cores fill the same struct so results are directly
+// comparable.
+type Stats struct {
+	Cycles  int64
+	Retired uint64
+
+	RetiredByClass [NumClasses]uint64
+
+	// Branch behaviour.
+	CondBranches     uint64
+	Mispredicts      uint64
+	TargetMispredict uint64 // BTB/RAS-caused redirects
+	RecoveryStall    int64  // cycles the front end was blocked by recovery
+	// (SS: ROB walk; STRAIGHT: the single restore)
+
+	// Front-end activity (power model inputs).
+	FetchedInsts  uint64
+	RenameReads   uint64 // SS: RMT source lookups; STRAIGHT: 0
+	RenameWrites  uint64 // SS: RMT destination updates; STRAIGHT: 0
+	FreeListOps   uint64 // SS: free-list pops+pushes
+	ROBWalkSteps  uint64 // SS: entries walked during recoveries
+	RPAdditions   uint64 // STRAIGHT: operand-determination adds
+	SPAddExecuted uint64 // STRAIGHT: SPADD in-order updates
+
+	// Register file activity.
+	RegReads  uint64
+	RegWrites uint64
+
+	// Scheduler activity.
+	IQWakeups uint64
+	IQIssued  uint64
+	Replays   uint64 // scheduler replays (0 under the perfect hit predictor)
+
+	// Memory system.
+	Loads            uint64
+	Stores           uint64
+	StoreForwards    uint64
+	MemDepViolations uint64
+
+	// Occupancy integrals (sum over cycles; divide by Cycles for mean).
+	ROBOccupancy int64
+	IQOccupancy  int64
+
+	// Stall accounting (dispatch-blocked cycles by cause).
+	StallROBFull    int64
+	StallIQFull     int64
+	StallLSQFull    int64
+	StallFreeList   int64
+	StallFrontEnd   int64 // empty front end (fetch latency, redirects)
+	StallSPAddLimit int64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// MPKI returns branch mispredictions per kilo-instruction.
+func (s *Stats) MPKI() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Mispredicts) / float64(s.Retired)
+}
+
+// String renders a compact multi-line report.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d retired=%d IPC=%.3f\n", s.Cycles, s.Retired, s.IPC())
+	fmt.Fprintf(&b, "branches=%d mispredicts=%d (%.2f MPKI) targetMiss=%d recoveryStall=%d\n",
+		s.CondBranches, s.Mispredicts, s.MPKI(), s.TargetMispredict, s.RecoveryStall)
+	fmt.Fprintf(&b, "loads=%d stores=%d fwd=%d memdepViol=%d replays=%d\n",
+		s.Loads, s.Stores, s.StoreForwards, s.MemDepViolations, s.Replays)
+	fmt.Fprintf(&b, "stalls: rob=%d iq=%d lsq=%d freelist=%d frontend=%d spadd=%d\n",
+		s.StallROBFull, s.StallIQFull, s.StallLSQFull, s.StallFreeList, s.StallFrontEnd, s.StallSPAddLimit)
+	if s.Cycles > 0 {
+		fmt.Fprintf(&b, "occupancy: rob=%.1f iq=%.1f\n",
+			float64(s.ROBOccupancy)/float64(s.Cycles), float64(s.IQOccupancy)/float64(s.Cycles))
+	}
+	fmt.Fprintf(&b, "rename: reads=%d writes=%d freelist=%d robWalk=%d rpAdds=%d\n",
+		s.RenameReads, s.RenameWrites, s.FreeListOps, s.ROBWalkSteps, s.RPAdditions)
+	return b.String()
+}

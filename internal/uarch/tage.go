@@ -1,0 +1,226 @@
+package uarch
+
+// TAGE: an 8-component tagged-geometric-history predictor in the spirit
+// of Seznec's CBP-TAGE (paper Fig 14 uses an "8-component CBP-TAGE"):
+// one bimodal base table plus seven tagged tables with geometrically
+// increasing history lengths {5..130}. Usefulness counters steer
+// allocation and a use-alt-on-newly-allocated counter reduces cold
+// mispredictions.
+//
+// The speculative global history is a 192-bit shift register; every
+// prediction checkpoints it (plus the provider context) in a bounded
+// ring, and Recover restores the checkpoint on a misprediction — so deep
+// speculation never corrupts training state.
+
+const (
+	tageTables   = 7
+	tageTagBits  = 9
+	tageIdxBits  = 10 // 1K entries per tagged table
+	tageBaseBits = 13 // 8K bimodal entries
+	tageMetaRing = 8192
+)
+
+// Geometric history lengths (min 5, max 130, ratio ~1.72).
+var tageHistLens = [tageTables]int{5, 9, 15, 26, 44, 76, 130}
+
+type tageEntry struct {
+	ctr int8 // -4..3
+	tag uint16
+	use uint8 // 0..3
+}
+
+type tageHistory [3]uint64 // bit 0 = most recent outcome
+
+func (h *tageHistory) push(taken bool) {
+	carry1 := h[0] >> 63
+	carry2 := h[1] >> 63
+	h[0] = h[0]<<1 | b2u(taken)
+	h[1] = h[1]<<1 | carry1
+	h[2] = h[2]<<1 | carry2
+}
+
+// fold compresses the most recent n bits into `bits` output bits.
+func (h *tageHistory) fold(n, bits int) uint32 {
+	var f uint32
+	for i := 0; i < n; i++ {
+		bit := uint32(h[i/64]>>(uint(i)%64)) & 1
+		f ^= bit << (uint(i) % uint(bits))
+	}
+	return f
+}
+
+type tageMeta struct {
+	hist     tageHistory
+	provider int8
+	pred     bool
+	provPred bool
+	altPred  bool
+	idx      [tageTables]uint16 // indices at prediction time
+	tags     [tageTables]uint16
+	baseIdx  uint32
+}
+
+// TAGE is the 8-component predictor.
+type TAGE struct {
+	base   []uint8
+	tables [tageTables][]tageEntry
+	hist   tageHistory
+	useAlt int8
+	rng    uint32
+
+	metas  [tageMetaRing]tageMeta
+	nextID uint64
+
+	Allocations uint64
+}
+
+// NewTAGE builds the predictor.
+func NewTAGE() *TAGE {
+	t := &TAGE{base: make([]uint8, 1<<tageBaseBits), rng: 0x9E3779B9}
+	for i := range t.base {
+		t.base[i] = 1
+	}
+	for i := 0; i < tageTables; i++ {
+		t.tables[i] = make([]tageEntry, 1<<tageIdxBits)
+	}
+	return t
+}
+
+func (t *TAGE) indexOf(table int, pc uint32, h *tageHistory) uint16 {
+	f := h.fold(tageHistLens[table], tageIdxBits)
+	return uint16((pc>>2 ^ pc>>(2+tageIdxBits) ^ f) & (1<<tageIdxBits - 1))
+}
+
+func (t *TAGE) tagOf(table int, pc uint32, h *tageHistory) uint16 {
+	f1 := h.fold(tageHistLens[table], tageTagBits)
+	f2 := h.fold(tageHistLens[table], tageTagBits-1)
+	return uint16((pc>>2 ^ uint32(f1) ^ uint32(f2)<<1) & (1<<tageTagBits - 1))
+}
+
+// Predict implements DirPredictor.
+func (t *TAGE) Predict(pc uint32) (bool, uint64) {
+	m := tageMeta{provider: -1, hist: t.hist, baseIdx: (pc >> 2) & (1<<tageBaseBits - 1)}
+	alt := -1
+	for i := 0; i < tageTables; i++ {
+		m.idx[i] = t.indexOf(i, pc, &t.hist)
+		m.tags[i] = t.tagOf(i, pc, &t.hist)
+	}
+	for i := tageTables - 1; i >= 0; i-- {
+		e := &t.tables[i][m.idx[i]]
+		if e.tag == m.tags[i] {
+			if m.provider < 0 {
+				m.provider = int8(i)
+				m.provPred = e.ctr >= 0
+			} else {
+				alt = i
+				m.altPred = t.tables[i][m.idx[i]].ctr >= 0
+				break
+			}
+		}
+	}
+	basePred := t.base[m.baseIdx] >= 2
+	if alt < 0 {
+		m.altPred = basePred
+	}
+	m.pred = basePred
+	if m.provider >= 0 {
+		e := &t.tables[m.provider][m.idx[m.provider]]
+		weak := e.ctr == 0 || e.ctr == -1
+		if weak && e.use == 0 && t.useAlt >= 0 {
+			m.pred = m.altPred
+		} else {
+			m.pred = m.provPred
+		}
+	}
+	id := t.nextID
+	t.nextID++
+	t.metas[id%tageMetaRing] = m
+	t.hist.push(m.pred)
+	return m.pred, id
+}
+
+// Update implements DirPredictor.
+func (t *TAGE) Update(pc uint32, taken bool, metaID uint64) {
+	m := &t.metas[metaID%tageMetaRing]
+	correct := m.pred == taken
+
+	if m.provider >= 0 {
+		e := &t.tables[m.provider][m.idx[m.provider]]
+		bumpCtr(&e.ctr, taken)
+		if m.provPred != m.altPred {
+			if m.provPred == taken {
+				if e.use < 3 {
+					e.use++
+				}
+			} else if e.use > 0 {
+				e.use--
+			}
+		}
+	} else {
+		c := t.base[m.baseIdx]
+		if taken && c < 3 {
+			t.base[m.baseIdx] = c + 1
+		}
+		if !taken && c > 0 {
+			t.base[m.baseIdx] = c - 1
+		}
+	}
+
+	// use-alt counter training on weak providers.
+	if m.provider >= 0 && m.provPred != m.altPred {
+		if m.altPred == taken && t.useAlt < 7 {
+			t.useAlt++
+		} else if m.provPred == taken && t.useAlt > -8 {
+			t.useAlt--
+		}
+	}
+
+	// Allocate a longer-history entry on misprediction.
+	if !correct && int(m.provider) < tageTables-1 {
+		start := int(m.provider) + 1
+		allocated := false
+		for i := start; i < tageTables; i++ {
+			e := &t.tables[i][m.idx[i]]
+			if e.use == 0 {
+				e.tag = m.tags[i]
+				if taken {
+					e.ctr = 0
+				} else {
+					e.ctr = -1
+				}
+				e.use = 0
+				t.Allocations++
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			t.rng = t.rng*1664525 + 1013904223
+			i := start + int(t.rng%uint32(tageTables-start))
+			e := &t.tables[i][m.idx[i]]
+			if e.use > 0 {
+				e.use--
+			}
+		}
+	}
+}
+
+func bumpCtr(c *int8, taken bool) {
+	if taken && *c < 3 {
+		*c++
+	}
+	if !taken && *c > -4 {
+		*c--
+	}
+}
+
+// Recover implements DirPredictor: restore the checkpointed history and
+// push the actual outcome.
+func (t *TAGE) Recover(metaID uint64, taken bool) {
+	m := &t.metas[metaID%tageMetaRing]
+	t.hist = m.hist
+	t.hist.push(taken)
+}
+
+// Name implements DirPredictor.
+func (t *TAGE) Name() string { return "tage" }

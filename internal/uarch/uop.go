@@ -1,0 +1,84 @@
+package uarch
+
+// Class is the execution class of a micro-operation; it selects the
+// functional-unit pool and latency.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branch
+	ClassJump   // unconditional direct/indirect jump
+	ClassSys    // serializing environment call
+	ClassNop
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"alu", "mul", "div", "load", "store", "branch", "jump", "sys", "nop",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "class?"
+}
+
+// UOpState tracks a µop through the out-of-order backend.
+type UOpState uint8
+
+const (
+	// StateDispatched: in ROB and scheduler, waiting for operands.
+	StateDispatched UOpState = iota
+	// StateIssued: selected, executing in a functional unit.
+	StateIssued
+	// StateDone: result produced; waiting to retire.
+	StateDone
+)
+
+// UOp is an in-flight micro-operation. The ISA-specific front ends fill
+// the physical-register fields; the shared backend machinery (scheduler,
+// LSQ, ROB bookkeeping) reads only what is here.
+type UOp struct {
+	Seq   uint64 // global dynamic sequence number
+	PC    uint32
+	Class Class
+
+	// Physical registers: -1 = none. A source of -1 is always ready.
+	Dest int32
+	Src1 int32
+	Src2 int32
+
+	// Front-end prediction state.
+	PredTaken  bool
+	PredTarget uint32
+	PredMeta   uint64   // direction predictor checkpoint
+	RASSnap    []uint32 // return-address-stack checkpoint (control ops)
+
+	// Execution results (filled at execute).
+	Taken   bool
+	Target  uint32 // actual next PC for control ops
+	Result  uint32
+	MemAddr uint32
+	MemSize uint8
+
+	IsLoad  bool
+	IsStore bool
+	// StoreData is the value to write (valid when DataReady).
+	StoreData uint32
+
+	State     UOpState
+	IssuedAt  int64
+	ReadyAt   int64 // cycle the result becomes available
+	Completed bool
+
+	// Squashed marks wrong-path µops awaiting drain.
+	Squashed bool
+
+	// ISA payload: the cores stash their decoded instruction here.
+	Payload any
+}
