@@ -1,0 +1,15 @@
+.PHONY: build test verify experiments
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Full tier-1 verification: build + vet + tests + race-checked bench.
+verify:
+	sh scripts/verify.sh
+
+# Reproduce every paper figure at the default scale, in parallel.
+experiments:
+	go run ./cmd/experiments -j 0

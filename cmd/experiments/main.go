@@ -1,17 +1,25 @@
 // experiments reproduces every table and figure of the paper's
 // evaluation (§VI) in one run and prints them in the order they appear
 // in the paper. See EXPERIMENTS.md for the recorded paper-vs-measured
-// comparison.
+// comparison and the sweep-engine documentation.
 //
 // Usage:
 //
-//	experiments [-quick] [-dhry N] [-coremark N]
+//	experiments [-quick] [-dhry N] [-coremark N] [-j N] [-json PATH]
+//
+// Sweep points within each section run concurrently on -j workers
+// (default GOMAXPROCS); the printed tables are byte-identical at every
+// worker count. -json writes a machine-readable record of every
+// executed point (cycles, IPC, wall time) plus per-section timings and
+// the estimated speedup over a serial run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"straight/internal/bench"
@@ -19,11 +27,48 @@ import (
 	"straight/internal/uarch"
 )
 
+// report is the -json document.
+type report struct {
+	Scale struct {
+		DhrystoneIters int `json:"dhrystone_iterations"`
+		CoreMarkIters  int `json:"coremark_iterations"`
+		MicroIters     int `json:"micro_iterations"`
+	} `json:"scale"`
+	Quick      bool                `json:"quick"`
+	Workers    int                 `json:"workers"`
+	Sections   []sectionTiming     `json:"sections"`
+	Points     []bench.PointRecord `json:"points"`
+	BuildCache struct {
+		Hits   int64 `json:"hits"`
+		Misses int64 `json:"misses"`
+	} `json:"build_cache"`
+	// WallSecondsTotal is the measured harness wall time;
+	// SerialSecondsEst sums every point's individual wall time, so
+	// their ratio estimates the speedup over a -j 1 run. When workers
+	// exceed the available cores, timesharing inflates per-point wall
+	// times (and therefore the estimate); the wall_seconds_total of an
+	// actual -j 1 run is the true serial baseline.
+	WallSecondsTotal float64 `json:"wall_seconds_total"`
+	SerialSecondsEst float64 `json:"serial_seconds_estimate"`
+	Speedup          float64 `json:"speedup_vs_serial"`
+}
+
+type sectionTiming struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+var sections []sectionTiming
+
 func main() {
 	quick := flag.Bool("quick", false, "use the small test scale")
 	dhry := flag.Int("dhry", 0, "override Dhrystone iterations")
 	coremark := flag.Int("coremark", 0, "override CoreMark iterations")
+	workers := flag.Int("j", 0, "concurrent sweep points (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "", "write machine-readable results to PATH")
 	flag.Parse()
+
+	bench.SetParallelism(*workers)
 
 	scale := bench.ScaleDefault
 	if *quick {
@@ -35,8 +80,10 @@ func main() {
 	if *coremark > 0 {
 		scale.CoreMarkIters = *coremark
 	}
-	fmt.Printf("scale: dhrystone=%d iterations, coremark=%d iterations\n\n",
-		scale.DhrystoneIters, scale.CoreMarkIters)
+	fmt.Printf("scale: dhrystone=%d iterations, coremark=%d iterations; workers=%d\n\n",
+		scale.DhrystoneIters, scale.CoreMarkIters, bench.Parallelism())
+
+	start := time.Now()
 
 	section("Table I", func() {
 		fmt.Print(bench.FormatTableI())
@@ -96,27 +143,59 @@ func main() {
 
 	if *quick {
 		fmt.Println("(skipping ablations and window scaling at -quick; run without -quick for them)")
-		return
+	} else {
+		section("Ablations (design-choice knobs)", func() {
+			rows, err := bench.Ablations(scale)
+			check(err)
+			fmt.Print(bench.FormatAblations(rows))
+		})
+
+		section("Extension: instruction-window scaling", func() {
+			pts, err := bench.WindowScaling(scale)
+			check(err)
+			fmt.Print(bench.FormatWindowScaling(pts))
+		})
 	}
 
-	section("Ablations (design-choice knobs)", func() {
-		rows, err := bench.Ablations(scale)
-		check(err)
-		fmt.Print(bench.FormatAblations(rows))
-	})
+	total := time.Since(start)
+	points := bench.Journal()
+	var serial float64
+	for _, p := range points {
+		serial += p.WallSeconds
+	}
+	hits, misses := bench.BuildCacheStats()
+	fmt.Printf("total: %.1fs wall for %d sweep points (%.1fs simulated serially, %.2fx; builds: %d, cache hits: %d)\n",
+		total.Seconds(), len(points), serial, serial/total.Seconds(), misses, hits)
 
-	section("Extension: instruction-window scaling", func() {
-		pts, err := bench.WindowScaling(scale)
+	if *jsonPath != "" {
+		var rep report
+		rep.Scale.DhrystoneIters = scale.DhrystoneIters
+		rep.Scale.CoreMarkIters = scale.CoreMarkIters
+		rep.Scale.MicroIters = scale.MicroIters
+		rep.Quick = *quick
+		rep.Workers = bench.Parallelism()
+		rep.Sections = sections
+		rep.Points = points
+		rep.BuildCache.Hits = hits
+		rep.BuildCache.Misses = misses
+		rep.WallSecondsTotal = total.Seconds()
+		rep.SerialSecondsEst = serial
+		rep.Speedup = serial / total.Seconds()
+		data, err := json.MarshalIndent(&rep, "", "  ")
 		check(err)
-		fmt.Print(bench.FormatWindowScaling(pts))
-	})
+		data = append(data, '\n')
+		check(os.WriteFile(*jsonPath, data, 0o644))
+		fmt.Printf("wrote %d points to %s\n", len(points), *jsonPath)
+	}
 }
 
 func section(name string, f func()) {
 	fmt.Printf("==== %s ====\n", name)
 	start := time.Now()
 	f()
-	fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	elapsed := time.Since(start)
+	sections = append(sections, sectionTiming{Name: name, WallSeconds: elapsed.Seconds()})
+	fmt.Printf("(%.1fs)\n\n", elapsed.Seconds())
 }
 
 func check(err error) {

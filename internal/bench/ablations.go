@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"straight/internal/program"
 	"straight/internal/uarch"
 	"straight/internal/workloads"
 )
@@ -25,57 +24,42 @@ type AblationRow struct {
 // L1-exceeding micro-stream workload (CoreMark is L1-resident).
 func Ablations(s Scale) ([]AblationRow, error) {
 	n := iters(s, workloads.CoreMark)
-	ssIm, err := BuildRISCV(workloads.CoreMark, n)
-	if err != nil {
-		return nil, err
-	}
-	stIm, err := BuildSTRAIGHT(workloads.CoreMark, n, 31, ModeREP)
-	if err != nil {
-		return nil, err
-	}
-	ssStream, err := BuildRISCV(workloads.MicroStream, 1)
-	if err != nil {
-		return nil, err
-	}
-	stStream, err := BuildSTRAIGHT(workloads.MicroStream, 1, 31, ModeREP)
-	if err != nil {
-		return nil, err
-	}
-
-	run := func(knob string, ss, st *program.Image, mod func(*uarch.Config)) (AblationRow, error) {
-		ssCfg, stCfg := uarch.SS4Way(), uarch.Straight4Way()
-		mod(&ssCfg)
-		mod(&stCfg)
-		ssRes, err := RunSS(ssCfg, ss)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		stRes, err := RunStraight(stCfg, st)
-		if err != nil {
-			return AblationRow{}, err
-		}
-		return AblationRow{Knob: knob, SSCycles: ssRes.Stats.Cycles, StraightCycles: stRes.Stats.Cycles}, nil
-	}
-
-	var rows []AblationRow
-	for _, k := range []struct {
-		name   string
-		ss, st *program.Image
-		mod    func(*uarch.Config)
+	knobs := []struct {
+		name  string
+		w     workloads.Workload
+		iters int
+		mod   func(*uarch.Config)
 	}{
-		{"baseline", ssIm, stIm, func(c *uarch.Config) {}},
-		{"memdep-speculate", ssIm, stIm, func(c *uarch.Config) { c.MemDep = uarch.MemDepAlwaysSpeculate }},
-		{"memdep-wait", ssIm, stIm, func(c *uarch.Config) { c.MemDep = uarch.MemDepAlwaysWait }},
-		{"spadd-per-group-2", ssIm, stIm, func(c *uarch.Config) { c.SPAddPerGroup = 2 }},
-		{"tage", ssIm, stIm, func(c *uarch.Config) { c.Predictor = uarch.PredTAGE }},
-		{"stream-baseline", ssStream, stStream, func(c *uarch.Config) {}},
-		{"stream-no-prefetch", ssStream, stStream, func(c *uarch.Config) { c.NoPrefetch = true }},
-	} {
-		r, err := run(k.name, k.ss, k.st, k.mod)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, r)
+		{"baseline", workloads.CoreMark, n, func(c *uarch.Config) {}},
+		{"memdep-speculate", workloads.CoreMark, n, func(c *uarch.Config) { c.MemDep = uarch.MemDepAlwaysSpeculate }},
+		{"memdep-wait", workloads.CoreMark, n, func(c *uarch.Config) { c.MemDep = uarch.MemDepAlwaysWait }},
+		{"spadd-per-group-2", workloads.CoreMark, n, func(c *uarch.Config) { c.SPAddPerGroup = 2 }},
+		{"tage", workloads.CoreMark, n, func(c *uarch.Config) { c.Predictor = uarch.PredTAGE }},
+		{"stream-baseline", workloads.MicroStream, 1, func(c *uarch.Config) {}},
+		{"stream-no-prefetch", workloads.MicroStream, 1, func(c *uarch.Config) { c.NoPrefetch = true }},
+	}
+
+	var points []SweepPoint
+	for _, k := range knobs {
+		ssCfg, stCfg := uarch.SS4Way(), uarch.Straight4Way()
+		k.mod(&ssCfg)
+		k.mod(&stCfg)
+		points = append(points,
+			SSPoint("Ablations", k.name+"/SS", k.w, k.iters, ssCfg),
+			StraightPoint("Ablations", k.name+"/RE+", k.w, k.iters, ModeREP, stCfg),
+		)
+	}
+	results, err := RunPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for i, k := range knobs {
+		rows = append(rows, AblationRow{
+			Knob:           k.name,
+			SSCycles:       results[2*i].Cycles,
+			StraightCycles: results[2*i+1].Cycles,
+		})
 	}
 	return rows, nil
 }
@@ -114,30 +98,31 @@ type WindowPoint struct {
 // window grow without the ROB-walk penalty growing with it (§III-B).
 func WindowScaling(s Scale) ([]WindowPoint, error) {
 	n := iters(s, workloads.CoreMark)
-	ssIm, err := BuildRISCV(workloads.CoreMark, n)
-	if err != nil {
-		return nil, err
-	}
-	stIm, err := BuildSTRAIGHT(workloads.CoreMark, n, 31, ModeREP)
-	if err != nil {
-		return nil, err
-	}
-	var pts []WindowPoint
-	for _, rob := range []int{64, 128, 224, 448} {
+	robs := []int{64, 128, 224, 448}
+	var points []SweepPoint
+	for _, rob := range robs {
 		ssCfg := uarch.SS4Way()
 		ssCfg.ROBSize = rob
 		ssCfg.RegFileSize = 32 + rob // enough physical registers
 		stCfg := uarch.Straight4Way()
 		stCfg.ROBSize = rob // MAX_RP = 31 + rob follows automatically
-		ssRes, err := RunSS(ssCfg, ssIm)
-		if err != nil {
-			return nil, err
-		}
-		stRes, err := RunStraight(stCfg, stIm)
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, WindowPoint{ROB: rob, SSCycles: ssRes.Stats.Cycles, StraightCycles: stRes.Stats.Cycles})
+		label := fmt.Sprintf("rob-%d", rob)
+		points = append(points,
+			SSPoint("Window scaling", label+"/SS", workloads.CoreMark, n, ssCfg),
+			StraightPoint("Window scaling", label+"/RE+", workloads.CoreMark, n, ModeREP, stCfg),
+		)
+	}
+	results, err := RunPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	var pts []WindowPoint
+	for i, rob := range robs {
+		pts = append(pts, WindowPoint{
+			ROB:            rob,
+			SSCycles:       results[2*i].Cycles,
+			StraightCycles: results[2*i+1].Cycles,
+		})
 	}
 	return pts, nil
 }

@@ -1,14 +1,9 @@
-// Package bench is the experiment harness: for every table and figure of
-// the paper's evaluation (§VI) it compiles the workloads, runs the cycle
-// simulators in the Table I configurations, and produces the same rows or
-// series the paper reports. The root bench_test.go exposes one
-// testing.B benchmark per experiment, and cmd/experiments prints them
-// all.
 package bench
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"straight/internal/backend/riscvbe"
 	"straight/internal/backend/straightbe"
@@ -50,7 +45,7 @@ const (
 	ModeREP CompilerMode = "RE+"
 )
 
-// buildKey caches compiled images across experiments.
+// buildKey identifies one compiled image.
 type buildKey struct {
 	w       workloads.Workload
 	iters   int
@@ -59,17 +54,55 @@ type buildKey struct {
 	mode    CompilerMode
 }
 
+// buildEntry is a singleflight slot: the first caller for a key runs the
+// build inside the Once; every other caller (concurrent or later) blocks
+// on the Once and then reads the immutable result.
+type buildEntry struct {
+	once sync.Once
+	im   *program.Image
+	err  error
+}
+
 var (
-	buildMu    sync.Mutex
-	buildCache = map[buildKey]*program.Image{}
-	irCache    = map[string]*ir.Module{}
+	builds      sync.Map // buildKey -> *buildEntry
+	buildCalls  atomic.Int64
+	buildMisses atomic.Int64
 )
 
+// BuildCacheStats returns the cumulative build-cache counters: hits is
+// the number of Build* calls served from an already-built (or in-flight)
+// image, misses the number of actual compilations.
+func BuildCacheStats() (hits, misses int64) {
+	m := buildMisses.Load()
+	return buildCalls.Load() - m, m
+}
+
+// ResetBuildCache drops every cached image and zeroes the counters
+// (test helper; not safe concurrently with in-flight builds).
+func ResetBuildCache() {
+	builds = sync.Map{}
+	buildCalls.Store(0)
+	buildMisses.Store(0)
+}
+
+// buildOnce runs f exactly once per key, concurrent callers included,
+// and hands every caller the same immutable image.
+func buildOnce(key buildKey, f func() (*program.Image, error)) (*program.Image, error) {
+	buildCalls.Add(1)
+	e, _ := builds.LoadOrStore(key, &buildEntry{})
+	entry := e.(*buildEntry)
+	entry.once.Do(func() {
+		buildMisses.Add(1)
+		entry.im, entry.err = f()
+	})
+	return entry.im, entry.err
+}
+
+// module parses, lowers and optimizes a workload into a fresh IR module.
+// Each build gets its own module: the backends annotate the module they
+// compile (value-ID counters and synthetic values), so a module shared
+// across builds would make compilation order-dependent and racy.
 func module(w workloads.Workload, iters int) (*ir.Module, error) {
-	key := fmt.Sprintf("%s/%d", w, iters)
-	if m, ok := irCache[key]; ok {
-		return m, nil
-	}
 	src, err := workloads.Source(w, iters)
 	if err != nil {
 		return nil, err
@@ -83,59 +116,45 @@ func module(w workloads.Workload, iters int) (*ir.Module, error) {
 		return nil, fmt.Errorf("%s: %w", w, err)
 	}
 	ir.OptimizeModule(mod)
-	irCache[key] = mod
 	return mod, nil
 }
 
-// BuildRISCV compiles (and caches) a workload for the SS core.
+// BuildRISCV compiles a workload for the SS core. Images are cached by
+// (workload, iters): each distinct key is built exactly once, even under
+// concurrent callers, and the returned image is shared read-only.
 func BuildRISCV(w workloads.Workload, iters int) (*program.Image, error) {
-	buildMu.Lock()
-	defer buildMu.Unlock()
-	key := buildKey{w: w, iters: iters, target: "riscv"}
-	if im, ok := buildCache[key]; ok {
-		return im, nil
-	}
-	mod, err := module(w, iters)
-	if err != nil {
-		return nil, err
-	}
-	asm, err := riscvbe.Compile(mod)
-	if err != nil {
-		return nil, err
-	}
-	im, err := rasm.Assemble(asm)
-	if err != nil {
-		return nil, err
-	}
-	buildCache[key] = im
-	return im, nil
+	return buildOnce(buildKey{w: w, iters: iters, target: "riscv"}, func() (*program.Image, error) {
+		mod, err := module(w, iters)
+		if err != nil {
+			return nil, err
+		}
+		asm, err := riscvbe.Compile(mod)
+		if err != nil {
+			return nil, err
+		}
+		return rasm.Assemble(asm)
+	})
 }
 
-// BuildSTRAIGHT compiles (and caches) a workload for the STRAIGHT core.
+// BuildSTRAIGHT compiles a workload for the STRAIGHT core. Images are
+// cached by (workload, iters, maxDist, mode) with the same
+// exactly-once, shared-read-only contract as BuildRISCV.
 func BuildSTRAIGHT(w workloads.Workload, iters, maxDist int, mode CompilerMode) (*program.Image, error) {
-	buildMu.Lock()
-	defer buildMu.Unlock()
 	key := buildKey{w: w, iters: iters, target: "straight", maxDist: maxDist, mode: mode}
-	if im, ok := buildCache[key]; ok {
-		return im, nil
-	}
-	mod, err := module(w, iters)
-	if err != nil {
-		return nil, err
-	}
-	asm, err := straightbe.Compile(mod, straightbe.Options{
-		MaxDistance:    maxDist,
-		RedundancyElim: mode == ModeREP,
+	return buildOnce(key, func() (*program.Image, error) {
+		mod, err := module(w, iters)
+		if err != nil {
+			return nil, err
+		}
+		asm, err := straightbe.Compile(mod, straightbe.Options{
+			MaxDistance:    maxDist,
+			RedundancyElim: mode == ModeREP,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sasm.Assemble(asm)
 	})
-	if err != nil {
-		return nil, err
-	}
-	im, err := sasm.Assemble(asm)
-	if err != nil {
-		return nil, err
-	}
-	buildCache[key] = im
-	return im, nil
 }
 
 const simCycleCap = 2_000_000_000

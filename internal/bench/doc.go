@@ -1,0 +1,43 @@
+// Package bench is the experiment harness: for every table and figure
+// of the paper's evaluation (§VI) it compiles the workloads, runs the
+// cycle simulators in the Table I configurations, and produces the same
+// rows or series the paper reports. The root bench_test.go exposes one
+// testing.B benchmark per experiment, and cmd/experiments prints them
+// all.
+//
+// # Sweep architecture
+//
+// Each experiment decomposes its figure into independent SweepPoints —
+// one (workload, engine, uarch config, compiler mode, iteration count)
+// simulation each — and submits the whole list to a Runner. The Runner
+// executes points on a bounded worker pool (SetParallelism / the
+// cmd/experiments -j flag; GOMAXPROCS by default) and writes each
+// result into a slice slot indexed by the point's submission position,
+// so results always come back in paper order no matter which worker
+// finished first.
+//
+// # Build cache
+//
+// Compiled images are memoized per (workload, iters, target, maxdist,
+// mode) key with singleflight semantics: the first caller — concurrent
+// callers included — runs the build inside a sync.Once, everyone else
+// blocks on that Once and receives the same *program.Image. Images are
+// immutable after assembly and every engine copies text and data into
+// its own memory before running, so one cached image is safely shared
+// read-only by any number of concurrent simulations
+// (TestSharedImagesNotMutated proves this). Each build lowers its own
+// private IR module: the backends annotate the modules they compile, so
+// sharing one module across builds would make code generation
+// order-dependent.
+//
+// # Determinism guarantee
+//
+// A figure table is a pure function of its SweepPoints: builds are
+// deterministic per key, simulations are deterministic per
+// (image, config), results are assembled by submission index, and no
+// mutable state is shared between in-flight points. Consequently
+// cmd/experiments produces byte-identical tables at -j 1 and -j N
+// (TestRunnerDeterministicAcrossParallelism), and the journal consumed
+// by -json lists points in submission order with only wall-clock
+// fields varying between runs.
+package bench

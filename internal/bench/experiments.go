@@ -13,6 +13,11 @@ import (
 	"straight/internal/workloads"
 )
 
+// Every experiment below builds its figure as a flat list of
+// SweepPoints, submits them to the package runner (RunPoints), and
+// assembles rows from the in-order results — so `-j N` parallelism
+// never changes a table.
+
 // ---- Fig 11 / Fig 12: performance comparison ----
 
 // PerfRow is one workload's relative-performance bars (Fig 11/12): SS is
@@ -34,42 +39,48 @@ func (r PerfRow) RelREP() float64 { return float64(r.SSCycles) / float64(r.REPCy
 // Dhrystone and CoreMark on SS vs STRAIGHT RAW and RE+ at equal sizing.
 func PerfComparison(s Scale, fourWay bool, predictor uarch.PredictorKind) ([]PerfRow, error) {
 	ssCfg, stCfg := uarch.SS2Way(), uarch.Straight2Way()
+	section := "Fig 12"
 	if fourWay {
 		ssCfg, stCfg = uarch.SS4Way(), uarch.Straight4Way()
+		section = "Fig 11"
 	}
 	ssCfg.Predictor = predictor
 	stCfg.Predictor = predictor
-	var rows []PerfRow
+	if predictor == uarch.PredTAGE {
+		if fourWay {
+			section = "Fig 14 (4-way)"
+		} else {
+			section = "Fig 14 (2-way)"
+		}
+	}
+
+	var points []SweepPoint
 	for _, w := range workloads.All {
 		n := iters(s, w)
-		ssIm, err := BuildRISCV(w, n)
-		if err != nil {
-			return nil, err
-		}
-		ssRes, err := RunSS(ssCfg, ssIm)
-		if err != nil {
-			return nil, err
-		}
-		row := PerfRow{Workload: w, SSCycles: ssRes.Stats.Cycles}
-		for _, mode := range []CompilerMode{ModeRAW, ModeREP} {
-			im, err := BuildSTRAIGHT(w, n, stCfg.MaxDistance, mode)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunStraight(stCfg, im)
-			if err != nil {
-				return nil, err
-			}
-			if res.Output != ssRes.Output {
-				return nil, fmt.Errorf("%s %s: output mismatch vs SS", w, mode)
-			}
-			if mode == ModeRAW {
-				row.RAWCycles = res.Stats.Cycles
-			} else {
-				row.REPCycles = res.Stats.Cycles
+		points = append(points,
+			SSPoint(section, string(w)+"/SS", w, n, ssCfg),
+			StraightPoint(section, string(w)+"/RAW", w, n, ModeRAW, stCfg),
+			StraightPoint(section, string(w)+"/RE+", w, n, ModeREP, stCfg),
+		)
+	}
+	results, err := RunPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PerfRow
+	for i := 0; i < len(results); i += 3 {
+		ss, raw, rep := results[i], results[i+1], results[i+2]
+		for _, st := range []PointResult{raw, rep} {
+			if st.Output != ss.Output {
+				return nil, fmt.Errorf("%s %s: output mismatch vs SS", st.Point.Workload, st.Point.Mode)
 			}
 		}
-		rows = append(rows, row)
+		rows = append(rows, PerfRow{
+			Workload:  ss.Point.Workload,
+			SSCycles:  ss.Cycles,
+			RAWCycles: raw.Cycles,
+			REPCycles: rep.Cycles,
+		})
 	}
 	return rows, nil
 }
@@ -101,45 +112,34 @@ type MissPenaltyRow struct {
 // SS 2-way performance.
 func MissPenalty(s Scale) ([]MissPenaltyRow, error) {
 	n := iters(s, workloads.CoreMark)
-	ssIm, err := BuildRISCV(workloads.CoreMark, n)
-	if err != nil {
-		return nil, err
-	}
-	var base float64
-	var rows []MissPenaltyRow
-	for _, fourWay := range []bool{false, true} {
+	var points []SweepPoint
+	widths := []string{"2-way", "4-way"}
+	for _, width := range widths {
 		ssCfg, stCfg := uarch.SS2Way(), uarch.Straight2Way()
-		width := "2-way"
-		if fourWay {
+		if width == "4-way" {
 			ssCfg, stCfg = uarch.SS4Way(), uarch.Straight4Way()
-			width = "4-way"
-		}
-		ssRes, err := RunSS(ssCfg, ssIm)
-		if err != nil {
-			return nil, err
 		}
 		idealCfg := ssCfg
 		idealCfg.ZeroMispredictPenalty = true
-		idealRes, err := RunSS(idealCfg, ssIm)
-		if err != nil {
-			return nil, err
-		}
-		stIm, err := BuildSTRAIGHT(workloads.CoreMark, n, stCfg.MaxDistance, ModeREP)
-		if err != nil {
-			return nil, err
-		}
-		stRes, err := RunStraight(stCfg, stIm)
-		if err != nil {
-			return nil, err
-		}
-		if base == 0 {
-			base = float64(ssRes.Stats.Cycles)
-		}
+		points = append(points,
+			SSPoint("Fig 13", width+"/SS", workloads.CoreMark, n, ssCfg),
+			SSPoint("Fig 13", width+"/SS-no-penalty", workloads.CoreMark, n, idealCfg),
+			StraightPoint("Fig 13", width+"/RE+", workloads.CoreMark, n, ModeREP, stCfg),
+		)
+	}
+	results, err := RunPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	base := float64(results[0].Cycles)
+	var rows []MissPenaltyRow
+	for i, width := range widths {
+		ss, ideal, st := results[3*i], results[3*i+1], results[3*i+2]
 		rows = append(rows, MissPenaltyRow{
 			Width:       width,
-			SS:          base / float64(ssRes.Stats.Cycles),
-			SSNoPenalty: base / float64(idealRes.Stats.Cycles),
-			StraightREP: base / float64(stRes.Stats.Cycles),
+			SS:          base / float64(ss.Cycles),
+			SSNoPenalty: base / float64(ideal.Cycles),
+			StraightREP: base / float64(st.Cycles),
 		})
 	}
 	return rows, nil
@@ -177,27 +177,19 @@ func (r MixRow) Total() float64 {
 // retirement mix is microarchitecture-independent).
 func InstructionMix(s Scale) ([]MixRow, error) {
 	n := iters(s, workloads.CoreMark)
-	ssIm, err := BuildRISCV(workloads.CoreMark, n)
+	points := []SweepPoint{
+		{Section: "Fig 15", Label: "SS", Workload: workloads.CoreMark, Core: CoreEmuRISCV, Iters: n},
+		{Section: "Fig 15", Label: "RAW", Workload: workloads.CoreMark, Core: CoreEmuStraight, Iters: n, Mode: ModeRAW, MaxDist: 31},
+		{Section: "Fig 15", Label: "RE+", Workload: workloads.CoreMark, Core: CoreEmuStraight, Iters: n, Mode: ModeREP, MaxDist: 31},
+	}
+	results, err := RunPoints(points)
 	if err != nil {
 		return nil, err
 	}
-	ssEmu, err := EmulateRISCV(ssIm)
-	if err != nil {
-		return nil, err
-	}
-	ssTotal := float64(ssEmu.Stats().Total())
-
-	rows := []MixRow{ssMixRow(ssEmu, ssTotal)}
-	for _, mode := range []CompilerMode{ModeRAW, ModeREP} {
-		im, err := BuildSTRAIGHT(workloads.CoreMark, n, 31, mode)
-		if err != nil {
-			return nil, err
-		}
-		emu, err := EmulateStraight(im)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, straightMixRow(fmt.Sprintf("STRAIGHT(%s)", mode), emu, ssTotal))
+	ssTotal := float64(results[0].EmuRISCV.Stats().Total())
+	rows := []MixRow{ssMixRow(results[0].EmuRISCV, ssTotal)}
+	for _, r := range results[1:] {
+		rows = append(rows, straightMixRow(fmt.Sprintf("STRAIGHT(%s)", r.Point.Mode), r.EmuStraight, ssTotal))
 	}
 	return rows, nil
 }
@@ -273,16 +265,20 @@ type DistancePoint struct {
 // distances, for code generated with the ISA-maximum distance limit
 // (1023), per workload.
 func DistanceCDF(s Scale) (map[workloads.Workload][]DistancePoint, error) {
-	out := make(map[workloads.Workload][]DistancePoint)
+	var points []SweepPoint
 	for _, w := range workloads.All {
-		im, err := BuildSTRAIGHT(w, iters(s, w), 1023, ModeREP)
-		if err != nil {
-			return nil, err
-		}
-		emu, err := EmulateStraight(im)
-		if err != nil {
-			return nil, err
-		}
+		points = append(points, SweepPoint{
+			Section: "Fig 16", Label: string(w), Workload: w,
+			Core: CoreEmuStraight, Iters: iters(s, w), Mode: ModeREP, MaxDist: 1023,
+		})
+	}
+	results, err := RunPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[workloads.Workload][]DistancePoint)
+	for _, r := range results {
+		emu := r.EmuStraight
 		hist := emu.Stats().DistanceHist
 		var total uint64
 		for _, n := range hist {
@@ -305,7 +301,7 @@ func DistanceCDF(s Scale) (map[workloads.Workload][]DistancePoint, error) {
 		if len(pts) == 0 || pts[len(pts)-1].Distance < maxD {
 			pts = append(pts, DistancePoint{Distance: maxD, CumFrac: 1.0})
 		}
-		out[w] = pts
+		out[r.Point.Workload] = pts
 	}
 	return out, nil
 }
@@ -338,28 +334,25 @@ type MaxDistPoint struct {
 func MaxDistSweep(s Scale) ([]MaxDistPoint, error) {
 	n := iters(s, workloads.CoreMark)
 	dists := []int{31, 63, 127, 255, 1023}
-	var pts []MaxDistPoint
-	var base int64
-	// Run in reverse so the 1023 baseline is known first.
-	for i := len(dists) - 1; i >= 0; i-- {
-		d := dists[i]
+	var points []SweepPoint
+	for _, d := range dists {
 		cfg := uarch.Straight4Way()
 		cfg.MaxDistance = d
-		im, err := BuildSTRAIGHT(workloads.CoreMark, n, d, ModeREP)
-		if err != nil {
-			return nil, err
-		}
-		res, err := RunStraight(cfg, im)
-		if err != nil {
-			return nil, err
-		}
-		if d == 1023 {
-			base = res.Stats.Cycles
-		}
-		pts = append([]MaxDistPoint{{MaxDistance: d, Cycles: res.Stats.Cycles}}, pts...)
+		points = append(points, StraightPoint("VI-B", fmt.Sprintf("maxdist-%d", d),
+			workloads.CoreMark, n, ModeREP, cfg))
 	}
-	for i := range pts {
-		pts[i].RelPerf = float64(base) / float64(pts[i].Cycles)
+	results, err := RunPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	base := results[len(results)-1].Cycles // the 1023 configuration
+	pts := make([]MaxDistPoint, len(results))
+	for i, r := range results {
+		pts[i] = MaxDistPoint{
+			MaxDistance: dists[i],
+			Cycles:      r.Cycles,
+			RelPerf:     float64(base) / float64(r.Cycles),
+		}
 	}
 	return pts, nil
 }
@@ -382,22 +375,16 @@ func FormatMaxDist(pts []MaxDistPoint) string {
 // 2.5x and 4.0x clock.
 func PowerAnalysis(s Scale) ([]power.Figure17Row, float64, error) {
 	n := iters(s, workloads.CoreMark)
-	ssIm, err := BuildRISCV(workloads.CoreMark, n)
+	stCfg := uarch.Straight2Way()
+	points := []SweepPoint{
+		SSPoint("Fig 17", "SS", workloads.CoreMark, n, uarch.SS2Way()),
+		StraightPoint("Fig 17", "RE+", workloads.CoreMark, n, ModeREP, stCfg),
+	}
+	results, err := RunPoints(points)
 	if err != nil {
 		return nil, 0, err
 	}
-	ssRes, err := RunSS(uarch.SS2Way(), ssIm)
-	if err != nil {
-		return nil, 0, err
-	}
-	stIm, err := BuildSTRAIGHT(workloads.CoreMark, n, 31, ModeREP)
-	if err != nil {
-		return nil, 0, err
-	}
-	stRes, err := RunStraight(uarch.Straight2Way(), stIm)
-	if err != nil {
-		return nil, 0, err
-	}
+	ssRes, stRes := results[0].SS, results[1].Straight
 	m := power.NewModel()
 	rows := m.Figure17(&ssRes.Stats, &stRes.Stats, []float64{1.0, 2.5, 4.0})
 	return rows, m.RenameShareOfOther(&ssRes.Stats), nil

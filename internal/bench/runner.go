@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"straight/internal/cores/sscore"
+	"straight/internal/cores/straightcore"
+	"straight/internal/emu/riscvemu"
+	"straight/internal/emu/straightemu"
+	"straight/internal/uarch"
+	"straight/internal/workloads"
+)
+
+// CoreKind selects the engine a sweep point runs on.
+type CoreKind string
+
+const (
+	// CoreSS is the cycle-level superscalar baseline.
+	CoreSS CoreKind = "ss"
+	// CoreStraight is the cycle-level STRAIGHT core.
+	CoreStraight CoreKind = "straight"
+	// CoreEmuRISCV is the functional RV32IM emulator (used where the
+	// figure is microarchitecture-independent, e.g. Fig 15).
+	CoreEmuRISCV CoreKind = "emu-riscv"
+	// CoreEmuStraight is the functional STRAIGHT emulator.
+	CoreEmuStraight CoreKind = "emu-straight"
+)
+
+// SweepPoint is one independent (workload, engine, configuration)
+// simulation of a figure sweep. Points carry everything needed to build
+// and run themselves, so a Runner can execute any subset in any order.
+type SweepPoint struct {
+	// Section names the figure or table the point belongs to
+	// (e.g. "Fig 11"); Label identifies the point within it.
+	Section string
+	Label   string
+
+	Workload workloads.Workload
+	Core     CoreKind
+	Iters    int
+
+	// Mode and MaxDist select the STRAIGHT build (ignored for the
+	// RISC-V engines).
+	Mode    CompilerMode
+	MaxDist int
+
+	// Config parameterizes the cycle cores (ignored by the emulators).
+	Config uarch.Config
+}
+
+func (p SweepPoint) name() string {
+	if p.Section == "" {
+		return p.Label
+	}
+	return p.Section + "/" + p.Label
+}
+
+// SSPoint builds a cycle-level SS point.
+func SSPoint(section, label string, w workloads.Workload, iters int, cfg uarch.Config) SweepPoint {
+	return SweepPoint{Section: section, Label: label, Workload: w, Core: CoreSS, Iters: iters, Config: cfg}
+}
+
+// StraightPoint builds a cycle-level STRAIGHT point; the compiled
+// image's distance bound is taken from cfg.MaxDistance so build and
+// model always agree.
+func StraightPoint(section, label string, w workloads.Workload, iters int, mode CompilerMode, cfg uarch.Config) SweepPoint {
+	return SweepPoint{Section: section, Label: label, Workload: w, Core: CoreStraight,
+		Iters: iters, Mode: mode, MaxDist: cfg.MaxDistance, Config: cfg}
+}
+
+// PointResult is the outcome of one executed point. Exactly one of the
+// engine-specific fields is set, matching Point.Core; the scalar
+// summary fields are filled for every engine that has them.
+type PointResult struct {
+	Point   SweepPoint
+	Cycles  int64 // cycle cores only
+	Retired uint64
+	IPC     float64 // cycle cores only
+	Output  string  // cycle cores only (emulators discard console output)
+	Wall    time.Duration
+
+	SS          *sscore.Result
+	Straight    *straightcore.Result
+	EmuRISCV    *riscvemu.Machine
+	EmuStraight *straightemu.Machine
+}
+
+// Runner executes sweep points on a bounded worker pool. The zero value
+// runs with GOMAXPROCS workers.
+type Runner struct {
+	// Workers bounds concurrent points; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes every point and returns results in input order,
+// regardless of completion order, so callers assemble identical tables
+// at any worker count. On failure the lowest-indexed error among the
+// points that ran is returned; points already in flight finish, queued
+// ones are skipped.
+func (r *Runner) Run(points []SweepPoint) ([]PointResult, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]PointResult, len(points))
+	errs := make([]error, len(points))
+
+	var failed atomic.Bool
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				if failed.Load() {
+					errs[idx] = errSkipped
+					continue
+				}
+				res, err := runPoint(points[idx])
+				if err != nil {
+					errs[idx] = fmt.Errorf("%s: %w", points[idx].name(), err)
+					failed.Store(true)
+					continue
+				}
+				results[idx] = res
+			}
+		}()
+	}
+	for i := range points {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil && err != errSkipped {
+			return nil, err
+		}
+	}
+	// All real errors cleared; a point can only be marked skipped if
+	// some other point failed, so reaching here means none did.
+	recordResults(results)
+	return results, nil
+}
+
+// errSkipped marks points abandoned after another point failed; it is
+// never returned to callers.
+var errSkipped = fmt.Errorf("skipped after earlier failure")
+
+func runPoint(p SweepPoint) (PointResult, error) {
+	start := time.Now()
+	res := PointResult{Point: p}
+	switch p.Core {
+	case CoreSS:
+		im, err := BuildRISCV(p.Workload, p.Iters)
+		if err != nil {
+			return res, err
+		}
+		r, err := RunSS(p.Config, im)
+		if err != nil {
+			return res, err
+		}
+		res.SS = r
+		res.Cycles = r.Stats.Cycles
+		res.Retired = r.Stats.Retired
+		res.IPC = r.Stats.IPC()
+		res.Output = r.Output
+	case CoreStraight:
+		im, err := BuildSTRAIGHT(p.Workload, p.Iters, p.MaxDist, p.Mode)
+		if err != nil {
+			return res, err
+		}
+		r, err := RunStraight(p.Config, im)
+		if err != nil {
+			return res, err
+		}
+		res.Straight = r
+		res.Cycles = r.Stats.Cycles
+		res.Retired = r.Stats.Retired
+		res.IPC = r.Stats.IPC()
+		res.Output = r.Output
+	case CoreEmuRISCV:
+		im, err := BuildRISCV(p.Workload, p.Iters)
+		if err != nil {
+			return res, err
+		}
+		m, err := EmulateRISCV(im)
+		if err != nil {
+			return res, err
+		}
+		res.EmuRISCV = m
+		res.Retired = m.InstCount()
+	case CoreEmuStraight:
+		im, err := BuildSTRAIGHT(p.Workload, p.Iters, p.MaxDist, p.Mode)
+		if err != nil {
+			return res, err
+		}
+		m, err := EmulateStraight(im)
+		if err != nil {
+			return res, err
+		}
+		res.EmuStraight = m
+		res.Retired = m.InstCount()
+	default:
+		return res, fmt.Errorf("unknown core kind %q", p.Core)
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// ---- default runner ----
+
+// parallelism is the worker count used by RunPoints (0 = GOMAXPROCS).
+var parallelism atomic.Int32
+
+// SetParallelism sets the worker count of the package-level runner that
+// every experiment submits its points to; n <= 0 restores the
+// GOMAXPROCS default.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int32(n))
+}
+
+// Parallelism reports the effective worker count of RunPoints.
+func Parallelism() int {
+	if n := int(parallelism.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunPoints executes points on the package-level runner (see
+// SetParallelism) and journals every result for machine-readable
+// reporting.
+func RunPoints(points []SweepPoint) ([]PointResult, error) {
+	return (&Runner{Workers: Parallelism()}).Run(points)
+}
+
+// ---- journal ----
+
+// PointRecord is the machine-readable summary of one executed point
+// (cmd/experiments -json emits these).
+type PointRecord struct {
+	Section     string  `json:"section"`
+	Label       string  `json:"label"`
+	Workload    string  `json:"workload"`
+	Core        string  `json:"core"`
+	Mode        string  `json:"mode,omitempty"`
+	MaxDistance int     `json:"max_distance,omitempty"`
+	Iters       int     `json:"iterations"`
+	Config      string  `json:"config,omitempty"`
+	Cycles      int64   `json:"cycles,omitempty"`
+	Retired     uint64  `json:"retired"`
+	IPC         float64 `json:"ipc,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+var (
+	journalMu sync.Mutex
+	journal   []PointRecord
+)
+
+// recordResults appends finished results to the journal in input order
+// (called once per Run, after assembly, so the journal is deterministic
+// up to wall-clock values).
+func recordResults(results []PointResult) {
+	journalMu.Lock()
+	defer journalMu.Unlock()
+	for _, r := range results {
+		p := r.Point
+		rec := PointRecord{
+			Section:     p.Section,
+			Label:       p.Label,
+			Workload:    string(p.Workload),
+			Core:        string(p.Core),
+			Iters:       p.Iters,
+			Cycles:      r.Cycles,
+			Retired:     r.Retired,
+			IPC:         r.IPC,
+			WallSeconds: r.Wall.Seconds(),
+		}
+		if p.Core == CoreStraight || p.Core == CoreEmuStraight {
+			rec.Mode = string(p.Mode)
+			rec.MaxDistance = p.MaxDist
+		}
+		if p.Core == CoreSS || p.Core == CoreStraight {
+			rec.Config = p.Config.Name
+		}
+		journal = append(journal, rec)
+	}
+}
+
+// Journal returns a copy of every point executed through RunPoints (or
+// any Runner) since the last reset, in submission order.
+func Journal() []PointRecord {
+	journalMu.Lock()
+	defer journalMu.Unlock()
+	out := make([]PointRecord, len(journal))
+	copy(out, journal)
+	return out
+}
+
+// ResetJournal clears the journal (test helper).
+func ResetJournal() {
+	journalMu.Lock()
+	defer journalMu.Unlock()
+	journal = nil
+}
