@@ -1,4 +1,4 @@
-.PHONY: build test verify experiments
+.PHONY: build test verify staticcheck fuzz experiments
 
 build:
 	go build ./...
@@ -6,9 +6,20 @@ build:
 test:
 	go test ./...
 
-# Full tier-1 verification: build + vet + tests + race-checked bench.
+# Full tier-1 verification: build + vet (+ staticcheck when installed) +
+# tests + race-checked bench.
 verify:
 	sh scripts/verify.sh
+
+# Run staticcheck alone (version-pinned in CI; skipped by verify.sh with
+# a warning when not installed).
+staticcheck:
+	staticcheck ./...
+
+# Short fuzzing pass over the instruction decoder and the assembler.
+fuzz:
+	go test -run=NONE -fuzz=FuzzDecode -fuzztime=30s ./internal/isa/straight
+	go test -run=NONE -fuzz=FuzzAssemble -fuzztime=30s ./internal/sasm
 
 # Reproduce every paper figure at the default scale, in parallel.
 experiments:

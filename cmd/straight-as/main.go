@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	straight-as file.s
+//	straight-as [-vet] [-d maxdist] file.s
+//
+// With -vet the linked image is additionally checked by the static
+// invariant verifier (see cmd/straight-vet); assembly fails if any
+// STRAIGHT invariant is violated.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -14,16 +19,27 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: straight-as file.s")
+	vet := flag.Bool("vet", false, "verify the STRAIGHT invariants on the linked image")
+	maxDist := flag.Int("d", 0, "operand-distance bound for -vet (0 = ISA maximum)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: straight-as [-vet] [-d maxdist] file.s")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(os.Args[1])
+	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "straight-as:", err)
 		os.Exit(1)
 	}
-	im, err := sasm.Assemble(string(src))
+	var opts []sasm.Option
+	if *vet {
+		opts = append(opts, sasm.WithVerify(*maxDist))
+	}
+	im, err := sasm.Assemble(string(src), opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "straight-as:", err)
 		os.Exit(1)

@@ -1,0 +1,59 @@
+// straight-vet statically verifies the STRAIGHT compiler/ISA contract on
+// assembled programs: distance fixing (every operand resolves to the
+// same producer on every control-flow path), distance bounding, SP
+// discipline, and control-flow structure. See internal/sverify for the
+// exact invariants and DESIGN.md for the paper references.
+//
+// Usage:
+//
+//	straight-vet [-d maxdist] [-q] file.s...
+//
+// Each file is assembled and verified. The exit status is 0 when every
+// image proves all invariants (warnings allowed), 1 when any violation
+// is found, 2 on usage or assembly errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"straight/internal/sasm"
+	"straight/internal/sverify"
+)
+
+func main() {
+	maxDist := flag.Int("d", 0, "operand-distance bound to verify against (0 = ISA maximum)")
+	quiet := flag.Bool("q", false, "suppress per-file reports; only set the exit status")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: straight-vet [-d maxdist] [-q] file.s...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	status := 0
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "straight-vet:", err)
+			os.Exit(2)
+		}
+		im, err := sasm.Assemble(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "straight-vet: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		rep := sverify.Verify(im, sverify.Config{MaxDistance: *maxDist})
+		if !rep.OK() && status == 0 {
+			status = 1
+		}
+		if !*quiet {
+			fmt.Printf("%s: %s\n", path, rep)
+		}
+	}
+	os.Exit(status)
+}

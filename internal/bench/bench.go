@@ -17,6 +17,7 @@ import (
 	"straight/internal/program"
 	"straight/internal/rasm"
 	"straight/internal/sasm"
+	"straight/internal/sverify"
 	"straight/internal/uarch"
 	"straight/internal/workloads"
 )
@@ -153,7 +154,17 @@ func BuildSTRAIGHT(w workloads.Workload, iters, maxDist int, mode CompilerMode) 
 		if err != nil {
 			return nil, err
 		}
-		return sasm.Assemble(asm)
+		im, err := sasm.Assemble(asm)
+		if err != nil {
+			return nil, err
+		}
+		// Verification runs inside the singleflight closure, so each
+		// distinct build key is proven hazard-consistent exactly once no
+		// matter how many sweep points share the image.
+		if err := sverify.Check(im, sverify.Config{MaxDistance: maxDist}); err != nil {
+			return nil, fmt.Errorf("%s d=%d %s: %w", w, maxDist, mode, err)
+		}
+		return im, nil
 	})
 }
 

@@ -13,12 +13,14 @@ import (
 	"straight/internal/backend/straightbe"
 	"straight/internal/cores/sscore"
 	"straight/internal/cores/straightcore"
+	"straight/internal/emu/straightemu"
 	"straight/internal/ir"
 	"straight/internal/irgen"
 	"straight/internal/minic"
 	"straight/internal/program"
 	"straight/internal/rasm"
 	"straight/internal/sasm"
+	"straight/internal/sverify"
 	"straight/internal/uarch"
 	"straight/internal/workloads"
 )
@@ -151,6 +153,45 @@ func TestStraightCoreCrossValidated(t *testing.T) {
 				}
 				if res.Stats.IPC() <= 0.05 || res.Stats.IPC() > float64(cfg.IssueWidth) {
 					t.Errorf("%s: implausible IPC %.3f\n%s", cfg.Name, res.Stats.IPC(), res.Stats.String())
+				}
+			}
+		})
+	}
+}
+
+// TestStrictEmulationMatchesStaticVerdict cross-validates the static
+// verifier dynamically: every compiled workload that sverify proves
+// hazard-consistent must also run to completion under the emulator's
+// strict mode, which faults on any read beyond the distance bound or of
+// a never-written slot.
+func TestStrictEmulationMatchesStaticVerdict(t *testing.T) {
+	iters := map[workloads.Workload]int{
+		workloads.Dhrystone: 3, workloads.CoreMark: 1,
+		workloads.MicroFib: 1, workloads.MicroPointer: 1,
+	}
+	for _, w := range []workloads.Workload{
+		workloads.Dhrystone, workloads.CoreMark,
+		workloads.MicroFib, workloads.MicroPointer,
+	} {
+		w := w
+		t.Run(string(w), func(t *testing.T) {
+			mod := buildIR(t, w, iters[w])
+			for _, opts := range []straightbe.Options{
+				{MaxDistance: 31, RedundancyElim: true},
+				{MaxDistance: 1023},
+			} {
+				im := buildSTRAIGHT(t, mod, opts)
+				if err := sverify.Check(im, sverify.Config{MaxDistance: opts.MaxDistance}); err != nil {
+					t.Fatalf("static verdict d=%d: %v", opts.MaxDistance, err)
+				}
+				m := straightemu.New(im)
+				m.SetStrict(opts.MaxDistance)
+				if _, err := m.Run(200_000_000); err != nil {
+					t.Fatalf("strict emulation d=%d re=%v faulted where the static verifier passed: %v",
+						opts.MaxDistance, opts.RedundancyElim, err)
+				}
+				if ok, code := m.Exited(); !ok || code != 0 {
+					t.Fatalf("d=%d: exited=%v code=%d", opts.MaxDistance, ok, code)
 				}
 			}
 		})

@@ -23,6 +23,7 @@ import (
 	"straight/internal/minic"
 	"straight/internal/rasm"
 	"straight/internal/sasm"
+	"straight/internal/sverify"
 )
 
 // progGen builds random programs from a bounded grammar. All generated
@@ -207,7 +208,13 @@ func runAllEngines(t *testing.T, src string) []string {
 		if err != nil {
 			t.Fatalf("sasm: %v", err)
 		}
+		// Static check at the same config the dynamic run exercises, so
+		// both layers cover the identical compile matrix.
+		if err := sverify.Check(im, sverify.Config{MaxDistance: opts.MaxDistance}); err != nil {
+			t.Fatalf("sverify %+v: %v\n%s", opts, err, src)
+		}
 		m := straightemu.New(im)
+		m.SetStrict(opts.MaxDistance)
 		var sbuf bytes.Buffer
 		m.SetOutput(&sbuf)
 		if _, err := m.Run(200_000_000); err != nil {

@@ -79,6 +79,11 @@ type Machine struct {
 	stats      Stats
 	collectHot bool
 
+	// strictBound, when non-zero, makes Step fault on any source read
+	// beyond that distance or of a slot no instruction has written yet —
+	// the dynamic counterpart of the static checks in internal/sverify.
+	strictBound uint16
+
 	// TraceFn, when non-nil, receives every retired instruction. The cycle
 	// simulator's cross-validation and the examples' tracing hook in here.
 	TraceFn func(Retired)
@@ -112,6 +117,19 @@ func New(im *program.Image) *Machine {
 // SetOutput directs console syscall output (SysPutc etc.) to w.
 func (m *Machine) SetOutput(w io.Writer) { m.out = w }
 
+// SetStrict enables strict mode: any source operand read at a distance
+// greater than maxDist, or reaching a slot no instruction has written
+// yet (before program start), faults instead of silently reading stale
+// or zero ring contents. maxDist 0 selects the ISA maximum. Strict mode
+// turns the compiler contract the hardware assumes into a dynamic
+// assertion, cross-validating the static verifier.
+func (m *Machine) SetStrict(maxDist int) {
+	if maxDist <= 0 || maxDist > straight.MaxDistance {
+		maxDist = straight.MaxDistance
+	}
+	m.strictBound = uint16(maxDist)
+}
+
 // Mem exposes the machine memory (for test setup and inspection).
 func (m *Machine) Mem() *program.Memory { return m.mem }
 
@@ -144,6 +162,34 @@ func (m *Machine) fault(msg string, args ...any) error {
 	return &Fault{PC: m.pc, Count: m.count, Msg: fmt.Sprintf(msg, args...)}
 }
 
+// strictCheck validates the instruction's source distances before it
+// executes (strict mode).
+func (m *Machine) strictCheck(inst straight.Inst) error {
+	check := func(d uint16) error {
+		if d == 0 {
+			return nil
+		}
+		if d > m.strictBound {
+			return m.fault("strict: %s reads distance %d beyond bound %d", inst.Op, d, m.strictBound)
+		}
+		if uint64(d) > m.count {
+			return m.fault("strict: %s reads [%d] but only %d instruction(s) have executed (never-written slot)",
+				inst.Op, d, m.count)
+		}
+		return nil
+	}
+	switch inst.Op.Format() {
+	case straight.FmtR, straight.FmtS:
+		if err := check(inst.Src1); err != nil {
+			return err
+		}
+		return check(inst.Src2)
+	case straight.FmtI, straight.FmtJR:
+		return check(inst.Src1)
+	}
+	return nil
+}
+
 // Step executes one instruction. It returns io.EOF after SYS exit.
 func (m *Machine) Step() error {
 	if m.exited {
@@ -156,6 +202,11 @@ func (m *Machine) Step() error {
 	inst, err := straight.Decode(w)
 	if err != nil {
 		return m.fault("%v", err)
+	}
+	if m.strictBound != 0 {
+		if err := m.strictCheck(inst); err != nil {
+			return err
+		}
 	}
 
 	read := func(d uint16) uint32 {

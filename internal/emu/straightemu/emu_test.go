@@ -2,6 +2,7 @@ package straightemu
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 
@@ -295,5 +296,88 @@ main:
 	m.Mem().Store(0x20000000, 42, 4)
 	if c.Mem().Load(0x20000000, 4) == 42 {
 		t.Error("clone memory must be isolated")
+	}
+}
+
+// TestStrictModeNeverWrittenSlot: reading a slot older than the first
+// executed instruction faults in strict mode but silently reads zero
+// otherwise.
+func TestStrictModeNeverWrittenSlot(t *testing.T) {
+	im, err := sasm.Assemble("main:\n ADD [1], [2]\n SYS exit, [0]\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-strict: the ring is zero-initialized, so the program runs.
+	if _, err := New(im).Run(100); err != nil {
+		t.Fatalf("non-strict run: %v", err)
+	}
+	m := New(im)
+	m.SetStrict(0)
+	_, err = m.Run(100)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("strict run: got %v, want Fault", err)
+	}
+	if f.PC != im.Entry {
+		t.Errorf("fault PC %#x, want entry %#x", f.PC, im.Entry)
+	}
+}
+
+// TestStrictModeOverBound: a read beyond the configured distance bound
+// faults only in strict mode.
+func TestStrictModeOverBound(t *testing.T) {
+	src := `main:
+ ADDi [0], 1
+ ADDi [0], 2
+ ADDi [0], 3
+ ADDi [0], 4
+ ADDi [0], 5
+ RMOV [5]
+ SYS exit, [0]
+`
+	im, err := sasm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(im).Run(100); err != nil {
+		t.Fatalf("non-strict run: %v", err)
+	}
+	m := New(im)
+	m.SetStrict(4)
+	_, err = m.Run(100)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("strict run at bound 4: got %v, want Fault", err)
+	}
+	// At bound 5 the same program is legal.
+	m = New(im)
+	m.SetStrict(5)
+	if _, err := m.Run(100); err != nil {
+		t.Fatalf("strict run at bound 5: %v", err)
+	}
+}
+
+// TestStrictModeAcceptsValidProgram: strict mode is transparent for
+// well-formed code, including across calls.
+func TestStrictModeAcceptsValidProgram(t *testing.T) {
+	src := `main:
+ ADDi [0], 20
+ JAL double
+ SYS exit, [0]
+double:
+ ADD [2], [2]
+ JR [2]
+`
+	im, err := sasm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(im)
+	m.SetStrict(31)
+	if _, err := m.Run(100); err != nil {
+		t.Fatalf("strict run: %v", err)
+	}
+	if ok, _ := m.Exited(); !ok {
+		t.Fatal("program did not exit")
 	}
 }

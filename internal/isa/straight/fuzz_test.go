@@ -1,0 +1,52 @@
+package straight
+
+import "testing"
+
+// FuzzDecode checks the decoder is total (never panics) and that every
+// decodable word round-trips: the decoded instruction must re-encode
+// without error and decode back to the identical Inst. (Word-level
+// identity is not required: formats with unused bit ranges — e.g. FmtN —
+// decode many words to one canonical instruction.)
+func FuzzDecode(f *testing.F) {
+	seeds := []uint32{
+		0x00000000, // NOP
+		0xffffffff, // invalid opcode space
+		mustEncode(Inst{Op: ADD, Src1: 1, Src2: 2}),
+		mustEncode(Inst{Op: ADDI, Src1: 3, Imm: -42}),
+		mustEncode(Inst{Op: SW, Src1: 4, Src2: 7, Imm: 4}),
+		mustEncode(Inst{Op: LUI, Imm: 0x123456}),
+		mustEncode(Inst{Op: J, Imm: -64}),
+		mustEncode(Inst{Op: JR, Src1: 5}),
+		mustEncode(Inst{Op: SPADD, Imm: -16}),
+		mustEncode(Inst{Op: SYS, Src1: 1, Imm: SysExit}),
+		mustEncode(Inst{Op: BEZ, Src1: 1023, Imm: 8191}),
+	}
+	for _, w := range seeds {
+		f.Add(w)
+	}
+	f.Fuzz(func(t *testing.T, w uint32) {
+		inst, err := Decode(w)
+		if err != nil {
+			return // undecodable words just have to fail cleanly
+		}
+		w2, err := Encode(inst)
+		if err != nil {
+			t.Fatalf("decoded %#08x to %v, which does not re-encode: %v", w, inst, err)
+		}
+		inst2, err := Decode(w2)
+		if err != nil {
+			t.Fatalf("re-encoded %v to %#08x, which does not decode: %v", inst, w2, err)
+		}
+		if inst2 != inst {
+			t.Fatalf("round trip changed the instruction: %#08x -> %v -> %#08x -> %v", w, inst, w2, inst2)
+		}
+	})
+}
+
+func mustEncode(inst Inst) uint32 {
+	w, err := Encode(inst)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

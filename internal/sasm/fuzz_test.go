@@ -1,0 +1,47 @@
+package sasm
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzAssemble checks the assembler is total over arbitrary source text:
+// it must never panic, and every failure must be reported as a *Error
+// carrying a line number within the input (line 0 is reserved for
+// whole-image verification failures).
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"main:\n NOP\n",
+		"main:\n ADD [1], [2]\n SYS exit, [0]\n",
+		"main:\n BEZ [1], main\n J main\n",
+		" .data\nv:\n .word 1, 2, v\n .asciz \"hi\"\n .text\nmain:\n LUI hi(v)\n ORi [1], lo(v)\n",
+		" .entry f\nf:\n SPADD -16\n JR [2]\n",
+		"main:\n ADDi [0], 99999999999\n",
+		"main:\n LD [1]\n",
+		"label only:\n",
+		"main:\n J missing\n",
+		" .word 1\n",
+		" .align 3\n",
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		im, err := Assemble(src)
+		if err == nil {
+			if im == nil {
+				t.Fatal("nil image with nil error")
+			}
+			return
+		}
+		var ae *Error
+		if !errors.As(err, &ae) {
+			t.Fatalf("error is %T, want *sasm.Error: %v", err, err)
+		}
+		if ae.Line < 0 {
+			t.Fatalf("error carries negative line %d: %v", ae.Line, err)
+		}
+	})
+}

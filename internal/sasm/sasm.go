@@ -28,6 +28,7 @@ import (
 
 	"straight/internal/isa/straight"
 	"straight/internal/program"
+	"straight/internal/sverify"
 )
 
 // Error describes an assembly failure with its source position.
@@ -61,6 +62,8 @@ type assembler struct {
 	textBase   uint32
 	dataBase   uint32
 	dataFixups []dataFixup
+	verify     bool
+	verifyCfg  sverify.Config
 }
 
 // Option configures the assembler.
@@ -69,6 +72,17 @@ type Option func(*assembler)
 // WithBases overrides the default text/data load addresses.
 func WithBases(textBase, dataBase uint32) Option {
 	return func(a *assembler) { a.textBase, a.dataBase = textBase, dataBase }
+}
+
+// WithVerify runs the static invariant verifier (internal/sverify) over
+// the linked image and fails assembly if any STRAIGHT invariant is
+// violated. maxDistance is the operand-distance bound to verify against
+// (0 means the ISA maximum).
+func WithVerify(maxDistance int) Option {
+	return func(a *assembler) {
+		a.verify = true
+		a.verifyCfg = sverify.Config{MaxDistance: maxDistance}
+	}
 }
 
 // Assemble assembles STRAIGHT assembly source into a linked image.
@@ -86,7 +100,16 @@ func Assemble(src string, opts ...Option) (*program.Image, error) {
 	if err := a.firstPass(src); err != nil {
 		return nil, err
 	}
-	return a.secondPass()
+	im, err := a.secondPass()
+	if err != nil {
+		return nil, err
+	}
+	if a.verify {
+		if err := sverify.Check(im, a.verifyCfg); err != nil {
+			return nil, &Error{0, err.Error()}
+		}
+	}
+	return im, nil
 }
 
 // firstPass splits the source into labeled items, lays out both sections
@@ -122,6 +145,9 @@ func (a *assembler) firstPass(src string) error {
 			continue
 		}
 		fields := splitOperands(line)
+		if len(fields) == 0 {
+			continue // nothing but separators
+		}
 		mnem := fields[0]
 		ops := fields[1:]
 		if strings.HasPrefix(mnem, ".") {

@@ -1,0 +1,282 @@
+// Package sverify statically verifies the STRAIGHT compiler/ISA contract
+// on linked images. STRAIGHT hardware never re-checks the invariants the
+// compiler must enforce (paper §IV-C): a miscompile does not fault, it
+// silently reads the wrong producer. This package reconstructs the
+// control-flow graph of every function in a decoded image and runs a
+// forward dataflow analysis that proves, on every static path:
+//
+//   - Distance bounding (§IV-C3): no source operand distance exceeds the
+//     configured bound.
+//   - Distance fixing (§IV-C2): every source distance resolves to the
+//     same producer slot on every control-flow path. The analysis tracks
+//     the register-pointer offset since the last "window barrier" (the
+//     function entry or the most recent call return) as a per-path depth
+//     range; an operand that reaches past the barrier on some paths but
+//     not others, or lands on different caller slots depending on the
+//     path taken, is a hazard the hardware cannot detect.
+//   - No uninitialized reads: in the program's entry function an operand
+//     must never reach past the first executed instruction, and a read
+//     across a call boundary may only name the callee's fixed return
+//     sequence (the JR at distance 1, the return value at distance 2 —
+//     anything deeper depends on the callee's dynamic path length).
+//   - SP discipline: SPADD is the only SP writer; the cumulative SP
+//     offset must agree at every join point and be zero at every return.
+//   - Structural sanity: decodable text, branch targets inside the
+//     current function, no fall-through off the end of a function or
+//     into another function's entry, and (as a warning) no unreachable
+//     non-NOP text.
+//
+// The verifier is sound for the code-generation discipline straightbe
+// emits (every predecessor edge of a block ends with that block's frame
+// produce sequence plus exactly one control slot) and precise enough to
+// accept all compiled workloads while rejecting each invariant-violation
+// class; see the negative tests for crafted counterexamples.
+package sverify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"straight/internal/isa/straight"
+	"straight/internal/program"
+)
+
+// Config parameterizes a verification run.
+type Config struct {
+	// MaxDistance is the operand-distance bound to verify against: the
+	// compile-time bound of the image (31 for the paper's simulated
+	// models). Zero means the ISA maximum (1023).
+	MaxDistance int
+	// MaxCallReach is how many slots past a call boundary an operand may
+	// reach: the calling convention fixes the callee's return sequence,
+	// putting its JR at distance 1 and the return value at distance 2.
+	// Zero means 2.
+	MaxCallReach int
+}
+
+func (c Config) bound() int {
+	if c.MaxDistance == 0 {
+		return straight.MaxDistance
+	}
+	return c.MaxDistance
+}
+
+func (c Config) callReach() int {
+	if c.MaxCallReach == 0 {
+		return 2
+	}
+	return c.MaxCallReach
+}
+
+// Kind classifies a diagnostic.
+type Kind uint8
+
+const (
+	// BadDecode: a reachable instruction word does not decode.
+	BadDecode Kind = iota
+	// OverBound: a source distance exceeds the configured bound.
+	OverBound
+	// ReadBeforeEntry: an operand in the program's entry function
+	// reaches past the first executed instruction (uninitialized read).
+	ReadBeforeEntry
+	// JoinMismatch: a register-pointer offset mismatch at a join — the
+	// operand resolves to different producers depending on the path
+	// taken to reach it (distance-fixing violation).
+	JoinMismatch
+	// CrossCall: an operand reaches past a call boundary deeper than the
+	// callee's fixed return sequence, so its producer depends on the
+	// callee's dynamic path length.
+	CrossCall
+	// SPMismatch: the cumulative SP offset differs between two paths
+	// reaching the same join point.
+	SPMismatch
+	// UnbalancedSP: a return (JR) with a nonzero cumulative SP offset.
+	UnbalancedSP
+	// BadTarget: a branch or jump target outside the text segment or
+	// into another function's entry point.
+	BadTarget
+	// FallOff: control falls through the end of the text segment or
+	// into another function's entry point.
+	FallOff
+	// Unreachable (warning): non-NOP text no function walk reaches.
+	Unreachable
+)
+
+var kindNames = [...]string{
+	BadDecode:       "bad-decode",
+	OverBound:       "over-bound-distance",
+	ReadBeforeEntry: "read-before-entry",
+	JoinMismatch:    "join-rp-mismatch",
+	CrossCall:       "cross-call-read",
+	SPMismatch:      "sp-join-mismatch",
+	UnbalancedSP:    "sp-unbalanced-return",
+	BadTarget:       "bad-target",
+	FallOff:         "fall-off-function",
+	Unreachable:     "unreachable-text",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Warning reports whether the kind is advisory rather than a violation.
+func (k Kind) Warning() bool { return k == Unreachable }
+
+// Path describes one of the two conflicting paths behind a join
+// diagnostic: the join point, the predecessor the path arrived through,
+// and the abstract state it carried.
+type Path struct {
+	// JoinPC is the join point where the paths met.
+	JoinPC uint32
+	// PredPC is the address of the last instruction of the predecessor
+	// block this path arrived through.
+	PredPC uint32
+	// Depth is the path's instruction count since the window barrier
+	// (capped at the bound + 1 when deeper).
+	Depth int
+	// SP is the path's cumulative SP offset in bytes.
+	SP int32
+}
+
+// Diagnostic is one verification finding.
+type Diagnostic struct {
+	Kind Kind
+	// PC is the faulting instruction (for join-point diagnostics, the
+	// first instruction of the join block).
+	PC uint32
+	// Func is the entry address of the function being analyzed.
+	Func uint32
+	// Msg is the human-readable explanation.
+	Msg string
+	// Paths holds the two conflicting paths for JoinMismatch and
+	// SPMismatch diagnostics (HavePaths reports validity).
+	Paths     [2]Path
+	HavePaths bool
+}
+
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%#08x: %s: %s", d.PC, d.Kind, d.Msg)
+	if d.HavePaths {
+		s += fmt.Sprintf("\n  path A: via %#08x (depth %d, sp %+d)\n  path B: via %#08x (depth %d, sp %+d)",
+			d.Paths[0].PredPC, d.Paths[0].Depth, d.Paths[0].SP,
+			d.Paths[1].PredPC, d.Paths[1].Depth, d.Paths[1].SP)
+	}
+	return s
+}
+
+// Report is the result of verifying one image.
+type Report struct {
+	Diags []Diagnostic
+	// Funcs is the number of function entry points analyzed.
+	Funcs int
+	// Insns is the number of distinct reachable instructions analyzed.
+	Insns int
+
+	im *program.Image
+}
+
+// ErrorCount returns the number of non-warning diagnostics.
+func (r *Report) ErrorCount() int {
+	n := 0
+	for _, d := range r.Diags {
+		if !d.Kind.Warning() {
+			n++
+		}
+	}
+	return n
+}
+
+// OK reports whether the image verified without violations (warnings are
+// allowed).
+func (r *Report) OK() bool { return r.ErrorCount() == 0 }
+
+// String renders the full report: a summary line, then every diagnostic
+// with a disassembly window around its faulting PC.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sverify: %d function(s), %d instruction(s): %d violation(s), %d warning(s)\n",
+		r.Funcs, r.Insns, r.ErrorCount(), len(r.Diags)-r.ErrorCount())
+	for _, d := range r.Diags {
+		fmt.Fprintf(&b, "\n%s\n%s", d, Window(r.im, d.PC, 3))
+	}
+	return b.String()
+}
+
+// Verify analyzes the image and returns the full report.
+func Verify(im *program.Image, cfg Config) *Report {
+	a := newAnalyzer(im, cfg)
+	a.run()
+	sort.SliceStable(a.report.Diags, func(i, j int) bool {
+		di, dj := a.report.Diags[i], a.report.Diags[j]
+		if di.Kind.Warning() != dj.Kind.Warning() {
+			return !di.Kind.Warning()
+		}
+		return di.PC < dj.PC
+	})
+	return a.report
+}
+
+// Check verifies the image and returns a non-nil error describing the
+// first violations if any invariant fails. It is the form the toolchain
+// embeds as an assertion.
+func Check(im *program.Image, cfg Config) error {
+	rep := Verify(im, cfg)
+	if rep.OK() {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sverify: %d violation(s)", rep.ErrorCount())
+	shown := 0
+	for _, d := range rep.Diags {
+		if d.Kind.Warning() {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s\n%s", d, Window(im, d.PC, 2))
+		if shown++; shown == 3 {
+			if rep.ErrorCount() > shown {
+				fmt.Fprintf(&b, "\n... and %d more", rep.ErrorCount()-shown)
+			}
+			break
+		}
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Window renders a disassembly window of ±radius instructions around pc,
+// marking pc and prefixing symbol labels, for diagnostics.
+func Window(im *program.Image, pc uint32, radius int) string {
+	if im == nil || !im.ContainsText(pc&^3) {
+		return ""
+	}
+	var b strings.Builder
+	start := int64(pc) - int64(radius)*program.InstructionBytes
+	for i := 0; i <= 2*radius; i++ {
+		addr := start + int64(i)*program.InstructionBytes
+		if addr < int64(im.TextBase) || !im.ContainsText(uint32(addr)) {
+			continue
+		}
+		a := uint32(addr)
+		if name, off, ok := im.NearestSymbol(a); ok && off == 0 {
+			fmt.Fprintf(&b, "  %s:\n", name)
+		}
+		w, err := im.FetchWord(a)
+		mark := "   "
+		if a == pc {
+			mark = " > "
+		}
+		if err != nil {
+			continue
+		}
+		inst, derr := straight.Decode(w)
+		if derr != nil {
+			fmt.Fprintf(&b, "%s%08x: %08x  <invalid>\n", mark, a, w)
+			continue
+		}
+		fmt.Fprintf(&b, "%s%08x: %08x  %s\n", mark, a, w, inst)
+	}
+	return b.String()
+}

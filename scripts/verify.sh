@@ -3,9 +3,22 @@
 # build everything, vet, run the full test suite, and re-run the
 # experiment harness under the race detector — the sweep runner executes
 # simulations concurrently, so bench must stay race-clean.
+#
+# The test suite includes the static invariant verifier (internal/sverify):
+# every compiled image in difftest/coretest/bench is proven to satisfy the
+# STRAIGHT distance invariants as part of `go test ./...`.
 set -ex
 
 go build ./...
 go vet ./...
+
+# staticcheck is optional: run it when available (CI pins a version; see
+# .github/workflows/ci.yml), warn and continue when it is not installed.
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "warning: staticcheck not found; skipping (install honnef.co/go/tools/cmd/staticcheck)" >&2
+fi
+
 go test ./...
 go test -race ./internal/bench/...
