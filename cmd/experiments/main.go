@@ -66,9 +66,17 @@ func main() {
 	coremark := flag.Int("coremark", 0, "override CoreMark iterations")
 	workers := flag.Int("j", 0, "concurrent sweep points (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "", "write machine-readable results to PATH")
+	tracePath := flag.String("trace", "", "write a Kanata pipeline trace of one sweep point to PATH")
+	tracePoint := flag.String("trace-point", "Fig 11/coremark/RE+", "sweep point to trace (Section/Label)")
+	traceWindow := flag.Int64("trace-window", 0, "trace time-series window in cycles (0 = default)")
 	flag.Parse()
 
 	bench.SetParallelism(*workers)
+	if *tracePath != "" {
+		bench.SetTraceTarget(&bench.TraceTarget{
+			Point: *tracePoint, Path: *tracePath, Window: *traceWindow,
+		})
+	}
 
 	scale := bench.ScaleDefault
 	if *quick {
@@ -166,6 +174,14 @@ func main() {
 	hits, misses := bench.BuildCacheStats()
 	fmt.Printf("total: %.1fs wall for %d sweep points (%.1fs simulated serially, %.2fx; builds: %d, cache hits: %d)\n",
 		total.Seconds(), len(points), serial, serial/total.Seconds(), misses, hits)
+
+	if *tracePath != "" {
+		if bench.TraceTargetClaimed() {
+			fmt.Printf("traced %q to %s (analyze with: straight-trace %s)\n", *tracePoint, *tracePath, *tracePath)
+		} else {
+			fmt.Printf("warning: trace point %q never ran; no trace written (check the Section/Label name in -json output)\n", *tracePoint)
+		}
+	}
 
 	if *jsonPath != "" {
 		var rep report

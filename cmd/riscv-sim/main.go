@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	riscv-sim [-config 2way|4way] [-tage] [-nopenalty] [-validate] file.s
+//	riscv-sim [-config 2way|4way] [-tage] [-nopenalty] [-validate] [-trace out.kanata] file.s
 package main
 
 import (
@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"straight/internal/cores/sscore"
+	"straight/internal/ptrace"
 	"straight/internal/rasm"
 	"straight/internal/uarch"
 )
@@ -21,6 +22,8 @@ func main() {
 	tage := flag.Bool("tage", false, "use the TAGE predictor instead of gshare")
 	nopenalty := flag.Bool("nopenalty", false, "idealize misprediction recovery (Fig 13)")
 	validate := flag.Bool("validate", false, "cross-validate against the functional emulator")
+	tracePath := flag.String("trace", "", "write a Kanata pipeline trace to this path (plus <path>.series.json)")
+	traceWindow := flag.Int64("trace-window", 0, "trace time-series window in cycles (0 = default)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: riscv-sim [flags] file.s")
@@ -43,12 +46,36 @@ func main() {
 	}
 	cfg.ZeroMispredictPenalty = *nopenalty
 	opts := sscore.Options{CrossValidate: *validate, Output: os.Stdout}
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Tracer = ptrace.New(traceFile, ptrace.Config{Window: *traceWindow})
+	}
 	res, err := sscore.New(cfg, im, opts).Run(opts)
 	if err != nil {
 		fatal(err)
 	}
+	if opts.Tracer != nil {
+		if err := finishTrace(opts.Tracer, traceFile, *tracePath); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %s (series: %s)\n", *tracePath, ptrace.SeriesPath(*tracePath))
+	}
 	fmt.Fprintf(os.Stderr, "\n--- %s ---\n%s", cfg.Name, res.Stats.String())
 	os.Exit(int(res.ExitCode))
+}
+
+func finishTrace(tr *ptrace.Tracer, f *os.File, path string) error {
+	if err := tr.Close(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return ptrace.WriteSeriesFile(ptrace.SeriesPath(path), tr.Series())
 }
 
 func fatal(err error) {

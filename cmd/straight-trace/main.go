@@ -1,0 +1,60 @@
+// straight-trace analyzes a Kanata pipeline trace produced by
+// straight-sim, riscv-sim, or cmd/experiments -trace: stage-latency
+// histograms, the longest-lived instructions with their dependence
+// edges, and — when the <trace>.series.json sidecar is present — the
+// stall-cause accounting table and windowed time series.
+//
+// Usage:
+//
+//	straight-trace [-top N] [-windows] trace.kanata
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"straight/internal/ptrace"
+)
+
+func main() {
+	topN := flag.Int("top", 10, "longest-lived instructions to list")
+	windows := flag.Bool("windows", false, "print the windowed time series")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: straight-trace [-top N] [-windows] trace.kanata")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := ptrace.Parse(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(ptrace.Analyze(tr).Format(*topN))
+
+	series, err := ptrace.ReadSeriesFile(ptrace.SeriesPath(path))
+	if os.IsNotExist(err) {
+		fmt.Printf("\n(no series sidecar %s; stall accounting unavailable)\n", ptrace.SeriesPath(path))
+		return
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(ptrace.FormatStallTable(series))
+	if *windows {
+		fmt.Println()
+		fmt.Print(ptrace.FormatWindows(series))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "straight-trace:", err)
+	os.Exit(1)
+}

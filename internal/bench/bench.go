@@ -15,6 +15,7 @@ import (
 	"straight/internal/irgen"
 	"straight/internal/minic"
 	"straight/internal/program"
+	"straight/internal/ptrace"
 	"straight/internal/rasm"
 	"straight/internal/sasm"
 	"straight/internal/sverify"
@@ -172,14 +173,42 @@ const simCycleCap = 2_000_000_000
 
 // RunSS simulates an image on the superscalar core.
 func RunSS(cfg uarch.Config, im *program.Image) (*sscore.Result, error) {
-	opts := sscore.Options{MaxCycles: simCycleCap}
-	return sscore.New(cfg, im, opts).Run(opts)
+	return RunSSTraced(cfg, im, nil)
+}
+
+// RunSSTraced simulates an image on the superscalar core with an
+// optional pipeline tracer attached, and checks the resulting counters
+// for internal consistency.
+func RunSSTraced(cfg uarch.Config, im *program.Image, tr *ptrace.Tracer) (*sscore.Result, error) {
+	opts := sscore.Options{MaxCycles: simCycleCap, Tracer: tr}
+	res, err := sscore.New(cfg, im, opts).Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Stats.Check(cfg); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // RunStraight simulates an image on the STRAIGHT core.
 func RunStraight(cfg uarch.Config, im *program.Image) (*straightcore.Result, error) {
-	opts := straightcore.Options{MaxCycles: simCycleCap}
-	return straightcore.New(cfg, im, opts).Run(opts)
+	return RunStraightTraced(cfg, im, nil)
+}
+
+// RunStraightTraced simulates an image on the STRAIGHT core with an
+// optional pipeline tracer attached, and checks the resulting counters
+// for internal consistency.
+func RunStraightTraced(cfg uarch.Config, im *program.Image, tr *ptrace.Tracer) (*straightcore.Result, error) {
+	opts := straightcore.Options{MaxCycles: simCycleCap, Tracer: tr}
+	res, err := straightcore.New(cfg, im, opts).Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Stats.Check(cfg); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // EmulateStraight runs the functional STRAIGHT emulator (for the

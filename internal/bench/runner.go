@@ -11,6 +11,7 @@ import (
 	"straight/internal/cores/straightcore"
 	"straight/internal/emu/riscvemu"
 	"straight/internal/emu/straightemu"
+	"straight/internal/ptrace"
 	"straight/internal/uarch"
 	"straight/internal/workloads"
 )
@@ -87,6 +88,9 @@ type PointResult struct {
 	Straight    *straightcore.Result
 	EmuRISCV    *riscvemu.Machine
 	EmuStraight *straightemu.Machine
+
+	// Trace is set when this point claimed the SetTraceTarget target.
+	Trace *TraceRecord
 }
 
 // Runner executes sweep points on a bounded worker pool. The zero value
@@ -164,7 +168,16 @@ func runPoint(p SweepPoint) (PointResult, error) {
 		if err != nil {
 			return res, err
 		}
-		r, err := RunSS(p.Config, im)
+		var r *sscore.Result
+		if tgt := claimTrace(p.name()); tgt != nil {
+			res.Trace, err = withTracer(tgt, func(tr *ptrace.Tracer) error {
+				var rerr error
+				r, rerr = RunSSTraced(p.Config, im, tr)
+				return rerr
+			})
+		} else {
+			r, err = RunSS(p.Config, im)
+		}
 		if err != nil {
 			return res, err
 		}
@@ -178,7 +191,16 @@ func runPoint(p SweepPoint) (PointResult, error) {
 		if err != nil {
 			return res, err
 		}
-		r, err := RunStraight(p.Config, im)
+		var r *straightcore.Result
+		if tgt := claimTrace(p.name()); tgt != nil {
+			res.Trace, err = withTracer(tgt, func(tr *ptrace.Tracer) error {
+				var rerr error
+				r, rerr = RunStraightTraced(p.Config, im, tr)
+				return rerr
+			})
+		} else {
+			r, err = RunStraight(p.Config, im)
+		}
 		if err != nil {
 			return res, err
 		}
@@ -263,6 +285,10 @@ type PointRecord struct {
 	Retired     uint64  `json:"retired"`
 	IPC         float64 `json:"ipc,omitempty"`
 	WallSeconds float64 `json:"wall_seconds"`
+
+	// Trace carries the Kanata log paths and windowed time series when
+	// this point was the SetTraceTarget target.
+	Trace *TraceRecord `json:"trace,omitempty"`
 }
 
 var (
@@ -288,6 +314,7 @@ func recordResults(results []PointResult) {
 			Retired:     r.Retired,
 			IPC:         r.IPC,
 			WallSeconds: r.Wall.Seconds(),
+			Trace:       r.Trace,
 		}
 		if p.Core == CoreStraight || p.Core == CoreEmuStraight {
 			rec.Mode = string(p.Mode)

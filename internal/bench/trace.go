@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"straight/internal/ptrace"
+)
+
+// TraceTarget selects one sweep point to trace: when the runner executes
+// the point whose name (Section/Label) equals Point, it attaches a
+// ptrace.Tracer writing a Kanata log to Path and a time-series sidecar
+// next to it. Exactly one point is traced per target — the first worker
+// to reach it claims it — so a sweep's cost stays flat no matter how
+// many points share a section.
+type TraceTarget struct {
+	// Point is the SweepPoint name, "Section/Label" (e.g.
+	// "Fig 11/coremark/RE+"). Run cmd/experiments -json to list names.
+	Point string
+	// Path receives the Kanata log; the series JSON goes to
+	// ptrace.SeriesPath(Path).
+	Path string
+	// Window is the time-series sampling window in cycles (0 = ptrace
+	// default).
+	Window int64
+}
+
+var (
+	traceMu      sync.Mutex
+	traceTarget  *TraceTarget
+	traceClaimed bool
+)
+
+// SetTraceTarget installs (or, with nil, clears) the package-level trace
+// target consumed by the runner. Call before RunPoints.
+func SetTraceTarget(t *TraceTarget) {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	traceTarget = t
+	traceClaimed = false
+}
+
+// TraceTargetClaimed reports whether the current target has been matched
+// by an executed point (so CLIs can warn about typoed point names).
+func TraceTargetClaimed() bool {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return traceClaimed
+}
+
+// claimTrace hands the target to the first worker running the named
+// point; everyone else gets nil.
+func claimTrace(name string) *TraceTarget {
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if traceTarget == nil || traceClaimed || traceTarget.Point != name {
+		return nil
+	}
+	traceClaimed = true
+	return traceTarget
+}
+
+// TraceRecord describes the trace artifacts of one executed point; it is
+// embedded in the bench journal so -json reports carry the windowed time
+// series inline.
+type TraceRecord struct {
+	Path       string         `json:"path"`
+	SeriesPath string         `json:"series_path"`
+	Series     *ptrace.Series `json:"series,omitempty"`
+}
+
+// withTracer runs one traced simulation: it creates the Kanata file,
+// hands the run a live Tracer, then flushes the log and writes the
+// series sidecar.
+func withTracer(tgt *TraceTarget, run func(tr *ptrace.Tracer) error) (*TraceRecord, error) {
+	f, err := os.Create(tgt.Path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	tr := ptrace.New(f, ptrace.Config{Window: tgt.Window})
+	if err := run(tr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := tr.Close(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace %s: %w", tgt.Path, err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("trace %s: %w", tgt.Path, err)
+	}
+	series := tr.Series()
+	sp := ptrace.SeriesPath(tgt.Path)
+	if err := ptrace.WriteSeriesFile(sp, series); err != nil {
+		return nil, err
+	}
+	return &TraceRecord{Path: tgt.Path, SeriesPath: sp, Series: series}, nil
+}

@@ -79,6 +79,9 @@ func runSS(t testing.TB, cfg uarch.Config, im *program.Image) *sscore.Result {
 	if err != nil {
 		t.Fatalf("sscore %s: %v", cfg.Name, err)
 	}
+	if err := res.Stats.Check(cfg); err != nil {
+		t.Fatalf("sscore %s: %v", cfg.Name, err)
+	}
 	return res
 }
 
@@ -88,6 +91,9 @@ func runStraight(t testing.TB, cfg uarch.Config, im *program.Image) *straightcor
 	core := straightcore.New(cfg, im, opts)
 	res, err := core.Run(opts)
 	if err != nil {
+		t.Fatalf("straightcore %s: %v", cfg.Name, err)
+	}
+	if err := res.Stats.Check(cfg); err != nil {
 		t.Fatalf("straightcore %s: %v", cfg.Name, err)
 	}
 	return res

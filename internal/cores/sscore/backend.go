@@ -5,6 +5,7 @@ import (
 
 	"straight/internal/emu/riscvemu"
 	"straight/internal/isa/riscv"
+	"straight/internal/ptrace"
 	"straight/internal/uarch"
 )
 
@@ -60,6 +61,9 @@ func (c *Core) issue() {
 		c.stats.IQIssued++
 		u.State = uarch.StateIssued
 		u.IssuedAt = c.cycle
+		if c.tr != nil {
+			c.tr.Issue(p.fe.tid, u.IsLoad || u.IsStore)
+		}
 		c.executing = append(c.executing, u)
 	}
 	c.iq = kept
@@ -248,6 +252,9 @@ func (c *Core) completeExecution() {
 		}
 		u.State = uarch.StateDone
 		u.Completed = true
+		if c.tr != nil {
+			c.tr.Writeback(u.Payload.(*uopPayload).fe.tid)
+		}
 		if u.Class == uarch.ClassBranch || u.Class == uarch.ClassJump {
 			c.resolveControl(u)
 		}
@@ -332,6 +339,9 @@ func (c *Core) applyRecovery() {
 			c.stats.FreeListOps++
 		}
 		u.Squashed = true
+		if c.tr != nil {
+			c.tr.Squash(p.fe.tid)
+		}
 		walked++
 		if i == 0 {
 			c.rob = c.rob[:0]
@@ -343,6 +353,11 @@ func (c *Core) applyRecovery() {
 	// Fetch redirect (next cycle); rename blocked until the walk is done.
 	c.fetchPC = r.targetPC
 	c.fetchHalted = false
+	if c.tr != nil {
+		for i := range c.feQueue {
+			c.tr.Squash(c.feQueue[i].tid)
+		}
+	}
 	c.feQueue = c.feQueue[:0]
 	if c.fetchOracle != nil {
 		// Oracle fetch never leaves the true path; a memory-violation
@@ -371,6 +386,12 @@ func (c *Core) applyRecovery() {
 		c.renameBlock = blockUntil
 	}
 	c.stats.RecoveryStall += walkCycles
+	if c.tr != nil {
+		// Charge the whole walk up front; the blocked dispatch cycles
+		// that follow are charged again when dispatch hits renameBlock,
+		// matching how the stats counter is (double-)incremented.
+		c.tr.StallN(ptrace.StallRecovery, walkCycles)
+	}
 }
 
 // resyncOracle rebuilds the fetch oracle at the redirect point: a clone
@@ -505,6 +526,9 @@ func (c *Core) finishRetire(u *uarch.UOp, p *uopPayload) {
 	}
 	if u.IsLoad || u.IsStore {
 		c.lsq.Retire(u)
+	}
+	if c.tr != nil {
+		c.tr.Commit(p.fe.tid)
 	}
 	c.rob = c.rob[1:]
 	c.stats.Retired++

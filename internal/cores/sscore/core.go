@@ -1,10 +1,3 @@
-// Package sscore is the cycle-level model of the conventional
-// out-of-order superscalar baseline ("SS", paper §V-A): an RV32IM core
-// with a RAM-based register mapping table (RMT), a free list, and
-// ROB-walking misprediction recovery that blocks the rename stage until
-// the walk completes. The back-end machinery (scheduler, LSQ, caches,
-// predictors) comes from internal/uarch and is shared verbatim with the
-// STRAIGHT core.
 package sscore
 
 import (
@@ -14,6 +7,7 @@ import (
 	"straight/internal/emu/riscvemu"
 	"straight/internal/isa/riscv"
 	"straight/internal/program"
+	"straight/internal/ptrace"
 	"straight/internal/uarch"
 )
 
@@ -29,6 +23,9 @@ type Options struct {
 	CrossValidate bool
 	// Output receives console syscall output.
 	Output io.Writer
+	// Tracer receives per-instruction pipeline events (nil = tracing
+	// off; every hook site is guarded by a nil check).
+	Tracer *ptrace.Tracer
 }
 
 // Result summarizes a run.
@@ -42,6 +39,7 @@ type feEntry struct {
 	pc        uint32
 	inst      riscv.Inst
 	fetchedAt int64
+	tid       ptrace.ID // trace id (0 = untraced)
 
 	isBranch   bool
 	predTaken  bool
@@ -74,6 +72,7 @@ type Core struct {
 	stats uarch.Stats
 	cycle int64
 	seq   uint64
+	tr    *ptrace.Tracer
 
 	// Front end.
 	fetchPC         uint32
@@ -149,6 +148,7 @@ func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
 		feCap:   cfg.FetchWidth * (cfg.FrontEndLatency + 4),
 		prf:     make([]uint32, cfg.RegFileSize),
 		outBuf:  &captureWriter{w: opts.Output},
+		tr:      opts.Tracer,
 	}
 	switch cfg.Predictor {
 	case uarch.PredTAGE:
@@ -214,6 +214,9 @@ func (c *Core) Run(opts Options) (*Result, error) {
 // fetch, then recovery resolution (order chosen so same-cycle hand-offs
 // behave like a real pipeline with forwarding).
 func (c *Core) step(opts Options) error {
+	if c.tr != nil {
+		c.tr.BeginCycle(c.cycle)
+	}
 	if err := c.commit(opts); err != nil {
 		return err
 	}
@@ -227,6 +230,10 @@ func (c *Core) step(opts Options) error {
 	c.stats.Cycles++
 	c.stats.ROBOccupancy += int64(len(c.rob))
 	c.stats.IQOccupancy += int64(len(c.iq))
+	if c.tr != nil {
+		lq, sq := c.lsq.Occupancy()
+		c.tr.Sample(len(c.rob), len(c.iq), lq, sq)
+	}
 	c.cycle++
 	return nil
 }

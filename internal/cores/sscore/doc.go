@@ -1,0 +1,37 @@
+// Package sscore is the cycle-level model of the conventional
+// out-of-order superscalar baseline ("SS", paper §V-A): an RV32IM core
+// with a RAM-based register mapping table (RMT), a free list, and
+// ROB-walking misprediction recovery that blocks the rename stage until
+// the walk completes. The back-end machinery (scheduler, LSQ, caches,
+// predictors) comes from internal/uarch and is shared verbatim with the
+// STRAIGHT core.
+//
+// # Pipeline stages and tracing hook sites
+//
+// The cycle loop in step() runs commit, completeExecution, issue,
+// dispatch, fetch, then applyRecovery. When Options.Tracer is set, the
+// core reports every instruction lifecycle edge to internal/ptrace:
+//
+//   - fetch(): Tracer.Fetch assigns the trace ID as the instruction
+//     enters the front-end queue (wrong-path instructions included);
+//     a stalled fetch charges StallFrontEnd.
+//   - dispatch(): Tracer.Dispatch at ROB/scheduler insertion — the
+//     rename edge, where RMT lookups produce the physical sources that
+//     become the Konata dependence arrows. Each blocked dispatch cycle
+//     charges exactly the stall cause whose uarch.Stats counter it
+//     increments (rob-full, iq-full, lsq-full, free-list, front-end,
+//     recovery). A serializing ECALL goes straight to Tracer.Writeback:
+//     it executes at commit.
+//   - issue(): Tracer.Issue when the scheduler fires the µop into a
+//     functional unit (memory ops take the Mm lane, the rest Ex).
+//   - completeExecution(): Tracer.Writeback when the result lands in
+//     the physical register file.
+//   - commit()/finishRetire(): Tracer.Commit, in order.
+//   - applyRecovery(): Tracer.Squash for every walked ROB entry and
+//     front-end-queue slot, plus Tracer.StallN for the bulk ROB-walk
+//     cycles (matching how Stats.RecoveryStall is charged both at
+//     recovery and per blocked dispatch cycle).
+//
+// Every hook site is guarded by a nil check, so an untraced run pays
+// only the branch (see BenchmarkSimTracedVsUntraced in internal/bench).
+package sscore

@@ -2,6 +2,7 @@ package sscore
 
 import (
 	"straight/internal/isa/riscv"
+	"straight/internal/ptrace"
 	"straight/internal/uarch"
 )
 
@@ -14,6 +15,9 @@ import (
 func (c *Core) fetch() {
 	if c.cycle < c.fetchStallUntil || c.fetchHalted {
 		c.stats.StallFrontEnd++
+		if c.tr != nil {
+			c.tr.Stall(ptrace.StallFrontEnd, 0)
+		}
 		return
 	}
 	if len(c.feQueue)+c.cfg.FetchWidth > c.feCap {
@@ -45,6 +49,9 @@ func (c *Core) fetch() {
 			return
 		}
 		e := feEntry{pc: pc, inst: inst, fetchedAt: c.cycle, isControl: inst.IsControl()}
+		if c.tr != nil {
+			e.tid = c.tr.Fetch(pc, inst.String())
+		}
 		nextPC := pc + 4
 		if c.fetchOracle != nil {
 			// Oracle mode: the emulator is in lockstep with fetch; one
@@ -113,16 +120,31 @@ func (c *Core) predictControl(pc uint32, inst riscv.Inst, e *feEntry) (bool, uin
 	}
 }
 
+// traceStall attributes a dispatch-blocked cycle to cause, naming the
+// head of the front-end queue when one is waiting.
+func (c *Core) traceStall(cause ptrace.StallCause) {
+	if c.tr == nil {
+		return
+	}
+	var id ptrace.ID
+	if len(c.feQueue) > 0 {
+		id = c.feQueue[0].tid
+	}
+	c.tr.Stall(cause, id)
+}
+
 // dispatch renames and inserts up to FetchWidth instructions into the
 // ROB/scheduler/LSQ.
 func (c *Core) dispatch() error {
 	if c.cycle < c.renameBlock {
 		c.stats.RecoveryStall++
+		c.traceStall(ptrace.StallRecovery)
 		return nil
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
 		if len(c.feQueue) == 0 {
 			c.stats.StallFrontEnd++
+			c.traceStall(ptrace.StallFrontEnd)
 			return nil
 		}
 		e := c.feQueue[0]
@@ -142,16 +164,19 @@ func (c *Core) dispatch() error {
 		}
 		if len(c.rob) >= c.cfg.ROBSize {
 			c.stats.StallROBFull++
+			c.traceStall(ptrace.StallROBFull)
 			return nil
 		}
 		if len(c.iq) >= c.cfg.SchedulerSize {
 			c.stats.StallIQFull++
+			c.traceStall(ptrace.StallIQFull)
 			return nil
 		}
 		isLoad := inst.Op.Class() == riscv.ClassLoad
 		isStore := inst.Op.Class() == riscv.ClassStore
 		if (isLoad || isStore) && !c.lsq.CanAllocate(isLoad) {
 			c.stats.StallLSQFull++
+			c.traceStall(ptrace.StallLSQFull)
 			return nil
 		}
 
@@ -179,6 +204,7 @@ func (c *Core) dispatch() error {
 			c.stats.RenameReads++ // old-mapping read for recovery/retire
 			if len(c.freeList) == 0 {
 				c.stats.StallFreeList++
+				c.traceStall(ptrace.StallFreeList)
 				return nil
 			}
 			p.logDest = int8(inst.Rd)
@@ -197,12 +223,19 @@ func (c *Core) dispatch() error {
 		if isLoad || isStore {
 			p.lsq = c.lsq.Allocate(u)
 		}
+		if c.tr != nil {
+			c.tr.Dispatch(e.tid, u.Dest, u.Src1, u.Src2)
+		}
 		if inst.Op == riscv.ECALL {
 			// Executes at commit; ready immediately.
 			u.State = uarch.StateDone
 			u.ReadyAt = c.cycle
 			u.Completed = true
 			c.serializing = true
+			if c.tr != nil {
+				// Serialized ECALL skips the scheduler entirely.
+				c.tr.Writeback(e.tid)
+			}
 			continue
 		}
 		c.iq = append(c.iq, u)

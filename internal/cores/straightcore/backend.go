@@ -6,6 +6,7 @@ import (
 	"straight/internal/emu/straightemu"
 	"straight/internal/isa/straight"
 	"straight/internal/program"
+	"straight/internal/ptrace"
 	"straight/internal/uarch"
 )
 
@@ -58,6 +59,9 @@ func (c *Core) issue() {
 		c.stats.IQIssued++
 		u.State = uarch.StateIssued
 		u.IssuedAt = c.cycle
+		if c.tr != nil {
+			c.tr.Issue(p.fe.tid, u.IsLoad || u.IsStore)
+		}
 		c.executing = append(c.executing, u)
 	}
 	c.iq = kept
@@ -237,6 +241,9 @@ func (c *Core) completeExecution() {
 		}
 		u.State = uarch.StateDone
 		u.Completed = true
+		if c.tr != nil {
+			c.tr.Writeback(u.Payload.(*uopPayload).fe.tid)
+		}
 		if u.Class == uarch.ClassBranch || u.Class == uarch.ClassJump {
 			c.resolveControl(u)
 		}
@@ -313,6 +320,9 @@ func (c *Core) applyRecovery() {
 			break
 		}
 		u.Squashed = true
+		if c.tr != nil {
+			c.tr.Squash(u.Payload.(*uopPayload).fe.tid)
+		}
 	}
 	if !restored {
 		// Entire ROB discarded: restore from the recovery µop itself.
@@ -330,6 +340,11 @@ func (c *Core) applyRecovery() {
 
 	c.fetchPC = r.targetPC
 	c.fetchHalted = false
+	if c.tr != nil {
+		for i := range c.feQueue {
+			c.tr.Squash(c.feQueue[i].tid)
+		}
+	}
 	c.feQueue = c.feQueue[:0]
 	if c.fetchOracle != nil {
 		c.resyncOracle()
@@ -352,6 +367,9 @@ func (c *Core) applyRecovery() {
 	c.fetchStallUntil = c.cycle + 2
 	c.renameBlock = c.cycle + 1
 	c.stats.RecoveryStall++
+	if c.tr != nil {
+		c.tr.Stall(ptrace.StallRecovery, 0)
+	}
 }
 
 // prevSPOf returns the µop's pre-decode SP when it was an SPADD (its
@@ -478,6 +496,9 @@ func (c *Core) commit(opts Options) error {
 func (c *Core) finishRetire(u *uarch.UOp) {
 	if u.IsLoad || u.IsStore {
 		c.lsq.Retire(u)
+	}
+	if c.tr != nil {
+		c.tr.Commit(u.Payload.(*uopPayload).fe.tid)
 	}
 	c.rob = c.rob[1:]
 	c.stats.Retired++

@@ -1,16 +1,3 @@
-// Package straightcore is the cycle-level model of the STRAIGHT processor
-// (paper §III): an out-of-order core with no register renaming. The
-// front end determines operands by subtracting the encoded distance from
-// the register pointer RP (Fig 3) — pure per-slot adders instead of a
-// multi-ported RMT and free list — and recovery from a misprediction
-// reads a single ROB entry to restore RP, SP, and PC (Fig 4), instead of
-// walking the ROB. SPADD executes its SP update in order at dispatch.
-//
-// MAX_RP = maximum distance + ROB entries (§III-B), so an in-flight
-// destination register can never alias a live older value.
-//
-// Everything else — scheduler, LSQ, caches, predictors, functional units
-// — is the shared machinery of internal/uarch, identical to the SS core.
 package straightcore
 
 import (
@@ -20,6 +7,7 @@ import (
 	"straight/internal/emu/straightemu"
 	"straight/internal/isa/straight"
 	"straight/internal/program"
+	"straight/internal/ptrace"
 	"straight/internal/uarch"
 )
 
@@ -29,6 +17,9 @@ type Options struct {
 	MaxCycles     int64
 	CrossValidate bool
 	Output        io.Writer
+	// Tracer receives per-instruction pipeline events (nil = tracing
+	// off; every hook site is guarded by a nil check).
+	Tracer *ptrace.Tracer
 }
 
 // Result summarizes a run.
@@ -42,6 +33,7 @@ type feEntry struct {
 	pc        uint32
 	inst      straight.Inst
 	fetchedAt int64
+	tid       ptrace.ID // trace id (0 = untraced)
 
 	isBranch   bool
 	predTaken  bool
@@ -76,6 +68,7 @@ type Core struct {
 	stats uarch.Stats
 	cycle int64
 	seq   uint64
+	tr    *ptrace.Tracer
 
 	fetchPC         uint32
 	fetchStallUntil int64
@@ -144,6 +137,7 @@ func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
 		feCap:   cfg.FetchWidth * (cfg.FrontEndLatency + 4),
 		decSP:   program.DefaultStackTop,
 		outBuf:  &captureWriter{w: opts.Output},
+		tr:      opts.Tracer,
 	}
 	switch cfg.Predictor {
 	case uarch.PredTAGE:
@@ -194,6 +188,9 @@ func (c *Core) Run(opts Options) (*Result, error) {
 }
 
 func (c *Core) step(opts Options) error {
+	if c.tr != nil {
+		c.tr.BeginCycle(c.cycle)
+	}
 	if err := c.commit(opts); err != nil {
 		return err
 	}
@@ -207,6 +204,10 @@ func (c *Core) step(opts Options) error {
 	c.stats.Cycles++
 	c.stats.ROBOccupancy += int64(len(c.rob))
 	c.stats.IQOccupancy += int64(len(c.iq))
+	if c.tr != nil {
+		lq, sq := c.lsq.Occupancy()
+		c.tr.Sample(len(c.rob), len(c.iq), lq, sq)
+	}
 	c.cycle++
 	return nil
 }
@@ -216,6 +217,9 @@ func (c *Core) step(opts Options) error {
 func (c *Core) fetch() {
 	if c.cycle < c.fetchStallUntil || c.fetchHalted {
 		c.stats.StallFrontEnd++
+		if c.tr != nil {
+			c.tr.Stall(ptrace.StallFrontEnd, 0)
+		}
 		return
 	}
 	if len(c.feQueue)+c.cfg.FetchWidth > c.feCap {
@@ -243,6 +247,9 @@ func (c *Core) fetch() {
 			return
 		}
 		e := feEntry{pc: pc, inst: inst, fetchedAt: c.cycle, isControl: inst.IsControl()}
+		if c.tr != nil {
+			e.tid = c.tr.Fetch(pc, inst.String())
+		}
 		nextPC := pc + 4
 		if c.fetchOracle != nil {
 			// Oracle mode: lockstep emulator gives the true next PC.
@@ -309,15 +316,30 @@ func (c *Core) predictControl(pc uint32, inst straight.Inst, e *feEntry) (bool, 
 
 // ---- Dispatch (operand determination, Fig 3) ----
 
+// traceStall attributes a dispatch-blocked cycle to cause, naming the
+// head of the front-end queue when one is waiting.
+func (c *Core) traceStall(cause ptrace.StallCause) {
+	if c.tr == nil {
+		return
+	}
+	var id ptrace.ID
+	if len(c.feQueue) > 0 {
+		id = c.feQueue[0].tid
+	}
+	c.tr.Stall(cause, id)
+}
+
 func (c *Core) dispatch() error {
 	if c.cycle < c.renameBlock {
 		c.stats.RecoveryStall++
+		c.traceStall(ptrace.StallRecovery)
 		return nil
 	}
 	spadds := 0
 	for n := 0; n < c.cfg.FetchWidth; n++ {
 		if len(c.feQueue) == 0 {
 			c.stats.StallFrontEnd++
+			c.traceStall(ptrace.StallFrontEnd)
 			return nil
 		}
 		e := c.feQueue[0]
@@ -335,20 +357,24 @@ func (c *Core) dispatch() error {
 		}
 		if inst.Op == straight.SPADD && spadds >= c.cfg.SPAddPerGroup {
 			c.stats.StallSPAddLimit++
+			c.traceStall(ptrace.StallSPAddLimit)
 			return nil
 		}
 		if len(c.rob) >= c.cfg.ROBSize {
 			c.stats.StallROBFull++
+			c.traceStall(ptrace.StallROBFull)
 			return nil
 		}
 		if len(c.iq) >= c.cfg.SchedulerSize {
 			c.stats.StallIQFull++
+			c.traceStall(ptrace.StallIQFull)
 			return nil
 		}
 		isLoad := inst.Op.Class() == straight.ClassLoad
 		isStore := inst.Op.Class() == straight.ClassStore
 		if (isLoad || isStore) && !c.lsq.CanAllocate(isLoad) {
 			c.stats.StallLSQFull++
+			c.traceStall(ptrace.StallLSQFull)
 			return nil
 		}
 
@@ -403,11 +429,18 @@ func (c *Core) dispatch() error {
 		if isLoad || isStore {
 			p.lsq = c.lsq.Allocate(u)
 		}
+		if c.tr != nil {
+			c.tr.Dispatch(e.tid, u.Dest, u.Src1, u.Src2)
+		}
 		if inst.Op == straight.SYS {
 			u.State = uarch.StateDone
 			u.ReadyAt = c.cycle
 			u.Completed = true
 			c.serializing = true
+			if c.tr != nil {
+				// Serialized SYS skips the scheduler entirely.
+				c.tr.Writeback(e.tid)
+			}
 			continue
 		}
 		c.iq = append(c.iq, u)

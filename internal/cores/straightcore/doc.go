@@ -1,0 +1,42 @@
+// Package straightcore is the cycle-level model of the STRAIGHT processor
+// (paper §III): an out-of-order core with no register renaming. The
+// front end determines operands by subtracting the encoded distance from
+// the register pointer RP (Fig 3) — pure per-slot adders instead of a
+// multi-ported RMT and free list — and recovery from a misprediction
+// reads a single ROB entry to restore RP, SP, and PC (Fig 4), instead of
+// walking the ROB. SPADD executes its SP update in order at dispatch.
+//
+// MAX_RP = maximum distance + ROB entries (§III-B), so an in-flight
+// destination register can never alias a live older value.
+//
+// Everything else — scheduler, LSQ, caches, predictors, functional units
+// — is the shared machinery of internal/uarch, identical to the SS core.
+//
+// # Pipeline stages and tracing hook sites
+//
+// The cycle loop in step() runs commit, completeExecution, issue,
+// dispatch, fetch, then applyRecovery. When Options.Tracer is set, the
+// core reports every instruction lifecycle edge to internal/ptrace:
+//
+//   - fetch(): Tracer.Fetch assigns the trace ID as the instruction
+//     enters the front-end queue (wrong-path instructions included);
+//     a stalled fetch charges StallFrontEnd.
+//   - dispatch(): Tracer.Dispatch at ROB/scheduler insertion — this is
+//     the RP-relative operand-determination edge, and the physical
+//     source registers recorded here become the Konata dependence
+//     arrows. Each blocked dispatch cycle charges exactly the stall
+//     cause whose uarch.Stats counter it increments (rob-full, iq-full,
+//     lsq-full, front-end, spadd-limit, recovery). A serializing SYS
+//     goes straight to Tracer.Writeback: it executes at commit.
+//   - issue(): Tracer.Issue when the scheduler fires the µop into a
+//     functional unit (memory ops take the Mm lane, the rest Ex).
+//   - completeExecution(): Tracer.Writeback when the result lands in
+//     the physical register file.
+//   - commit()/finishRetire(): Tracer.Commit, in order.
+//   - applyRecovery(): Tracer.Squash for every discarded ROB entry and
+//     front-end-queue slot; the single-cycle rename block charges
+//     StallRecovery.
+//
+// Every hook site is guarded by a nil check, so an untraced run pays
+// only the branch (see BenchmarkSimTracedVsUntraced in internal/bench).
+package straightcore

@@ -1,0 +1,230 @@
+package ptrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StageStat is the latency distribution of one pipeline stage across a
+// trace.
+type StageStat struct {
+	Name      string
+	Count     int
+	Total     int64
+	Max       int64
+	durations []int64 // sorted lazily for percentiles
+	sorted    bool
+}
+
+// Mean returns the average cycles per visit.
+func (s *StageStat) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Total) / float64(s.Count)
+}
+
+// Percentile returns the p-th percentile duration (p in [0,100]).
+func (s *StageStat) Percentile(p float64) int64 {
+	if len(s.durations) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Slice(s.durations, func(i, j int) bool { return s.durations[i] < s.durations[j] })
+		s.sorted = true
+	}
+	idx := int(p / 100 * float64(len(s.durations)-1))
+	return s.durations[idx]
+}
+
+// Report is the offline analysis of one trace (cmd/straight-trace).
+type Report struct {
+	Trace *Trace
+
+	Insts   int
+	Retired int
+	Flushed int
+
+	// Stages holds per-stage latency stats in pipeline order (stages
+	// that never occur are omitted).
+	Stages []*StageStat
+
+	// Longest lists instructions by descending fetch-to-done lifetime.
+	Longest []*TraceInst
+}
+
+// stageOrder ranks the known stage mnemonics for display; unknown names
+// sort after them.
+var stageOrder = map[string]int{"F": 0, "Ds": 1, "Ex": 2, "Mm": 3, "Cm": 4}
+
+// Analyze builds the report of a parsed trace.
+func Analyze(tr *Trace) *Report {
+	r := &Report{Trace: tr, Insts: len(tr.Insts)}
+	stats := make(map[string]*StageStat)
+	for _, in := range tr.Insts {
+		if in.Retired {
+			r.Retired++
+		}
+		if in.Flushed {
+			r.Flushed++
+		}
+		for _, sp := range in.Spans {
+			st := stats[sp.Name]
+			if st == nil {
+				st = &StageStat{Name: sp.Name}
+				stats[sp.Name] = st
+			}
+			d := sp.Cycles()
+			st.Count++
+			st.Total += d
+			if d > st.Max {
+				st.Max = d
+			}
+			st.durations = append(st.durations, d)
+		}
+	}
+	for _, st := range stats {
+		r.Stages = append(r.Stages, st)
+	}
+	sort.Slice(r.Stages, func(i, j int) bool {
+		oi, iok := stageOrder[r.Stages[i].Name]
+		oj, jok := stageOrder[r.Stages[j].Name]
+		switch {
+		case iok && jok:
+			return oi < oj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return r.Stages[i].Name < r.Stages[j].Name
+		}
+	})
+	r.Longest = append(r.Longest, tr.Insts...)
+	sort.SliceStable(r.Longest, func(i, j int) bool {
+		return r.Longest[i].Lifetime() > r.Longest[j].Lifetime()
+	})
+	return r
+}
+
+// histWidth is the bar width of the textual latency histograms.
+const histWidth = 40
+
+// Format renders the report: summary, per-stage latency table with
+// percentile bars, and the top-N longest-lived instructions with their
+// disassembly and dependence edges.
+func (r *Report) Format(topN int) string {
+	var b strings.Builder
+	cycles := r.Trace.LastCycle - r.Trace.FirstCycle + 1
+	fmt.Fprintf(&b, "trace: %d instructions (%d retired, %d flushed) over %d cycles [%d..%d]\n",
+		r.Insts, r.Retired, r.Flushed, cycles, r.Trace.FirstCycle, r.Trace.LastCycle)
+	if cycles > 0 && r.Retired > 0 {
+		fmt.Fprintf(&b, "retired IPC over the traced span: %.3f\n", float64(r.Retired)/float64(cycles))
+	}
+
+	b.WriteString("\nstage latency (cycles per visit)\n")
+	fmt.Fprintf(&b, "%-6s %10s %8s %6s %6s %6s %6s\n", "stage", "visits", "mean", "p50", "p90", "p99", "max")
+	for _, st := range r.Stages {
+		fmt.Fprintf(&b, "%-6s %10d %8.2f %6d %6d %6d %6d\n",
+			st.Name, st.Count, st.Mean(),
+			st.Percentile(50), st.Percentile(90), st.Percentile(99), st.Max)
+	}
+	b.WriteString("\nstage share of total instruction-cycles\n")
+	var totalStage int64
+	for _, st := range r.Stages {
+		totalStage += st.Total
+	}
+	for _, st := range r.Stages {
+		frac := 0.0
+		if totalStage > 0 {
+			frac = float64(st.Total) / float64(totalStage)
+		}
+		bar := strings.Repeat("#", int(frac*histWidth+0.5))
+		fmt.Fprintf(&b, "%-6s %6.1f%% %s\n", st.Name, 100*frac, bar)
+	}
+
+	if topN > len(r.Longest) {
+		topN = len(r.Longest)
+	}
+	if topN > 0 {
+		fmt.Fprintf(&b, "\ntop %d longest-lived instructions\n", topN)
+		for _, in := range r.Longest[:topN] {
+			status := "retired"
+			if in.Flushed {
+				status = "flushed"
+			}
+			fmt.Fprintf(&b, "#%-6d %4d cycles [%d..%d] %-8s %s\n",
+				in.ID, in.Lifetime(), in.FetchCycle, in.DoneCycle, status, in.Label)
+			var stages []string
+			for _, sp := range in.Spans {
+				stages = append(stages, fmt.Sprintf("%s=%d", sp.Name, sp.Cycles()))
+			}
+			if len(stages) > 0 {
+				fmt.Fprintf(&b, "        stages: %s\n", strings.Join(stages, " "))
+			}
+			for _, dep := range in.Deps {
+				label := "?"
+				if p := r.Trace.ByID(dep); p != nil {
+					label = p.Label
+				}
+				fmt.Fprintf(&b, "        waits-on #%d %s\n", dep, label)
+			}
+			if in.Detail != "" {
+				fmt.Fprintf(&b, "        notes: %s\n", strings.ReplaceAll(in.Detail, "\n", "; "))
+			}
+		}
+	}
+	return b.String()
+}
+
+// FormatStallTable renders the stall-cause accounting of a traced run's
+// time series. The cycle counts are exactly the uarch.Stats counters of
+// the run (see doc.go); the share column is relative to total simulated
+// cycles. Causes can overlap within a cycle (fetch and dispatch each
+// attribute their own blocked cycles), so shares need not sum to 100%.
+func FormatStallTable(s *Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stall-cause accounting over %d cycles (retired %d, IPC %.3f)\n",
+		s.Cycles, s.Retired, float64(s.Retired)/float64(max64(s.Cycles, 1)))
+	fmt.Fprintf(&b, "%-12s %12s %8s\n", "cause", "cycles", "share")
+	for c := StallCause(0); c < NumStallCauses; c++ {
+		n := s.StallTotals[c.Name()]
+		share := 0.0
+		if s.Cycles > 0 {
+			share = float64(n) / float64(s.Cycles)
+		}
+		fmt.Fprintf(&b, "%-12s %12d %7.1f%%\n", c.Name(), n, 100*share)
+	}
+	return b.String()
+}
+
+// FormatWindows renders the windowed time series as a table with an IPC
+// sparkline per window.
+func FormatWindows(s *Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "time series (%d-cycle windows)\n", s.WindowCycles)
+	fmt.Fprintf(&b, "%12s %8s %8s %8s %8s  %s\n", "start", "ipc", "rob", "iq", "lsq", "dominant stall")
+	for _, w := range s.Windows {
+		dom, domN := "-", int64(0)
+		for cause, n := range w.Stalls {
+			if n > domN {
+				dom, domN = cause, n
+			}
+		}
+		domCol := dom
+		if domN > 0 {
+			domCol = fmt.Sprintf("%s (%d)", dom, domN)
+		}
+		fmt.Fprintf(&b, "%12d %8.3f %8.1f %8.1f %8.1f  %s\n",
+			w.Start, w.IPC, w.ROBOcc, w.IQOcc, w.LQOcc+w.SQOcc, domCol)
+	}
+	return b.String()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

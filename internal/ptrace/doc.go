@@ -1,0 +1,49 @@
+// Package ptrace is the per-instruction pipeline observability layer
+// shared by both cycle-level cores (internal/cores/straightcore and
+// internal/cores/sscore).
+//
+// The aggregate counters of uarch.Stats say *how often* dispatch was
+// blocked or a branch mispredicted; they cannot say *which* instruction
+// waited where, or how the stall mix evolved over a run. ptrace answers
+// those lifetime-of-an-instruction questions — exactly the form of the
+// paper's own arguments (one-ROB-read recovery §IV-D, no rename-stage
+// serialization) — by recording every pipeline edge an instruction
+// crosses.
+//
+// # Tracer
+//
+// A *Tracer is handed to a core through its Options. Every hook is safe
+// on a nil receiver and every call site in the cores is additionally
+// guarded by an explicit `if tr != nil` check, so the disabled path costs
+// one predictable branch per hook (BenchmarkSimTracedVsUntraced in
+// internal/bench guards this). The hooks mirror the cores' lifecycle
+// edges:
+//
+//	Fetch      instruction leaves the I-cache (enters the decode pipe)
+//	Dispatch   operands determined (STRAIGHT RP-adds / SS rename) and the
+//	           instruction enters ROB+scheduler; dependence edges recorded
+//	Issue      selected by the scheduler, operands read, FU allocated
+//	Writeback  result produced (execute or memory access complete)
+//	Commit     retired in order
+//	Squash     discarded on a misprediction or memory-order violation
+//	Stall      a dispatch-blocked cycle attributed to a StallCause
+//
+// # Output
+//
+// The event stream is written in the Kanata 0004 log format, so traces
+// open directly in the Konata pipeline visualizer
+// (https://github.com/shioyadan/Konata): `I`/`L` records declare an
+// instruction and its disassembly, `S`/`E` delimit stage occupancy
+// (stages F, Ds, Ex, Mm, Cm), `W` records dependence wakeups, and `R`
+// records retirement or flush. Parse reads the same format back for the
+// offline analyzer (cmd/straight-trace).
+//
+// Alongside the event log the Tracer accumulates a cycle-sampled time
+// series (windowed IPC, per-cause stall cycles, ROB/IQ/LSQ occupancy)
+// plus whole-run stall-cause totals. The totals are incremented at
+// exactly the sites that increment the corresponding uarch.Stats
+// counters, so they reconcile exactly — an invariant the integration
+// tests assert. The series marshals to JSON next to the trace (see
+// SeriesPath) and is threaded into the bench -json report when a sweep
+// point is traced.
+package ptrace

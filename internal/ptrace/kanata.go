@@ -1,0 +1,116 @@
+package ptrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// kanataHeader is the file signature of the log format version we emit;
+// Konata accepts 0004 directly.
+const kanataHeader = "Kanata\t0004"
+
+// kanataWriter emits the tab-separated Kanata records:
+//
+//	C=	<cycle>                  set the absolute current cycle
+//	C	<delta>                  advance the current cycle
+//	I	<id>	<insn-id>	<tid>    declare an instruction
+//	L	<id>	<type>	<text>       label (0 = left pane, 1 = hover detail)
+//	S	<id>	<lane>	<stage>      stage begin
+//	E	<id>	<lane>	<stage>      stage end
+//	R	<id>	<retire-id>	<type>   retire (0) or flush (1)
+//	W	<consumer>	<producer>	<type>  dependence edge
+//
+// Trace IDs are 1-based inside the package (0 = none); on the wire they
+// are 0-based as Konata expects.
+type kanataWriter struct {
+	w         *bufio.Writer
+	err       error
+	headerOut bool
+	cycleInit bool
+	cycle     int64
+}
+
+func newKanataWriter(w io.Writer) *kanataWriter {
+	return &kanataWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (k *kanataWriter) printf(format string, args ...any) {
+	if k.err != nil {
+		return
+	}
+	if !k.headerOut {
+		k.headerOut = true
+		if _, err := k.w.WriteString(kanataHeader + "\n"); err != nil {
+			k.err = err
+			return
+		}
+	}
+	if _, err := fmt.Fprintf(k.w, format, args...); err != nil {
+		k.err = err
+	}
+}
+
+// setCycle emits the cycle records lazily: the first call pins the
+// absolute cycle, later calls advance by delta.
+func (k *kanataWriter) setCycle(c int64) {
+	if !k.cycleInit {
+		k.cycleInit = true
+		k.cycle = c
+		k.printf("C=\t%d\n", c)
+		return
+	}
+	if c != k.cycle {
+		k.printf("C\t%d\n", c-k.cycle)
+		k.cycle = c
+	}
+}
+
+func (k *kanataWriter) inst(id ID) {
+	// insn-id mirrors the file id; thread is always 0 (single core).
+	k.printf("I\t%d\t%d\t0\n", id-1, id-1)
+}
+
+func (k *kanataWriter) label(id ID, typ int, text string) {
+	// Kanata records are newline-delimited; scrub separators from the
+	// (already printable) disassembly defensively.
+	text = strings.ReplaceAll(text, "\n", " ")
+	text = strings.ReplaceAll(text, "\t", " ")
+	k.printf("L\t%d\t%d\t%s\n", id-1, typ, text)
+}
+
+func (k *kanataWriter) stageStart(id ID, s Stage) {
+	k.printf("S\t%d\t0\t%s\n", id-1, s.Name())
+}
+
+func (k *kanataWriter) stageEnd(id ID, s Stage) {
+	k.printf("E\t%d\t0\t%s\n", id-1, s.Name())
+}
+
+func (k *kanataWriter) retire(id ID, retireID uint64, flush bool) {
+	typ := 0
+	if flush {
+		typ = 1
+		retireID = 0
+	}
+	k.printf("R\t%d\t%d\t%d\n", id-1, retireID, typ)
+}
+
+func (k *kanataWriter) dep(consumer, producer ID) {
+	// Type 0: wakeup edge.
+	k.printf("W\t%d\t%d\t0\n", consumer-1, producer-1)
+}
+
+func (k *kanataWriter) flush() error {
+	if k.err != nil {
+		return k.err
+	}
+	if !k.headerOut {
+		// An empty run still yields a valid file.
+		if _, err := k.w.WriteString(kanataHeader + "\n"); err != nil {
+			return err
+		}
+	}
+	return k.w.Flush()
+}

@@ -1,0 +1,266 @@
+package ptrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// StageSpan is one stage-occupancy interval of a parsed instruction.
+// End is exclusive-ish in the Kanata sense: the cycle the E record was
+// emitted; a span that was open at end-of-trace ends at the last cycle.
+type StageSpan struct {
+	Name  string
+	Start int64
+	End   int64
+}
+
+// Cycles returns the span length (at least 1: an S/E pair in the same
+// cycle still occupied the stage for that cycle).
+func (s StageSpan) Cycles() int64 {
+	if d := s.End - s.Start; d > 0 {
+		return d
+	}
+	return 1
+}
+
+// TraceInst is one dynamic instruction reassembled from the record
+// stream.
+type TraceInst struct {
+	ID     uint64 // 0-based file id
+	Label  string // left-pane text (pc + disassembly)
+	Detail string // hover detail lines (stall-cause annotations)
+	Spans  []StageSpan
+	Deps   []uint64 // producer file ids
+
+	Retired  bool
+	Flushed  bool
+	RetireID uint64
+
+	FetchCycle int64
+	DoneCycle  int64
+}
+
+// Lifetime returns fetch-to-done cycles.
+func (i *TraceInst) Lifetime() int64 { return i.DoneCycle - i.FetchCycle + 1 }
+
+// StageCycles returns the cycles spent in the named stage (summed over
+// spans, for replayed stages).
+func (i *TraceInst) StageCycles(name string) int64 {
+	var n int64
+	for _, s := range i.Spans {
+		if s.Name == name {
+			n += s.Cycles()
+		}
+	}
+	return n
+}
+
+// Trace is a fully parsed Kanata log.
+type Trace struct {
+	Version    string
+	Insts      []*TraceInst
+	FirstCycle int64
+	LastCycle  int64
+
+	byID map[uint64]*TraceInst
+}
+
+// ByID resolves a file id.
+func (t *Trace) ByID(id uint64) *TraceInst { return t.byID[id] }
+
+// Parse reads a Kanata log produced by a Tracer (or any Kanata 0004
+// writer that sticks to the C=/C/I/L/S/E/R/W records). Spans still open
+// at end of input are closed at the last seen cycle and the instruction
+// is marked flushed, mirroring Tracer.Close.
+func Parse(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("ptrace: empty trace")
+	}
+	header := strings.SplitN(sc.Text(), "\t", 2)
+	if header[0] != "Kanata" || len(header) != 2 {
+		return nil, fmt.Errorf("ptrace: not a Kanata log (header %q)", sc.Text())
+	}
+	tr := &Trace{Version: header[1], byID: make(map[uint64]*TraceInst)}
+
+	// One lane, so at most one span per instruction is open at a time —
+	// which also means the *StageSpan stays valid: Spans can only grow
+	// while no span of that instruction is open.
+	openSpans := make(map[uint64]*StageSpan)
+	var cycle int64
+	cycleSet := false
+	line := 1
+
+	get := func(id uint64) *TraceInst {
+		in := tr.byID[id]
+		if in == nil {
+			in = &TraceInst{ID: id, FetchCycle: cycle, DoneCycle: cycle}
+			tr.byID[id] = in
+			tr.Insts = append(tr.Insts, in)
+		}
+		return in
+	}
+
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Split(text, "\t")
+		fail := func(msg string) error {
+			return fmt.Errorf("ptrace: line %d: %s: %q", line, msg, text)
+		}
+		num := func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+		unum := func(s string) (uint64, error) { return strconv.ParseUint(s, 10, 64) }
+
+		switch f[0] {
+		case "C=":
+			if len(f) != 2 {
+				return nil, fail("malformed C=")
+			}
+			c, err := num(f[1])
+			if err != nil {
+				return nil, fail("bad cycle")
+			}
+			cycle = c
+			if !cycleSet {
+				cycleSet = true
+				tr.FirstCycle = c
+			}
+		case "C":
+			if len(f) != 2 {
+				return nil, fail("malformed C")
+			}
+			d, err := num(f[1])
+			if err != nil {
+				return nil, fail("bad cycle delta")
+			}
+			cycle += d
+		case "I":
+			if len(f) != 4 {
+				return nil, fail("malformed I")
+			}
+			id, err := unum(f[1])
+			if err != nil {
+				return nil, fail("bad id")
+			}
+			if tr.byID[id] != nil {
+				return nil, fail("duplicate instruction id")
+			}
+			get(id)
+		case "L":
+			if len(f) != 4 {
+				return nil, fail("malformed L")
+			}
+			id, err := unum(f[1])
+			if err != nil {
+				return nil, fail("bad id")
+			}
+			in := get(id)
+			switch f[2] {
+			case "0":
+				in.Label = f[3]
+			default:
+				if in.Detail != "" {
+					in.Detail += "\n"
+				}
+				in.Detail += f[3]
+			}
+		case "S":
+			if len(f) != 4 {
+				return nil, fail("malformed S")
+			}
+			id, err := unum(f[1])
+			if err != nil {
+				return nil, fail("bad id")
+			}
+			in := get(id)
+			if openSpans[id] != nil {
+				return nil, fail("stage started with another still open")
+			}
+			in.Spans = append(in.Spans, StageSpan{Name: f[3], Start: cycle, End: cycle})
+			openSpans[id] = &in.Spans[len(in.Spans)-1]
+		case "E":
+			if len(f) != 4 {
+				return nil, fail("malformed E")
+			}
+			id, err := unum(f[1])
+			if err != nil {
+				return nil, fail("bad id")
+			}
+			sp := openSpans[id]
+			if sp == nil || sp.Name != f[3] {
+				return nil, fail("stage end without matching start")
+			}
+			sp.End = cycle
+			delete(openSpans, id)
+			if in := get(id); cycle > in.DoneCycle {
+				in.DoneCycle = cycle
+			}
+		case "R":
+			if len(f) != 4 {
+				return nil, fail("malformed R")
+			}
+			id, err := unum(f[1])
+			if err != nil {
+				return nil, fail("bad id")
+			}
+			rid, err := unum(f[2])
+			if err != nil {
+				return nil, fail("bad retire id")
+			}
+			in := get(id)
+			if f[3] == "0" {
+				in.Retired = true
+				in.RetireID = rid
+			} else {
+				in.Flushed = true
+			}
+			if cycle > in.DoneCycle {
+				in.DoneCycle = cycle
+			}
+		case "W":
+			if len(f) != 4 {
+				return nil, fail("malformed W")
+			}
+			con, err := unum(f[1])
+			if err != nil {
+				return nil, fail("bad consumer id")
+			}
+			prod, err := unum(f[2])
+			if err != nil {
+				return nil, fail("bad producer id")
+			}
+			get(con).Deps = append(get(con).Deps, prod)
+		default:
+			return nil, fail("unknown record")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Close dangling spans (trace truncated or writer lost the race with
+	// process exit) and mark their owners flushed.
+	for id, sp := range openSpans {
+		sp.End = cycle
+		in := tr.byID[id]
+		if cycle > in.DoneCycle {
+			in.DoneCycle = cycle
+		}
+		if !in.Retired {
+			in.Flushed = true
+		}
+	}
+	tr.LastCycle = cycle
+	return tr, nil
+}

@@ -1,0 +1,332 @@
+package ptrace
+
+import (
+	"fmt"
+	"io"
+)
+
+// ID identifies one traced dynamic instruction. IDs are assigned at
+// fetch, dense from 1; 0 means "not traced" (the zero value of the field
+// the cores keep per fetched instruction).
+type ID uint64
+
+// Stage is a pipeline occupancy interval as drawn by Konata. The cores
+// model fetch-to-dispatch as one pipe, so the classic F/Dc/Rn stages
+// collapse into StageFetch, and operand determination (STRAIGHT RP-adds,
+// SS rename) happens at the StageFetch -> StageDispatch edge.
+type Stage uint8
+
+const (
+	// StageFetch: fetched, traversing the front-end decode pipe.
+	StageFetch Stage = iota
+	// StageDispatch: in the ROB and scheduler, waiting for operands and
+	// a functional unit.
+	StageDispatch
+	// StageExecute: executing in a non-memory functional unit.
+	StageExecute
+	// StageMemory: executing a load or store (AGU + cache access).
+	StageMemory
+	// StageComplete: result written back, waiting for in-order commit.
+	StageComplete
+
+	NumStages
+)
+
+var stageNames = [NumStages]string{"F", "Ds", "Ex", "Mm", "Cm"}
+
+// Name returns the Kanata stage mnemonic.
+func (s Stage) Name() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "S?"
+}
+
+// StallCause attributes a blocked cycle. The enum mirrors the stall
+// counters of uarch.Stats one-for-one; the cores call Stall/StallN at
+// exactly the sites that increment the corresponding counter, so the
+// tracer totals reconcile exactly with the end-of-run statistics.
+type StallCause uint8
+
+const (
+	// StallROBFull: dispatch blocked, reorder buffer full.
+	StallROBFull StallCause = iota
+	// StallIQFull: dispatch blocked, scheduler full.
+	StallIQFull
+	// StallLSQFull: dispatch blocked, load or store queue full.
+	StallLSQFull
+	// StallFreeList: dispatch blocked, no free physical register (SS only).
+	StallFreeList
+	// StallFrontEnd: nothing to dispatch (fetch latency, redirect, halt).
+	StallFrontEnd
+	// StallSPAddLimit: SPADD per-group rename limit hit (STRAIGHT only).
+	StallSPAddLimit
+	// StallRecovery: rename blocked by misprediction recovery
+	// (SS: ROB walk; STRAIGHT: the single ROB-entry read).
+	StallRecovery
+
+	NumStallCauses
+)
+
+var stallNames = [NumStallCauses]string{
+	"rob-full", "iq-full", "lsq-full", "free-list",
+	"front-end", "spadd-limit", "recovery",
+}
+
+// Name returns the stable label used in series JSON and reports.
+func (c StallCause) Name() string {
+	if int(c) < len(stallNames) {
+		return stallNames[c]
+	}
+	return "stall?"
+}
+
+// StallCauseByName resolves a series-JSON key back to its cause.
+func StallCauseByName(name string) (StallCause, bool) {
+	for c := StallCause(0); c < NumStallCauses; c++ {
+		if stallNames[c] == name {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// Window is the time-series sampling window in cycles (default 1000).
+	Window int64
+}
+
+// liveInst is the tracer-side state of an in-flight instruction.
+type liveInst struct {
+	stage     Stage
+	lastCause StallCause
+	hasCause  bool
+}
+
+// Tracer records per-instruction pipeline events into a Kanata log and
+// accumulates the cycle-sampled time series. All methods are safe on a
+// nil *Tracer (they return immediately), which is the disabled fast
+// path; the cores additionally guard call sites with a nil check so
+// argument construction is skipped too.
+//
+// A Tracer is not safe for concurrent use: it belongs to exactly one
+// core's simulation loop.
+type Tracer struct {
+	kw     *kanataWriter
+	series *seriesBuilder
+
+	live     map[ID]*liveInst
+	regOwner map[int32]ID
+
+	nextID    ID
+	retireSeq uint64
+	cycle     int64
+}
+
+// New builds a Tracer writing Kanata records to w.
+func New(w io.Writer, cfg Config) *Tracer {
+	if cfg.Window <= 0 {
+		cfg.Window = 1000
+	}
+	return &Tracer{
+		kw:       newKanataWriter(w),
+		series:   newSeriesBuilder(cfg.Window),
+		live:     make(map[ID]*liveInst),
+		regOwner: make(map[int32]ID),
+	}
+}
+
+// BeginCycle advances the tracer clock; the cores call it once at the
+// top of every simulated cycle.
+func (t *Tracer) BeginCycle(cycle int64) {
+	if t == nil {
+		return
+	}
+	t.cycle = cycle
+	t.kw.setCycle(cycle)
+	t.series.tick(cycle)
+}
+
+// Fetch declares a new dynamic instruction entering the pipeline and
+// returns its trace ID.
+func (t *Tracer) Fetch(pc uint32, disasm string) ID {
+	if t == nil {
+		return 0
+	}
+	t.nextID++
+	id := t.nextID
+	t.live[id] = &liveInst{stage: StageFetch}
+	t.kw.inst(id)
+	t.kw.label(id, 0, fmt.Sprintf("%08x: %s", pc, disasm))
+	t.kw.stageStart(id, StageFetch)
+	t.series.fetched++
+	return id
+}
+
+// Dispatch moves id into the ROB/scheduler and records dependence edges
+// from the physical source registers (pass -1 for an absent operand).
+// The destination register makes id the producer subsequent consumers
+// wake on.
+func (t *Tracer) Dispatch(id ID, dest, src1, src2 int32) {
+	if t == nil {
+		return
+	}
+	li, ok := t.live[id]
+	if !ok {
+		return
+	}
+	t.kw.stageEnd(id, li.stage)
+	li.stage = StageDispatch
+	t.kw.stageStart(id, StageDispatch)
+	for _, src := range [2]int32{src1, src2} {
+		if src < 0 {
+			continue
+		}
+		if prod, ok := t.regOwner[src]; ok && prod != id {
+			t.kw.dep(id, prod)
+		}
+	}
+	if dest >= 0 {
+		t.regOwner[dest] = id
+	}
+}
+
+// Issue moves id from the scheduler into a functional unit; mem selects
+// the memory lane (loads and stores).
+func (t *Tracer) Issue(id ID, mem bool) {
+	if t == nil {
+		return
+	}
+	li, ok := t.live[id]
+	if !ok {
+		return
+	}
+	t.kw.stageEnd(id, li.stage)
+	li.stage = StageExecute
+	if mem {
+		li.stage = StageMemory
+	}
+	t.kw.stageStart(id, li.stage)
+}
+
+// Writeback marks id's result as produced; it now waits to commit.
+func (t *Tracer) Writeback(id ID) {
+	if t == nil {
+		return
+	}
+	li, ok := t.live[id]
+	if !ok {
+		return
+	}
+	t.kw.stageEnd(id, li.stage)
+	li.stage = StageComplete
+	t.kw.stageStart(id, StageComplete)
+}
+
+// Commit retires id in order.
+func (t *Tracer) Commit(id ID) {
+	if t == nil {
+		return
+	}
+	li, ok := t.live[id]
+	if !ok {
+		return
+	}
+	t.kw.stageEnd(id, li.stage)
+	t.retireSeq++
+	t.kw.retire(id, t.retireSeq, false)
+	delete(t.live, id)
+	t.series.addRetired()
+}
+
+// Squash discards id (wrong path or memory-order violation). It is
+// idempotent: the cores mark the same µop squashed in several
+// structures, and only the first call emits records.
+func (t *Tracer) Squash(id ID) {
+	if t == nil || id == 0 {
+		return
+	}
+	li, ok := t.live[id]
+	if !ok {
+		return
+	}
+	t.kw.stageEnd(id, li.stage)
+	t.kw.retire(id, 0, true)
+	delete(t.live, id)
+	t.series.squashed++
+}
+
+// Stall attributes one blocked cycle to cause. When id names the
+// instruction at the head of the blocked queue, the cause is attached to
+// it as a hover label (once per cause change, to bound trace size).
+func (t *Tracer) Stall(cause StallCause, id ID) {
+	if t == nil {
+		return
+	}
+	t.series.stall(cause, 1)
+	if id == 0 {
+		return
+	}
+	li, ok := t.live[id]
+	if !ok {
+		return
+	}
+	if li.hasCause && li.lastCause == cause {
+		return
+	}
+	li.lastCause, li.hasCause = cause, true
+	t.kw.label(id, 1, fmt.Sprintf("stall %s @%d", cause.Name(), t.cycle))
+}
+
+// StallN attributes n blocked cycles at once (the SS core charges the
+// whole ROB-walk duration when the walk length is known).
+func (t *Tracer) StallN(cause StallCause, n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.series.stall(cause, n)
+}
+
+// Sample records end-of-cycle structure occupancies for the time series.
+func (t *Tracer) Sample(rob, iq, lq, sq int) {
+	if t == nil {
+		return
+	}
+	t.series.sample(rob, iq, lq, sq)
+}
+
+// Close flushes the Kanata stream, discarding still-in-flight
+// instructions as flushed (a bounded run ends mid-pipeline). The
+// underlying writer is not closed. Close must be called exactly once;
+// the Tracer is unusable afterwards.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	for id := ID(1); id <= t.nextID; id++ {
+		if li, ok := t.live[id]; ok {
+			t.kw.stageEnd(id, li.stage)
+			t.kw.retire(id, 0, true)
+			delete(t.live, id)
+		}
+	}
+	return t.kw.flush()
+}
+
+// Series finalizes and returns the accumulated time series. Call after
+// Close (or at least after the final BeginCycle).
+func (t *Tracer) Series() *Series {
+	if t == nil {
+		return nil
+	}
+	return t.series.build()
+}
+
+// Err reports the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.kw.err
+}

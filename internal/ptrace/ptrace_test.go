@@ -1,0 +1,309 @@
+package ptrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// synthTrace drives a small hand-scheduled pipeline through a Tracer:
+// three instructions where #2 depends on #1, #3 is squashed, and one
+// rob-full stall cycle is charged.
+func synthTrace(t *testing.T, w *bytes.Buffer) *Tracer {
+	t.Helper()
+	tr := New(w, Config{Window: 4})
+
+	tr.BeginCycle(0)
+	a := tr.Fetch(0x1000, "ADDi [0], 1")
+	b := tr.Fetch(0x1004, "ADD [1], [2]")
+
+	tr.BeginCycle(1)
+	tr.Dispatch(a, 5, -1, -1)
+	tr.Stall(StallROBFull, b)
+
+	tr.BeginCycle(2)
+	tr.Dispatch(b, 6, 5, -1) // reads a's destination: W edge b<-a
+	tr.Issue(a, false)
+	c := tr.Fetch(0x1008, "LD [1], 8")
+
+	tr.BeginCycle(3)
+	tr.Writeback(a)
+	tr.Issue(b, false)
+	tr.Dispatch(c, 7, 6, -1)
+
+	tr.BeginCycle(4)
+	tr.Commit(a)
+	tr.Writeback(b)
+	tr.Squash(c)
+	tr.Squash(c) // idempotent: second call must be a no-op
+
+	tr.BeginCycle(5)
+	tr.Commit(b)
+	tr.Sample(1, 2, 3, 4)
+
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return tr
+}
+
+func TestTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	synthTrace(t, &buf)
+
+	text := buf.String()
+	if !strings.HasPrefix(text, kanataHeader+"\n") {
+		t.Fatalf("missing header, got %q", text[:20])
+	}
+
+	trace, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if trace.Version != "0004" {
+		t.Errorf("version = %q, want 0004", trace.Version)
+	}
+	if len(trace.Insts) != 3 {
+		t.Fatalf("got %d instructions, want 3", len(trace.Insts))
+	}
+	if trace.FirstCycle != 0 || trace.LastCycle != 5 {
+		t.Errorf("cycle span [%d..%d], want [0..5]", trace.FirstCycle, trace.LastCycle)
+	}
+
+	a, b, c := trace.ByID(0), trace.ByID(1), trace.ByID(2)
+	if a == nil || b == nil || c == nil {
+		t.Fatal("missing instructions by id")
+	}
+	if !a.Retired || !b.Retired || c.Retired {
+		t.Errorf("retired flags: a=%v b=%v c=%v, want true,true,false", a.Retired, b.Retired, c.Retired)
+	}
+	if !c.Flushed {
+		t.Error("c should be flushed")
+	}
+	if a.RetireID != 1 || b.RetireID != 2 {
+		t.Errorf("retire ids a=%d b=%d, want 1,2", a.RetireID, b.RetireID)
+	}
+	if a.Label != "00001000: ADDi [0], 1" {
+		t.Errorf("a label = %q", a.Label)
+	}
+	if len(b.Deps) != 1 || b.Deps[0] != 0 {
+		t.Errorf("b deps = %v, want [0]", b.Deps)
+	}
+	if !strings.Contains(b.Detail, "stall rob-full @1") {
+		t.Errorf("b detail = %q, want rob-full annotation", b.Detail)
+	}
+
+	// a: F [0..1], Ds [1..2], Ex [2..3], Cm [3..4].
+	wantStages := []string{"F", "Ds", "Ex", "Cm"}
+	if len(a.Spans) != len(wantStages) {
+		t.Fatalf("a spans = %+v", a.Spans)
+	}
+	for i, name := range wantStages {
+		if a.Spans[i].Name != name {
+			t.Errorf("a span %d = %s, want %s", i, a.Spans[i].Name, name)
+		}
+	}
+	if got := a.StageCycles("F"); got != 1 {
+		t.Errorf("a F cycles = %d, want 1", got)
+	}
+	if a.Lifetime() != 5 {
+		t.Errorf("a lifetime = %d, want 5", a.Lifetime())
+	}
+}
+
+func TestTracerSeries(t *testing.T) {
+	var buf bytes.Buffer
+	tr := synthTrace(t, &buf)
+
+	s := tr.Series()
+	if s.Cycles != 6 {
+		t.Errorf("cycles = %d, want 6", s.Cycles)
+	}
+	if s.Fetched != 3 || s.Retired != 2 || s.Squashed != 1 {
+		t.Errorf("fetched/retired/squashed = %d/%d/%d, want 3/2/1", s.Fetched, s.Retired, s.Squashed)
+	}
+	if s.StallTotals[StallROBFull.Name()] != 1 {
+		t.Errorf("rob-full total = %d, want 1", s.StallTotals[StallROBFull.Name()])
+	}
+	// Window 4: [0..3] and [4..5].
+	if len(s.Windows) != 2 {
+		t.Fatalf("windows = %+v", s.Windows)
+	}
+	if s.Windows[0].Cycles != 4 || s.Windows[1].Cycles != 2 {
+		t.Errorf("window cycles = %d,%d, want 4,2", s.Windows[0].Cycles, s.Windows[1].Cycles)
+	}
+	// Both commits (cycles 4 and 5) land in the second window.
+	if s.Windows[0].Retired != 0 || s.Windows[1].Retired != 2 {
+		t.Errorf("window retired = %d,%d, want 0,2", s.Windows[0].Retired, s.Windows[1].Retired)
+	}
+	if s.Windows[1].SQOcc == 0 {
+		t.Error("sample in second window lost")
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.BeginCycle(0)
+	id := tr.Fetch(0, "x")
+	if id != 0 {
+		t.Errorf("nil Fetch = %d, want 0", id)
+	}
+	tr.Dispatch(id, 0, -1, -1)
+	tr.Issue(id, false)
+	tr.Writeback(id)
+	tr.Commit(id)
+	tr.Squash(id)
+	tr.Stall(StallIQFull, id)
+	tr.StallN(StallRecovery, 3)
+	tr.Sample(0, 0, 0, 0)
+	if err := tr.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+	if s := tr.Series(); s != nil {
+		t.Errorf("nil Series = %+v", s)
+	}
+	if err := tr.Err(); err != nil {
+		t.Errorf("nil Err = %v", err)
+	}
+}
+
+func TestCloseFlushesLiveAsSquashed(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Config{})
+	tr.BeginCycle(0)
+	tr.Fetch(0x2000, "NOP")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Insts) != 1 || !trace.Insts[0].Flushed {
+		t.Errorf("in-flight instruction at Close not flushed: %+v", trace.Insts)
+	}
+}
+
+func TestLabelScrubsTabsAndNewlines(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Config{})
+	tr.BeginCycle(0)
+	tr.Fetch(0, "a\tb\nc")
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse after scrub: %v\n%s", err, buf.String())
+	}
+	if strings.ContainsAny(trace.Insts[0].Label, "\t\n") {
+		t.Errorf("label not scrubbed: %q", trace.Insts[0].Label)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad header":    "Konata\t0004\n",
+		"unknown rec":   "Kanata\t0004\nX\t1\n",
+		"dup inst":      "Kanata\t0004\nI\t0\t0\t0\nI\t0\t0\t0\n",
+		"end wo start":  "Kanata\t0004\nI\t0\t0\t0\nE\t0\t0\tF\n",
+		"double start":  "Kanata\t0004\nI\t0\t0\t0\nS\t0\t0\tF\nS\t0\t0\tDs\n",
+		"short S":       "Kanata\t0004\nS\t0\t0\n",
+		"bad cycle":     "Kanata\t0004\nC=\tzzz\n",
+		"empty":         "",
+		"wrong E stage": "Kanata\t0004\nI\t0\t0\t0\nS\t0\t0\tF\nE\t0\t0\tDs\n",
+	}
+	for name, text := range cases {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: Parse accepted %q", name, text)
+		}
+	}
+}
+
+func TestParseClosesDanglingSpans(t *testing.T) {
+	text := "Kanata\t0004\nC=\t0\nI\t0\t0\t0\nS\t0\t0\tF\nC\t3\n"
+	trace, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := trace.Insts[0]
+	if !in.Flushed {
+		t.Error("dangling instruction not marked flushed")
+	}
+	if len(in.Spans) != 1 || in.Spans[0].End != 3 {
+		t.Errorf("dangling span = %+v, want end at 3", in.Spans)
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	var buf bytes.Buffer
+	tr := synthTrace(t, &buf)
+	trace, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(trace)
+	if r.Insts != 3 || r.Retired != 2 || r.Flushed != 1 {
+		t.Errorf("report counts %d/%d/%d, want 3/2/1", r.Insts, r.Retired, r.Flushed)
+	}
+	if len(r.Longest) != 3 || r.Longest[0].Lifetime() < r.Longest[2].Lifetime() {
+		t.Errorf("longest not sorted: %+v", r.Longest)
+	}
+	out := r.Format(2)
+	for _, want := range []string{"3 instructions", "stage latency", "ADDi [0], 1", "waits-on"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	st := FormatStallTable(tr.Series())
+	if !strings.Contains(st, "rob-full") {
+		t.Errorf("stall table missing rob-full:\n%s", st)
+	}
+	fw := FormatWindows(tr.Series())
+	if !strings.Contains(fw, "4-cycle windows") {
+		t.Errorf("windows header wrong:\n%s", fw)
+	}
+}
+
+func TestSeriesFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := synthTrace(t, &buf)
+	s := tr.Series()
+
+	path := t.TempDir() + "/t.kanata"
+	sp := SeriesPath(path)
+	if sp != path+".series.json" {
+		t.Fatalf("SeriesPath = %q", sp)
+	}
+	if err := WriteSeriesFile(sp, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSeriesFile(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycles != s.Cycles || got.Retired != s.Retired || len(got.Windows) != len(s.Windows) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, s)
+	}
+	if got.StallTotals[StallROBFull.Name()] != s.StallTotals[StallROBFull.Name()] {
+		t.Error("stall totals lost in round trip")
+	}
+}
+
+func TestStallCauseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := StallCause(0); c < NumStallCauses; c++ {
+		n := c.Name()
+		if n == "" || n == "stall?" || seen[n] {
+			t.Errorf("cause %d has bad/duplicate name %q", c, n)
+		}
+		seen[n] = true
+		back, ok := StallCauseByName(n)
+		if !ok || back != c {
+			t.Errorf("StallCauseByName(%q) = %v,%v", n, back, ok)
+		}
+	}
+	if _, ok := StallCauseByName("nope"); ok {
+		t.Error("StallCauseByName accepted unknown name")
+	}
+}

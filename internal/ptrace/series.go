@@ -1,0 +1,180 @@
+package ptrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Series is the cycle-sampled time-series channel of a traced run: one
+// Window per sampling interval plus whole-run totals. It marshals to
+// JSON next to the Kanata log (SeriesPath) and is embedded in the bench
+// -json report when a sweep point is traced.
+type Series struct {
+	WindowCycles int64  `json:"window_cycles"`
+	Cycles       int64  `json:"cycles"`
+	Fetched      uint64 `json:"fetched"`
+	Retired      uint64 `json:"retired"`
+	Squashed     uint64 `json:"squashed"`
+
+	// StallTotals maps StallCause.Name() to whole-run blocked cycles;
+	// the values reconcile exactly with the uarch.Stats counters of the
+	// same run (see doc.go).
+	StallTotals map[string]int64 `json:"stall_totals"`
+
+	Windows []Window `json:"windows"`
+}
+
+// Window aggregates one sampling interval.
+type Window struct {
+	Start   int64   `json:"start_cycle"`
+	Cycles  int64   `json:"cycles"`
+	Retired uint64  `json:"retired"`
+	IPC     float64 `json:"ipc"`
+
+	// Stalls maps StallCause.Name() to blocked cycles in this window.
+	Stalls map[string]int64 `json:"stalls,omitempty"`
+
+	// Mean structure occupancies over the window.
+	ROBOcc float64 `json:"rob_occ"`
+	IQOcc  float64 `json:"iq_occ"`
+	LQOcc  float64 `json:"lq_occ"`
+	SQOcc  float64 `json:"sq_occ"`
+}
+
+// seriesBuilder accumulates integer sums per window and converts on
+// flush; totals are kept separately so they are exact regardless of
+// window boundaries.
+type seriesBuilder struct {
+	window int64
+
+	started  bool
+	curStart int64
+	lastTick int64
+
+	// Per-window accumulators.
+	cycles  int64
+	retired uint64
+	stalls  [NumStallCauses]int64
+	robSum  int64
+	iqSum   int64
+	lqSum   int64
+	sqSum   int64
+
+	// Whole-run totals.
+	totals      [NumStallCauses]int64
+	allRetired  uint64
+	allCycles   int64
+	fetched     uint64
+	squashed    uint64
+	windowsDone []Window
+}
+
+func newSeriesBuilder(window int64) *seriesBuilder {
+	return &seriesBuilder{window: window}
+}
+
+// tick is called once per simulated cycle, before that cycle's events.
+func (s *seriesBuilder) tick(cycle int64) {
+	if !s.started {
+		s.started = true
+		s.curStart = cycle
+	} else if cycle >= s.curStart+s.window {
+		s.flushWindow()
+		s.curStart = cycle
+	}
+	s.lastTick = cycle
+	s.cycles++
+	s.allCycles++
+}
+
+func (s *seriesBuilder) stall(cause StallCause, n int64) {
+	s.stalls[cause] += n
+	s.totals[cause] += n
+}
+
+func (s *seriesBuilder) sample(rob, iq, lq, sq int) {
+	s.robSum += int64(rob)
+	s.iqSum += int64(iq)
+	s.lqSum += int64(lq)
+	s.sqSum += int64(sq)
+}
+
+func (s *seriesBuilder) flushWindow() {
+	if s.cycles == 0 {
+		return
+	}
+	w := Window{
+		Start:   s.curStart,
+		Cycles:  s.cycles,
+		Retired: s.retired,
+		IPC:     float64(s.retired) / float64(s.cycles),
+		ROBOcc:  float64(s.robSum) / float64(s.cycles),
+		IQOcc:   float64(s.iqSum) / float64(s.cycles),
+		LQOcc:   float64(s.lqSum) / float64(s.cycles),
+		SQOcc:   float64(s.sqSum) / float64(s.cycles),
+	}
+	for c := StallCause(0); c < NumStallCauses; c++ {
+		if s.stalls[c] != 0 {
+			if w.Stalls == nil {
+				w.Stalls = make(map[string]int64, int(NumStallCauses))
+			}
+			w.Stalls[c.Name()] = s.stalls[c]
+		}
+	}
+	s.windowsDone = append(s.windowsDone, w)
+	s.cycles, s.retired = 0, 0
+	s.stalls = [NumStallCauses]int64{}
+	s.robSum, s.iqSum, s.lqSum, s.sqSum = 0, 0, 0, 0
+}
+
+func (s *seriesBuilder) build() *Series {
+	s.flushWindow()
+	out := &Series{
+		WindowCycles: s.window,
+		Cycles:       s.allCycles,
+		Fetched:      s.fetched,
+		Retired:      s.allRetired,
+		Squashed:     s.squashed,
+		StallTotals:  make(map[string]int64, int(NumStallCauses)),
+		Windows:      s.windowsDone,
+	}
+	for c := StallCause(0); c < NumStallCauses; c++ {
+		out.StallTotals[c.Name()] = s.totals[c]
+	}
+	return out
+}
+
+// The retired counter is bumped by Tracer.Commit through these tiny
+// helpers so both the window and the run total stay in step.
+func (s *seriesBuilder) addRetired() {
+	s.retired++
+	s.allRetired++
+}
+
+// SeriesPath returns the conventional sidecar path of a trace file's
+// time series ("<trace>.series.json").
+func SeriesPath(tracePath string) string { return tracePath + ".series.json" }
+
+// WriteSeriesFile marshals s as indented JSON to path.
+func WriteSeriesFile(path string, s *Series) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadSeriesFile loads a series sidecar written by WriteSeriesFile.
+func ReadSeriesFile(path string) (*Series, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Series
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("ptrace: parsing %s: %w", path, err)
+	}
+	return &s, nil
+}

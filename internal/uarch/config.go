@@ -1,14 +1,3 @@
-// Package uarch provides the shared microarchitecture components of the
-// two cycle-level simulators: the evaluated-model configurations (paper
-// Table I), branch predictors (gshare and TAGE), BTB and return-address
-// stack, the cache hierarchy with a stream prefetcher, the load/store
-// queue with forwarding and disambiguation, a memory-dependence
-// predictor, and the statistics the experiments report.
-//
-// Mirroring the paper ("both simulators can share common codes for the
-// most part", §V-A), everything except the front-end register-management
-// and the retire/recovery mechanism lives here and is used unchanged by
-// both the STRAIGHT core and the superscalar (SS) core.
 package uarch
 
 // MemDepMode selects how loads treat older unresolved store addresses.

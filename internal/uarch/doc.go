@@ -1,0 +1,38 @@
+// Package uarch provides the shared microarchitecture components of the
+// two cycle-level simulators: the evaluated-model configurations (paper
+// Table I), branch predictors (gshare and TAGE), BTB and return-address
+// stack, the cache hierarchy with a stream prefetcher, the load/store
+// queue with forwarding and disambiguation, a memory-dependence
+// predictor, and the statistics the experiments report.
+//
+// Mirroring the paper ("both simulators can share common codes for the
+// most part", §V-A), everything except the front-end register-management
+// and the retire/recovery mechanism lives here and is used unchanged by
+// both the STRAIGHT core and the superscalar (SS) core.
+//
+// # Pipeline model
+//
+// Both cores step the same five-phase cycle loop, back to front so
+// same-cycle hand-offs behave like a real pipeline with forwarding:
+//
+//	commit -> completeExecution -> issue -> dispatch -> fetch -> recovery
+//
+// An instruction's life is: fetched into the front-end queue (where it
+// waits out FrontEndLatency decode stages), dispatched into the ROB and
+// scheduler (this is where the cores differ — STRAIGHT runs RP-relative
+// operand determination, SS renames through the RMT and free list),
+// issued to a functional unit when its sources are ready, completed
+// (result written to the physical register file), and finally committed
+// in order. Mispredictions and memory-order violations squash the wrong
+// path at end of cycle via each core's recovery mechanism.
+//
+// # Statistics and observability
+//
+// Stats is filled identically by both cores, so figures compare the
+// counters directly; Stats.Check asserts the cross-counter invariants
+// after every run driven by coretest or internal/bench. The same
+// lifecycle edges that bump these counters carry the optional
+// internal/ptrace hooks (see that package for the event taxonomy), which
+// is what makes the traced stall accounting reconcile exactly with the
+// end-of-run Stats.
+package uarch

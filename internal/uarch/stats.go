@@ -58,6 +58,65 @@ type Stats struct {
 	StallSPAddLimit int64
 }
 
+// Check asserts the internal-consistency invariants every finished run
+// must satisfy, returning the first violation. The bounds are the ones
+// the pipelines actually guarantee: per-cause dispatch stalls cannot
+// exceed one per cycle, but StallFrontEnd is incremented by both fetch
+// and dispatch (up to 2/cycle), and RecoveryStall is charged both in
+// bulk at recovery and per blocked dispatch cycle. coretest and the
+// bench runner call Check after every simulation.
+func (s *Stats) Check(cfg Config) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("uarch: stats inconsistency: "+format, args...)
+	}
+	if s.Cycles < 0 {
+		return fail("negative cycle count %d", s.Cycles)
+	}
+	if s.Retired > s.FetchedInsts {
+		return fail("retired %d > fetched %d", s.Retired, s.FetchedInsts)
+	}
+	var byClass uint64
+	for _, n := range s.RetiredByClass {
+		byClass += n
+	}
+	if byClass != s.Retired {
+		return fail("sum(RetiredByClass)=%d != Retired=%d", byClass, s.Retired)
+	}
+	if s.Mispredicts > s.CondBranches {
+		return fail("mispredicts %d > conditional branches %d", s.Mispredicts, s.CondBranches)
+	}
+	if s.ROBOccupancy > int64(cfg.ROBSize)*s.Cycles {
+		return fail("ROB occupancy integral %d > ROBSize(%d) x cycles(%d)",
+			s.ROBOccupancy, cfg.ROBSize, s.Cycles)
+	}
+	if s.IQOccupancy > int64(cfg.SchedulerSize)*s.Cycles {
+		return fail("IQ occupancy integral %d > SchedulerSize(%d) x cycles(%d)",
+			s.IQOccupancy, cfg.SchedulerSize, s.Cycles)
+	}
+	perCycle := map[string]int64{
+		"StallROBFull":    s.StallROBFull,
+		"StallIQFull":     s.StallIQFull,
+		"StallLSQFull":    s.StallLSQFull,
+		"StallFreeList":   s.StallFreeList,
+		"StallSPAddLimit": s.StallSPAddLimit,
+	}
+	for name, n := range perCycle {
+		if n < 0 || n > s.Cycles {
+			return fail("%s=%d outside [0, cycles=%d]", name, n, s.Cycles)
+		}
+	}
+	if s.StallFrontEnd < 0 || s.StallFrontEnd > 2*s.Cycles {
+		return fail("StallFrontEnd=%d outside [0, 2 x cycles=%d]", s.StallFrontEnd, 2*s.Cycles)
+	}
+	if s.RecoveryStall < 0 || s.RecoveryStall > 2*s.Cycles {
+		return fail("RecoveryStall=%d outside [0, 2 x cycles=%d]", s.RecoveryStall, 2*s.Cycles)
+	}
+	if s.Retired > 0 && s.Cycles == 0 {
+		return fail("retired %d instructions in zero cycles", s.Retired)
+	}
+	return nil
+}
+
 // IPC returns retired instructions per cycle.
 func (s *Stats) IPC() float64 {
 	if s.Cycles == 0 {

@@ -22,3 +22,37 @@ fi
 
 go test ./...
 go test -race ./internal/bench/...
+go test -race ./internal/ptrace/...
+
+# Smoke-test the observability pipeline end to end: run both simulators
+# with -trace on tiny programs, then analyze the resulting Kanata files
+# with straight-trace (which also validates the format by parsing).
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+cat >"$tmpdir/fib.sasm" <<'EOF'
+main:
+    ADDi [0], 0
+    ADDi [0], 1
+    ADD  [1], [2]
+    ADD  [1], [2]
+    ADD  [1], [2]
+    ADDi [0], 0
+    SYS  exit, [1]
+EOF
+go run ./cmd/straight-sim -trace "$tmpdir/fib.kanata" "$tmpdir/fib.sasm"
+go run ./cmd/straight-trace -windows "$tmpdir/fib.kanata" >/dev/null
+
+cat >"$tmpdir/loop.rasm" <<'EOF'
+main:
+    addi t0, zero, 0
+    addi t1, zero, 3
+loop:
+    addi t0, t0, 1
+    blt  t0, t1, loop
+    addi a0, zero, 0
+    addi a7, zero, 0
+    ecall
+EOF
+go run ./cmd/riscv-sim -trace "$tmpdir/loop.kanata" "$tmpdir/loop.rasm"
+go run ./cmd/straight-trace "$tmpdir/loop.kanata" >/dev/null
