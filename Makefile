@@ -1,4 +1,4 @@
-.PHONY: build test verify staticcheck fuzz experiments
+.PHONY: build test verify staticcheck fuzz fuzz-diff experiments
 
 build:
 	go build ./...
@@ -16,10 +16,16 @@ verify:
 staticcheck:
 	staticcheck ./...
 
-# Short fuzzing pass over the instruction decoder and the assembler.
+# Short fuzzing pass over the instruction decoder, the assembler, and
+# the differential lockstep harness.
 fuzz:
 	go test -run=NONE -fuzz=FuzzDecode -fuzztime=30s ./internal/isa/straight
 	go test -run=NONE -fuzz=FuzzAssemble -fuzztime=30s ./internal/sasm
+	go test -run=NONE -fuzz=FuzzLockstep -fuzztime=10s ./internal/fuzzgen
+
+# Randomized differential co-simulation sweep (see DESIGN.md §10).
+fuzz-diff:
+	go run ./cmd/straight-fuzz -seeds 500
 
 # Reproduce every paper figure at the default scale, in parallel.
 experiments:

@@ -1,0 +1,282 @@
+// straight-fuzz is the randomized differential co-simulation driver: it
+// generates seeded random programs, lowers each to a verifier-clean
+// STRAIGHT image and a structurally equivalent RV32IM image, and runs
+// the full oracle stack from internal/fuzzgen (sverify, strict
+// functional emulators, cross-ISA observable comparison, and
+// retirement-lockstep checks of both cycle cores). On a divergence it
+// writes a reproducer file, delta-minimizes the program, and prints the
+// minimal disassembly with the first diverging retirement annotated.
+//
+// Usage:
+//
+//	straight-fuzz [-seeds N] [-seed S] [-budget D] [-j N] [-bug NAME]
+//	              [-minimize] [-o DIR]
+//
+// Examples:
+//
+//	straight-fuzz -seeds 500                 # sweep seeds 1..500
+//	straight-fuzz -seed 42 -minimize         # reproduce one seed
+//	straight-fuzz -seeds 200 -budget 60s     # bounded CI smoke run
+//	straight-fuzz -seeds 50 -bug mul-ready-early -minimize
+//
+// Exit status: 0 when every checked seed agrees, 1 when any divergence
+// was found, 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"straight/internal/fuzzgen"
+	"straight/internal/ptrace"
+)
+
+func main() {
+	seeds := flag.Uint64("seeds", 100, "number of seeds to sweep (starting at -start)")
+	start := flag.Uint64("start", 1, "first seed of the sweep")
+	oneSeed := flag.Uint64("seed", 0, "check a single seed and exit (0 = sweep)")
+	budget := flag.Duration("budget", 0, "wall-clock budget; stop the sweep early when exceeded (0 = none)")
+	jobs := flag.Int("j", runtime.NumCPU(), "parallel checker processes")
+	bug := flag.String("bug", "", `inject a deliberate core defect (e.g. "mul-ready-early") for mutation-testing the harness`)
+	minimize := flag.Bool("minimize", true, "delta-minimize the first divergence")
+	minBudget := flag.Int("minbudget", 400, "minimizer evaluation budget")
+	outDir := flag.String("o", "", "directory for reproducer files (default: current directory)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: straight-fuzz [-seeds N] [-seed S] [-budget D] [-j N] [-bug NAME] [-minimize] [-o DIR]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := fuzzgen.DefaultCheckOptions()
+	opts.InjectBug = *bug
+
+	if *oneSeed != 0 {
+		if !checkSeed(*oneSeed, opts, *minimize, *minBudget, *outDir) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	deadline := time.Time{}
+	if *budget > 0 {
+		deadline = time.Now().Add(*budget)
+	}
+
+	var (
+		next     = *start
+		end      = *start + *seeds
+		checked  atomic.Uint64
+		firstDiv atomic.Uint64 // smallest diverging seed (0 = none)
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+	)
+	claim := func() (uint64, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= end || (!deadline.IsZero() && time.Now().After(deadline)) {
+			return 0, false
+		}
+		s := next
+		next++
+		return s, true
+	}
+	if *jobs < 1 {
+		*jobs = 1
+	}
+	for w := 0; w < *jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seed, ok := claim()
+				if !ok {
+					return
+				}
+				// Workers only detect here; reporting and minimizing run
+				// once, on the smallest diverging seed, after the sweep.
+				p := fuzzgen.Generate(seed, fuzzgen.ConfigForSeed(seed))
+				out, err := fuzzgen.Check(p, opts)
+				checked.Add(1)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "straight-fuzz: seed %d: harness error: %v\n", seed, err)
+					recordDiv(&firstDiv, seed)
+					continue
+				}
+				if out.Div != nil {
+					fmt.Printf("seed %d: %v\n", seed, out.Div)
+					recordDiv(&firstDiv, seed)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	bad := firstDiv.Load()
+	fmt.Printf("straight-fuzz: checked %d seed(s)", checked.Load())
+	if *bug != "" {
+		fmt.Printf(" with injected bug %q", *bug)
+	}
+	if bad == 0 {
+		fmt.Println(": all models agree")
+		return
+	}
+	fmt.Printf(": first divergence at seed %d\n", bad)
+	checkSeed(bad, opts, *minimize, *minBudget, *outDir)
+	os.Exit(1)
+}
+
+// recordDiv keeps the smallest diverging seed in firstDiv.
+func recordDiv(firstDiv *atomic.Uint64, seed uint64) {
+	for {
+		cur := firstDiv.Load()
+		if cur != 0 && cur <= seed {
+			return
+		}
+		if firstDiv.CompareAndSwap(cur, seed) {
+			return
+		}
+	}
+}
+
+// checkSeed re-checks one seed verbosely, writes the reproducer, and
+// minimizes. Returns true when the seed is clean.
+func checkSeed(seed uint64, opts fuzzgen.CheckOptions, minimize bool, minBudget int, outDir string) bool {
+	p := fuzzgen.Generate(seed, fuzzgen.ConfigForSeed(seed))
+	out, err := fuzzgen.Check(p, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "straight-fuzz: seed %d: harness error: %v\n", seed, err)
+		return false
+	}
+	if out.Div == nil {
+		fmt.Printf("seed %d: all models agree (%d STRAIGHT insns, output %q, exit %d)\n",
+			seed, len(out.SImage.Text), out.Output, out.ExitCode)
+		return true
+	}
+
+	fmt.Printf("seed %d DIVERGES: %v\n", seed, out.Div)
+	path := writeReproducer(outDir, seed, opts, p, out)
+	if path != "" {
+		fmt.Printf("reproducer written to %s\n", path)
+	}
+
+	if minimize {
+		res, err := fuzzgen.Minimize(p, opts, minBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "straight-fuzz: minimize: %v\n", err)
+			return false
+		}
+		fmt.Printf("\nminimized to %d STRAIGHT instructions (%d evaluations):\n\n%s\n",
+			len(res.Outcome.SImage.Text), res.Evals, res.Outcome.SAsm)
+		fmt.Printf("divergence on the minimized program:\n  %v\n", res.Outcome.Div)
+		if ann := pipelineAnnotation(res.Prog, opts); ann != "" {
+			fmt.Printf("\npipeline history of the diverging retirement (ptrace):\n%s", ann)
+		}
+		if path != "" {
+			minPath := path + ".min"
+			writeFileQuiet(minPath, reproducerText(seed, opts, res.Prog, res.Outcome))
+			fmt.Printf("minimized reproducer written to %s\n", minPath)
+		}
+	}
+	fmt.Printf("\nreplay: straight-fuzz -seed %d", seed)
+	if opts.InjectBug != "" {
+		fmt.Printf(" -bug %s", opts.InjectBug)
+	}
+	fmt.Println()
+	return false
+}
+
+// pipelineAnnotation reruns the (minimized) program with a ptrace hook
+// attached to the STRAIGHT core. Lockstep stops the core at the first
+// diverging retirement, so the last retired instruction in the trace IS
+// the diverging one; its stage timeline and producers come straight from
+// the Kanata records.
+func pipelineAnnotation(p *fuzzgen.Prog, opts fuzzgen.CheckOptions) string {
+	var kbuf bytes.Buffer
+	topts := opts
+	topts.Tracer = ptrace.New(&kbuf, ptrace.Config{})
+	out, err := fuzzgen.Check(p, topts)
+	topts.Tracer.Close()
+	if err != nil || out.Div == nil {
+		return "" // the traced rerun must diverge the same way; bail quietly
+	}
+	tr, err := ptrace.Parse(&kbuf)
+	if err != nil {
+		return ""
+	}
+	var last *ptrace.TraceInst
+	for _, ti := range tr.Insts {
+		if ti.Retired && (last == nil || ti.RetireID > last.RetireID) {
+			last = ti
+		}
+	}
+	if last == nil {
+		return ""
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "  %s\n", last.Label)
+	for _, sp := range last.Spans {
+		fmt.Fprintf(&b, "    %-10s cycles %d..%d (%d)\n", sp.Name, sp.Start, sp.End, sp.Cycles())
+	}
+	if last.Detail != "" {
+		fmt.Fprintf(&b, "    stalls: %s\n", strings.ReplaceAll(strings.TrimSpace(last.Detail), "\n", "; "))
+	}
+	for _, dep := range last.Deps {
+		if prod := tr.ByID(dep); prod != nil {
+			fmt.Fprintf(&b, "    depends on: %s\n", prod.Label)
+		}
+	}
+	return b.String()
+}
+
+// writeReproducer persists everything needed to replay a divergence:
+// seed, generator config, abstract program, both assembly listings, the
+// image words, and the divergence report (which embeds the golden
+// retirement tail and a disassembly window around the diverging PC).
+func writeReproducer(dir string, seed uint64, opts fuzzgen.CheckOptions, p *fuzzgen.Prog, out *fuzzgen.Outcome) string {
+	name := fmt.Sprintf("straight-fuzz-seed%d.repro", seed)
+	path := filepath.Join(dir, name)
+	if !writeFileQuiet(path, reproducerText(seed, opts, p, out)) {
+		return ""
+	}
+	return path
+}
+
+func reproducerText(seed uint64, opts fuzzgen.CheckOptions, p *fuzzgen.Prog, out *fuzzgen.Outcome) string {
+	var b []byte
+	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	add("# straight-fuzz reproducer\n")
+	add("# replay: straight-fuzz -seed %d", seed)
+	if opts.InjectBug != "" {
+		add(" -bug %s", opts.InjectBug)
+	}
+	add("\nseed: %d\nconfig: %+v\ninjected-bug: %q\n", seed, p.Cfg, opts.InjectBug)
+	add("\ndivergence:\n%v\n", out.Div)
+	add("\nabstract program:\n%s", p.String())
+	add("\nSTRAIGHT assembly:\n%s", out.SAsm)
+	add("\nRV32IM assembly:\n%s", out.RAsm)
+	add("\nSTRAIGHT image words:\n")
+	for i, w := range out.SImage.Text {
+		add("%#08x: %08x\n", out.SImage.TextBase+uint32(4*i), w)
+	}
+	return string(b)
+}
+
+func writeFileQuiet(path, content string) bool {
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "straight-fuzz: %v\n", err)
+		return false
+	}
+	return true
+}

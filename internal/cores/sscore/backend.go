@@ -468,7 +468,9 @@ func (c *Core) commit(opts Options) error {
 			c.prf[c.rmt[riscv.RegA0]] = c.emu.Reg(riscv.RegA0)
 			c.prfReady[c.rmt[riscv.RegA0]] = c.cycle
 			c.serializing = false
-			c.finishRetire(u, p)
+			if err := c.finishRetire(u, p); err != nil {
+				return err
+			}
 			continue
 		}
 
@@ -510,12 +512,14 @@ func (c *Core) commit(opts Options) error {
 			c.exitCode = code
 		}
 
-		c.finishRetire(u, p)
+		if err := c.finishRetire(u, p); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func (c *Core) finishRetire(u *uarch.UOp, p *uopPayload) {
+func (c *Core) finishRetire(u *uarch.UOp, p *uopPayload) error {
 	if p.logDest >= 0 && p.oldDest >= 0 {
 		if c.inFreeList[p.oldDest] {
 			panic(fmt.Sprintf("retire double-free of phys %d (seq %d pc %#x %v)", p.oldDest, u.Seq, u.PC, p.inst))
@@ -531,6 +535,23 @@ func (c *Core) finishRetire(u *uarch.UOp, p *uopPayload) {
 		c.tr.Commit(p.fe.tid)
 	}
 	c.rob = c.rob[1:]
+	var err error
+	if c.retireFn != nil {
+		r := uarch.Retirement{
+			Seq:     c.stats.Retired,
+			PC:      u.PC,
+			LogReg:  -1,
+			IsStore: u.IsStore,
+			MemAddr: u.MemAddr,
+		}
+		if p.logDest > 0 && u.Dest >= 0 {
+			r.HasValue = true
+			r.LogReg = int16(p.logDest)
+			r.Value = c.prf[u.Dest]
+		}
+		err = c.retireFn(r)
+	}
 	c.stats.Retired++
 	c.stats.RetiredByClass[u.Class]++
+	return err
 }

@@ -26,6 +26,9 @@ type Options struct {
 	// Tracer receives per-instruction pipeline events (nil = tracing
 	// off; every hook site is guarded by a nil check).
 	Tracer *ptrace.Tracer
+	// RetireFn observes every retirement in program order; a non-nil
+	// error aborts the run (used by the lockstep fuzzing oracle).
+	RetireFn uarch.RetireFn
 }
 
 // Result summarizes a run.
@@ -108,6 +111,8 @@ type Core struct {
 	exited   bool
 	exitCode int32
 
+	retireFn uarch.RetireFn
+
 	outBuf *captureWriter
 }
 
@@ -182,8 +187,12 @@ func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
 	return c
 }
 
+// Mem exposes the simulated memory (for post-run equivalence checks).
+func (c *Core) Mem() *program.Memory { return c.mem }
+
 // Run simulates until program exit or a bound is hit.
 func (c *Core) Run(opts Options) (*Result, error) {
+	c.retireFn = opts.RetireFn
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = farFuture

@@ -157,6 +157,13 @@ func (c *Core) execute(u *uarch.UOp, p *uopPayload) bool {
 	}
 	if u.Dest >= 0 {
 		c.prfReady[u.Dest] = u.ReadyAt
+		// Deliberate defect for mutation-testing the fuzzing oracle: the
+		// scoreboard claims multiply results one cycle out while the
+		// datapath still delivers them at the full multiplier latency, so
+		// a close consumer issues against the stale physical register.
+		if c.injectBug == BugMulReadyEarly && u.Class == uarch.ClassMul {
+			c.prfReady[u.Dest] = c.cycle + 1
+		}
 	}
 	return true
 }
@@ -452,7 +459,9 @@ func (c *Core) commit(opts Options) error {
 			c.prf[u.Dest] = res
 			c.prfReady[u.Dest] = c.cycle
 			c.serializing = false
-			c.finishRetire(u)
+			if err := c.finishRetire(u); err != nil {
+				return err
+			}
 			continue
 		}
 
@@ -488,12 +497,14 @@ func (c *Core) commit(opts Options) error {
 			c.exitCode = code
 		}
 
-		c.finishRetire(u)
+		if err := c.finishRetire(u); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func (c *Core) finishRetire(u *uarch.UOp) {
+func (c *Core) finishRetire(u *uarch.UOp) error {
 	if u.IsLoad || u.IsStore {
 		c.lsq.Retire(u)
 	}
@@ -501,8 +512,24 @@ func (c *Core) finishRetire(u *uarch.UOp) {
 		c.tr.Commit(u.Payload.(*uopPayload).fe.tid)
 	}
 	c.rob = c.rob[1:]
+	var err error
+	if c.retireFn != nil {
+		r := uarch.Retirement{
+			Seq:     c.stats.Retired,
+			PC:      u.PC,
+			LogReg:  -1,
+			IsStore: u.IsStore,
+			MemAddr: u.MemAddr,
+		}
+		if u.Dest >= 0 {
+			r.HasValue = true
+			r.Value = c.prf[u.Dest]
+		}
+		err = c.retireFn(r)
+	}
 	c.stats.Retired++
 	c.stats.RetiredByClass[u.Class]++
+	return err
 }
 
 // ensure program import is used (stack constant referenced in core.go).

@@ -20,7 +20,22 @@ type Options struct {
 	// Tracer receives per-instruction pipeline events (nil = tracing
 	// off; every hook site is guarded by a nil check).
 	Tracer *ptrace.Tracer
+	// RetireFn observes every retirement in program order; a non-nil
+	// error aborts the run (used by the lockstep fuzzing oracle).
+	RetireFn uarch.RetireFn
+	// InjectBug enables a deliberate microarchitectural defect for
+	// mutation-testing the differential harness (see DESIGN.md §10).
+	// Known values: "mul-ready-early" marks multiply results ready on
+	// the scoreboard before the functional unit has produced them, so
+	// dependents can issue against a stale physical register.
+	InjectBug string
 }
+
+// BugMulReadyEarly is the InjectBug value for the documented scoreboard
+// defect: multiply results are marked ready one cycle after issue while
+// the functional unit still needs its full latency, so consumers can
+// read a stale physical register.
+const BugMulReadyEarly = "mul-ready-early"
 
 // Result summarizes a run.
 type Result struct {
@@ -97,6 +112,9 @@ type Core struct {
 	exited   bool
 	exitCode int32
 
+	retireFn  uarch.RetireFn
+	injectBug string
+
 	outBuf *captureWriter
 }
 
@@ -159,8 +177,13 @@ func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
 	return c
 }
 
+// Mem exposes the simulated memory (for post-run equivalence checks).
+func (c *Core) Mem() *program.Memory { return c.mem }
+
 // Run simulates until program exit or a bound is hit.
 func (c *Core) Run(opts Options) (*Result, error) {
+	c.retireFn = opts.RetireFn
+	c.injectBug = opts.InjectBug
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = farFuture

@@ -9,6 +9,7 @@ package difftest_test
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -225,6 +226,12 @@ func runAllEngines(t *testing.T, src string) []string {
 	return outs
 }
 
+// fuzzSeed offsets the seed range of every randomized test here, so a
+// CI failure replays exactly:
+//
+//	go test ./internal/difftest -run TestRandomProgramsAgree -fuzzseed N
+var fuzzSeed = flag.Int64("fuzzseed", 1, "first seed for the randomized differential corpus")
+
 // TestRandomProgramsAgree runs the differential check over a corpus of
 // generated programs (deterministic seeds, so failures are reproducible).
 func TestRandomProgramsAgree(t *testing.T) {
@@ -232,7 +239,10 @@ func TestRandomProgramsAgree(t *testing.T) {
 	if testing.Short() {
 		n = 10
 	}
-	for seed := int64(1); seed <= int64(n); seed++ {
+	base := *fuzzSeed
+	t.Logf("seeds %d..%d — reproduce one with: go test ./internal/difftest -run 'TestRandomProgramsAgree/seed<N>' -fuzzseed %d",
+		base, base+int64(n)-1, base)
+	for seed := base; seed < base+int64(n); seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			src := generate(seed)

@@ -11,15 +11,49 @@ import (
 	"straight/internal/program"
 )
 
+// FaultKind classifies an architectural fault so callers (in particular
+// the differential fuzzer's oracle stack) can distinguish a malformed
+// program from a genuine simulator divergence.
+type FaultKind uint8
+
+const (
+	// FaultFetch: instruction fetch outside text or misaligned PC.
+	FaultFetch FaultKind = iota
+	// FaultDecode: illegal instruction word or EBREAK.
+	FaultDecode
+	// FaultMisaligned: misaligned data access or jump target.
+	FaultMisaligned
+	// FaultBadSys: unknown syscall function code.
+	FaultBadSys
+	// FaultLimit: the Run instruction limit was reached without exit.
+	FaultLimit
+)
+
+var faultKindNames = [...]string{
+	FaultFetch:      "fetch",
+	FaultDecode:     "decode",
+	FaultMisaligned: "misaligned",
+	FaultBadSys:     "bad-sys",
+	FaultLimit:      "insn-limit",
+}
+
+func (k FaultKind) String() string {
+	if int(k) < len(faultKindNames) {
+		return faultKindNames[k]
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
 // Fault is an architectural execution fault.
 type Fault struct {
+	Kind  FaultKind
 	PC    uint32
 	Count uint64
 	Msg   string
 }
 
 func (f *Fault) Error() string {
-	return fmt.Sprintf("riscvemu: fault at pc=%#08x insn#%d: %s", f.PC, f.Count, f.Msg)
+	return fmt.Sprintf("riscvemu: %s fault at pc=%#08x insn#%d: %s", f.Kind, f.PC, f.Count, f.Msg)
 }
 
 // Syscall function codes, passed in a7 with the argument in a0. They
@@ -115,8 +149,8 @@ func (m *Machine) Exited() (bool, int32) { return m.exited, m.exitCode }
 // Stats returns the accumulated statistics.
 func (m *Machine) Stats() *Stats { return &m.stats }
 
-func (m *Machine) fault(msg string, args ...any) error {
-	return &Fault{PC: m.pc, Count: m.count, Msg: fmt.Sprintf(msg, args...)}
+func (m *Machine) fault(kind FaultKind, msg string, args ...any) error {
+	return &Fault{Kind: kind, PC: m.pc, Count: m.count, Msg: fmt.Sprintf(msg, args...)}
 }
 
 // Step executes one instruction. It returns io.EOF after exit.
@@ -126,12 +160,12 @@ func (m *Machine) Step() error {
 	}
 	w, err := m.image.FetchWord(m.pc)
 	if err != nil {
-		return m.fault("%v", err)
+		return m.fault(FaultFetch, "%v", err)
 	}
 	inst := riscv.Decode(w)
 	op := inst.Op
 	if op == riscv.ILLEGAL {
-		return m.fault("illegal instruction %#08x", w)
+		return m.fault(FaultDecode, "illegal instruction %#08x", w)
 	}
 
 	rs1 := m.regs[inst.Rs1]
@@ -160,7 +194,7 @@ func (m *Machine) Step() error {
 		addr := rs1 + uint32(inst.Imm)
 		width, _ := riscv.LoadWidth(op)
 		if addr%uint32(width) != 0 {
-			return m.fault("misaligned %s at %#08x", op, addr)
+			return m.fault(FaultMisaligned, "misaligned %s at %#08x", op, addr)
 		}
 		result = riscv.ExtendLoad(op, m.mem.Load(addr, width))
 		m.stats.Loads++
@@ -168,7 +202,7 @@ func (m *Machine) Step() error {
 		addr := rs1 + uint32(inst.Imm)
 		width := riscv.StoreWidth(op)
 		if addr%uint32(width) != 0 {
-			return m.fault("misaligned %s at %#08x", op, addr)
+			return m.fault(FaultMisaligned, "misaligned %s at %#08x", op, addr)
 		}
 		m.mem.Store(addr, rs2, width)
 		m.stats.Stores++
@@ -186,11 +220,11 @@ func (m *Machine) Step() error {
 			nextPC = (rs1 + uint32(inst.Imm)) &^ 1
 		}
 		if nextPC%4 != 0 {
-			return m.fault("jump to misaligned address %#08x", nextPC)
+			return m.fault(FaultMisaligned, "jump to misaligned address %#08x", nextPC)
 		}
 	case riscv.ClassSys:
 		if op == riscv.EBREAK {
-			return m.fault("ebreak")
+			return m.fault(FaultDecode, "ebreak")
 		}
 		if err := m.syscall(); err != nil {
 			return err
@@ -245,7 +279,7 @@ func (m *Machine) syscall() error {
 	case SysCycle:
 		// handled by caller (writes a0)
 	default:
-		return m.fault("unknown syscall %d", fn)
+		return m.fault(FaultBadSys, "unknown syscall %d", fn)
 	}
 	return nil
 }
@@ -266,6 +300,40 @@ func (m *Machine) Clone() *Machine {
 	return n
 }
 
+// Checkpoint is an opaque snapshot of the architectural state (PC,
+// registers, count, memory, exit status). Statistics and the output
+// writer are not part of the snapshot.
+type Checkpoint struct {
+	pc       uint32
+	regs     [32]uint32
+	count    uint64
+	mem      *program.Memory
+	exited   bool
+	exitCode int32
+}
+
+// Count returns the retired instruction count at which the checkpoint
+// was taken.
+func (c *Checkpoint) Count() uint64 { return c.count }
+
+// Checkpoint captures the architectural state so execution can later be
+// rewound with Restore. The snapshot is independent of the machine and
+// can be restored any number of times.
+func (m *Machine) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		pc: m.pc, regs: m.regs, count: m.count,
+		mem: m.mem.Clone(), exited: m.exited, exitCode: m.exitCode,
+	}
+}
+
+// Restore rewinds the machine to a checkpoint taken earlier on the same
+// image. The checkpoint remains valid for further Restore calls.
+func (m *Machine) Restore(c *Checkpoint) {
+	m.pc, m.regs, m.count = c.pc, c.regs, c.count
+	m.mem = c.mem.Clone()
+	m.exited, m.exitCode = c.exited, c.exitCode
+}
+
 // Run executes until exit, a fault, or maxInsns instructions. Reaching
 // the limit without exit is an error.
 func (m *Machine) Run(maxInsns uint64) (uint64, error) {
@@ -278,5 +346,5 @@ func (m *Machine) Run(maxInsns uint64) (uint64, error) {
 			return m.count - start, err
 		}
 	}
-	return m.count - start, m.fault("instruction limit %d reached without exit", maxInsns)
+	return m.count - start, m.fault(FaultLimit, "instruction limit %d reached without exit", maxInsns)
 }

@@ -18,16 +18,58 @@ import (
 	"straight/internal/program"
 )
 
+// FaultKind classifies an architectural fault so callers (in particular
+// the differential fuzzer's oracle stack) can distinguish a malformed
+// program or a generator bug from a genuine simulator divergence.
+type FaultKind uint8
+
+const (
+	// FaultFetch: instruction fetch outside text or misaligned PC.
+	FaultFetch FaultKind = iota
+	// FaultDecode: undecodable instruction word or unimplemented opcode.
+	FaultDecode
+	// FaultStrictBound (strict mode): a source read beyond the distance
+	// bound.
+	FaultStrictBound
+	// FaultStrictUninit (strict mode): a source read of a slot no
+	// instruction has written yet.
+	FaultStrictUninit
+	// FaultMisaligned: misaligned data access or jump target.
+	FaultMisaligned
+	// FaultBadSys: unknown SYS function code.
+	FaultBadSys
+	// FaultLimit: the Run instruction limit was reached without exit.
+	FaultLimit
+)
+
+var faultKindNames = [...]string{
+	FaultFetch:        "fetch",
+	FaultDecode:       "decode",
+	FaultStrictBound:  "strict-over-bound",
+	FaultStrictUninit: "strict-uninitialized",
+	FaultMisaligned:   "misaligned",
+	FaultBadSys:       "bad-sys",
+	FaultLimit:        "insn-limit",
+}
+
+func (k FaultKind) String() string {
+	if int(k) < len(faultKindNames) {
+		return faultKindNames[k]
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
 // Fault is an architectural execution fault (bad fetch, bad opcode,
 // distance beyond the window, misaligned access).
 type Fault struct {
+	Kind  FaultKind
 	PC    uint32
 	Count uint64
 	Msg   string
 }
 
 func (f *Fault) Error() string {
-	return fmt.Sprintf("straightemu: fault at pc=%#08x insn#%d: %s", f.PC, f.Count, f.Msg)
+	return fmt.Sprintf("straightemu: %s fault at pc=%#08x insn#%d: %s", f.Kind, f.PC, f.Count, f.Msg)
 }
 
 // ringSize is the result-window ring size; it must exceed MaxDistance and
@@ -158,8 +200,8 @@ func (m *Machine) Reg(distance uint16) uint32 {
 	return m.ring[(m.count-uint64(distance))&(ringSize-1)]
 }
 
-func (m *Machine) fault(msg string, args ...any) error {
-	return &Fault{PC: m.pc, Count: m.count, Msg: fmt.Sprintf(msg, args...)}
+func (m *Machine) fault(kind FaultKind, msg string, args ...any) error {
+	return &Fault{Kind: kind, PC: m.pc, Count: m.count, Msg: fmt.Sprintf(msg, args...)}
 }
 
 // strictCheck validates the instruction's source distances before it
@@ -170,10 +212,10 @@ func (m *Machine) strictCheck(inst straight.Inst) error {
 			return nil
 		}
 		if d > m.strictBound {
-			return m.fault("strict: %s reads distance %d beyond bound %d", inst.Op, d, m.strictBound)
+			return m.fault(FaultStrictBound, "strict: %s reads distance %d beyond bound %d", inst.Op, d, m.strictBound)
 		}
 		if uint64(d) > m.count {
-			return m.fault("strict: %s reads [%d] but only %d instruction(s) have executed (never-written slot)",
+			return m.fault(FaultStrictUninit, "strict: %s reads [%d] but only %d instruction(s) have executed (never-written slot)",
 				inst.Op, d, m.count)
 		}
 		return nil
@@ -197,11 +239,11 @@ func (m *Machine) Step() error {
 	}
 	w, err := m.image.FetchWord(m.pc)
 	if err != nil {
-		return m.fault("%v", err)
+		return m.fault(FaultFetch, "%v", err)
 	}
 	inst, err := straight.Decode(w)
 	if err != nil {
-		return m.fault("%v", err)
+		return m.fault(FaultDecode, "%v", err)
 	}
 	if m.strictBound != 0 {
 		if err := m.strictCheck(inst); err != nil {
@@ -245,7 +287,7 @@ func (m *Machine) Step() error {
 		memAddr = addr
 		width, _ := straight.LoadWidth(op)
 		if addr%uint32(width) != 0 {
-			return m.fault("misaligned %s at address %#08x", op, addr)
+			return m.fault(FaultMisaligned, "misaligned %s at address %#08x", op, addr)
 		}
 		result = straight.ExtendLoad(op, m.mem.Load(addr, width))
 		m.stats.Loads++
@@ -255,7 +297,7 @@ func (m *Machine) Step() error {
 		val := read(inst.Src2)
 		width := straight.StoreWidth(op)
 		if addr%uint32(width) != 0 {
-			return m.fault("misaligned %s at address %#08x", op, addr)
+			return m.fault(FaultMisaligned, "misaligned %s at address %#08x", op, addr)
 		}
 		m.mem.Store(addr, val, width)
 		result = val // stores return the stored value (paper §III-A)
@@ -283,7 +325,7 @@ func (m *Machine) Step() error {
 			nextPC = read(inst.Src1)
 		}
 		if nextPC%program.InstructionBytes != 0 {
-			return m.fault("jump to misaligned address %#08x", nextPC)
+			return m.fault(FaultMisaligned, "jump to misaligned address %#08x", nextPC)
 		}
 	case straight.ClassSys:
 		var err error
@@ -292,7 +334,7 @@ func (m *Machine) Step() error {
 			return err
 		}
 	default:
-		return m.fault("unimplemented opcode %v", op)
+		return m.fault(FaultDecode, "unimplemented opcode %v", op)
 	}
 
 	m.ring[m.count&(ringSize-1)] = result
@@ -330,7 +372,7 @@ func (m *Machine) syscall(inst straight.Inst, read func(uint16) uint32) (uint32,
 	case straight.SysCycle:
 		return uint32(m.count), nil
 	}
-	return 0, m.fault("unknown SYS function %d", inst.Imm)
+	return 0, m.fault(FaultBadSys, "unknown SYS function %d", inst.Imm)
 }
 
 // Clone returns an independent copy of the architectural state (fresh
@@ -350,6 +392,43 @@ func (m *Machine) Clone() *Machine {
 	return n
 }
 
+// Checkpoint is an opaque snapshot of the architectural state (PC, SP,
+// dynamic count, result window, memory, exit status). Statistics and the
+// output writer are not part of the snapshot: a restored machine keeps
+// accumulating into the same Stats and writing to the same output.
+type Checkpoint struct {
+	pc, sp   uint32
+	count    uint64
+	ring     [ringSize]uint32
+	mem      *program.Memory
+	exited   bool
+	exitCode int32
+}
+
+// Count returns the dynamic instruction count at which the checkpoint
+// was taken.
+func (c *Checkpoint) Count() uint64 { return c.count }
+
+// Checkpoint captures the architectural state so execution can later be
+// rewound with Restore. The snapshot is independent of the machine: it
+// stays valid however far execution proceeds, and can be restored any
+// number of times (the lockstep checker uses periodic checkpoints to
+// replay the window leading up to a divergence).
+func (m *Machine) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		pc: m.pc, sp: m.sp, count: m.count, ring: m.ring,
+		mem: m.mem.Clone(), exited: m.exited, exitCode: m.exitCode,
+	}
+}
+
+// Restore rewinds the machine to a checkpoint taken earlier on the same
+// image. The checkpoint remains valid for further Restore calls.
+func (m *Machine) Restore(c *Checkpoint) {
+	m.pc, m.sp, m.count, m.ring = c.pc, c.sp, c.count, c.ring
+	m.mem = c.mem.Clone()
+	m.exited, m.exitCode = c.exited, c.exitCode
+}
+
 // Run executes until SYS exit, a fault, or maxInsns instructions.
 // It returns the number of instructions executed. Reaching the
 // instruction limit returns an error: benchmarks must terminate via
@@ -364,5 +443,5 @@ func (m *Machine) Run(maxInsns uint64) (uint64, error) {
 			return m.count - start, err
 		}
 	}
-	return m.count - start, m.fault("instruction limit %d reached without exit", maxInsns)
+	return m.count - start, m.fault(FaultLimit, "instruction limit %d reached without exit", maxInsns)
 }

@@ -1,0 +1,32 @@
+// Package fuzzgen is a randomized differential co-simulation harness
+// for the STRAIGHT and RV32IM stacks in this repository.
+//
+// It has three parts (DESIGN.md §10):
+//
+//   - A seeded, deterministic program generator (prog.go) that builds an
+//     abstract program over a handful of virtual variables, a global word
+//     array G, and a global byte array B, then lowers it twice: once to
+//     verifier-clean STRAIGHT assembly (lower_straight.go) and once to
+//     structurally equivalent RV32IM assembly (lower_riscv.go). The
+//     STRAIGHT lowering deliberately exercises the edge cases the static
+//     verifier reasons about: operand distances pushed against the
+//     configured bound, [0] zero-register reads, store-destination
+//     reuse, SPADD spill/reload discipline around calls, and the
+//     register-frame join shapes of §IV-C2 distance fixing.
+//
+//   - A lockstep checker (check.go) that runs every generated image
+//     through a stack of oracles: sverify as a static filter, the strict
+//     functional emulators as golden models, then each cycle core with
+//     an external retirement-by-retirement comparison against a second
+//     strict emulator (via uarch.RetireFn), and finally a cross-ISA
+//     comparison of console output, exit code, and the final contents of
+//     the shared global regions.
+//
+//   - A delta minimizer (minimize.go) that shrinks a diverging abstract
+//     program while the divergence persists, so reproducers land as a
+//     few lines of disassembly instead of a few hundred.
+//
+// Everything is deterministic in (seed, Config): replaying a seed
+// regenerates byte-identical images, which is what makes the checked-in
+// corpus and the `straight-fuzz -seed N` reproduction commands work.
+package fuzzgen

@@ -1,0 +1,38 @@
+package fuzzgen
+
+import "testing"
+
+// FuzzLockstep is the native Go fuzzing entry point: the fuzzer explores
+// (seed, config) tuples, and every input runs the full differential
+// oracle stack. The checked-in corpus under testdata/fuzz/FuzzLockstep
+// replays as regression cases in a plain `go test` run.
+func FuzzLockstep(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(12), uint8(2), uint16(1023), uint8(2), uint8(25), uint8(6))
+	f.Add(uint64(3), uint8(6), uint8(24), uint8(3), uint16(64), uint8(3), uint8(0), uint8(3))
+	f.Add(uint64(13), uint8(3), uint8(8), uint8(1), uint16(96), uint8(1), uint8(50), uint8(12))
+	f.Add(uint64(42), uint8(2), uint8(30), uint8(0), uint16(256), uint8(0), uint8(10), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, vars, stmts, depth uint8, dist uint16, funcs, filler, loopMax uint8) {
+		cfg := Config{
+			Vars:        int(vars),
+			Stmts:       int(stmts),
+			MaxDepth:    int(depth),
+			MaxDistance: int(dist),
+			Funcs:       int(funcs),
+			FillerBias:  int(filler),
+			DataWords:   8,
+			DataBytes:   16,
+			LoopMax:     int(loopMax),
+		}.Normalize()
+		// Keep each input bounded: Normalize already clamps every shape
+		// parameter, so the worst case is a few thousand instructions.
+		p := Generate(seed, cfg)
+		out, err := Check(p, DefaultCheckOptions())
+		if err != nil {
+			t.Fatalf("harness error (seed %d cfg %+v): %v\nprogram:\n%s", seed, cfg, err, p.String())
+		}
+		if out.Div != nil {
+			t.Fatalf("divergence (seed %d cfg %+v): %v\nprogram:\n%s\nSTRAIGHT asm:\n%s",
+				seed, cfg, out.Div, p.String(), out.SAsm)
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The RISC-V lowering is the simple half of the differential pair:
+// variables live in callee-saved registers for the whole program, loop
+// counters in s8..s10, and scratch values in t0..t2. Leaf functions use
+// only a0/a1 and t3..t6, so no spills are ever needed — which means the
+// two ISAs agree on console output, exit code, and the global data
+// regions, while their stacks legitimately differ (STRAIGHT spills
+// around calls, RISC-V does not). The checker compares exactly the
+// shared observables.
+var varReg = [6]string{"s1", "s2", "s3", "s4", "s5", "s6"}
+var ctrReg = [3]string{"s8", "s9", "s10"}
+
+type remitter struct {
+	b   strings.Builder
+	lbl int
+}
+
+func (e *remitter) op(format string, args ...any) {
+	fmt.Fprintf(&e.b, "    "+format+"\n", args...)
+}
+
+func (e *remitter) label(l string) {
+	fmt.Fprintf(&e.b, "%s:\n", l)
+}
+
+func (e *remitter) newLabel(kind string) string {
+	e.lbl++
+	return fmt.Sprintf(".L%s%d", kind, e.lbl)
+}
+
+// operandReg resolves an operand into a register, materializing
+// constants into the given scratch register. Constant zero uses x0.
+func (e *remitter) operandReg(o operand, scratch string) string {
+	if !o.IsConst {
+		return varReg[o.Var]
+	}
+	if o.Const == 0 {
+		return "zero"
+	}
+	e.op("li %s, %d", scratch, o.Const)
+	return scratch
+}
+
+var riscvOpName = [numBinOps]string{
+	"add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+	"slt", "sltu", "mul", "mulh", "mulhu", "div", "divu", "rem", "remu",
+}
+
+// LowerRISCV renders the program as rasm RV32IM source, structurally
+// mirroring LowerSTRAIGHT.
+func LowerRISCV(p *Prog) string {
+	e := &remitter{}
+	used := p.usedVars()
+
+	e.label("main")
+	for v, u := range used {
+		if u {
+			e.op("li %s, %d", varReg[v], p.Init[v])
+		}
+	}
+	e.lowerBlock(p, p.Main, 0)
+	e.op("mv a0, %s", varReg[p.ExitVar])
+	e.op("li a7, 0")
+	e.op("ecall")
+
+	usedFns := p.usedFuncs()
+	for i, f := range p.Funcs {
+		if usedFns[i] {
+			e.lowerFn(i, f)
+		}
+	}
+
+	e.b.WriteString("\n    .data\ngw:\n")
+	fmt.Fprintf(&e.b, "    .space %d\n", 4*p.Cfg.DataWords)
+	e.b.WriteString("gb:\n")
+	fmt.Fprintf(&e.b, "    .space %d\n", p.Cfg.DataBytes)
+	return e.b.String()
+}
+
+func (e *remitter) lowerBlock(p *Prog, ss []stmt, depth int) {
+	for _, s := range ss {
+		e.lowerStmt(p, s, depth)
+	}
+}
+
+func (e *remitter) lowerStmt(p *Prog, s stmt, depth int) {
+	switch s := s.(type) {
+	case sAssign:
+		e.lowerAssign(s)
+	case sStoreW:
+		e.op("la t0, gw")
+		e.op("sw %s, %d(t0)", varReg[s.Src], 4*s.Idx)
+		// Reuse of the STRAIGHT store destination is a no-op here: the
+		// variable keeps its register, holding the same value.
+	case sLoadW:
+		e.op("la t0, gw")
+		e.op("lw %s, %d(t0)", varReg[s.Dst], 4*s.Idx)
+	case sStoreB:
+		e.op("la t0, gb")
+		e.op("sb %s, %d(t0)", varReg[s.Src], s.Off)
+	case sLoadB:
+		e.op("la t0, gb")
+		mn := "lbu"
+		if s.Signed {
+			mn = "lb"
+		}
+		e.op("%s %s, %d(t0)", mn, varReg[s.Dst], s.Off)
+	case sPrint:
+		codes := [4]int{2, 4, 5, 1} // puti, putu, putx, putc (riscvemu a7 codes)
+		e.op("mv a0, %s", varReg[s.V])
+		e.op("li a7, %d", codes[s.Kind])
+		e.op("ecall")
+	case sFiller:
+		// STRAIGHT-only distance stretcher; nothing to execute here.
+	case sIf:
+		elseLbl := e.newLabel("e")
+		joinLbl := e.newLabel("j")
+		br := "beq"
+		if !s.Nz {
+			br = "bne"
+		}
+		e.op("%s %s, zero, %s", br, varReg[s.Cond], elseLbl)
+		e.lowerBlock(p, s.Then, depth)
+		e.op("j %s", joinLbl)
+		e.label(elseLbl)
+		e.lowerBlock(p, s.Els, depth)
+		e.label(joinLbl)
+	case sLoop:
+		headLbl := e.newLabel("h")
+		cnt := ctrReg[depth]
+		e.op("li %s, %d", cnt, s.Trips)
+		e.label(headLbl)
+		e.lowerBlock(p, s.Body, depth+1)
+		e.op("addi %s, %s, -1", cnt, cnt)
+		e.op("bne %s, zero, %s", cnt, headLbl)
+	case sCall:
+		e.op("mv a0, %s", varReg[s.ArgA])
+		e.op("mv a1, %s", varReg[s.ArgB])
+		e.op("call f%d", s.Fn)
+		e.op("mv %s, a0", varReg[s.Dst])
+	}
+}
+
+func (e *remitter) lowerAssign(s sAssign) {
+	dst := varReg[s.Dst]
+	if s.UseImm {
+		imm := s.B.Const
+		op := s.Op
+		if op == opSub {
+			op, imm = opAdd, -imm
+		}
+		a := e.operandReg(s.A, "t0")
+		// RV32I I-immediates are 12-bit and shift immediates 5-bit, both
+		// narrower than STRAIGHT's imm14 — fall back to a materialized
+		// register operand when the immediate doesn't fit (semantically
+		// identical; shift amounts are masked &31 by both ISAs).
+		isShift := op == opSll || op == opSrl || op == opSra
+		if isShift && (imm < 0 || imm > 31) {
+			e.op("li t1, %d", imm)
+			e.op("%s %s, %s, t1", riscvOpName[op], dst, a)
+			return
+		}
+		if !isShift && (imm < -2048 || imm > 2047) {
+			e.op("li t1, %d", imm)
+			e.op("%s %s, %s, t1", riscvOpName[op], dst, a)
+			return
+		}
+		mn := riscvOpName[op] + "i"
+		if op == opSltu {
+			mn = "sltiu"
+		}
+		e.op("%s %s, %s, %d", mn, dst, a, imm)
+		return
+	}
+	a := e.operandReg(s.A, "t0")
+	b := e.operandReg(s.B, "t1")
+	e.op("%s %s, %s, %s", riscvOpName[s.Op], dst, a, b)
+}
+
+func (e *remitter) lowerFn(idx int, f *Fn) {
+	e.label(fmt.Sprintf("f%d", idx))
+	tempReg := [4]string{"t3", "t4", "t5", "t6"}
+	refOf := func(o fnOperand, scratch string) string {
+		switch {
+		case o.IsConst && o.Const == 0:
+			return "zero"
+		case o.IsConst:
+			e.op("li %s, %d", scratch, o.Const)
+			return scratch
+		case o.Ref == -1:
+			return "a0"
+		case o.Ref == -2:
+			return "a1"
+		default:
+			return tempReg[o.Ref]
+		}
+	}
+	for i, t := range f.Temps {
+		a := refOf(t.A, "t0")
+		b := refOf(t.B, "t1")
+		e.op("%s %s, %s, %s", riscvOpName[t.Op], tempReg[i], a, b)
+	}
+	e.op("mv a0, %s", tempReg[len(f.Temps)-1])
+	e.op("ret")
+}

@@ -1,0 +1,447 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The STRAIGHT lowering tracks, along every emission path, the position
+// index of the defining instruction for each live value; the operand
+// distance of a read is simply (current position − def index). Position
+// is path-relative, which is what makes one static emission correct for
+// every dynamic path:
+//
+//   - At control-flow joins every predecessor edge re-produces all live
+//     slots with RMOVs in one canonical order followed by exactly one
+//     control-slot instruction (J / NOP / BNZ), so the frame layout is
+//     identical on every incoming edge (§IV-C2 distance fixing) and the
+//     state renormalizes to a single canonical form.
+//   - Calls are barriers: every live slot is spilled to an SPADD stack
+//     frame before the JAL and reloaded off a fresh `SPADD 0` anchor
+//     after it; only the callee's JR result ([1]) and return value
+//     ([2]) cross the barrier, matching sverify's MaxCallReach.
+//   - Whenever the worst live distance approaches the bound, every live
+//     slot is refreshed with RMOVs (the relay idiom of §IV-C3).
+type semitter struct {
+	b     strings.Builder
+	cfg   Config
+	pos   int   // path-relative instruction index
+	vpos  []int // def index per variable (only used vars are live)
+	cpos  []int // def index per active loop counter, outermost first
+	used  []bool
+	vlist []int // used variable indices, ascending (canonical frame order)
+	lbl   int
+}
+
+const deadDef = -1 << 30
+
+func (e *semitter) op(format string, args ...any) {
+	fmt.Fprintf(&e.b, "    "+format+"\n", args...)
+	e.pos++
+}
+
+func (e *semitter) label(l string) {
+	fmt.Fprintf(&e.b, "%s:\n", l)
+}
+
+func (e *semitter) newLabel(kind string) string {
+	e.lbl++
+	return fmt.Sprintf(".L%s%d", kind, e.lbl)
+}
+
+func (e *semitter) dist(def int) int { return e.pos - def }
+
+// worst returns the largest live operand distance.
+func (e *semitter) worst() int {
+	min := e.pos
+	for _, v := range e.vlist {
+		if e.vpos[v] < min {
+			min = e.vpos[v]
+		}
+	}
+	for _, d := range e.cpos {
+		if d < min {
+			min = d
+		}
+	}
+	return e.pos - min
+}
+
+// ensure refreshes every live slot when emitting the next `slack`
+// instructions could push a live distance past the bound.
+func (e *semitter) ensure(slack int) {
+	if e.worst()+slack >= e.cfg.MaxDistance {
+		e.refreshAll()
+	}
+}
+
+func (e *semitter) refreshAll() {
+	for _, v := range e.vlist {
+		e.op("RMOV [%d]", e.dist(e.vpos[v]))
+		e.vpos[v] = e.pos - 1
+	}
+	for i := range e.cpos {
+		e.op("RMOV [%d]", e.dist(e.cpos[i]))
+		e.cpos[i] = e.pos - 1
+	}
+}
+
+// liveCount is the number of frame slots at a join.
+func (e *semitter) liveCount() int { return len(e.vlist) + len(e.cpos) }
+
+// emitJoinFrame re-produces all live slots in canonical order and closes
+// the edge with the single control-slot instruction `ctl`.
+func (e *semitter) emitJoinFrame(ctl string, args ...any) {
+	e.refreshAll()
+	e.op(ctl, args...)
+}
+
+// setJoinState renormalizes to the canonical post-join state: position 0
+// with the frame slots at fixed negative def indices. Every predecessor
+// edge ends with the same frame, so this one state is correct for all of
+// them.
+func (e *semitter) setJoinState() {
+	f := e.liveCount() + 1 // frame slots + control slot
+	e.pos = 0
+	for i, v := range e.vlist {
+		e.vpos[v] = i - f
+	}
+	for i := range e.cpos {
+		e.cpos[i] = len(e.vlist) + i - f
+	}
+}
+
+type snapshot struct {
+	pos  int
+	vpos []int
+	cpos []int
+}
+
+func (e *semitter) snap() snapshot {
+	return snapshot{pos: e.pos, vpos: append([]int(nil), e.vpos...), cpos: append([]int(nil), e.cpos...)}
+}
+
+func (e *semitter) restore(s snapshot) {
+	e.pos = s.pos
+	copy(e.vpos, s.vpos)
+	e.cpos = append(e.cpos[:0], s.cpos...)
+}
+
+// srcRef identifies an operand source for a future emission.
+type srcRef struct {
+	zero bool
+	def  int
+}
+
+func (e *semitter) ref(r srcRef) int {
+	if r.zero {
+		return 0
+	}
+	return e.dist(r.def)
+}
+
+// materializeConst emits instructions producing the constant and returns
+// its ref. Constants in the imm14 range read the [0] zero register; wide
+// constants use the LUI/ORI pair.
+func (e *semitter) materializeConst(c int32) srcRef {
+	if c >= -8192 && c <= 8191 {
+		e.op("ADDI [0], %d", c)
+		return srcRef{def: e.pos - 1}
+	}
+	e.op("LUI %d", (uint32(c)>>8)&0xFFFFFF)
+	e.op("ORI [1], %d", c&0xFF)
+	return srcRef{def: e.pos - 1}
+}
+
+// prepOperand resolves an operand to a source ref, materializing
+// constants. Constant zero maps to a [0] zero-register read.
+func (e *semitter) prepOperand(o operand) srcRef {
+	if !o.IsConst {
+		return srcRef{def: e.vpos[o.Var]}
+	}
+	if o.Const == 0 {
+		return srcRef{zero: true}
+	}
+	return e.materializeConst(o.Const)
+}
+
+// dataAddr materializes the address of a data symbol plus offset.
+func (e *semitter) dataAddr(sym string, off int) srcRef {
+	e.op("LUI hi(%s)", sym)
+	e.op("ORI [1], lo(%s)", sym)
+	if off != 0 {
+		e.op("ADDI [1], %d", off)
+	}
+	return srcRef{def: e.pos - 1}
+}
+
+// LowerSTRAIGHT renders the program as sasm source. The result is
+// deterministic in p and always satisfies the sverify invariants at
+// p.Cfg.MaxDistance (asserted by the checker on every generated image).
+func LowerSTRAIGHT(p *Prog) string {
+	e := &semitter{cfg: p.Cfg, used: p.usedVars()}
+	e.vpos = make([]int, p.Cfg.Vars)
+	for i := range e.vpos {
+		e.vpos[i] = deadDef
+	}
+	for v, u := range e.used {
+		if u {
+			e.vlist = append(e.vlist, v)
+		}
+	}
+
+	e.label("main")
+	for _, v := range e.vlist {
+		r := e.materializeConst(p.Init[v])
+		e.vpos[v] = r.def
+	}
+	e.lowerBlock(p, p.Main)
+	e.ensure(4)
+	e.op("SYS exit, [%d]", e.dist(e.vpos[p.ExitVar]))
+
+	usedFns := p.usedFuncs()
+	for i, f := range p.Funcs {
+		if usedFns[i] {
+			e.lowerFn(i, f)
+		}
+	}
+
+	e.b.WriteString("\n    .data\ngw:\n")
+	fmt.Fprintf(&e.b, "    .space %d\n", 4*p.Cfg.DataWords)
+	e.b.WriteString("gb:\n")
+	fmt.Fprintf(&e.b, "    .space %d\n", p.Cfg.DataBytes)
+	return e.b.String()
+}
+
+func (e *semitter) lowerBlock(p *Prog, ss []stmt) {
+	for _, s := range ss {
+		e.lowerStmt(p, s)
+	}
+}
+
+func (e *semitter) lowerStmt(p *Prog, s stmt) {
+	switch s := s.(type) {
+	case sAssign:
+		e.lowerAssign(s)
+	case sStoreW:
+		e.ensure(8)
+		var addr srcRef
+		var off int
+		if s.Idx <= 1 {
+			addr = e.dataAddr("gw", 0)
+			off = 4 * s.Idx // exercises the imm4 store-offset field
+		} else {
+			addr = e.dataAddr("gw", 4*s.Idx)
+		}
+		e.op("ST [%d], [%d], %d", e.ref(addr), e.dist(e.vpos[s.Src]), off)
+		if s.Reuse {
+			// The store's destination register holds the stored value
+			// (§III-A); redefining the variable from it makes later reads
+			// consume a store destination.
+			e.vpos[s.Src] = e.pos - 1
+		}
+	case sLoadW:
+		e.ensure(6)
+		base := e.dataAddr("gw", 0)
+		e.op("LD [%d], %d", e.ref(base), 4*s.Idx)
+		e.vpos[s.Dst] = e.pos - 1
+	case sStoreB:
+		e.ensure(8)
+		var addr srcRef
+		var off int
+		if s.Off <= 7 {
+			addr = e.dataAddr("gb", 0)
+			off = s.Off
+		} else {
+			addr = e.dataAddr("gb", s.Off)
+		}
+		e.op("SB [%d], [%d], %d", e.ref(addr), e.dist(e.vpos[s.Src]), off)
+	case sLoadB:
+		e.ensure(6)
+		base := e.dataAddr("gb", 0)
+		mn := "LBu"
+		if s.Signed {
+			mn = "LB"
+		}
+		e.op("%s [%d], %d", mn, e.ref(base), s.Off)
+		e.vpos[s.Dst] = e.pos - 1
+	case sPrint:
+		e.ensure(4)
+		kinds := [4]string{"puti", "putu", "putx", "putc"}
+		e.op("SYS %s, [%d]", kinds[s.Kind], e.dist(e.vpos[s.V]))
+	case sFiller:
+		// Clip to the available headroom so the deepest following read
+		// lands just under the bound.
+		slack := e.liveCount() + 12
+		n := s.N
+		if max := e.cfg.MaxDistance - e.worst() - slack; n > max {
+			n = max
+		}
+		for i := 0; i < n; i++ {
+			e.op("NOP")
+		}
+	case sIf:
+		e.lowerIf(p, s)
+	case sLoop:
+		e.lowerLoop(p, s)
+	case sCall:
+		e.lowerCall(s)
+	}
+}
+
+func (e *semitter) lowerAssign(s sAssign) {
+	e.ensure(10)
+	if s.UseImm {
+		imm := s.B.Const
+		mn := immForm[s.Op]
+		if s.Op == opSub {
+			mn, imm = "ADDI", -imm
+		}
+		a := e.prepOperand(s.A)
+		e.op("%s [%d], %d", mn, e.ref(a), imm)
+		e.vpos[s.Dst] = e.pos - 1
+		return
+	}
+	a := e.prepOperand(s.A)
+	b := e.prepOperand(s.B)
+	e.op("%s [%d], [%d]", binOpName[s.Op], e.ref(a), e.ref(b))
+	e.vpos[s.Dst] = e.pos - 1
+}
+
+func (e *semitter) lowerIf(p *Prog, s sIf) {
+	e.ensure(e.liveCount() + 6)
+	elseLbl := e.newLabel("e")
+	joinLbl := e.newLabel("j")
+	// Branch around the then-arm when the then-condition fails.
+	br := "BEZ"
+	if !s.Nz {
+		br = "BNZ"
+	}
+	e.op("%s [%d], %s", br, e.dist(e.vpos[s.Cond]), elseLbl)
+	saved := e.snap()
+
+	e.lowerBlock(p, s.Then)
+	e.ensure(e.liveCount() + 4)
+	e.emitJoinFrame("J %s", joinLbl)
+
+	e.restore(saved)
+	e.label(elseLbl)
+	e.lowerBlock(p, s.Els)
+	e.ensure(e.liveCount() + 4)
+	e.emitJoinFrame("NOP")
+
+	e.label(joinLbl)
+	e.setJoinState()
+}
+
+func (e *semitter) lowerLoop(p *Prog, s sLoop) {
+	e.ensure(e.liveCount() + 8)
+	headLbl := e.newLabel("h")
+	e.op("ADDI [0], %d", s.Trips)
+	e.cpos = append(e.cpos, e.pos-1)
+	e.emitJoinFrame("NOP") // preheader edge into the loop head
+	e.setJoinState()
+	e.label(headLbl)
+
+	e.lowerBlock(p, s.Body)
+
+	e.ensure(e.liveCount() + 6)
+	e.op("ADDI [%d], -1", e.dist(e.cpos[len(e.cpos)-1]))
+	e.cpos[len(e.cpos)-1] = e.pos - 1
+	// The counter is the last frame slot, so the latch control slot reads
+	// the freshly relayed counter at distance 1.
+	e.emitJoinFrame("BNZ [1], %s", headLbl)
+	e.setJoinState()
+	e.cpos = e.cpos[:len(e.cpos)-1] // counter dead after the loop
+}
+
+func (e *semitter) lowerCall(s sCall) {
+	slots := make([]int, 0, e.liveCount())
+	slots = append(slots, e.vlist...)
+	frame := 4 * e.liveCount()
+	e.ensure(2*e.liveCount() + 12)
+
+	// Spill every live slot (variables, then active loop counters).
+	e.op("SPADD %d", -frame)
+	spDef := e.pos - 1
+	for k := 0; k < e.liveCount(); k++ {
+		var def int
+		if k < len(slots) {
+			def = e.vpos[slots[k]]
+		} else {
+			def = e.cpos[k-len(slots)]
+		}
+		e.op("ADDI [%d], %d", e.dist(spDef), 4*k)
+		e.op("ST [1], [%d], 0", e.dist(def))
+	}
+
+	// Arguments: argB then argA, so the callee sees [1]=link, [2]=argA,
+	// [3]=argB.
+	e.op("RMOV [%d]", e.dist(e.vpos[s.ArgB]))
+	e.op("RMOV [%d]", e.dist(e.vpos[s.ArgA]))
+	e.op("JAL f%d", s.Fn)
+
+	// Call barrier: the callee ran an unknown number of instructions, so
+	// every pre-call distance is dead. Fresh segment: [1] is the callee's
+	// JR, [2] the return value (reach 2, sverify's MaxCallReach).
+	e.pos = 0
+	for _, v := range e.vlist {
+		e.vpos[v] = deadDef
+	}
+	for i := range e.cpos {
+		e.cpos[i] = deadDef
+	}
+
+	// Rematerialize the stack pointer and reload every slot.
+	e.op("SPADD 0")
+	anchor := e.pos - 1
+	for k := 0; k < e.liveCount(); k++ {
+		e.op("LD [%d], %d", e.dist(anchor), 4*k)
+		if k < len(slots) {
+			e.vpos[slots[k]] = e.pos - 1
+		} else {
+			e.cpos[k-len(slots)] = e.pos - 1
+		}
+	}
+	e.op("SPADD %d", frame)
+	// The destination takes the return value, crossing the barrier with
+	// constant reach 2.
+	e.vpos[s.Dst] = -2
+}
+
+// lowerFn emits one leaf function. At entry [1] is the caller's JAL
+// (the link), [2] and [3] the arguments. The body is short relative to
+// any legal bound (≥64), so no mid-body refresh is needed; the epilogue
+// relays the result to distance 1 and jumps through the link, leaving
+// the return value at the caller's distance 2.
+func (e *semitter) lowerFn(idx int, f *Fn) {
+	e.label(fmt.Sprintf("f%d", idx))
+	e.pos = 0
+	link := -1
+	argA, argB := -2, -3
+	tdef := make([]int, len(f.Temps))
+	refOf := func(o fnOperand) srcRef {
+		switch {
+		case o.IsConst && o.Const == 0:
+			return srcRef{zero: true}
+		case o.IsConst:
+			return e.materializeConst(o.Const)
+		case o.Ref == -1:
+			return srcRef{def: argA}
+		case o.Ref == -2:
+			return srcRef{def: argB}
+		default:
+			return srcRef{def: tdef[o.Ref]}
+		}
+	}
+	for i, t := range f.Temps {
+		a := refOf(t.A)
+		b := refOf(t.B)
+		e.op("%s [%d], [%d]", binOpName[t.Op], e.ref(a), e.ref(b))
+		tdef[i] = e.pos - 1
+	}
+	if d := e.dist(tdef[len(tdef)-1]); d != 1 {
+		e.op("RMOV [%d]", d)
+	}
+	e.op("JR [%d]", e.dist(link))
+}

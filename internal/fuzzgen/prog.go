@@ -1,0 +1,552 @@
+package fuzzgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the shape of generated programs. All fields must stay
+// within the documented ranges; Normalize clamps them so fuzz-derived
+// configs are always safe.
+type Config struct {
+	Vars        int // virtual variables v0..vVars-1 (2..6)
+	Stmts       int // top-level statement budget (1..64)
+	MaxDepth    int // nesting depth of if/loop (0..3)
+	MaxDistance int // STRAIGHT operand-distance bound to respect (8..1023)
+	Funcs       int // leaf helper functions (0..3)
+	FillerBias  int // percent chance a statement slot becomes a deep filler run
+	DataWords   int // global word array G length (1..64)
+	DataBytes   int // global byte array B length (1..64)
+	LoopMax     int // max loop trip count (1..12)
+}
+
+// DefaultConfig is the shape used by the CLI sweep when no overrides are
+// given.
+func DefaultConfig() Config {
+	return Config{
+		Vars:        4,
+		Stmts:       12,
+		MaxDepth:    2,
+		MaxDistance: 1023,
+		Funcs:       2,
+		FillerBias:  25,
+		DataWords:   8,
+		DataBytes:   16,
+		LoopMax:     6,
+	}
+}
+
+// ConfigForSeed derives a varied-but-safe Config from a seed: tight and
+// loose distance bounds, shallow and deep nesting, filler-heavy and
+// filler-free shapes. The sweep drivers and the randomized tests share
+// it so "seed N" means the same program everywhere.
+func ConfigForSeed(seed uint64) Config {
+	r := rand.New(rand.NewSource(int64(seed) ^ 0x5eedc0de))
+	cfg := DefaultConfig()
+	cfg.Vars = 2 + r.Intn(5)
+	cfg.Stmts = 4 + r.Intn(28)
+	cfg.MaxDepth = r.Intn(4)
+	cfg.MaxDistance = []int{64, 96, 256, 1023}[r.Intn(4)]
+	cfg.Funcs = r.Intn(4)
+	cfg.FillerBias = []int{0, 10, 25, 50}[r.Intn(4)]
+	cfg.DataWords = 1 + r.Intn(16)
+	cfg.DataBytes = 1 + r.Intn(32)
+	cfg.LoopMax = 1 + r.Intn(12)
+	return cfg
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Normalize clamps every field into its documented range.
+func (c Config) Normalize() Config {
+	c.Vars = clamp(c.Vars, 2, 6)
+	c.Stmts = clamp(c.Stmts, 1, 64)
+	c.MaxDepth = clamp(c.MaxDepth, 0, 3)
+	// The call spill/reload sequence and join-frame refreshes need real
+	// headroom below the bound, so distances tighter than 64 are not
+	// supported (the lowering could not stay verifier-clean).
+	c.MaxDistance = clamp(c.MaxDistance, 64, 1023)
+	c.Funcs = clamp(c.Funcs, 0, 3)
+	c.FillerBias = clamp(c.FillerBias, 0, 100)
+	c.DataWords = clamp(c.DataWords, 1, 64)
+	c.DataBytes = clamp(c.DataBytes, 1, 64)
+	c.LoopMax = clamp(c.LoopMax, 1, 12)
+	return c
+}
+
+// binOp is the arithmetic subset shared byte-for-byte between
+// straight.EvalALU and riscv.Eval (verified by TestSemanticsAgree), so
+// any operand values are equivalence-safe — including RV32M div/rem edge
+// cases (x/0, MinInt32/-1) and shift amounts ≥ 32 (masked &31 by both).
+type binOp uint8
+
+const (
+	opAdd binOp = iota
+	opSub
+	opAnd
+	opOr
+	opXor
+	opSll
+	opSrl
+	opSra
+	opSlt
+	opSltu
+	opMul
+	opMulh
+	opMulhu
+	opDiv
+	opDivu
+	opRem
+	opRemu
+	numBinOps
+)
+
+var binOpName = [numBinOps]string{
+	"ADD", "SUB", "AND", "OR", "XOR", "SLL", "SRL", "SRA",
+	"SLT", "SLTU", "MUL", "MULH", "MULHU", "DIV", "DIVU", "REM", "REMU",
+}
+
+// immForm maps a binOp to its STRAIGHT immediate-form mnemonic ("" if
+// the op has no immediate form). SUB uses ADDI with a negated immediate.
+var immForm = [numBinOps]string{
+	opAdd: "ADDI", opAnd: "ANDI", opOr: "ORI", opXor: "XORI",
+	opSll: "SLLI", opSrl: "SRLI", opSra: "SRAI", opSlt: "SLTI", opSltu: "SLTIU",
+}
+
+// operand is a variable reference or a constant.
+type operand struct {
+	IsConst bool
+	Var     int
+	Const   int32
+}
+
+func vop(v int) operand      { return operand{Var: v} }
+func cop(c int32) operand    { return operand{IsConst: true, Const: c} }
+func (o operand) imm() int32 { return o.Const }
+
+// stmt is one abstract statement. The two lowerings interpret the same
+// tree, which is what makes the ISAs comparable.
+type stmt interface{ stmtKind() string }
+
+// sAssign: v[Dst] = A op B. UseImm asks the lowering to use the
+// immediate form (B must be a const that fits; the generator guarantees
+// it).
+type sAssign struct {
+	Dst    int
+	Op     binOp
+	A, B   operand
+	UseImm bool
+}
+
+// sStoreW: G[Idx] = v[Src]. Reuse additionally redefines v[Src] from the
+// store's destination register on the STRAIGHT side (stores produce the
+// stored value, §III-A) — a no-op on the RISC-V side.
+type sStoreW struct {
+	Idx   int
+	Src   int
+	Reuse bool
+}
+
+// sLoadW: v[Dst] = G[Idx].
+type sLoadW struct {
+	Dst, Idx int
+}
+
+// sStoreB: B[Off] = v[Src] & 0xFF.
+type sStoreB struct {
+	Off, Src int
+}
+
+// sLoadB: v[Dst] = B[Off], sign- or zero-extended.
+type sLoadB struct {
+	Dst, Off int
+	Signed   bool
+}
+
+// sIf: if (v[Cond] != 0) == Nz then Then else Else.
+type sIf struct {
+	Cond      int
+	Nz        bool
+	Then, Els []stmt
+}
+
+// sLoop executes Body exactly Trips times (Trips ≥ 1) via a down-counter.
+type sLoop struct {
+	Trips int
+	Body  []stmt
+}
+
+// sCall: v[Dst] = f[Fn](v[ArgA], v[ArgB]).
+type sCall struct {
+	Fn, ArgA, ArgB, Dst int
+}
+
+// sPrint emits one console syscall of v[V].
+type sPrint struct {
+	V    int
+	Kind uint8 // 0=puti 1=putu 2=putx 3=putc
+}
+
+// sFiller stretches STRAIGHT operand distances: N semantically inert
+// instructions on the STRAIGHT side only (the lowering clips N to the
+// available distance headroom). RISC-V lowers it to nothing.
+type sFiller struct {
+	N int
+}
+
+func (sAssign) stmtKind() string { return "assign" }
+func (sStoreW) stmtKind() string { return "storew" }
+func (sLoadW) stmtKind() string  { return "loadw" }
+func (sStoreB) stmtKind() string { return "storeb" }
+func (sLoadB) stmtKind() string  { return "loadb" }
+func (sIf) stmtKind() string     { return "if" }
+func (sLoop) stmtKind() string   { return "loop" }
+func (sCall) stmtKind() string   { return "call" }
+func (sPrint) stmtKind() string  { return "print" }
+func (sFiller) stmtKind() string { return "filler" }
+
+// fnTemp is one temporary inside a leaf function: t[i] = A op B, where
+// operands refer to the two arguments (-1, -2) or earlier temps (≥ 0).
+type fnTemp struct {
+	Op   binOp
+	A, B fnOperand
+}
+
+type fnOperand struct {
+	IsConst bool
+	Ref     int // -1 = argA, -2 = argB, ≥0 = temp index
+	Const   int32
+}
+
+// Fn is a leaf helper function: straight-line temps, returns the last
+// temp. No loops, no calls, no memory access — it exercises the
+// JAL/JR/link discipline and the caller's SPADD spill protocol.
+type Fn struct {
+	Temps []fnTemp
+}
+
+// Prog is a complete abstract program.
+type Prog struct {
+	Cfg     Config
+	Seed    uint64
+	Init    []int32 // initial value of each variable
+	Funcs   []*Fn
+	Main    []stmt
+	ExitVar int
+}
+
+// Generate builds a program deterministically from (seed, cfg).
+func Generate(seed uint64, cfg Config) *Prog {
+	cfg = cfg.Normalize()
+	r := rand.New(rand.NewSource(int64(seed)))
+	p := &Prog{Cfg: cfg, Seed: seed}
+	p.Init = make([]int32, cfg.Vars)
+	for i := range p.Init {
+		p.Init[i] = genConst(r)
+	}
+	for i := 0; i < cfg.Funcs; i++ {
+		p.Funcs = append(p.Funcs, genFn(r))
+	}
+	p.Main = genBlock(r, cfg, cfg.Stmts, cfg.MaxDepth)
+	p.ExitVar = r.Intn(cfg.Vars)
+	return p
+}
+
+// genConst favors boundary values: zero, ±1, extremes of the imm14
+// range, full-width patterns, and shift-relevant magnitudes.
+func genConst(r *rand.Rand) int32 {
+	switch r.Intn(10) {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2:
+		return -1
+	case 3:
+		return 8191 // ImmMaxI
+	case 4:
+		return -8192 // ImmMinI
+	case 5:
+		return int32(r.Uint32()) // full 32-bit pattern
+	case 6:
+		return -1 << 31
+	case 7:
+		return int32(r.Intn(64)) // small shift-ish magnitude
+	default:
+		return int32(r.Intn(2048) - 1024)
+	}
+}
+
+func genOperand(r *rand.Rand, cfg Config) operand {
+	if r.Intn(100) < 30 {
+		return cop(genConst(r))
+	}
+	return vop(r.Intn(cfg.Vars))
+}
+
+func genBlock(r *rand.Rand, cfg Config, budget, depth int) []stmt {
+	var out []stmt
+	for budget > 0 {
+		s, cost := genStmt(r, cfg, budget, depth)
+		out = append(out, s)
+		budget -= cost
+	}
+	return out
+}
+
+func genStmt(r *rand.Rand, cfg Config, budget, depth int) (stmt, int) {
+	if r.Intn(100) < cfg.FillerBias {
+		// Deep filler; length resolved against the distance budget at
+		// lowering time. The request is deliberately oversized so the
+		// lowering clips it to "just under the bound".
+		return sFiller{N: 1 + r.Intn(2*cfg.MaxDistance)}, 1
+	}
+	roll := r.Intn(100)
+	switch {
+	case roll < 40:
+		return genAssign(r, cfg), 1
+	case roll < 52:
+		if r.Intn(2) == 0 {
+			return sStoreW{Idx: r.Intn(cfg.DataWords), Src: r.Intn(cfg.Vars), Reuse: r.Intn(2) == 0}, 1
+		}
+		return sStoreB{Off: r.Intn(cfg.DataBytes), Src: r.Intn(cfg.Vars)}, 1
+	case roll < 62:
+		if r.Intn(2) == 0 {
+			return sLoadW{Dst: r.Intn(cfg.Vars), Idx: r.Intn(cfg.DataWords)}, 1
+		}
+		return sLoadB{Dst: r.Intn(cfg.Vars), Off: r.Intn(cfg.DataBytes), Signed: r.Intn(2) == 0}, 1
+	case roll < 70:
+		return sPrint{V: r.Intn(cfg.Vars), Kind: uint8(r.Intn(4))}, 1
+	case roll < 78 && cfg.Funcs > 0:
+		return sCall{
+			Fn:   r.Intn(cfg.Funcs),
+			ArgA: r.Intn(cfg.Vars),
+			ArgB: r.Intn(cfg.Vars),
+			Dst:  r.Intn(cfg.Vars),
+		}, 2
+	case roll < 90 && depth > 0 && budget >= 3:
+		sub := 1 + r.Intn(budget/2+1)
+		s := sIf{Cond: r.Intn(cfg.Vars), Nz: r.Intn(2) == 0}
+		s.Then = genBlock(r, cfg, sub, depth-1)
+		if r.Intn(3) > 0 {
+			s.Els = genBlock(r, cfg, sub, depth-1)
+		}
+		return s, 2 * sub
+	case depth > 0 && budget >= 3:
+		sub := 1 + r.Intn(budget/2+1)
+		return sLoop{
+			Trips: 1 + r.Intn(cfg.LoopMax),
+			Body:  genBlock(r, cfg, sub, depth-1),
+		}, 2 * sub
+	default:
+		return genAssign(r, cfg), 1
+	}
+}
+
+func genAssign(r *rand.Rand, cfg Config) sAssign {
+	s := sAssign{
+		Dst: r.Intn(cfg.Vars),
+		Op:  binOp(r.Intn(int(numBinOps))),
+		A:   genOperand(r, cfg),
+		B:   genOperand(r, cfg),
+	}
+	// The immediate form needs a const B that fits imm14 and an op with
+	// an immediate encoding (SUB folds into ADDI of the negation).
+	if s.B.IsConst && r.Intn(2) == 0 {
+		c := s.B.Const
+		fits := c >= -8192 && c <= 8191
+		if s.Op == opSub {
+			fits = -c >= -8192 && -c <= 8191
+		}
+		if fits && (immForm[s.Op] != "" || s.Op == opSub) {
+			s.UseImm = true
+		}
+	}
+	return s
+}
+
+func genFn(r *rand.Rand) *Fn {
+	f := &Fn{}
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		t := fnTemp{Op: binOp(r.Intn(int(numBinOps)))}
+		t.A = genFnOperand(r, i)
+		t.B = genFnOperand(r, i)
+		f.Temps = append(f.Temps, t)
+	}
+	return f
+}
+
+func genFnOperand(r *rand.Rand, nTemps int) fnOperand {
+	switch {
+	case r.Intn(4) == 0:
+		return fnOperand{IsConst: true, Const: genConst(r)}
+	case nTemps > 0 && r.Intn(2) == 0:
+		return fnOperand{Ref: r.Intn(nTemps)}
+	case r.Intn(2) == 0:
+		return fnOperand{Ref: -1}
+	default:
+		return fnOperand{Ref: -2}
+	}
+}
+
+// usedVars returns which variables the program references (including the
+// exit variable), so lowerings and the minimizer can skip dead state.
+func (p *Prog) usedVars() []bool {
+	used := make([]bool, p.Cfg.Vars)
+	used[p.ExitVar] = true
+	var walk func(ss []stmt)
+	mark := func(o operand) {
+		if !o.IsConst {
+			used[o.Var] = true
+		}
+	}
+	walk = func(ss []stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case sAssign:
+				used[s.Dst] = true
+				mark(s.A)
+				mark(s.B)
+			case sStoreW:
+				used[s.Src] = true
+			case sLoadW:
+				used[s.Dst] = true
+			case sStoreB:
+				used[s.Src] = true
+			case sLoadB:
+				used[s.Dst] = true
+			case sIf:
+				used[s.Cond] = true
+				walk(s.Then)
+				walk(s.Els)
+			case sLoop:
+				walk(s.Body)
+			case sCall:
+				used[s.ArgA] = true
+				used[s.ArgB] = true
+				used[s.Dst] = true
+			case sPrint:
+				used[s.V] = true
+			}
+		}
+	}
+	walk(p.Main)
+	return used
+}
+
+// usedFuncs returns which helper functions are actually called.
+func (p *Prog) usedFuncs() []bool {
+	used := make([]bool, len(p.Funcs))
+	var walk func(ss []stmt)
+	walk = func(ss []stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case sIf:
+				walk(s.Then)
+				walk(s.Els)
+			case sLoop:
+				walk(s.Body)
+			case sCall:
+				used[s.Fn] = true
+			}
+		}
+	}
+	walk(p.Main)
+	return used
+}
+
+// String renders the abstract program for reproducer files and debugging.
+func (p *Prog) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// seed=%d cfg=%+v\n", p.Seed, p.Cfg)
+	for i, v := range p.Init {
+		fmt.Fprintf(&b, "v%d = %d\n", i, v)
+	}
+	for i, f := range p.Funcs {
+		fmt.Fprintf(&b, "func f%d(a, b):\n", i)
+		for j, t := range f.Temps {
+			fmt.Fprintf(&b, "  t%d = %s %s, %s\n", j, binOpName[t.Op], fnOpStr(t.A), fnOpStr(t.B))
+		}
+	}
+	writeBlock(&b, p.Main, "")
+	fmt.Fprintf(&b, "exit v%d\n", p.ExitVar)
+	return b.String()
+}
+
+func fnOpStr(o fnOperand) string {
+	switch {
+	case o.IsConst:
+		return fmt.Sprintf("%d", o.Const)
+	case o.Ref == -1:
+		return "a"
+	case o.Ref == -2:
+		return "b"
+	default:
+		return fmt.Sprintf("t%d", o.Ref)
+	}
+}
+
+func opStr(o operand) string {
+	if o.IsConst {
+		return fmt.Sprintf("%d", o.Const)
+	}
+	return fmt.Sprintf("v%d", o.Var)
+}
+
+func writeBlock(b *strings.Builder, ss []stmt, ind string) {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case sAssign:
+			fmt.Fprintf(b, "%sv%d = %s %s, %s\n", ind, s.Dst, binOpName[s.Op], opStr(s.A), opStr(s.B))
+		case sStoreW:
+			tag := ""
+			if s.Reuse {
+				tag = " (reuse store dest)"
+			}
+			fmt.Fprintf(b, "%sG[%d] = v%d%s\n", ind, s.Idx, s.Src, tag)
+		case sLoadW:
+			fmt.Fprintf(b, "%sv%d = G[%d]\n", ind, s.Dst, s.Idx)
+		case sStoreB:
+			fmt.Fprintf(b, "%sB[%d] = byte(v%d)\n", ind, s.Off, s.Src)
+		case sLoadB:
+			ext := "u"
+			if s.Signed {
+				ext = "s"
+			}
+			fmt.Fprintf(b, "%sv%d = byte%s(B[%d])\n", ind, s.Dst, ext, s.Off)
+		case sIf:
+			cond := "!= 0"
+			if !s.Nz {
+				cond = "== 0"
+			}
+			fmt.Fprintf(b, "%sif v%d %s {\n", ind, s.Cond, cond)
+			writeBlock(b, s.Then, ind+"  ")
+			if len(s.Els) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				writeBlock(b, s.Els, ind+"  ")
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case sLoop:
+			fmt.Fprintf(b, "%sloop %d {\n", ind, s.Trips)
+			writeBlock(b, s.Body, ind+"  ")
+			fmt.Fprintf(b, "%s}\n", ind)
+		case sCall:
+			fmt.Fprintf(b, "%sv%d = f%d(v%d, v%d)\n", ind, s.Dst, s.Fn, s.ArgA, s.ArgB)
+		case sPrint:
+			kinds := [4]string{"puti", "putu", "putx", "putc"}
+			fmt.Fprintf(b, "%sprint %s v%d\n", ind, kinds[s.Kind], s.V)
+		case sFiller:
+			fmt.Fprintf(b, "%sfiller %d\n", ind, s.N)
+		}
+	}
+}

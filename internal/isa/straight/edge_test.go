@@ -1,0 +1,153 @@
+package straight
+
+import "testing"
+
+// TestEncodeBoundaryRoundTrips pins the encoding at every field boundary
+// the fuzz generator is biased toward: operand distances 0 and 1023, the
+// extremes of each immediate field, and SPADD's full signed 24-bit
+// range. Each case round-trips byte-exactly (encode → decode → encode)
+// and checks the decoded fields individually, so a silent wrap in either
+// direction cannot pass.
+func TestEncodeBoundaryRoundTrips(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+	}{
+		{"fmtR-dist-zero", Inst{Op: ADD, Src1: 0, Src2: 0}},
+		{"fmtR-dist-max-src1", Inst{Op: ADD, Src1: MaxDistance, Src2: 1}},
+		{"fmtR-dist-max-src2", Inst{Op: SUB, Src1: 1, Src2: MaxDistance}},
+		{"fmtR-dist-max-both", Inst{Op: MULHU, Src1: MaxDistance, Src2: MaxDistance}},
+		{"fmtI-imm-max", Inst{Op: ADDI, Src1: 0, Imm: ImmMaxI}},
+		{"fmtI-imm-min", Inst{Op: ADDI, Src1: MaxDistance, Imm: ImmMinI}},
+		{"fmtI-imm-minus-one", Inst{Op: XORI, Src1: 3, Imm: -1}},
+		{"fmtI-load-max", Inst{Op: LW, Src1: MaxDistance, Imm: ImmMaxI}},
+		{"fmtI-load-min", Inst{Op: LB, Src1: 1, Imm: ImmMinI}},
+		{"fmtI-branch-max", Inst{Op: BNZ, Src1: MaxDistance, Imm: ImmMaxI}},
+		{"fmtI-branch-min", Inst{Op: BEZ, Src1: 1, Imm: ImmMinI}},
+		{"fmtS-imm-max", Inst{Op: SW, Src1: MaxDistance, Src2: MaxDistance, Imm: ImmMaxS}},
+		{"fmtS-imm-min", Inst{Op: SB, Src1: 1, Src2: 2, Imm: ImmMinS}},
+		{"fmtS-sys-max-func", Inst{Op: SYS, Src1: 1, Src2: 0, Imm: 15}},
+		{"fmtS-sys-exit", Inst{Op: SYS, Src1: MaxDistance, Src2: 0, Imm: SysExit}},
+		{"fmtJ-imm-max", Inst{Op: J, Imm: ImmMaxJ}},
+		{"fmtJ-imm-min", Inst{Op: JAL, Imm: ImmMinJ}},
+		{"fmtJ-lui-max", Inst{Op: LUI, Imm: LUIMax}},
+		{"fmtJ-lui-zero", Inst{Op: LUI, Imm: 0}},
+		{"fmtJ-spadd-max", Inst{Op: SPADD, Imm: ImmMaxJ}},
+		{"fmtJ-spadd-min", Inst{Op: SPADD, Imm: ImmMinJ}},
+		{"fmtJ-spadd-zero", Inst{Op: SPADD, Imm: 0}}, // the SP re-anchor idiom
+		{"fmtJR-dist-max", Inst{Op: JR, Src1: MaxDistance}},
+		{"fmtJR-rmov-max", Inst{Op: RMOV, Src1: MaxDistance}},
+		{"fmtJR-jalr-one", Inst{Op: JALR, Src1: 1}},
+		{"fmtN-nop", Inst{Op: NOP}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w, err := Encode(c.in)
+			if err != nil {
+				t.Fatalf("encode %v: %v", c.in, err)
+			}
+			got, err := Decode(w)
+			if err != nil {
+				t.Fatalf("decode %#08x: %v", w, err)
+			}
+			if got != c.in {
+				t.Fatalf("round trip changed the instruction:\n  in  %+v\n  out %+v (word %#08x)", c.in, got, w)
+			}
+			w2, err := Encode(got)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if w2 != w {
+				t.Fatalf("re-encode not byte-exact: %#08x vs %#08x", w2, w)
+			}
+		})
+	}
+}
+
+// TestEncodeRejectsBeyondBoundaries complements the round trips: one
+// past every boundary must be an explicit error, never a wrap.
+func TestEncodeRejectsBeyondBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+	}{
+		{"src1-over", Inst{Op: ADD, Src1: MaxDistance + 1}},
+		{"src2-over", Inst{Op: ADD, Src2: MaxDistance + 1}},
+		{"immI-over", Inst{Op: ADDI, Imm: ImmMaxI + 1}},
+		{"immI-under", Inst{Op: ADDI, Imm: ImmMinI - 1}},
+		{"immS-over", Inst{Op: SW, Imm: ImmMaxS + 1}},
+		{"immS-under", Inst{Op: SW, Imm: ImmMinS - 1}},
+		{"sys-func-over", Inst{Op: SYS, Imm: 16}},
+		{"sys-func-under", Inst{Op: SYS, Imm: -1}},
+		{"immJ-over", Inst{Op: J, Imm: ImmMaxJ + 1}},
+		{"immJ-under", Inst{Op: J, Imm: ImmMinJ - 1}},
+		{"lui-over", Inst{Op: LUI, Imm: LUIMax + 1}},
+		{"lui-under", Inst{Op: LUI, Imm: -1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if w, err := Encode(c.in); err == nil {
+				t.Fatalf("encode %+v: want error, got word %#08x", c.in, w)
+			}
+		})
+	}
+}
+
+// TestDisassemblyStability pins the String() rendering of the boundary
+// shapes. The fuzz reproducers and sverify.Window output embed this text,
+// so it must not drift.
+func TestDisassemblyStability(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Src1: MaxDistance, Src2: 1}, "ADD [1023], [1]"},
+		{Inst{Op: ADDI, Src1: 0, Imm: ImmMinI}, "ADDi [0], -8192"},
+		{Inst{Op: SW, Src1: 1, Src2: MaxDistance, Imm: ImmMaxS}, "SW [1], [1023], 7"},
+		{Inst{Op: SYS, Src1: 2, Src2: 0, Imm: SysExit}, "SYS 0, [2], [0]"},
+		{Inst{Op: SPADD, Imm: -64}, "SPADD -64"},
+		{Inst{Op: LUI, Imm: LUIMax}, "LUI 16777215"},
+		{Inst{Op: RMOV, Src1: MaxDistance}, "RMOV [1023]"},
+		{Inst{Op: NOP}, "NOP"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+		// Decoding the encoded word must disassemble identically.
+		w := MustEncode(c.in)
+		dec, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got := dec.String(); got != c.want {
+			t.Errorf("decoded String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestDecodeDistanceFieldWidth decodes hand-built words with all ten
+// distance bits set, proving no bit of either source field is dropped.
+func TestDecodeDistanceFieldWidth(t *testing.T) {
+	for _, op := range []Op{ADD, SW, JR} {
+		in := Inst{Op: op, Src1: MaxDistance}
+		if op.Format() == FmtR || op.Format() == FmtS {
+			in.Src2 = MaxDistance
+		}
+		w := MustEncode(in)
+		dec, err := Decode(w)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if dec.Src1 != MaxDistance {
+			t.Errorf("%v: src1 %d, want %d", op, dec.Src1, MaxDistance)
+		}
+		if (op.Format() == FmtR || op.Format() == FmtS) && dec.Src2 != MaxDistance {
+			t.Errorf("%v: src2 %d, want %d", op, dec.Src2, MaxDistance)
+		}
+	}
+	// MaxDistance must itself be the full 10-bit field.
+	if MaxDistance != 1023 {
+		t.Fatalf("MaxDistance = %d, want 1023", MaxDistance)
+	}
+}

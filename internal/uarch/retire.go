@@ -1,0 +1,28 @@
+package uarch
+
+// Retirement describes one instruction leaving the ROB in program order.
+// Both cores publish this stream through Options.RetireFn so external
+// checkers (internal/fuzzgen's lockstep oracle) can compare a run against
+// a reference emulator retirement-by-retirement without reaching into
+// core internals.
+type Retirement struct {
+	Seq uint64 // 0-based retirement index (position in the retire stream)
+	PC  uint32
+
+	// HasValue reports whether the instruction produced a register
+	// result; Value is the destination register content at retire.
+	HasValue bool
+	Value    uint32
+
+	// LogReg is the architectural destination for sscore (RISC-V rd);
+	// straightcore has no logical registers and always reports -1.
+	LogReg int16
+
+	IsStore bool
+	MemAddr uint32 // effective address of a load or store (else 0)
+}
+
+// RetireFn observes every retirement in program order. A non-nil error
+// aborts the run and is returned from Core.Run, which lets a lockstep
+// checker stop the simulation at the first diverging instruction.
+type RetireFn func(Retirement) error

@@ -24,6 +24,13 @@ go test ./...
 go test -race ./internal/bench/...
 go test -race ./internal/ptrace/...
 
+# Bounded differential co-simulation smoke: random programs through the
+# full oracle stack (sverify, strict emulators, cross-ISA observables,
+# both cycle cores in retirement lockstep). The FuzzLockstep corpus in
+# internal/fuzzgen/testdata already replays inside `go test ./...` above;
+# this additionally sweeps fresh seeds.
+go run ./cmd/straight-fuzz -seeds 200 -budget 60s
+
 # Smoke-test the observability pipeline end to end: run both simulators
 # with -trace on tiny programs, then analyze the resulting Kanata files
 # with straight-trace (which also validates the format by parsing).
