@@ -1,4 +1,4 @@
-.PHONY: build test verify staticcheck fuzz fuzz-diff experiments
+.PHONY: build test verify staticcheck fuzz fuzz-diff experiments bench bench-update
 
 build:
 	go build ./...
@@ -30,3 +30,12 @@ fuzz-diff:
 # Reproduce every paper figure at the default scale, in parallel.
 experiments:
 	go run ./cmd/experiments -j 0
+
+# Simulation-kernel throughput: alloc budget + KIPS benchmarks + the
+# regression check against BENCH_simkernel.json (see DESIGN.md §11).
+bench:
+	sh scripts/bench.sh
+
+# Re-record the KIPS baseline (new reference host or intentional change).
+bench-update:
+	sh scripts/bench.sh update

@@ -24,6 +24,7 @@ import (
 
 	"straight/internal/bench"
 	"straight/internal/power"
+	"straight/internal/profiling"
 	"straight/internal/uarch"
 )
 
@@ -69,7 +70,12 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Kanata pipeline trace of one sweep point to PATH")
 	tracePoint := flag.String("trace-point", "Fig 11/coremark/RE+", "sweep point to trace (Section/Label)")
 	traceWindow := flag.Int64("trace-window", 0, "trace time-series window in cycles (0 = default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	check(err)
 
 	bench.SetParallelism(*workers)
 	if *tracePath != "" {
@@ -203,6 +209,8 @@ func main() {
 		check(os.WriteFile(*jsonPath, data, 0o644))
 		fmt.Printf("wrote %d points to %s\n", len(points), *jsonPath)
 	}
+
+	check(stopProf())
 }
 
 func section(name string, f func()) {

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"straight/internal/cores/sscore"
+	"straight/internal/profiling"
 	"straight/internal/ptrace"
 	"straight/internal/rasm"
 	"straight/internal/uarch"
@@ -24,10 +25,16 @@ func main() {
 	validate := flag.Bool("validate", false, "cross-validate against the functional emulator")
 	tracePath := flag.String("trace", "", "write a Kanata pipeline trace to this path (plus <path>.series.json)")
 	traceWindow := flag.Int64("trace-window", 0, "trace time-series window in cycles (0 = default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: riscv-sim [flags] file.s")
 		os.Exit(2)
+	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -56,6 +63,9 @@ func main() {
 	}
 	res, err := sscore.New(cfg, im, opts).Run(opts)
 	if err != nil {
+		fatal(err)
+	}
+	if err := stopProf(); err != nil {
 		fatal(err)
 	}
 	if opts.Tracer != nil {

@@ -1,0 +1,155 @@
+// simbench measures simulation-kernel throughput (KIPS: kilo simulated
+// instructions retired per host second) for both cycle cores at both
+// widths, and acts as the CI regression guard for the hot loop.
+//
+// Usage:
+//
+//	simbench [-count N] -o BENCH_simkernel.json         # record a baseline
+//	simbench [-count N] [-threshold F] -compare BENCH_simkernel.json
+//
+// Record mode runs every kernel on the benchmark workload (best-of-N)
+// and writes the JSON baseline; an existing baseline's pre_rewrite_kips
+// fields are carried forward so the historical speedup stays visible.
+// Compare mode measures fresh and exits non-zero if any kernel's KIPS
+// fell more than the threshold below the baseline — a small Go
+// comparator so CI needs no benchstat dependency. KIPS is host-machine
+// dependent: re-record the baseline when the reference machine changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"straight/internal/perf"
+)
+
+// baseline is the BENCH_simkernel.json document.
+type baseline struct {
+	Schema   int            `json:"schema"`
+	Workload string         `json:"workload"`
+	Iters    int            `json:"iterations"`
+	BestOf   int            `json:"best_of"`
+	Note     string         `json:"note,omitempty"`
+	Kernels  []kernelResult `json:"kernels"`
+}
+
+type kernelResult struct {
+	Name    string  `json:"name"`
+	KIPS    float64 `json:"kips"`
+	Retired uint64  `json:"retired_insts"`
+	// PreRewriteKIPS is the same measurement taken at the commit before
+	// the allocation-free kernel rewrite, on the same host as KIPS, for
+	// the historical record; it is carried forward verbatim on re-record.
+	PreRewriteKIPS float64 `json:"pre_rewrite_kips,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "record mode: write the measured baseline to this path")
+	compare := flag.String("compare", "", "compare mode: measure and check against this baseline")
+	count := flag.Int("count", 3, "runs per kernel (best-of)")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional KIPS drop before failing")
+	flag.Parse()
+	if (*out == "") == (*compare == "") {
+		fmt.Fprintln(os.Stderr, "usage: simbench [-count N] -o FILE | [-threshold F] -compare FILE")
+		os.Exit(2)
+	}
+
+	measured := baseline{
+		Schema:   1,
+		Workload: string(perf.BenchWorkload),
+		Iters:    perf.BenchIters,
+		BestOf:   *count,
+	}
+	for _, k := range perf.Kernels() {
+		fmt.Printf("measuring %-14s ", k.Name)
+		kips, retired, err := perf.MeasureKIPS(k, *count)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%8.0f KIPS (%d insts, best of %d)\n", kips, retired, *count)
+		measured.Kernels = append(measured.Kernels, kernelResult{
+			Name: k.Name, KIPS: kips, Retired: retired,
+		})
+	}
+
+	if *out != "" {
+		record(*out, &measured)
+		return
+	}
+
+	old, err := load(*compare)
+	if err != nil {
+		fatal(err)
+	}
+	failed := false
+	for _, b := range old.Kernels {
+		cur, ok := find(&measured, b.Name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "simbench: baseline kernel %q no longer measured\n", b.Name)
+			failed = true
+			continue
+		}
+		ratio := cur.KIPS / b.KIPS
+		status := "ok"
+		if cur.KIPS < b.KIPS*(1-*threshold) {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-14s baseline %8.0f  measured %8.0f  (%+.1f%%)  %s\n",
+			b.Name, b.KIPS, cur.KIPS, 100*(ratio-1), status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "simbench: KIPS regression > %.0f%% against %s\n", 100**threshold, *compare)
+		os.Exit(1)
+	}
+}
+
+// record writes the baseline, preserving pre_rewrite_kips and the note
+// from any existing file at the same path.
+func record(path string, b *baseline) {
+	if old, err := load(path); err == nil {
+		b.Note = old.Note
+		for i := range b.Kernels {
+			if prev, ok := find(old, b.Kernels[i].Name); ok {
+				b.Kernels[i].PreRewriteKIPS = prev.PreRewriteKIPS
+			}
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func load(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func find(b *baseline, name string) (kernelResult, bool) {
+	for _, k := range b.Kernels {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return kernelResult{}, false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simbench:", err)
+	os.Exit(1)
+}

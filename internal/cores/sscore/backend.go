@@ -3,56 +3,63 @@ package sscore
 import (
 	"fmt"
 
-	"straight/internal/emu/riscvemu"
 	"straight/internal/isa/riscv"
 	"straight/internal/ptrace"
 	"straight/internal/uarch"
 )
 
+// poolOf maps a µop class to the functional-unit pool that executes it
+// (jumps share the branch units, stores the memory ports). A fixed
+// array replaces the per-cycle map the issue loop used to build.
+var poolOf = func() [uarch.NumClasses]uarch.Class {
+	var p [uarch.NumClasses]uarch.Class
+	for cl := uarch.Class(0); cl < uarch.NumClasses; cl++ {
+		p[cl] = cl
+	}
+	p[uarch.ClassJump] = uarch.ClassBranch
+	p[uarch.ClassStore] = uarch.ClassLoad
+	return p
+}()
+
 // issue selects ready scheduler entries up to the issue width, respecting
 // per-class functional-unit counts. Load latency is resolved at issue
 // (the cache model is consulted immediately), which is equivalent to a
 // perfect cache-hit predictor: dependents wake exactly when the data
-// arrives and never need a replay.
+// arrives and never need a replay. Only awake entries — those whose
+// producers have all executed — are scanned; entries woken during the
+// scan become visible next cycle, which cannot change any decision
+// because a freshly woken entry's ready time is always in the future.
 func (c *Core) issue() {
 	issued := 0
-	unit := map[uarch.Class]int{}
-	avail := map[uarch.Class]int{
+	var unit [uarch.NumClasses]int
+	avail := [uarch.NumClasses]int{
 		uarch.ClassALU: c.cfg.NumALU, uarch.ClassMul: c.cfg.NumMul,
 		uarch.ClassDiv: c.cfg.NumDiv, uarch.ClassBranch: c.cfg.NumBr,
-		uarch.ClassJump: c.cfg.NumBr,
-		uarch.ClassLoad: c.cfg.NumMem, uarch.ClassStore: c.cfg.NumMem,
+		uarch.ClassLoad: c.cfg.NumMem,
 	}
-	kept := c.iq[:0]
-	for _, u := range c.iq {
-		if issued >= c.cfg.IssueWidth {
+	kept := c.iqAwake[:0]
+	for _, u := range c.iqAwake {
+		if issued >= c.cfg.IssueWidth || u.readyTime > c.cycle {
 			kept = append(kept, u)
 			continue
 		}
-		cl := u.Class
-		pool := cl
-		if cl == uarch.ClassJump {
-			pool = uarch.ClassBranch
-		}
-		if cl == uarch.ClassStore {
-			pool = uarch.ClassLoad
-		}
-		if unit[pool] >= avail[pool] || !c.srcReady(u) {
+		pool := poolOf[u.Class]
+		if unit[pool] >= avail[pool] {
 			kept = append(kept, u)
 			continue
 		}
-		if cl == uarch.ClassDiv && c.cycle < c.divBusy {
+		c.stats.IQWakeups++
+		if u.Class == uarch.ClassDiv && c.cycle < c.divBusy {
 			kept = append(kept, u)
 			continue
 		}
 		// Conservative loads wait until all older store addresses are
 		// known (memory-dependence predictor said so).
-		p := u.Payload.(*uopPayload)
 		if u.IsLoad && c.shouldWaitForStores(u.PC) && !c.lsq.OlderStoresResolved(u.Seq) {
 			kept = append(kept, u)
 			continue
 		}
-		if !c.execute(u, p) {
+		if !c.execute(u) {
 			kept = append(kept, u) // must retry (e.g. store-forward wait)
 			continue
 		}
@@ -62,11 +69,29 @@ func (c *Core) issue() {
 		u.State = uarch.StateIssued
 		u.IssuedAt = c.cycle
 		if c.tr != nil {
-			c.tr.Issue(p.fe.tid, u.IsLoad || u.IsStore)
+			c.tr.Issue(u.tid, u.IsLoad || u.IsStore)
 		}
+		u.inIQ = false
+		c.iqCount--
 		c.executing = append(c.executing, u)
 	}
-	c.iq = kept
+	c.iqAwake = kept
+	// Merge entries woken during the scan, keeping the list Seq-sorted.
+	for _, u := range c.woken {
+		lo, hi := 0, len(c.iqAwake)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if c.iqAwake[mid].Seq > u.Seq {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		c.iqAwake = append(c.iqAwake, nil)
+		copy(c.iqAwake[lo+1:], c.iqAwake[lo:])
+		c.iqAwake[lo] = u
+	}
+	c.woken = c.woken[:0]
 }
 
 // shouldWaitForStores applies the configured memory-dependence policy.
@@ -81,17 +106,6 @@ func (c *Core) shouldWaitForStores(pc uint32) bool {
 	}
 }
 
-func (c *Core) srcReady(u *uarch.UOp) bool {
-	if u.Src1 >= 0 && c.prfReady[u.Src1] > c.cycle {
-		return false
-	}
-	if u.Src2 >= 0 && c.prfReady[u.Src2] > c.cycle {
-		return false
-	}
-	c.stats.IQWakeups++
-	return true
-}
-
 func (c *Core) readSrc(phys int32) uint32 {
 	if phys < 0 {
 		return 0
@@ -103,8 +117,8 @@ func (c *Core) readSrc(phys int32) uint32 {
 // execute computes the µop's result and schedules its completion. It
 // returns false when the µop cannot proceed yet (load waiting on a
 // store).
-func (c *Core) execute(u *uarch.UOp, p *uopPayload) bool {
-	inst := p.inst
+func (c *Core) execute(u *uop) bool {
+	inst := u.inst
 	rs1 := c.readSrc(u.Src1)
 	rs2 := c.readSrc(u.Src2)
 	lat := int64(c.cfg.LatencyFor(u.Class))
@@ -131,9 +145,9 @@ func (c *Core) execute(u *uarch.UOp, p *uopPayload) bool {
 			c.divBusy = u.ReadyAt
 		}
 	case riscv.ClassLoad:
-		return c.executeLoad(u, p, rs1)
+		return c.executeLoad(u, rs1)
 	case riscv.ClassStore:
-		c.executeStore(u, p, rs1, rs2)
+		c.executeStore(u, rs1, rs2)
 	case riscv.ClassBranch:
 		u.Taken = riscv.BranchTaken(inst.Op, rs1, rs2)
 		u.Target = u.PC + 4
@@ -155,6 +169,7 @@ func (c *Core) execute(u *uarch.UOp, p *uopPayload) bool {
 		// Speculative wakeup: dependents may issue to catch the result on
 		// the bypass the cycle it becomes ready.
 		c.prfReady[u.Dest] = u.ReadyAt
+		c.wake(u.Dest, u.ReadyAt)
 	}
 	return true
 }
@@ -168,11 +183,11 @@ func isImmOp(op riscv.Op) bool {
 	return false
 }
 
-func (c *Core) executeLoad(u *uarch.UOp, p *uopPayload, rs1 uint32) bool {
-	inst := p.inst
+func (c *Core) executeLoad(u *uop, rs1 uint32) bool {
+	inst := u.inst
 	addr := rs1 + uint32(inst.Imm)
 	width, _ := riscv.LoadWidth(inst.Op)
-	le := p.lsq
+	le := u.lsq
 	le.Addr = addr
 	le.Size = uint8(width)
 	le.AddrReady = true
@@ -202,14 +217,15 @@ func (c *Core) executeLoad(u *uarch.UOp, p *uopPayload, rs1 uint32) bool {
 	c.stats.Loads++
 	if u.Dest >= 0 {
 		c.prfReady[u.Dest] = u.ReadyAt
+		c.wake(u.Dest, u.ReadyAt)
 	}
 	return true
 }
 
-func (c *Core) executeStore(u *uarch.UOp, p *uopPayload, rs1, rs2 uint32) {
-	inst := p.inst
+func (c *Core) executeStore(u *uop, rs1, rs2 uint32) {
+	inst := u.inst
 	addr := rs1 + uint32(inst.Imm)
-	le := p.lsq
+	le := u.lsq
 	le.Addr = addr
 	le.Size = uint8(riscv.StoreWidth(inst.Op))
 	le.AddrReady = true
@@ -221,17 +237,33 @@ func (c *Core) executeStore(u *uarch.UOp, p *uopPayload, rs1, rs2 uint32) {
 
 	// Disambiguation: younger loads that already executed and overlap
 	// have consumed stale data.
-	if viol := c.lsq.StoreViolations(le); len(viol) > 0 {
-		oldest := viol[0]
-		for _, v := range viol {
-			if v.U.Seq < oldest.U.Seq {
-				oldest = v
-			}
-		}
-		c.mdp.RecordViolation(oldest.U.PC)
+	if v := c.lsq.OldestViolation(le); v != nil {
+		c.mdp.RecordViolation(v.U.PC)
 		c.stats.MemDepViolations++
-		c.queueRecovery(&recovery{u: oldest.U, targetPC: oldest.U.PC, isMemViolation: true})
+		c.queueRecovery(c.robFindBySeq(v.U.Seq), v.U.PC, true)
 	}
+}
+
+// robFindBySeq locates the in-flight µop with the given sequence number
+// (the ROB is Seq-ordered, so a binary search suffices). It is only
+// called on memory-dependence violations, where the violating load is
+// guaranteed to still be in flight.
+func (c *Core) robFindBySeq(seq uint64) *uop {
+	lo, hi := 0, c.rob.Len()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.rob.At(mid).Seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < c.rob.Len() {
+		if u := c.rob.At(lo); u.Seq == seq {
+			return u
+		}
+	}
+	panic("sscore: violating load not in ROB")
 }
 
 // completeExecution retires finished executions from the FU tracking list
@@ -253,7 +285,7 @@ func (c *Core) completeExecution() {
 		u.State = uarch.StateDone
 		u.Completed = true
 		if c.tr != nil {
-			c.tr.Writeback(u.Payload.(*uopPayload).fe.tid)
+			c.tr.Writeback(u.tid)
 		}
 		if u.Class == uarch.ClassBranch || u.Class == uarch.ClassJump {
 			c.resolveControl(u)
@@ -264,13 +296,12 @@ func (c *Core) completeExecution() {
 
 // resolveControl trains the predictors and queues recovery on a
 // mispredict.
-func (c *Core) resolveControl(u *uarch.UOp) {
-	p := u.Payload.(*uopPayload)
-	if p.fe.isBranch {
+func (c *Core) resolveControl(u *uop) {
+	if u.isBranch {
 		c.stats.CondBranches++
 		c.pred.Update(u.PC, u.Taken, u.PredMeta)
 	}
-	if p.inst.Op == riscv.JALR {
+	if u.inst.Op == riscv.JALR {
 		c.btb.Insert(u.PC, u.Target)
 	}
 	predNext := u.PC + 4
@@ -282,26 +313,22 @@ func (c *Core) resolveControl(u *uarch.UOp) {
 		actualNext = u.Target
 	}
 	if predNext == actualNext {
-		if c.mdpTrainOnGoodLoad(u) {
-			// no-op; placeholder for symmetric training hooks
-		}
 		return
 	}
-	if p.fe.isBranch {
+	if u.isBranch {
 		c.stats.Mispredicts++
 		c.pred.Recover(u.PredMeta, u.Taken)
 	} else {
 		c.stats.TargetMispredict++
 	}
-	c.queueRecovery(&recovery{u: u, targetPC: actualNext})
+	c.queueRecovery(u, actualNext, false)
 }
 
-func (c *Core) mdpTrainOnGoodLoad(u *uarch.UOp) bool { return false }
-
 // queueRecovery records the oldest pending recovery of this cycle.
-func (c *Core) queueRecovery(r *recovery) {
-	if c.recov == nil || r.u.Seq < c.recov.u.Seq {
-		c.recov = r
+func (c *Core) queueRecovery(u *uop, targetPC uint32, isMemViolation bool) {
+	if !c.recovValid || u.Seq < c.recov.u.Seq {
+		c.recov = recovery{u: u, targetPC: targetPC, isMemViolation: isMemViolation}
+		c.recovValid = true
 	}
 }
 
@@ -310,42 +337,44 @@ func (c *Core) queueRecovery(r *recovery) {
 // the RMT and free list at the front-end width per cycle; rename stalls
 // until the walk completes (paper §V-A).
 func (c *Core) applyRecovery() {
-	r := c.recov
-	if r == nil {
+	if !c.recovValid {
 		return
 	}
-	c.recov = nil
+	r := c.recov
+	c.recovValid = false
 	boundary := r.u.Seq // squash everything younger than r.u
 	if r.isMemViolation {
 		boundary = r.u.Seq - 1 // the violating load itself re-executes
 	}
 
-	// Walk the ROB tail-first, undoing register mappings.
+	// Walk the ROB tail-first, undoing register mappings. Squashed µops
+	// are collected and recycled once recovery is done with them.
 	walked := 0
-	for i := len(c.rob) - 1; i >= 0; i-- {
-		u := c.rob[i]
+	for c.rob.Len() > 0 {
+		u := c.rob.At(c.rob.Len() - 1)
 		if u.Seq <= boundary {
-			c.rob = c.rob[:i+1]
 			break
 		}
-		p := u.Payload.(*uopPayload)
-		if p.logDest >= 0 {
-			c.rmt[p.logDest] = p.oldDest
+		if u.logDest >= 0 {
+			c.rmt[u.logDest] = u.oldDest
 			if c.inFreeList[u.Dest] {
-				panic(fmt.Sprintf("walk double-free of phys %d (seq %d pc %#x %v)", u.Dest, u.Seq, u.PC, p.inst))
+				panic(fmt.Sprintf("walk double-free of phys %d (seq %d pc %#x %v)", u.Dest, u.Seq, u.PC, u.inst))
 			}
 			c.inFreeList[u.Dest] = true
-			c.freeList = append([]int32{u.Dest}, c.freeList...)
+			c.freeList.PushFront(u.Dest)
 			c.stats.FreeListOps++
 		}
 		u.Squashed = true
+		if u.inIQ {
+			u.inIQ = false
+			c.iqCount--
+		}
 		if c.tr != nil {
-			c.tr.Squash(p.fe.tid)
+			c.tr.Squash(u.tid)
 		}
+		c.dead = append(c.dead, u)
+		c.rob.Truncate(c.rob.Len() - 1)
 		walked++
-		if i == 0 {
-			c.rob = c.rob[:0]
-		}
 	}
 	c.stats.ROBWalkSteps += uint64(walked)
 	c.squashYounger(boundary)
@@ -353,12 +382,16 @@ func (c *Core) applyRecovery() {
 	// Fetch redirect (next cycle); rename blocked until the walk is done.
 	c.fetchPC = r.targetPC
 	c.fetchHalted = false
-	if c.tr != nil {
-		for i := range c.feQueue {
-			c.tr.Squash(c.feQueue[i].tid)
+	for i := 0; i < c.feQueue.Len(); i++ {
+		e := c.feQueue.At(i)
+		if c.tr != nil {
+			c.tr.Squash(e.tid)
+		}
+		if e.rasSnap != nil {
+			c.snapPut(e.rasSnap)
 		}
 	}
-	c.feQueue = c.feQueue[:0]
+	c.feQueue.Clear()
 	if c.fetchOracle != nil {
 		// Oracle fetch never leaves the true path; a memory-violation
 		// replay still rewinds it.
@@ -366,15 +399,21 @@ func (c *Core) applyRecovery() {
 	}
 	if r.u.RASSnap != nil {
 		c.ras.Restore(r.u.RASSnap)
-		if p := r.u.Payload.(*uopPayload); p.inst.Op == riscv.JAL || p.inst.Op == riscv.JALR {
-			if p.inst.Rd == riscv.RegRA {
+		if r.u.inst.Op == riscv.JAL || r.u.inst.Op == riscv.JALR {
+			if r.u.inst.Rd == riscv.RegRA {
 				c.ras.Push(r.u.PC + 4)
 			}
-			if p.inst.Rd == 0 && p.inst.Rs1 == riscv.RegRA {
+			if r.u.inst.Rd == 0 && r.u.inst.Rs1 == riscv.RegRA {
 				c.ras.Pop()
 			}
 		}
 	}
+	// All wrong-path µops are now unreachable from every pipeline
+	// structure (stale waiter links are seq-tagged); recycle them.
+	for _, u := range c.dead {
+		c.freeUop(u)
+	}
+	c.dead = c.dead[:0]
 	if c.cfg.ZeroMispredictPenalty {
 		c.fetchStallUntil = c.cycle + 1
 		return
@@ -400,7 +439,7 @@ func (c *Core) applyRecovery() {
 // (branch recoveries never occur there: fetch follows the true path).
 func (c *Core) resyncOracle() {
 	o := c.emu.Clone()
-	for range c.rob {
+	for i := 0; i < c.rob.Len(); i++ {
 		if o.Step() != nil {
 			break
 		}
@@ -410,31 +449,31 @@ func (c *Core) resyncOracle() {
 
 // squashYounger removes wrong-path µops from every structure.
 func (c *Core) squashYounger(seq uint64) {
-	kept := c.iq[:0]
-	for _, u := range c.iq {
-		if u.Seq <= seq {
-			kept = append(kept, u)
+	// The awake list is Seq-sorted, so the squash is a tail truncation.
+	lo, hi := 0, len(c.iqAwake)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.iqAwake[mid].Seq > seq {
+			hi = mid
 		} else {
-			u.Squashed = true
+			lo = mid + 1
 		}
 	}
-	c.iq = kept
+	c.iqAwake = c.iqAwake[:lo]
 	keptX := c.executing[:0]
 	for _, u := range c.executing {
 		if u.Seq <= seq {
 			keptX = append(keptX, u)
-		} else {
-			u.Squashed = true
 		}
 	}
 	c.executing = keptX
 	c.lsq.SquashYounger(seq)
-	c.serializing = serializingStill(c.rob)
+	c.serializing = c.robHasECALL()
 }
 
-func serializingStill(rob []*uarch.UOp) bool {
-	for _, u := range rob {
-		if u.Payload.(*uopPayload).inst.Op == riscv.ECALL {
+func (c *Core) robHasECALL() bool {
+	for i := 0; i < c.rob.Len(); i++ {
+		if c.rob.At(i).inst.Op == riscv.ECALL {
 			return true
 		}
 	}
@@ -445,14 +484,13 @@ func serializingStill(rob []*uarch.UOp) bool {
 // (serialized) syscalls against architectural state, and cross-validates
 // against the golden emulator.
 func (c *Core) commit(opts Options) error {
-	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
-		u := c.rob[0]
+	for n := 0; n < c.cfg.CommitWidth && c.rob.Len() > 0; n++ {
+		u := c.rob.Front()
 		if !u.Completed || u.Squashed || c.cycle < u.ReadyAt {
 			return nil
 		}
-		p := u.Payload.(*uopPayload)
 
-		if p.inst.Op == riscv.ECALL {
+		if u.inst.Op == riscv.ECALL {
 			// Execute via the golden emulator (it is exactly at this
 			// instruction), propagating output and exit.
 			if c.emu.PC() != u.PC {
@@ -465,21 +503,23 @@ func (c *Core) commit(opts Options) error {
 			}
 			// a0 may have been written (SysCycle): update the committed
 			// physical copy.
-			c.prf[c.rmt[riscv.RegA0]] = c.emu.Reg(riscv.RegA0)
-			c.prfReady[c.rmt[riscv.RegA0]] = c.cycle
+			a0 := c.rmt[riscv.RegA0]
+			c.prf[a0] = c.emu.Reg(riscv.RegA0)
+			c.prfReady[a0] = c.cycle
+			c.wake(a0, c.cycle)
 			c.serializing = false
-			if err := c.finishRetire(u, p); err != nil {
+			if err := c.finishRetire(u); err != nil {
 				return err
 			}
 			continue
 		}
 
 		if u.IsStore {
-			width := int(p.lsq.Size)
+			width := int(u.lsq.Size)
 			if u.MemAddr%uint32(width) != 0 {
 				return fmt.Errorf("sscore: misaligned store committed at pc=%#x addr=%#x", u.PC, u.MemAddr)
 			}
-			c.mem.Store(u.MemAddr, p.lsq.Data, width)
+			c.mem.Store(u.MemAddr, u.lsq.Data, width)
 			c.hier.AccessData(c.cycle, u.MemAddr) // fill/dirty the line
 		}
 		if u.IsLoad && c.cfg.MemDep == uarch.MemDepPredict && c.mdp.ShouldWait(u.PC) {
@@ -491,18 +531,12 @@ func (c *Core) commit(opts Options) error {
 			if c.emu.PC() != u.PC {
 				return fmt.Errorf("sscore: retire desync at seq %d: core pc=%#x emu pc=%#x", u.Seq, u.PC, c.emu.PC())
 			}
-			var wantVal uint32
-			var checks bool
-			c.emu.TraceFn = func(r riscvemu.Retired) {
-				if r.Inst.WritesRd() && r.Inst.Rd != 0 {
-					wantVal = r.Result
-					checks = true
-				}
-			}
+			c.wantChecks = false
+			c.emu.TraceFn = c.xvalTraceFn
 			c.emu.Step()
 			c.emu.TraceFn = nil
-			if checks && u.Dest >= 0 && c.prf[u.Dest] != wantVal {
-				return fmt.Errorf("sscore: value desync at pc=%#x: core=%#x emu=%#x", u.PC, c.prf[u.Dest], wantVal)
+			if c.wantChecks && u.Dest >= 0 && c.prf[u.Dest] != c.wantVal {
+				return fmt.Errorf("sscore: value desync at pc=%#x: core=%#x emu=%#x", u.PC, c.prf[u.Dest], c.wantVal)
 			}
 		} else {
 			c.emu.Step()
@@ -512,29 +546,29 @@ func (c *Core) commit(opts Options) error {
 			c.exitCode = code
 		}
 
-		if err := c.finishRetire(u, p); err != nil {
+		if err := c.finishRetire(u); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (c *Core) finishRetire(u *uarch.UOp, p *uopPayload) error {
-	if p.logDest >= 0 && p.oldDest >= 0 {
-		if c.inFreeList[p.oldDest] {
-			panic(fmt.Sprintf("retire double-free of phys %d (seq %d pc %#x %v)", p.oldDest, u.Seq, u.PC, p.inst))
+func (c *Core) finishRetire(u *uop) error {
+	if u.logDest >= 0 && u.oldDest >= 0 {
+		if c.inFreeList[u.oldDest] {
+			panic(fmt.Sprintf("retire double-free of phys %d (seq %d pc %#x %v)", u.oldDest, u.Seq, u.PC, u.inst))
 		}
-		c.inFreeList[p.oldDest] = true
-		c.freeList = append(c.freeList, p.oldDest)
+		c.inFreeList[u.oldDest] = true
+		c.freeList.PushBack(u.oldDest)
 		c.stats.FreeListOps++
 	}
 	if u.IsLoad || u.IsStore {
-		c.lsq.Retire(u)
+		c.lsq.Retire(&u.UOp)
 	}
 	if c.tr != nil {
-		c.tr.Commit(p.fe.tid)
+		c.tr.Commit(u.tid)
 	}
-	c.rob = c.rob[1:]
+	c.rob.PopFront()
 	var err error
 	if c.retireFn != nil {
 		r := uarch.Retirement{
@@ -544,14 +578,15 @@ func (c *Core) finishRetire(u *uarch.UOp, p *uopPayload) error {
 			IsStore: u.IsStore,
 			MemAddr: u.MemAddr,
 		}
-		if p.logDest > 0 && u.Dest >= 0 {
+		if u.logDest > 0 && u.Dest >= 0 {
 			r.HasValue = true
-			r.LogReg = int16(p.logDest)
+			r.LogReg = int16(u.logDest)
 			r.Value = c.prf[u.Dest]
 		}
 		err = c.retireFn(r)
 	}
 	c.stats.Retired++
 	c.stats.RetiredByClass[u.Class]++
+	c.freeUop(u)
 	return err
 }

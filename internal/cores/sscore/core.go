@@ -52,12 +52,31 @@ type feEntry struct {
 	isControl  bool
 }
 
-type uopPayload struct {
-	inst    riscv.Inst
-	oldDest int32 // previous physical mapping of rd (for walk/free)
-	logDest int8  // logical rd (-1 none)
-	fe      feEntry
-	lsq     *uarch.LSQEntry
+// uop is an in-flight µop: the shared backend state plus the RISC-V
+// rename payload and the wakeup-scheduler bookkeeping. µops are recycled
+// through a per-core arena, so the steady-state step path never
+// heap-allocates one.
+type uop struct {
+	uarch.UOp
+
+	inst     riscv.Inst
+	tid      ptrace.ID
+	isBranch bool
+	lsq      *uarch.LSQEntry
+	oldDest  int32 // previous physical mapping of rd (for walk/free)
+	logDest  int8  // logical rd (-1 none)
+
+	// Wakeup-scheduler state (see enterIQ/wake).
+	pending   int8
+	inIQ      bool
+	readyTime int64
+}
+
+// waiter links a scheduler entry to a physical register it is waiting
+// on; the seq tag invalidates links to squashed-and-recycled µops.
+type waiter struct {
+	u   *uop
+	seq uint64
 }
 
 // Core is the SS cycle simulator.
@@ -80,7 +99,7 @@ type Core struct {
 	// Front end.
 	fetchPC         uint32
 	fetchStallUntil int64
-	feQueue         []feEntry
+	feQueue         *uarch.Ring[feEntry]
 	feCap           int
 	fetchHalted     bool // ran off decodable text; wait for redirect
 
@@ -90,26 +109,40 @@ type Core struct {
 
 	// Rename.
 	rmt         [32]int32
-	freeList    []int32
+	freeList    *uarch.Ring[int32]
 	renameBlock int64 // rename blocked until this cycle (ROB walk)
 	serializing bool  // an ECALL is draining the ROB
 
 	// Backend.
-	inFreeList []bool       // debug guard against double-free
-	rob        []*uarch.UOp // program order, head first
-	iq         []*uarch.UOp
-	executing  []*uarch.UOp
+	inFreeList []bool // debug guard against double-free
+	rob        *uarch.Ring[*uop]
+	iqAwake    []*uop // scheduler entries with all producers executed, Seq-sorted
+	iqCount    int    // total scheduler occupancy (awake + waiting)
+	waiters    [][]waiter
+	woken      []*uop // entries woken this cycle, merged into iqAwake after the scan
+	executing  []*uop
 	prf        []uint32
 	prfReady   []int64 // cycle value becomes available; future = pending
 	divBusy    int64
 
 	// Pending recovery (applied at end of cycle; oldest wins).
-	recov *recovery
+	recov      recovery
+	recovValid bool
+
+	// µop arena and RAS-snapshot pool.
+	arena    []*uop
+	dead     []*uop
+	snapPool [][]uint32
 
 	// Golden model for cross-validation and syscalls.
 	emu      *riscvemu.Machine
 	exited   bool
 	exitCode int32
+
+	// Prebuilt cross-validation trace hook (no per-retire closure).
+	wantVal     uint32
+	wantChecks  bool
+	xvalTraceFn func(riscvemu.Retired)
 
 	retireFn uarch.RetireFn
 
@@ -117,7 +150,7 @@ type Core struct {
 }
 
 type recovery struct {
-	u        *uarch.UOp
+	u        *uop
 	targetPC uint32
 	// isMemViolation refetches the violating load itself.
 	isMemViolation bool
@@ -163,6 +196,7 @@ func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
 	}
 	c.mem.LoadImage(img)
 	c.prfReady = make([]int64, cfg.RegFileSize)
+	c.waiters = make([][]waiter, cfg.RegFileSize)
 
 	// Initial RMT: logical register i maps to physical i; the remaining
 	// physical registers populate the free list.
@@ -171,14 +205,33 @@ func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
 	}
 	c.prf[riscv.RegSP] = program.DefaultStackTop
 	c.inFreeList = make([]bool, cfg.RegFileSize)
+	c.freeList = uarch.NewRing[int32](cfg.RegFileSize)
 	for p := 32; p < cfg.RegFileSize; p++ {
-		c.freeList = append(c.freeList, int32(p))
+		c.freeList.PushBack(int32(p))
 		c.inFreeList[p] = true
+	}
+
+	c.feQueue = uarch.NewRing[feEntry](c.feCap)
+	c.rob = uarch.NewRing[*uop](cfg.ROBSize)
+	c.iqAwake = make([]*uop, 0, cfg.SchedulerSize)
+	c.woken = make([]*uop, 0, cfg.SchedulerSize)
+	c.executing = make([]*uop, 0, cfg.ROBSize)
+	c.dead = make([]*uop, 0, cfg.ROBSize)
+	c.arena = make([]*uop, 0, cfg.ROBSize+8)
+	block := make([]uop, cfg.ROBSize+8)
+	for i := range block {
+		c.arena = append(c.arena, &block[i])
 	}
 
 	// Golden model: drives syscalls and (optionally) cross-validation.
 	c.emu = riscvemu.New(img)
 	c.emu.SetOutput(c.outBuf)
+	c.xvalTraceFn = func(r riscvemu.Retired) {
+		if r.Inst.WritesRd() && r.Inst.Rd != 0 {
+			c.wantVal = r.Result
+			c.wantChecks = true
+		}
+	}
 
 	if cfg.ZeroMispredictPenalty || cfg.Predictor == uarch.PredOracle {
 		c.fetchOracle = riscvemu.New(img)
@@ -186,6 +239,42 @@ func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
 	}
 	return c
 }
+
+// allocUop takes a recycled µop from the arena (growing it only if the
+// simulation exceeds every previous in-flight high-water mark).
+func (c *Core) allocUop() *uop {
+	if n := len(c.arena); n > 0 {
+		u := c.arena[n-1]
+		c.arena = c.arena[:n-1]
+		return u
+	}
+	block := make([]uop, 32)
+	for i := 1; i < len(block); i++ {
+		c.arena = append(c.arena, &block[i])
+	}
+	return &block[0]
+}
+
+// freeUop recycles a µop after its last use. Zeroing the slot clears
+// Seq, which invalidates any stale waiter links still pointing at it.
+func (c *Core) freeUop(u *uop) {
+	if u.RASSnap != nil {
+		c.snapPut(u.RASSnap)
+	}
+	*u = uop{}
+	c.arena = append(c.arena, u)
+}
+
+func (c *Core) snapGet() []uint32 {
+	if n := len(c.snapPool); n > 0 {
+		s := c.snapPool[n-1]
+		c.snapPool = c.snapPool[:n-1]
+		return s
+	}
+	return make([]uint32, 0, c.cfg.RASEntries)
+}
+
+func (c *Core) snapPut(s []uint32) { c.snapPool = append(c.snapPool, s[:0]) }
 
 // Mem exposes the simulated memory (for post-run equivalence checks).
 func (c *Core) Mem() *program.Memory { return c.mem }
@@ -219,6 +308,27 @@ func (c *Core) Run(opts Options) (*Result, error) {
 	return &Result{Stats: c.stats, ExitCode: c.exitCode, Output: string(c.outBuf.buf)}, nil
 }
 
+// RunCycles advances the simulation by at most n cycles, stopping early
+// on program exit or a simulation error. It gives benchmarks and the
+// steady-state allocation tests cycle-granular control that Run (which
+// adds bound and deadlock checks around the whole run) does not expose.
+// Exited reports whether the program has finished.
+func (c *Core) RunCycles(opts Options, n int64) error {
+	c.retireFn = opts.RetireFn
+	for i := int64(0); i < n && !c.exited; i++ {
+		if err := c.step(opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exited reports whether the simulated program has exited.
+func (c *Core) Exited() bool { return c.exited }
+
+// Stats returns a copy of the counters accumulated so far.
+func (c *Core) Stats() uarch.Stats { return c.stats }
+
 // step advances one cycle: commit, execute-complete, issue, dispatch,
 // fetch, then recovery resolution (order chosen so same-cycle hand-offs
 // behave like a real pipeline with forwarding).
@@ -237,11 +347,11 @@ func (c *Core) step(opts Options) error {
 	c.fetch()
 	c.applyRecovery()
 	c.stats.Cycles++
-	c.stats.ROBOccupancy += int64(len(c.rob))
-	c.stats.IQOccupancy += int64(len(c.iq))
+	c.stats.ROBOccupancy += int64(c.rob.Len())
+	c.stats.IQOccupancy += int64(c.iqCount)
 	if c.tr != nil {
 		lq, sq := c.lsq.Occupancy()
-		c.tr.Sample(len(c.rob), len(c.iq), lq, sq)
+		c.tr.Sample(c.rob.Len(), c.iqCount, lq, sq)
 	}
 	c.cycle++
 	return nil
@@ -249,23 +359,22 @@ func (c *Core) step(opts Options) error {
 
 // deadlockDump renders the pipeline state for deadlock diagnostics.
 func (c *Core) deadlockDump() string {
-	s := fmt.Sprintf("rob=%d iq=%d exec=%d feq=%d freeList=%d fetchPC=%#x halted=%v stall=%d renameBlock=%d serializing=%v\n",
-		len(c.rob), len(c.iq), len(c.executing), len(c.feQueue), len(c.freeList),
+	s := fmt.Sprintf("rob=%d iq=%d (awake=%d) exec=%d feq=%d freeList=%d fetchPC=%#x halted=%v stall=%d renameBlock=%d serializing=%v\n",
+		c.rob.Len(), c.iqCount, len(c.iqAwake), len(c.executing), c.feQueue.Len(), c.freeList.Len(),
 		c.fetchPC, c.fetchHalted, c.fetchStallUntil, c.renameBlock, c.serializing)
-	if len(c.rob) > 0 {
-		u := c.rob[0]
-		p := u.Payload.(*uopPayload)
+	if c.rob.Len() > 0 {
+		u := c.rob.Front()
 		s += fmt.Sprintf("rob head: seq=%d pc=%#x %v class=%v completed=%v squashed=%v readyAt=%d state=%d\n",
-			u.Seq, u.PC, p.inst, u.Class, u.Completed, u.Squashed, u.ReadyAt, u.State)
+			u.Seq, u.PC, u.inst, u.Class, u.Completed, u.Squashed, u.ReadyAt, u.State)
 		// Walk the dependency chain from the head's pending source.
 		pending := u.Src1
 		if pending < 0 || c.prfReady[pending] <= c.cycle {
 			pending = u.Src2
 		}
 		for depth := 0; depth < 10 && pending >= 0 && c.prfReady[pending] > c.cycle; depth++ {
-			var owner *uarch.UOp
-			for _, w := range c.rob {
-				if w.Dest == pending {
+			var owner *uop
+			for i := 0; i < c.rob.Len(); i++ {
+				if w := c.rob.At(i); w.Dest == pending {
 					owner = w
 				}
 			}
@@ -274,7 +383,7 @@ func (c *Core) deadlockDump() string {
 				break
 			}
 			s += fmt.Sprintf("  reg %d <- seq=%d pc=%#x %v state=%d squashed=%v src1=%d src2=%d\n",
-				pending, owner.Seq, owner.PC, owner.Payload.(*uopPayload).inst, owner.State, owner.Squashed, owner.Src1, owner.Src2)
+				pending, owner.Seq, owner.PC, owner.inst, owner.State, owner.Squashed, owner.Src1, owner.Src2)
 			next := owner.Src1
 			if next < 0 || c.prfReady[next] <= c.cycle {
 				next = owner.Src2
@@ -282,12 +391,12 @@ func (c *Core) deadlockDump() string {
 			pending = next
 		}
 	}
-	for i, u := range c.iq {
+	for i, u := range c.iqAwake {
 		if i >= 4 {
 			break
 		}
-		s += fmt.Sprintf("iq[%d]: seq=%d pc=%#x %v src1=%d(r@%d) src2=%d(r@%d)\n",
-			i, u.Seq, u.PC, u.Payload.(*uopPayload).inst, u.Src1, rdy(c, u.Src1), u.Src2, rdy(c, u.Src2))
+		s += fmt.Sprintf("iqAwake[%d]: seq=%d pc=%#x %v src1=%d(r@%d) src2=%d(r@%d) readyTime=%d\n",
+			i, u.Seq, u.PC, u.inst, u.Src1, rdy(c, u.Src1), u.Src2, rdy(c, u.Src2), u.readyTime)
 	}
 	lq, sq := c.lsq.Occupancy()
 	s += fmt.Sprintf("lsq: loads=%d stores=%d\n", lq, sq)

@@ -20,7 +20,7 @@ func (c *Core) fetch() {
 		}
 		return
 	}
-	if len(c.feQueue)+c.cfg.FetchWidth > c.feCap {
+	if c.feQueue.Len()+c.cfg.FetchWidth > c.feCap {
 		return
 	}
 	pc := c.fetchPC
@@ -69,7 +69,9 @@ func (c *Core) fetch() {
 			}
 			nextPC = next
 		} else if inst.IsControl() {
-			e.rasSnap = c.ras.Snapshot()
+			if c.ras.Depth() > 0 {
+				e.rasSnap = c.ras.SnapshotInto(c.snapGet())
+			}
 			taken, target := c.predictControl(pc, inst, &e)
 			if taken {
 				nextPC = target
@@ -77,7 +79,7 @@ func (c *Core) fetch() {
 			e.predTaken = taken
 			e.predTarget = target
 		}
-		c.feQueue = append(c.feQueue, e)
+		c.feQueue.PushBack(e)
 		c.stats.FetchedInsts++
 		pc = nextPC
 		c.fetchPC = pc
@@ -127,8 +129,8 @@ func (c *Core) traceStall(cause ptrace.StallCause) {
 		return
 	}
 	var id ptrace.ID
-	if len(c.feQueue) > 0 {
-		id = c.feQueue[0].tid
+	if c.feQueue.Len() > 0 {
+		id = c.feQueue.Front().tid
 	}
 	c.tr.Stall(cause, id)
 }
@@ -142,12 +144,12 @@ func (c *Core) dispatch() error {
 		return nil
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.feQueue) == 0 {
+		if c.feQueue.Len() == 0 {
 			c.stats.StallFrontEnd++
 			c.traceStall(ptrace.StallFrontEnd)
 			return nil
 		}
-		e := c.feQueue[0]
+		e := c.feQueue.Front()
 		if c.cycle-e.fetchedAt < int64(c.cfg.FrontEndLatency) {
 			return nil
 		}
@@ -157,17 +159,17 @@ func (c *Core) dispatch() error {
 		}
 		inst := e.inst
 		if inst.Op == riscv.ECALL {
-			if len(c.rob) > 0 {
+			if c.rob.Len() > 0 {
 				c.serializingWait()
 				return nil
 			}
 		}
-		if len(c.rob) >= c.cfg.ROBSize {
+		if c.rob.Len() >= c.cfg.ROBSize {
 			c.stats.StallROBFull++
 			c.traceStall(ptrace.StallROBFull)
 			return nil
 		}
-		if len(c.iq) >= c.cfg.SchedulerSize {
+		if c.iqCount >= c.cfg.SchedulerSize {
 			c.stats.StallIQFull++
 			c.traceStall(ptrace.StallIQFull)
 			return nil
@@ -182,16 +184,21 @@ func (c *Core) dispatch() error {
 
 		// Rename: source lookups, old-destination lookup, free-list pop,
 		// RMT update — the RAM-RMT port activity the power model counts.
-		p := &uopPayload{inst: inst, fe: e, logDest: -1, oldDest: -1}
-		u := &uarch.UOp{
-			Seq: c.nextSeq(), PC: e.pc,
-			Dest: -1, Src1: -1, Src2: -1,
-			PredTaken: e.predTaken, PredTarget: e.predTarget, PredMeta: e.predMeta,
-			RASSnap: e.rasSnap,
-			IsLoad:  isLoad, IsStore: isStore,
-			Payload: p,
-		}
+		u := c.allocUop()
+		u.Seq = c.nextSeq()
+		u.PC = e.pc
 		u.Class = classOf(inst)
+		u.Dest, u.Src1, u.Src2 = -1, -1, -1
+		u.PredTaken = e.predTaken
+		u.PredTarget = e.predTarget
+		u.PredMeta = e.predMeta
+		u.IsLoad = isLoad
+		u.IsStore = isStore
+		u.inst = inst
+		u.tid = e.tid
+		u.isBranch = e.isBranch
+		u.logDest = -1
+		u.oldDest = -1
 		if inst.ReadsRs1() {
 			u.Src1 = c.rmt[inst.Rs1]
 			c.stats.RenameReads++
@@ -202,15 +209,17 @@ func (c *Core) dispatch() error {
 		}
 		if inst.WritesRd() && inst.Rd != 0 {
 			c.stats.RenameReads++ // old-mapping read for recovery/retire
-			if len(c.freeList) == 0 {
+			if c.freeList.Len() == 0 {
 				c.stats.StallFreeList++
 				c.traceStall(ptrace.StallFreeList)
+				// The fetch entry stays queued (and keeps its RAS
+				// snapshot); only the µop shell is recycled.
+				c.freeUop(u)
 				return nil
 			}
-			p.logDest = int8(inst.Rd)
-			p.oldDest = c.rmt[inst.Rd]
-			phys := c.freeList[0]
-			c.freeList = c.freeList[1:]
+			u.logDest = int8(inst.Rd)
+			u.oldDest = c.rmt[inst.Rd]
+			phys := c.freeList.PopFront()
 			c.inFreeList[phys] = false
 			c.stats.FreeListOps++
 			c.rmt[inst.Rd] = phys
@@ -218,10 +227,11 @@ func (c *Core) dispatch() error {
 			u.Dest = phys
 			c.prfReady[phys] = farFuture
 		}
-		c.feQueue = c.feQueue[1:]
-		c.rob = append(c.rob, u)
+		u.RASSnap = e.rasSnap
+		c.feQueue.PopFront()
+		c.rob.PushBack(u)
 		if isLoad || isStore {
-			p.lsq = c.lsq.Allocate(u)
+			u.lsq = c.lsq.Allocate(&u.UOp)
 		}
 		if c.tr != nil {
 			c.tr.Dispatch(e.tid, u.Dest, u.Src1, u.Src2)
@@ -238,9 +248,63 @@ func (c *Core) dispatch() error {
 			}
 			continue
 		}
-		c.iq = append(c.iq, u)
+		c.enterIQ(u)
 	}
 	return nil
+}
+
+// enterIQ registers a dispatched µop with the wakeup scheduler: sources
+// whose producers have already executed contribute their ready time; the
+// rest register a waiter and keep the entry asleep until the last
+// producer's wakeup.
+func (c *Core) enterIQ(u *uop) {
+	if u.Src1 >= 0 {
+		if t := c.prfReady[u.Src1]; t == farFuture {
+			u.pending++
+			c.waiters[u.Src1] = append(c.waiters[u.Src1], waiter{u, u.Seq})
+		} else if t > u.readyTime {
+			u.readyTime = t
+		}
+	}
+	if u.Src2 >= 0 {
+		if t := c.prfReady[u.Src2]; t == farFuture {
+			u.pending++
+			c.waiters[u.Src2] = append(c.waiters[u.Src2], waiter{u, u.Seq})
+		} else if t > u.readyTime {
+			u.readyTime = t
+		}
+	}
+	u.inIQ = true
+	c.iqCount++
+	if u.pending == 0 {
+		// Dispatch order is Seq order, so appending keeps the awake
+		// list sorted.
+		c.iqAwake = append(c.iqAwake, u)
+	}
+}
+
+// wake is called after every real (non-farFuture) write to prfReady[reg]:
+// it drains the register's waiter list, propagating the ready time and
+// moving fully-woken entries to the awake list. Stale links (squashed
+// and recycled µops) are skipped via the seq tag.
+func (c *Core) wake(reg int32, t int64) {
+	ws := c.waiters[reg]
+	if len(ws) == 0 {
+		return
+	}
+	for _, w := range ws {
+		if w.u.Seq != w.seq || !w.u.inIQ {
+			continue
+		}
+		if t > w.u.readyTime {
+			w.u.readyTime = t
+		}
+		w.u.pending--
+		if w.u.pending == 0 {
+			c.woken = append(c.woken, w.u)
+		}
+	}
+	c.waiters[reg] = ws[:0]
 }
 
 func (c *Core) serializingWait() {

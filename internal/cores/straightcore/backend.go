@@ -3,54 +3,61 @@ package straightcore
 import (
 	"fmt"
 
-	"straight/internal/emu/straightemu"
 	"straight/internal/isa/straight"
 	"straight/internal/program"
 	"straight/internal/ptrace"
 	"straight/internal/uarch"
 )
 
+// poolOf maps a µop class to the functional-unit pool that executes it
+// (jumps share the branch units, stores the memory ports, nops the
+// ALUs). A fixed array replaces the per-cycle map the issue loop used
+// to build.
+var poolOf = func() [uarch.NumClasses]uarch.Class {
+	var p [uarch.NumClasses]uarch.Class
+	for cl := uarch.Class(0); cl < uarch.NumClasses; cl++ {
+		p[cl] = cl
+	}
+	p[uarch.ClassJump] = uarch.ClassBranch
+	p[uarch.ClassStore] = uarch.ClassLoad
+	p[uarch.ClassNop] = uarch.ClassALU
+	return p
+}()
+
 // issue selects ready scheduler entries (identical policy to the SS
-// core: the scheduler is shared machinery).
+// core: the scheduler is shared machinery). Only awake entries — those
+// whose producers have all executed — are scanned; entries woken during
+// the scan become visible next cycle, which cannot change any decision
+// because a freshly woken entry's ready time is always in the future.
 func (c *Core) issue() {
 	issued := 0
-	unit := map[uarch.Class]int{}
-	avail := map[uarch.Class]int{
+	var unit [uarch.NumClasses]int
+	avail := [uarch.NumClasses]int{
 		uarch.ClassALU: c.cfg.NumALU, uarch.ClassMul: c.cfg.NumMul,
 		uarch.ClassDiv: c.cfg.NumDiv, uarch.ClassBranch: c.cfg.NumBr,
-		uarch.ClassJump: c.cfg.NumBr,
-		uarch.ClassLoad: c.cfg.NumMem, uarch.ClassStore: c.cfg.NumMem,
-		uarch.ClassNop: c.cfg.NumALU,
+		uarch.ClassLoad: c.cfg.NumMem,
 	}
-	kept := c.iq[:0]
-	for _, u := range c.iq {
-		if issued >= c.cfg.IssueWidth {
+	kept := c.iqAwake[:0]
+	for _, u := range c.iqAwake {
+		if issued >= c.cfg.IssueWidth || u.readyTime > c.cycle {
 			kept = append(kept, u)
 			continue
 		}
-		pool := u.Class
-		switch pool {
-		case uarch.ClassJump:
-			pool = uarch.ClassBranch
-		case uarch.ClassStore:
-			pool = uarch.ClassLoad
-		case uarch.ClassNop:
-			pool = uarch.ClassALU
-		}
-		if unit[pool] >= avail[pool] || !c.srcReady(u) {
+		pool := poolOf[u.Class]
+		if unit[pool] >= avail[pool] {
 			kept = append(kept, u)
 			continue
 		}
+		c.stats.IQWakeups++
 		if u.Class == uarch.ClassDiv && c.cycle < c.divBusy {
 			kept = append(kept, u)
 			continue
 		}
-		p := u.Payload.(*uopPayload)
 		if u.IsLoad && c.shouldWaitForStores(u.PC) && !c.lsq.OlderStoresResolved(u.Seq) {
 			kept = append(kept, u)
 			continue
 		}
-		if !c.execute(u, p) {
+		if !c.execute(u) {
 			kept = append(kept, u)
 			continue
 		}
@@ -60,11 +67,29 @@ func (c *Core) issue() {
 		u.State = uarch.StateIssued
 		u.IssuedAt = c.cycle
 		if c.tr != nil {
-			c.tr.Issue(p.fe.tid, u.IsLoad || u.IsStore)
+			c.tr.Issue(u.tid, u.IsLoad || u.IsStore)
 		}
+		u.inIQ = false
+		c.iqCount--
 		c.executing = append(c.executing, u)
 	}
-	c.iq = kept
+	c.iqAwake = kept
+	// Merge entries woken during the scan, keeping the list Seq-sorted.
+	for _, u := range c.woken {
+		lo, hi := 0, len(c.iqAwake)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if c.iqAwake[mid].Seq > u.Seq {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		c.iqAwake = append(c.iqAwake, nil)
+		copy(c.iqAwake[lo+1:], c.iqAwake[lo:])
+		c.iqAwake[lo] = u
+	}
+	c.woken = c.woken[:0]
 }
 
 // shouldWaitForStores applies the configured memory-dependence policy.
@@ -79,17 +104,6 @@ func (c *Core) shouldWaitForStores(pc uint32) bool {
 	}
 }
 
-func (c *Core) srcReady(u *uarch.UOp) bool {
-	if u.Src1 >= 0 && c.prfReady[u.Src1] > c.cycle {
-		return false
-	}
-	if u.Src2 >= 0 && c.prfReady[u.Src2] > c.cycle {
-		return false
-	}
-	c.stats.IQWakeups++
-	return true
-}
-
 func (c *Core) readSrc(phys int32) uint32 {
 	if phys < 0 {
 		return 0
@@ -98,8 +112,8 @@ func (c *Core) readSrc(phys int32) uint32 {
 	return c.prf[phys]
 }
 
-func (c *Core) execute(u *uarch.UOp, p *uopPayload) bool {
-	inst := p.inst
+func (c *Core) execute(u *uop) bool {
+	inst := u.inst
 	s1 := c.readSrc(u.Src1)
 	s2 := c.readSrc(u.Src2)
 	lat := int64(c.cfg.LatencyFor(u.Class))
@@ -114,7 +128,7 @@ func (c *Core) execute(u *uarch.UOp, p *uopPayload) bool {
 		case op == straight.RMOV:
 			u.Result = s1
 		case op == straight.SPADD:
-			u.Result = p.spRes // computed in order at dispatch
+			u.Result = u.spRes // computed in order at dispatch
 		case op == straight.LUI:
 			u.Result = straight.LUIValue(inst.Imm)
 		case op.Format() == straight.FmtR:
@@ -127,9 +141,9 @@ func (c *Core) execute(u *uarch.UOp, p *uopPayload) bool {
 			c.divBusy = u.ReadyAt
 		}
 	case straight.ClassLoad:
-		return c.executeLoad(u, p, s1)
+		return c.executeLoad(u, s1)
 	case straight.ClassStore:
-		c.executeStore(u, p, s1, s2)
+		c.executeStore(u, s1, s2)
 	case straight.ClassBranch:
 		u.Taken = straight.BranchTaken(op, s1)
 		u.Target = u.PC + 4
@@ -156,23 +170,25 @@ func (c *Core) execute(u *uarch.UOp, p *uopPayload) bool {
 		u.ReadyAt = c.cycle + lat
 	}
 	if u.Dest >= 0 {
-		c.prfReady[u.Dest] = u.ReadyAt
+		t := u.ReadyAt
 		// Deliberate defect for mutation-testing the fuzzing oracle: the
 		// scoreboard claims multiply results one cycle out while the
 		// datapath still delivers them at the full multiplier latency, so
 		// a close consumer issues against the stale physical register.
 		if c.injectBug == BugMulReadyEarly && u.Class == uarch.ClassMul {
-			c.prfReady[u.Dest] = c.cycle + 1
+			t = c.cycle + 1
 		}
+		c.prfReady[u.Dest] = t
+		c.wake(u.Dest, t)
 	}
 	return true
 }
 
-func (c *Core) executeLoad(u *uarch.UOp, p *uopPayload, s1 uint32) bool {
-	inst := p.inst
+func (c *Core) executeLoad(u *uop, s1 uint32) bool {
+	inst := u.inst
 	addr := s1 + uint32(inst.Imm)
 	width, _ := straight.LoadWidth(inst.Op)
-	le := p.lsq
+	le := u.lsq
 	le.Addr = addr
 	le.Size = uint8(width)
 	le.AddrReady = true
@@ -201,14 +217,15 @@ func (c *Core) executeLoad(u *uarch.UOp, p *uopPayload, s1 uint32) bool {
 	c.stats.Loads++
 	if u.Dest >= 0 {
 		c.prfReady[u.Dest] = u.ReadyAt
+		c.wake(u.Dest, u.ReadyAt)
 	}
 	return true
 }
 
-func (c *Core) executeStore(u *uarch.UOp, p *uopPayload, s1, s2 uint32) {
-	inst := p.inst
+func (c *Core) executeStore(u *uop, s1, s2 uint32) {
+	inst := u.inst
 	addr := s1 + uint32(inst.Imm)
-	le := p.lsq
+	le := u.lsq
 	le.Addr = addr
 	le.Size = uint8(straight.StoreWidth(inst.Op))
 	le.AddrReady = true
@@ -219,17 +236,33 @@ func (c *Core) executeStore(u *uarch.UOp, p *uopPayload, s1, s2 uint32) {
 	u.ReadyAt = c.cycle + 1
 	c.stats.Stores++
 
-	if viol := c.lsq.StoreViolations(le); len(viol) > 0 {
-		oldest := viol[0]
-		for _, v := range viol {
-			if v.U.Seq < oldest.U.Seq {
-				oldest = v
-			}
-		}
-		c.mdp.RecordViolation(oldest.U.PC)
+	if v := c.lsq.OldestViolation(le); v != nil {
+		c.mdp.RecordViolation(v.U.PC)
 		c.stats.MemDepViolations++
-		c.queueRecovery(&recovery{u: oldest.U, targetPC: oldest.U.PC, isMemViolation: true})
+		c.queueRecovery(c.robFindBySeq(v.U.Seq), v.U.PC, true)
 	}
+}
+
+// robFindBySeq locates the in-flight µop with the given sequence number
+// (the ROB is Seq-ordered, so a binary search suffices). It is only
+// called on memory-dependence violations, where the violating load is
+// guaranteed to still be in flight.
+func (c *Core) robFindBySeq(seq uint64) *uop {
+	lo, hi := 0, c.rob.Len()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.rob.At(mid).Seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < c.rob.Len() {
+		if u := c.rob.At(lo); u.Seq == seq {
+			return u
+		}
+	}
+	panic("straightcore: violating load not in ROB")
 }
 
 func (c *Core) completeExecution() {
@@ -249,7 +282,7 @@ func (c *Core) completeExecution() {
 		u.State = uarch.StateDone
 		u.Completed = true
 		if c.tr != nil {
-			c.tr.Writeback(u.Payload.(*uopPayload).fe.tid)
+			c.tr.Writeback(u.tid)
 		}
 		if u.Class == uarch.ClassBranch || u.Class == uarch.ClassJump {
 			c.resolveControl(u)
@@ -258,13 +291,12 @@ func (c *Core) completeExecution() {
 	c.executing = kept
 }
 
-func (c *Core) resolveControl(u *uarch.UOp) {
-	p := u.Payload.(*uopPayload)
-	if p.fe.isBranch {
+func (c *Core) resolveControl(u *uop) {
+	if u.isBranch {
 		c.stats.CondBranches++
 		c.pred.Update(u.PC, u.Taken, u.PredMeta)
 	}
-	if p.inst.Op == straight.JALR || p.inst.Op == straight.JR {
+	if u.inst.Op == straight.JALR || u.inst.Op == straight.JR {
 		c.btb.Insert(u.PC, u.Target)
 	}
 	predNext := u.PC + 4
@@ -278,18 +310,19 @@ func (c *Core) resolveControl(u *uarch.UOp) {
 	if predNext == actualNext {
 		return
 	}
-	if p.fe.isBranch {
+	if u.isBranch {
 		c.stats.Mispredicts++
 		c.pred.Recover(u.PredMeta, u.Taken)
 	} else {
 		c.stats.TargetMispredict++
 	}
-	c.queueRecovery(&recovery{u: u, targetPC: actualNext})
+	c.queueRecovery(u, actualNext, false)
 }
 
-func (c *Core) queueRecovery(r *recovery) {
-	if c.recov == nil || r.u.Seq < c.recov.u.Seq {
-		c.recov = r
+func (c *Core) queueRecovery(u *uop, targetPC uint32, isMemViolation bool) {
+	if !c.recovValid || u.Seq < c.recov.u.Seq {
+		c.recov = recovery{u: u, targetPC: targetPC, isMemViolation: isMemViolation}
+		c.recovValid = true
 	}
 }
 
@@ -299,72 +332,88 @@ func (c *Core) queueRecovery(r *recovery) {
 // the decode-time SP, and the restart PC. No table is walked; rename can
 // accept instructions again the very next cycle.
 func (c *Core) applyRecovery() {
-	r := c.recov
-	if r == nil {
+	if !c.recovValid {
 		return
 	}
-	c.recov = nil
+	r := c.recov
+	c.recovValid = false
 	boundary := r.u.Seq
 	if r.isMemViolation {
 		boundary = r.u.Seq - 1
 	}
 
 	// One ROB read: locate the oldest discarded entry and restore RP/SP
-	// from it; then drop the tail (tail-pointer move only).
+	// from it; then drop the tail (tail-pointer move only). Squashed
+	// µops are collected and recycled once recovery is done with them.
 	restored := false
-	for i := len(c.rob) - 1; i >= 0; i-- {
-		u := c.rob[i]
+	for c.rob.Len() > 0 {
+		u := c.rob.At(c.rob.Len() - 1)
 		if u.Seq <= boundary {
-			c.rob = c.rob[:i+1]
 			restored = true
 			// RP restarts at the register after the last surviving
 			// instruction's destination.
 			c.rp = u.Dest + 1
-			if c.rp >= int32(c.cfg.MaxRP()) {
+			if c.rp >= c.maxRP {
 				c.rp = 0
 			}
-			c.decSP = u.Payload.(*uopPayload).spAfter
+			c.decSP = u.spAfter
 			break
 		}
 		u.Squashed = true
-		if c.tr != nil {
-			c.tr.Squash(u.Payload.(*uopPayload).fe.tid)
+		if u.inIQ {
+			u.inIQ = false
+			c.iqCount--
 		}
+		if c.tr != nil {
+			c.tr.Squash(u.tid)
+		}
+		c.dead = append(c.dead, u)
+		c.rob.Truncate(c.rob.Len() - 1)
 	}
 	if !restored {
 		// Entire ROB discarded: restore from the recovery µop itself.
-		c.rob = c.rob[:0]
 		c.rp = r.u.Dest
-		if r.isMemViolation {
-			// the violating load re-executes into the same register
-		}
-		c.decSP = r.u.Payload.(*uopPayload).spAfter
-		if sp := prevSPOf(r.u); sp != nil {
-			c.decSP = *sp
+		c.decSP = r.u.spAfter
+		if r.u.inst.Op == straight.SPADD {
+			// Its spAfter already includes the update, which must also
+			// be undone when the µop itself is squashed. (The violating
+			// load of a memory-dependence flush is never an SPADD; its
+			// own spAfter is correct.)
+			c.decSP = r.u.spAfter - uint32(r.u.inst.Imm)
 		}
 	}
 	c.squashYounger(boundary)
 
 	c.fetchPC = r.targetPC
 	c.fetchHalted = false
-	if c.tr != nil {
-		for i := range c.feQueue {
-			c.tr.Squash(c.feQueue[i].tid)
+	for i := 0; i < c.feQueue.Len(); i++ {
+		e := c.feQueue.At(i)
+		if c.tr != nil {
+			c.tr.Squash(e.tid)
+		}
+		if e.rasSnap != nil {
+			c.snapPut(e.rasSnap)
 		}
 	}
-	c.feQueue = c.feQueue[:0]
+	c.feQueue.Clear()
 	if c.fetchOracle != nil {
 		c.resyncOracle()
 	}
 	if r.u.RASSnap != nil {
 		c.ras.Restore(r.u.RASSnap)
-		switch r.u.Payload.(*uopPayload).inst.Op {
+		switch r.u.inst.Op {
 		case straight.JAL, straight.JALR:
 			c.ras.Push(r.u.PC + 4)
 		case straight.JR:
 			c.ras.Pop()
 		}
 	}
+	// All wrong-path µops are now unreachable from every pipeline
+	// structure (stale waiter links are seq-tagged); recycle them.
+	for _, u := range c.dead {
+		c.freeUop(u)
+	}
+	c.dead = c.dead[:0]
 	if c.cfg.ZeroMispredictPenalty {
 		c.fetchStallUntil = c.cycle + 1
 		return
@@ -379,22 +428,9 @@ func (c *Core) applyRecovery() {
 	}
 }
 
-// prevSPOf returns the µop's pre-decode SP when it was an SPADD (its
-// spAfter already includes the update, which must also be undone when the
-// µop itself is squashed). For memory violations the load's own spAfter
-// is correct.
-func prevSPOf(u *uarch.UOp) *uint32 {
-	p := u.Payload.(*uopPayload)
-	if p.inst.Op == straight.SPADD {
-		v := p.spAfter - uint32(p.inst.Imm)
-		return &v
-	}
-	return nil
-}
-
 func (c *Core) resyncOracle() {
 	o := c.emu.Clone()
-	for range c.rob {
+	for i := 0; i < c.rob.Len(); i++ {
 		if o.Step() != nil {
 			break
 		}
@@ -403,31 +439,31 @@ func (c *Core) resyncOracle() {
 }
 
 func (c *Core) squashYounger(seq uint64) {
-	kept := c.iq[:0]
-	for _, u := range c.iq {
-		if u.Seq <= seq {
-			kept = append(kept, u)
+	// The awake list is Seq-sorted, so the squash is a tail truncation.
+	lo, hi := 0, len(c.iqAwake)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.iqAwake[mid].Seq > seq {
+			hi = mid
 		} else {
-			u.Squashed = true
+			lo = mid + 1
 		}
 	}
-	c.iq = kept
+	c.iqAwake = c.iqAwake[:lo]
 	keptX := c.executing[:0]
 	for _, u := range c.executing {
 		if u.Seq <= seq {
 			keptX = append(keptX, u)
-		} else {
-			u.Squashed = true
 		}
 	}
 	c.executing = keptX
 	c.lsq.SquashYounger(seq)
-	c.serializing = serializingStill(c.rob)
+	c.serializing = c.robHasSYS()
 }
 
-func serializingStill(rob []*uarch.UOp) bool {
-	for _, u := range rob {
-		if u.Payload.(*uopPayload).inst.Op == straight.SYS {
+func (c *Core) robHasSYS() bool {
+	for i := 0; i < c.rob.Len(); i++ {
+		if c.rob.At(i).inst.Op == straight.SYS {
 			return true
 		}
 	}
@@ -437,27 +473,26 @@ func serializingStill(rob []*uarch.UOp) bool {
 // commit retires in order, performing stores and serialized SYS calls,
 // cross-validating against the golden emulator.
 func (c *Core) commit(opts Options) error {
-	for n := 0; n < c.cfg.CommitWidth && len(c.rob) > 0; n++ {
-		u := c.rob[0]
+	for n := 0; n < c.cfg.CommitWidth && c.rob.Len() > 0; n++ {
+		u := c.rob.Front()
 		if !u.Completed || u.Squashed || c.cycle < u.ReadyAt {
 			return nil
 		}
-		p := u.Payload.(*uopPayload)
 
-		if p.inst.Op == straight.SYS {
+		if u.inst.Op == straight.SYS {
 			if c.emu.PC() != u.PC {
 				return fmt.Errorf("straightcore: sys desync: core pc=%#x emu pc=%#x", u.PC, c.emu.PC())
 			}
-			var res uint32
-			c.emu.TraceFn = func(r straightemu.Retired) { res = r.Result }
+			c.emu.TraceFn = c.sysTraceFn
 			c.emu.Step()
 			c.emu.TraceFn = nil
 			if done, code := c.emu.Exited(); done {
 				c.exited = true
 				c.exitCode = code
 			}
-			c.prf[u.Dest] = res
+			c.prf[u.Dest] = c.sysRes
 			c.prfReady[u.Dest] = c.cycle
+			c.wake(u.Dest, c.cycle)
 			c.serializing = false
 			if err := c.finishRetire(u); err != nil {
 				return err
@@ -466,11 +501,11 @@ func (c *Core) commit(opts Options) error {
 		}
 
 		if u.IsStore {
-			width := int(p.lsq.Size)
+			width := int(u.lsq.Size)
 			if u.MemAddr%uint32(width) != 0 {
 				return fmt.Errorf("straightcore: misaligned store committed at pc=%#x addr=%#x", u.PC, u.MemAddr)
 			}
-			c.mem.Store(u.MemAddr, p.lsq.Data, width)
+			c.mem.Store(u.MemAddr, u.lsq.Data, width)
 			c.hier.AccessData(c.cycle, u.MemAddr)
 		}
 		if u.IsLoad && c.cfg.MemDep == uarch.MemDepPredict && c.mdp.ShouldWait(u.PC) {
@@ -481,13 +516,12 @@ func (c *Core) commit(opts Options) error {
 			if c.emu.PC() != u.PC {
 				return fmt.Errorf("straightcore: retire desync at seq %d: core pc=%#x emu pc=%#x", u.Seq, u.PC, c.emu.PC())
 			}
-			var want straightemu.Retired
-			c.emu.TraceFn = func(r straightemu.Retired) { want = r }
+			c.emu.TraceFn = c.xvalTraceFn
 			c.emu.Step()
 			c.emu.TraceFn = nil
-			if u.Dest >= 0 && c.prf[u.Dest] != want.Result {
+			if u.Dest >= 0 && c.prf[u.Dest] != c.wantRet.Result {
 				return fmt.Errorf("straightcore: value desync at pc=%#x (%v): core=%#x emu=%#x",
-					u.PC, p.inst, c.prf[u.Dest], want.Result)
+					u.PC, u.inst, c.prf[u.Dest], c.wantRet.Result)
 			}
 		} else {
 			c.emu.Step()
@@ -504,14 +538,14 @@ func (c *Core) commit(opts Options) error {
 	return nil
 }
 
-func (c *Core) finishRetire(u *uarch.UOp) error {
+func (c *Core) finishRetire(u *uop) error {
 	if u.IsLoad || u.IsStore {
-		c.lsq.Retire(u)
+		c.lsq.Retire(&u.UOp)
 	}
 	if c.tr != nil {
-		c.tr.Commit(u.Payload.(*uopPayload).fe.tid)
+		c.tr.Commit(u.tid)
 	}
-	c.rob = c.rob[1:]
+	c.rob.PopFront()
 	var err error
 	if c.retireFn != nil {
 		r := uarch.Retirement{
@@ -529,6 +563,7 @@ func (c *Core) finishRetire(u *uarch.UOp) error {
 	}
 	c.stats.Retired++
 	c.stats.RetiredByClass[u.Class]++
+	c.freeUop(u)
 	return err
 }
 

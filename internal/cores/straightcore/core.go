@@ -58,12 +58,36 @@ type feEntry struct {
 	isControl  bool
 }
 
-type uopPayload struct {
-	inst    straight.Inst
-	fe      feEntry
-	lsq     *uarch.LSQEntry
-	spAfter uint32 // SP after this instruction's decode (recovery state)
-	spRes   uint32 // SPADD: precomputed result
+// uop is an in-flight µop: the shared backend state plus the
+// STRAIGHT-specific payload and the wakeup-scheduler bookkeeping. µops
+// are recycled through a per-core arena, so the steady-state step path
+// never heap-allocates one.
+type uop struct {
+	uarch.UOp
+
+	inst     straight.Inst
+	tid      ptrace.ID
+	isBranch bool
+	lsq      *uarch.LSQEntry
+	spAfter  uint32 // SP after this instruction's decode (recovery state)
+	spRes    uint32 // SPADD: precomputed result
+
+	// Wakeup-scheduler state: pending counts sources whose producers had
+	// not executed at dispatch; readyTime is the max ready cycle of the
+	// sources observed so far. When pending reaches zero the entry moves
+	// to the awake list and only then is scanned by issue.
+	pending   int8
+	inIQ      bool
+	readyTime int64
+}
+
+// waiter links a scheduler entry to a physical register it is waiting
+// on. The seq tag detects stale links: once the µop is squashed and its
+// arena slot recycled, u.Seq no longer matches (sequence numbers are
+// never reused), so the producer's wakeup skips it.
+type waiter struct {
+	u   *uop
+	seq uint64
 }
 
 const farFuture = int64(1) << 62
@@ -87,7 +111,7 @@ type Core struct {
 
 	fetchPC         uint32
 	fetchStallUntil int64
-	feQueue         []feEntry
+	feQueue         *uarch.Ring[feEntry]
 	feCap           int
 	fetchHalted     bool
 
@@ -95,22 +119,39 @@ type Core struct {
 
 	// Operand determination state (the "rename" substitute).
 	rp          int32  // next destination register
+	maxRP       int32  // cached cfg.MaxRP()
 	decSP       uint32 // in-order SP at decode
 	renameBlock int64
 	serializing bool
 
-	rob       []*uarch.UOp
-	iq        []*uarch.UOp
-	executing []*uarch.UOp
+	rob       *uarch.Ring[*uop]
+	iqAwake   []*uop // scheduler entries with all producers executed, Seq-sorted
+	iqCount   int    // total scheduler occupancy (awake + waiting)
+	waiters   [][]waiter
+	woken     []*uop // entries woken this cycle, merged into iqAwake after the scan
+	executing []*uop
 	prf       []uint32
 	prfReady  []int64
 	divBusy   int64
 
-	recov *recovery
+	recov      recovery
+	recovValid bool
+
+	// µop arena and RAS-snapshot pool (see freeUop).
+	arena    []*uop
+	dead     []*uop // squashed µops collected during recovery, freed at its end
+	snapPool [][]uint32
 
 	emu      *straightemu.Machine
 	exited   bool
 	exitCode int32
+
+	// Prebuilt trace hooks for the golden emulator, so commit does not
+	// allocate a closure per serialized SYS or cross-validated retire.
+	sysRes      uint32
+	wantRet     straightemu.Retired
+	sysTraceFn  func(straightemu.Retired)
+	xvalTraceFn func(straightemu.Retired)
 
 	retireFn  uarch.RetireFn
 	injectBug string
@@ -119,7 +160,7 @@ type Core struct {
 }
 
 type recovery struct {
-	u              *uarch.UOp
+	u              *uop
 	targetPC       uint32
 	isMemViolation bool
 }
@@ -165,17 +206,70 @@ func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
 	}
 	c.mem.LoadImage(img)
 	n := cfg.MaxRP()
+	c.maxRP = int32(n)
 	c.prf = make([]uint32, n)
 	c.prfReady = make([]int64, n)
+	c.waiters = make([][]waiter, n)
+
+	c.feQueue = uarch.NewRing[feEntry](c.feCap)
+	c.rob = uarch.NewRing[*uop](cfg.ROBSize)
+	c.iqAwake = make([]*uop, 0, cfg.SchedulerSize)
+	c.woken = make([]*uop, 0, cfg.SchedulerSize)
+	c.executing = make([]*uop, 0, cfg.ROBSize)
+	c.dead = make([]*uop, 0, cfg.ROBSize)
+	c.arena = make([]*uop, 0, cfg.ROBSize+8)
+	block := make([]uop, cfg.ROBSize+8)
+	for i := range block {
+		c.arena = append(c.arena, &block[i])
+	}
 
 	c.emu = straightemu.New(img)
 	c.emu.SetOutput(c.outBuf)
+	c.sysTraceFn = func(r straightemu.Retired) { c.sysRes = r.Result }
+	c.xvalTraceFn = func(r straightemu.Retired) { c.wantRet = r }
 	if cfg.ZeroMispredictPenalty || cfg.Predictor == uarch.PredOracle {
 		c.fetchOracle = straightemu.New(img)
 		c.fetchOracle.SetOutput(io.Discard)
 	}
 	return c
 }
+
+// allocUop takes a recycled µop from the arena (growing it only if the
+// simulation exceeds every previous in-flight high-water mark).
+func (c *Core) allocUop() *uop {
+	if n := len(c.arena); n > 0 {
+		u := c.arena[n-1]
+		c.arena = c.arena[:n-1]
+		return u
+	}
+	block := make([]uop, 32)
+	for i := 1; i < len(block); i++ {
+		c.arena = append(c.arena, &block[i])
+	}
+	return &block[0]
+}
+
+// freeUop recycles a µop after its last use (retire, or end of
+// recovery). Zeroing the slot also clears Seq, which invalidates any
+// stale waiter links still pointing at it.
+func (c *Core) freeUop(u *uop) {
+	if u.RASSnap != nil {
+		c.snapPut(u.RASSnap)
+	}
+	*u = uop{}
+	c.arena = append(c.arena, u)
+}
+
+func (c *Core) snapGet() []uint32 {
+	if n := len(c.snapPool); n > 0 {
+		s := c.snapPool[n-1]
+		c.snapPool = c.snapPool[:n-1]
+		return s
+	}
+	return make([]uint32, 0, c.cfg.RASEntries)
+}
+
+func (c *Core) snapPut(s []uint32) { c.snapPool = append(c.snapPool, s[:0]) }
 
 // Mem exposes the simulated memory (for post-run equivalence checks).
 func (c *Core) Mem() *program.Memory { return c.mem }
@@ -210,6 +304,28 @@ func (c *Core) Run(opts Options) (*Result, error) {
 	return &Result{Stats: c.stats, ExitCode: c.exitCode, Output: string(c.outBuf.buf)}, nil
 }
 
+// RunCycles advances the simulation by at most n cycles, stopping early
+// on program exit or a simulation error. It gives benchmarks and the
+// steady-state allocation tests cycle-granular control that Run (which
+// adds bound and deadlock checks around the whole run) does not expose.
+// Exited reports whether the program has finished.
+func (c *Core) RunCycles(opts Options, n int64) error {
+	c.retireFn = opts.RetireFn
+	c.injectBug = opts.InjectBug
+	for i := int64(0); i < n && !c.exited; i++ {
+		if err := c.step(opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exited reports whether the simulated program has exited.
+func (c *Core) Exited() bool { return c.exited }
+
+// Stats returns a copy of the counters accumulated so far.
+func (c *Core) Stats() uarch.Stats { return c.stats }
+
 func (c *Core) step(opts Options) error {
 	if c.tr != nil {
 		c.tr.BeginCycle(c.cycle)
@@ -225,11 +341,11 @@ func (c *Core) step(opts Options) error {
 	c.fetch()
 	c.applyRecovery()
 	c.stats.Cycles++
-	c.stats.ROBOccupancy += int64(len(c.rob))
-	c.stats.IQOccupancy += int64(len(c.iq))
+	c.stats.ROBOccupancy += int64(c.rob.Len())
+	c.stats.IQOccupancy += int64(c.iqCount)
 	if c.tr != nil {
 		lq, sq := c.lsq.Occupancy()
-		c.tr.Sample(len(c.rob), len(c.iq), lq, sq)
+		c.tr.Sample(c.rob.Len(), c.iqCount, lq, sq)
 	}
 	c.cycle++
 	return nil
@@ -245,7 +361,7 @@ func (c *Core) fetch() {
 		}
 		return
 	}
-	if len(c.feQueue)+c.cfg.FetchWidth > c.feCap {
+	if c.feQueue.Len()+c.cfg.FetchWidth > c.feCap {
 		return
 	}
 	pc := c.fetchPC
@@ -289,7 +405,9 @@ func (c *Core) fetch() {
 			}
 			nextPC = next
 		} else if inst.IsControl() {
-			e.rasSnap = c.ras.Snapshot()
+			if c.ras.Depth() > 0 {
+				e.rasSnap = c.ras.SnapshotInto(c.snapGet())
+			}
 			taken, target := c.predictControl(pc, inst, &e)
 			if taken {
 				nextPC = target
@@ -297,7 +415,7 @@ func (c *Core) fetch() {
 			e.predTaken = taken
 			e.predTarget = target
 		}
-		c.feQueue = append(c.feQueue, e)
+		c.feQueue.PushBack(e)
 		c.stats.FetchedInsts++
 		pc = nextPC
 		c.fetchPC = pc
@@ -346,8 +464,8 @@ func (c *Core) traceStall(cause ptrace.StallCause) {
 		return
 	}
 	var id ptrace.ID
-	if len(c.feQueue) > 0 {
-		id = c.feQueue[0].tid
+	if c.feQueue.Len() > 0 {
+		id = c.feQueue.Front().tid
 	}
 	c.tr.Stall(cause, id)
 }
@@ -360,12 +478,12 @@ func (c *Core) dispatch() error {
 	}
 	spadds := 0
 	for n := 0; n < c.cfg.FetchWidth; n++ {
-		if len(c.feQueue) == 0 {
+		if c.feQueue.Len() == 0 {
 			c.stats.StallFrontEnd++
 			c.traceStall(ptrace.StallFrontEnd)
 			return nil
 		}
-		e := c.feQueue[0]
+		e := c.feQueue.Front()
 		if c.cycle-e.fetchedAt < int64(c.cfg.FrontEndLatency) {
 			return nil
 		}
@@ -374,7 +492,7 @@ func (c *Core) dispatch() error {
 		}
 		inst := e.inst
 		if inst.Op == straight.SYS {
-			if len(c.rob) > 0 {
+			if c.rob.Len() > 0 {
 				return nil // drain before the serializing SYS
 			}
 		}
@@ -383,12 +501,12 @@ func (c *Core) dispatch() error {
 			c.traceStall(ptrace.StallSPAddLimit)
 			return nil
 		}
-		if len(c.rob) >= c.cfg.ROBSize {
+		if c.rob.Len() >= c.cfg.ROBSize {
 			c.stats.StallROBFull++
 			c.traceStall(ptrace.StallROBFull)
 			return nil
 		}
-		if len(c.iq) >= c.cfg.SchedulerSize {
+		if c.iqCount >= c.cfg.SchedulerSize {
 			c.stats.StallIQFull++
 			c.traceStall(ptrace.StallIQFull)
 			return nil
@@ -403,54 +521,47 @@ func (c *Core) dispatch() error {
 
 		// Operand determination: dest = RP; src_i = RP - distance_i
 		// (mod MAX_RP). No table is read or written.
-		p := &uopPayload{inst: inst, fe: e}
-		u := &uarch.UOp{
-			Seq: c.nextSeq(), PC: e.pc,
-			Dest: c.rp, Src1: -1, Src2: -1,
-			PredTaken: e.predTaken, PredTarget: e.predTarget, PredMeta: e.predMeta,
-			RASSnap: e.rasSnap,
-			IsLoad:  isLoad, IsStore: isStore,
-			Payload: p,
-		}
+		u := c.allocUop()
+		u.Seq = c.nextSeq()
+		u.PC = e.pc
 		u.Class = classOf(inst)
-		maxRP := int32(c.cfg.MaxRP())
-		src := func(d uint16) int32 {
-			if d == 0 {
-				return -1
-			}
-			c.stats.RPAdditions++
-			s := c.rp - int32(d)
-			if s < 0 {
-				s += maxRP
-			}
-			return s
-		}
+		u.Dest = c.rp
+		u.Src1, u.Src2 = -1, -1
+		u.PredTaken = e.predTaken
+		u.PredTarget = e.predTarget
+		u.PredMeta = e.predMeta
+		u.RASSnap = e.rasSnap
+		u.IsLoad = isLoad
+		u.IsStore = isStore
+		u.inst = inst
+		u.tid = e.tid
+		u.isBranch = e.isBranch
 		switch inst.NumSources() {
 		case 2:
-			u.Src1 = src(inst.Src1)
-			u.Src2 = src(inst.Src2)
+			u.Src1 = c.srcOf(inst.Src1)
+			u.Src2 = c.srcOf(inst.Src2)
 		case 1:
-			u.Src1 = src(inst.Src1)
+			u.Src1 = c.srcOf(inst.Src1)
 		}
 		c.prfReady[u.Dest] = farFuture
 		c.rp++
-		if c.rp >= maxRP {
+		if c.rp >= c.maxRP {
 			c.rp = 0
 		}
 
 		// In-order SP update at decode (§III-B).
 		if inst.Op == straight.SPADD {
 			c.decSP += uint32(inst.Imm)
-			p.spRes = c.decSP
+			u.spRes = c.decSP
 			c.stats.SPAddExecuted++
 			spadds++
 		}
-		p.spAfter = c.decSP
+		u.spAfter = c.decSP
 
-		c.feQueue = c.feQueue[1:]
-		c.rob = append(c.rob, u)
+		c.feQueue.PopFront()
+		c.rob.PushBack(u)
 		if isLoad || isStore {
-			p.lsq = c.lsq.Allocate(u)
+			u.lsq = c.lsq.Allocate(&u.UOp)
 		}
 		if c.tr != nil {
 			c.tr.Dispatch(e.tid, u.Dest, u.Src1, u.Src2)
@@ -466,9 +577,75 @@ func (c *Core) dispatch() error {
 			}
 			continue
 		}
-		c.iq = append(c.iq, u)
+		c.enterIQ(u)
 	}
 	return nil
+}
+
+// enterIQ registers a dispatched µop with the wakeup scheduler: sources
+// whose producers have already executed contribute their ready time;
+// the rest register a waiter and keep the entry asleep until the last
+// producer's wakeup.
+func (c *Core) enterIQ(u *uop) {
+	if u.Src1 >= 0 {
+		if t := c.prfReady[u.Src1]; t == farFuture {
+			u.pending++
+			c.waiters[u.Src1] = append(c.waiters[u.Src1], waiter{u, u.Seq})
+		} else if t > u.readyTime {
+			u.readyTime = t
+		}
+	}
+	if u.Src2 >= 0 {
+		if t := c.prfReady[u.Src2]; t == farFuture {
+			u.pending++
+			c.waiters[u.Src2] = append(c.waiters[u.Src2], waiter{u, u.Seq})
+		} else if t > u.readyTime {
+			u.readyTime = t
+		}
+	}
+	u.inIQ = true
+	c.iqCount++
+	if u.pending == 0 {
+		// Dispatch order is Seq order, so appending keeps the awake
+		// list sorted.
+		c.iqAwake = append(c.iqAwake, u)
+	}
+}
+
+// wake is called after every real (non-farFuture) write to prfReady[reg]:
+// it drains the register's waiter list, propagating the ready time and
+// moving fully-woken entries to the awake list. Stale links (squashed
+// and recycled µops) are skipped via the seq tag.
+func (c *Core) wake(reg int32, t int64) {
+	ws := c.waiters[reg]
+	if len(ws) == 0 {
+		return
+	}
+	for _, w := range ws {
+		if w.u.Seq != w.seq || !w.u.inIQ {
+			continue
+		}
+		if t > w.u.readyTime {
+			w.u.readyTime = t
+		}
+		w.u.pending--
+		if w.u.pending == 0 {
+			c.woken = append(c.woken, w.u)
+		}
+	}
+	c.waiters[reg] = ws[:0]
+}
+
+func (c *Core) srcOf(d uint16) int32 {
+	if d == 0 {
+		return -1
+	}
+	c.stats.RPAdditions++
+	s := c.rp - int32(d)
+	if s < 0 {
+		s += c.maxRP
+	}
+	return s
 }
 
 func (c *Core) nextSeq() uint64 {
@@ -501,21 +678,20 @@ func classOf(inst straight.Inst) uarch.Class {
 
 // deadlockDump renders the pipeline state for deadlock diagnostics.
 func (c *Core) deadlockDump() string {
-	s := fmt.Sprintf("rob=%d iq=%d exec=%d feq=%d rp=%d fetchPC=%#x halted=%v stall=%d renameBlock=%d serializing=%v\n",
-		len(c.rob), len(c.iq), len(c.executing), len(c.feQueue), c.rp,
+	s := fmt.Sprintf("rob=%d iq=%d (awake=%d) exec=%d feq=%d rp=%d fetchPC=%#x halted=%v stall=%d renameBlock=%d serializing=%v\n",
+		c.rob.Len(), c.iqCount, len(c.iqAwake), len(c.executing), c.feQueue.Len(), c.rp,
 		c.fetchPC, c.fetchHalted, c.fetchStallUntil, c.renameBlock, c.serializing)
-	if len(c.rob) > 0 {
-		u := c.rob[0]
-		p := u.Payload.(*uopPayload)
+	if c.rob.Len() > 0 {
+		u := c.rob.Front()
 		s += fmt.Sprintf("rob head: seq=%d pc=%#x %v class=%v completed=%v squashed=%v readyAt=%d state=%d\n",
-			u.Seq, u.PC, p.inst, u.Class, u.Completed, u.Squashed, u.ReadyAt, u.State)
+			u.Seq, u.PC, u.inst, u.Class, u.Completed, u.Squashed, u.ReadyAt, u.State)
 	}
-	for i, u := range c.iq {
+	for i, u := range c.iqAwake {
 		if i >= 4 {
 			break
 		}
-		s += fmt.Sprintf("iq[%d]: seq=%d pc=%#x %v src1=%d(r@%d) src2=%d(r@%d)\n",
-			i, u.Seq, u.PC, u.Payload.(*uopPayload).inst, u.Src1, rdy(c, u.Src1), u.Src2, rdy(c, u.Src2))
+		s += fmt.Sprintf("iqAwake[%d]: seq=%d pc=%#x %v src1=%d(r@%d) src2=%d(r@%d) readyTime=%d\n",
+			i, u.Seq, u.PC, u.inst, u.Src1, rdy(c, u.Src1), u.Src2, rdy(c, u.Src2), u.readyTime)
 	}
 	lq, sq := c.lsq.Occupancy()
 	s += fmt.Sprintf("lsq: loads=%d stores=%d\n", lq, sq)

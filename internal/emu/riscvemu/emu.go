@@ -6,6 +6,7 @@ package riscvemu
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"straight/internal/isa/riscv"
 	"straight/internal/program"
@@ -99,6 +100,7 @@ type Machine struct {
 	exitCode int32
 
 	out   io.Writer
+	ioBuf []byte // reusable console-output buffer (keeps syscalls allocation-free)
 	stats Stats
 
 	// TraceFn, when non-nil, receives every retired instruction.
@@ -269,13 +271,29 @@ func (m *Machine) syscall() error {
 		m.exitCode = int32(arg)
 		m.exited = true
 	case SysPutc:
-		fmt.Fprintf(m.out, "%c", byte(arg))
+		if m.ioBuf == nil {
+			m.ioBuf = make([]byte, 0, 32)
+		}
+		m.ioBuf = append(m.ioBuf[:0], byte(arg))
+		m.out.Write(m.ioBuf)
 	case SysPuti:
-		fmt.Fprintf(m.out, "%d", int32(arg))
+		if m.ioBuf == nil {
+			m.ioBuf = make([]byte, 0, 32)
+		}
+		m.ioBuf = strconv.AppendInt(m.ioBuf[:0], int64(int32(arg)), 10)
+		m.out.Write(m.ioBuf)
 	case SysPutu:
-		fmt.Fprintf(m.out, "%d", arg)
+		if m.ioBuf == nil {
+			m.ioBuf = make([]byte, 0, 32)
+		}
+		m.ioBuf = strconv.AppendUint(m.ioBuf[:0], uint64(arg), 10)
+		m.out.Write(m.ioBuf)
 	case SysPutx:
-		fmt.Fprintf(m.out, "%x", arg)
+		if m.ioBuf == nil {
+			m.ioBuf = make([]byte, 0, 32)
+		}
+		m.ioBuf = strconv.AppendUint(m.ioBuf[:0], uint64(arg), 16)
+		m.out.Write(m.ioBuf)
 	case SysCycle:
 		// handled by caller (writes a0)
 	default:

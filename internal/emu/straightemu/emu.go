@@ -13,6 +13,7 @@ package straightemu
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"straight/internal/isa/straight"
 	"straight/internal/program"
@@ -118,6 +119,7 @@ type Machine struct {
 	exitCode int32
 
 	out        io.Writer
+	ioBuf      []byte // reusable console-output buffer (keeps syscalls allocation-free)
 	stats      Stats
 	collectHot bool
 
@@ -204,6 +206,19 @@ func (m *Machine) fault(kind FaultKind, msg string, args ...any) error {
 	return &Fault{Kind: kind, PC: m.pc, Count: m.count, Msg: fmt.Sprintf(msg, args...)}
 }
 
+// read returns a source operand at the given distance and accumulates the
+// operand-distance statistics. It is a method rather than a per-Step
+// closure so the architectural step path stays allocation-free.
+func (m *Machine) read(d uint16) uint32 {
+	if d != 0 {
+		m.stats.DistanceHist[d]++
+		if d > m.stats.MaxObservedDistance {
+			m.stats.MaxObservedDistance = d
+		}
+	}
+	return m.Reg(d)
+}
+
 // strictCheck validates the instruction's source distances before it
 // executes (strict mode).
 func (m *Machine) strictCheck(inst straight.Inst) error {
@@ -251,16 +266,6 @@ func (m *Machine) Step() error {
 		}
 	}
 
-	read := func(d uint16) uint32 {
-		if d != 0 {
-			m.stats.DistanceHist[d]++
-			if d > m.stats.MaxObservedDistance {
-				m.stats.MaxObservedDistance = d
-			}
-		}
-		return m.Reg(d)
-	}
-
 	var result uint32
 	var memAddr uint32
 	nextPC := m.pc + program.InstructionBytes
@@ -271,19 +276,19 @@ func (m *Machine) Step() error {
 	case straight.ClassALU, straight.ClassMul, straight.ClassDiv:
 		switch {
 		case op == straight.RMOV:
-			result = read(inst.Src1)
+			result = m.read(inst.Src1)
 		case op == straight.SPADD:
 			m.sp += uint32(inst.Imm)
 			result = m.sp
 		case op == straight.LUI:
 			result = straight.LUIValue(inst.Imm)
 		case op.Format() == straight.FmtR:
-			result = straight.EvalALU(op, read(inst.Src1), read(inst.Src2))
+			result = straight.EvalALU(op, m.read(inst.Src1), m.read(inst.Src2))
 		default:
-			result = straight.EvalALUImm(op, read(inst.Src1), inst.Imm)
+			result = straight.EvalALUImm(op, m.read(inst.Src1), inst.Imm)
 		}
 	case straight.ClassLoad:
-		addr := read(inst.Src1) + uint32(inst.Imm)
+		addr := m.read(inst.Src1) + uint32(inst.Imm)
 		memAddr = addr
 		width, _ := straight.LoadWidth(op)
 		if addr%uint32(width) != 0 {
@@ -292,9 +297,9 @@ func (m *Machine) Step() error {
 		result = straight.ExtendLoad(op, m.mem.Load(addr, width))
 		m.stats.Loads++
 	case straight.ClassStore:
-		addr := read(inst.Src1) + uint32(inst.Imm)
+		addr := m.read(inst.Src1) + uint32(inst.Imm)
 		memAddr = addr
-		val := read(inst.Src2)
+		val := m.read(inst.Src2)
 		width := straight.StoreWidth(op)
 		if addr%uint32(width) != 0 {
 			return m.fault(FaultMisaligned, "misaligned %s at address %#08x", op, addr)
@@ -303,7 +308,7 @@ func (m *Machine) Step() error {
 		result = val // stores return the stored value (paper §III-A)
 		m.stats.Stores++
 	case straight.ClassBranch:
-		v := read(inst.Src1)
+		v := m.read(inst.Src1)
 		taken := straight.BranchTaken(op, v)
 		m.stats.Branches++
 		if taken {
@@ -319,17 +324,17 @@ func (m *Machine) Step() error {
 			result = m.pc + program.InstructionBytes
 			nextPC = m.pc + uint32(inst.Imm)*program.InstructionBytes
 		case straight.JR:
-			nextPC = read(inst.Src1)
+			nextPC = m.read(inst.Src1)
 		case straight.JALR:
 			result = m.pc + program.InstructionBytes
-			nextPC = read(inst.Src1)
+			nextPC = m.read(inst.Src1)
 		}
 		if nextPC%program.InstructionBytes != 0 {
 			return m.fault(FaultMisaligned, "jump to misaligned address %#08x", nextPC)
 		}
 	case straight.ClassSys:
 		var err error
-		result, err = m.syscall(inst, read)
+		result, err = m.syscall(inst)
 		if err != nil {
 			return err
 		}
@@ -351,28 +356,55 @@ func (m *Machine) Step() error {
 	return nil
 }
 
-func (m *Machine) syscall(inst straight.Inst, read func(uint16) uint32) (uint32, error) {
+// syscall executes a SYS instruction. Console output is formatted into a
+// reusable buffer instead of fmt (whose interface boxing allocates on
+// every call — syscalls sit on the cross-validated retire path).
+func (m *Machine) syscall(inst straight.Inst) (uint32, error) {
 	switch inst.Imm {
 	case straight.SysExit:
-		m.exitCode = int32(read(inst.Src1))
+		m.exitCode = int32(m.read(inst.Src1))
 		m.exited = true
 		return 0, nil
 	case straight.SysPutc:
-		fmt.Fprintf(m.out, "%c", byte(read(inst.Src1)))
+		m.writeByte(byte(m.read(inst.Src1)))
 		return 0, nil
 	case straight.SysPuti:
-		fmt.Fprintf(m.out, "%d", int32(read(inst.Src1)))
+		m.writeNum(int64(int32(m.read(inst.Src1))), 10)
 		return 0, nil
 	case straight.SysPutu:
-		fmt.Fprintf(m.out, "%d", read(inst.Src1))
+		m.writeUnum(uint64(m.read(inst.Src1)), 10)
 		return 0, nil
 	case straight.SysPutx:
-		fmt.Fprintf(m.out, "%x", read(inst.Src1))
+		m.writeUnum(uint64(m.read(inst.Src1)), 16)
 		return 0, nil
 	case straight.SysCycle:
 		return uint32(m.count), nil
 	}
 	return 0, m.fault(FaultBadSys, "unknown SYS function %d", inst.Imm)
+}
+
+func (m *Machine) writeByte(b byte) {
+	if m.ioBuf == nil {
+		m.ioBuf = make([]byte, 0, 32)
+	}
+	m.ioBuf = append(m.ioBuf[:0], b)
+	m.out.Write(m.ioBuf)
+}
+
+func (m *Machine) writeNum(v int64, base int) {
+	if m.ioBuf == nil {
+		m.ioBuf = make([]byte, 0, 32)
+	}
+	m.ioBuf = strconv.AppendInt(m.ioBuf[:0], v, base)
+	m.out.Write(m.ioBuf)
+}
+
+func (m *Machine) writeUnum(v uint64, base int) {
+	if m.ioBuf == nil {
+		m.ioBuf = make([]byte, 0, 32)
+	}
+	m.ioBuf = strconv.AppendUint(m.ioBuf[:0], v, base)
+	m.out.Write(m.ioBuf)
 }
 
 // Clone returns an independent copy of the architectural state (fresh

@@ -141,18 +141,52 @@ func Decode(w uint32) Inst {
 			return Inst{Op: JALR, Rd: rd, Rs1: rs1, Imm: immI}
 		}
 	case opcBranch:
-		ops := map[uint32]Op{0: BEQ, 1: BNE, 4: BLT, 5: BGE, 6: BLTU, 7: BGEU}
-		if op, ok := ops[f3]; ok {
+		var op Op
+		switch f3 {
+		case 0:
+			op = BEQ
+		case 1:
+			op = BNE
+		case 4:
+			op = BLT
+		case 5:
+			op = BGE
+		case 6:
+			op = BLTU
+		case 7:
+			op = BGEU
+		}
+		if op != ILLEGAL {
 			return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immB}
 		}
 	case opcLoad:
-		ops := map[uint32]Op{0: LB, 1: LH, 2: LW, 4: LBU, 5: LHU}
-		if op, ok := ops[f3]; ok {
+		var op Op
+		switch f3 {
+		case 0:
+			op = LB
+		case 1:
+			op = LH
+		case 2:
+			op = LW
+		case 4:
+			op = LBU
+		case 5:
+			op = LHU
+		}
+		if op != ILLEGAL {
 			return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: immI}
 		}
 	case opcStore:
-		ops := map[uint32]Op{0: SB, 1: SH, 2: SW}
-		if op, ok := ops[f3]; ok {
+		var op Op
+		switch f3 {
+		case 0:
+			op = SB
+		case 1:
+			op = SH
+		case 2:
+			op = SW
+		}
+		if op != ILLEGAL {
 			return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immS}
 		}
 	case opcOpImm:
@@ -186,14 +220,36 @@ func Decode(w uint32) Inst {
 			ops := [8]Op{MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU}
 			return Inst{Op: ops[f3], Rd: rd, Rs1: rs1, Rs2: rs2}
 		}
-		type key struct {
-			f7, f3 uint32
+		var op Op
+		switch f7 {
+		case 0:
+			switch f3 {
+			case 0:
+				op = ADD
+			case 1:
+				op = SLL
+			case 2:
+				op = SLT
+			case 3:
+				op = SLTU
+			case 4:
+				op = XOR
+			case 5:
+				op = SRL
+			case 6:
+				op = OR
+			case 7:
+				op = AND
+			}
+		case 0b0100000:
+			switch f3 {
+			case 0:
+				op = SUB
+			case 5:
+				op = SRA
+			}
 		}
-		ops := map[key]Op{
-			{0, 0}: ADD, {0b0100000, 0}: SUB, {0, 1}: SLL, {0, 2}: SLT, {0, 3}: SLTU,
-			{0, 4}: XOR, {0, 5}: SRL, {0b0100000, 5}: SRA, {0, 6}: OR, {0, 7}: AND,
-		}
-		if op, ok := ops[key{f7, f3}]; ok {
+		if op != ILLEGAL {
 			return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
 		}
 	case opcSystem:

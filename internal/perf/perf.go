@@ -1,0 +1,143 @@
+// Package perf is the simulation-kernel performance harness: it measures
+// host-side simulator throughput in KIPS (kilo simulated instructions
+// retired per host second), enforces the steady-state allocation budget
+// of the cycle cores (zero heap allocations per simulated cycle on the
+// non-traced path), and pins the cycle-level results of both cores with
+// golden-stats equality tests so kernel optimizations can never silently
+// shift the paper's figures.
+//
+// The same harness backs three consumers:
+//
+//   - go test -bench=KernelKIPS ./internal/perf  (interactive numbers)
+//   - cmd/simbench, which writes/compares BENCH_simkernel.json (CI guard)
+//   - the golden and allocation tests in this package (tier-1 suite)
+package perf
+
+import (
+	"fmt"
+	"time"
+
+	"straight/internal/bench"
+	"straight/internal/cores/sscore"
+	"straight/internal/cores/straightcore"
+	"straight/internal/program"
+	"straight/internal/uarch"
+	"straight/internal/workloads"
+)
+
+// Kernel names one simulated machine: a core kind at a width.
+type Kernel struct {
+	// Name identifies the kernel in benchmark output and JSON baselines
+	// (e.g. "straight-4way").
+	Name string
+	// Straight selects the STRAIGHT core; false selects the superscalar.
+	Straight bool
+	// Cfg is the Table I model configuration.
+	Cfg uarch.Config
+}
+
+// Kernels returns the benchmarked machines: both cores at both widths,
+// in fixed order (the JSON baseline and the golden files key on Name).
+func Kernels() []Kernel {
+	return []Kernel{
+		{Name: "straight-4way", Straight: true, Cfg: uarch.Straight4Way()},
+		{Name: "straight-2way", Straight: true, Cfg: uarch.Straight2Way()},
+		{Name: "ss-4way", Straight: false, Cfg: uarch.SS4Way()},
+		{Name: "ss-2way", Straight: false, Cfg: uarch.SS2Way()},
+	}
+}
+
+// KernelByName returns the kernel with the given Name.
+func KernelByName(name string) (Kernel, error) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("perf: unknown kernel %q", name)
+}
+
+// BuildImage compiles the workload for the kernel's ISA (cached by
+// internal/bench's singleflight build cache). STRAIGHT images use the
+// RE+ compiler at the paper's distance bound, matching the headline
+// figures.
+func BuildImage(k Kernel, w workloads.Workload, iters int) (*program.Image, error) {
+	if k.Straight {
+		return bench.BuildSTRAIGHT(w, iters, k.Cfg.MaxDistance, bench.ModeREP)
+	}
+	return bench.BuildRISCV(w, iters)
+}
+
+// RunResult is one measured simulation.
+type RunResult struct {
+	Stats   uarch.Stats
+	Elapsed time.Duration
+}
+
+// KIPS returns simulated kilo-instructions retired per host second.
+func (r RunResult) KIPS() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Stats.Retired) / 1000 / r.Elapsed.Seconds()
+}
+
+const runCycleCap = 2_000_000_000
+
+// Run simulates the image to completion on the kernel's core with the
+// tracer off (the non-traced fast path the benchmarks measure) and
+// returns the counters plus wall-clock time.
+func Run(k Kernel, im *program.Image) (RunResult, error) {
+	start := time.Now()
+	var st uarch.Stats
+	if k.Straight {
+		res, err := straightcore.New(k.Cfg, im, straightcore.Options{}).
+			Run(straightcore.Options{MaxCycles: runCycleCap})
+		if err != nil {
+			return RunResult{}, err
+		}
+		st = res.Stats
+	} else {
+		res, err := sscore.New(k.Cfg, im, sscore.Options{}).
+			Run(sscore.Options{MaxCycles: runCycleCap})
+		if err != nil {
+			return RunResult{}, err
+		}
+		st = res.Stats
+	}
+	elapsed := time.Since(start)
+	if err := st.Check(k.Cfg); err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{Stats: st, Elapsed: elapsed}, nil
+}
+
+// BenchIters is the Dhrystone iteration count the KIPS benchmarks and
+// cmd/simbench run: long enough that steady state dominates (a few
+// million simulated cycles), short enough for -benchtime=1x CI runs.
+const BenchIters = 300
+
+// BenchWorkload is the workload the KIPS benchmarks measure.
+const BenchWorkload = workloads.Dhrystone
+
+// MeasureKIPS builds the benchmark workload and runs it `count` times on
+// the kernel, returning the best (highest) KIPS observed and the retired
+// instruction count. Best-of-N is the standard noise reducer for
+// throughput measurements on shared CI machines.
+func MeasureKIPS(k Kernel, count int) (kips float64, retired uint64, err error) {
+	im, err := BuildImage(k, BenchWorkload, BenchIters)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < count; i++ {
+		res, err := Run(k, im)
+		if err != nil {
+			return 0, 0, err
+		}
+		retired = res.Stats.Retired
+		if v := res.KIPS(); v > kips {
+			kips = v
+		}
+	}
+	return kips, retired, nil
+}

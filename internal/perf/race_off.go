@@ -1,0 +1,9 @@
+//go:build !race
+
+package perf
+
+// raceEnabled reports whether the race detector is active. The
+// steady-state allocation tests skip under -race: race instrumentation
+// inserts its own allocations, so a zero-allocation budget is only
+// meaningful on uninstrumented builds.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package perf
+
+// raceEnabled reports whether the race detector is active (see
+// race_off.go).
+const raceEnabled = true

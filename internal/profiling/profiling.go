@@ -1,0 +1,52 @@
+// Package profiling provides the shared -cpuprofile/-memprofile plumbing
+// for the simulator binaries, so any slow run can be captured with pprof
+// without recompiling. The simulators are single-goroutine hot loops, so
+// a plain CPU profile attributes time directly to the pipeline stages.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling if cpuPath is non-empty and returns a stop
+// function that finishes the CPU profile and, if memPath is non-empty,
+// writes a heap profile (after a final GC so live-object counts are
+// accurate). Call the stop function exactly once, before exiting.
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}

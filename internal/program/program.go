@@ -119,6 +119,11 @@ func (im *Image) NearestSymbol(addr uint32) (name string, offset uint32, ok bool
 // hierarchy. The zero value is ready to use.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+
+	// One-entry page translation cache: workload accesses are heavily
+	// page-local, so most loads and stores skip the map lookup entirely.
+	lastPN   uint32
+	lastPage *[pageSize]byte
 }
 
 const (
@@ -132,17 +137,23 @@ func NewMemory() *Memory {
 }
 
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
 	if m.pages == nil {
 		if !create {
 			return nil
 		}
 		m.pages = make(map[uint32]*[pageSize]byte)
 	}
-	pn := addr >> pageShift
 	p := m.pages[pn]
 	if p == nil && create {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }

@@ -207,13 +207,14 @@ func (h *Hierarchy) AccessData(now int64, addr uint32) int {
 	if h.prefetch == nil {
 		return lat
 	}
-	for _, pf := range h.prefetch.onMiss(addr) {
+	pf, n := h.prefetch.onMiss(addr)
+	for i := 0; i < n; i++ {
 		h.Prefetches++
 		// Prefetches are charged no demand latency: they fill L1D (and
 		// L2 on the way) in the background.
-		if !h.L1D.Probe(pf) {
-			h.L2.Fill(pf)
-			h.L1D.Fill(pf)
+		if !h.L1D.Probe(pf[i]) {
+			h.L2.Fill(pf[i])
+			h.L1D.Fill(pf[i])
 		}
 	}
 	return lat
@@ -238,17 +239,19 @@ func newStreamPrefetcher(lineBytes int) *streamPrefetcher {
 	return &streamPrefetcher{lineBytes: uint32(lineBytes)}
 }
 
-func (s *streamPrefetcher) onMiss(addr uint32) []uint32 {
+// onMiss returns the lines to prefetch in a fixed-size array (no slice is
+// allocated on the per-miss path).
+func (s *streamPrefetcher) onMiss(addr uint32) (pf [2]uint32, n int) {
 	line := addr &^ (s.lineBytes - 1)
 	for i := range s.last {
 		if s.valid[i] && line == s.last[i]+s.lineBytes {
 			// Ascending stream confirmed: prefetch the next two lines.
 			s.last[i] = line
-			return []uint32{line + s.lineBytes, line + 2*s.lineBytes}
+			return [2]uint32{line + s.lineBytes, line + 2*s.lineBytes}, 2
 		}
 	}
 	s.last[s.next] = line
 	s.valid[s.next] = true
 	s.next = (s.next + 1) % len(s.last)
-	return nil
+	return pf, 0
 }

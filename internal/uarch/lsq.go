@@ -4,10 +4,16 @@ package uarch
 // order, store-to-load forwarding, memory disambiguation with violation
 // detection, and squash on recovery (paper §V-A: "a load-store queue
 // (LSQ) for memory disambiguation").
+//
+// Both queues are preallocated rings of entries: Allocate reuses a slot
+// instead of heap-allocating, and entry pointers stay valid while the
+// entry is resident (slots never move; they are recycled only after
+// Retire or SquashYounger drops them). Entries are Seq-ordered by
+// construction — dispatch allocates in program order and squash discards
+// a tail — which the scan helpers exploit.
 type LSQ struct {
-	lqCap, sqCap int
-	loads        []*LSQEntry
-	stores       []*LSQEntry
+	loads  lsqRing
+	stores lsqRing
 }
 
 // LSQEntry tracks one in-flight memory operation.
@@ -22,33 +28,58 @@ type LSQEntry struct {
 	fwdSeq    uint64 // loads: Seq of the store that forwarded the value
 }
 
+// lsqRing is a fixed-capacity circular buffer of LSQEntry slots. The
+// backing array is sized to the configured queue capacity up front, so
+// steady-state allocation and retirement touch no allocator.
+type lsqRing struct {
+	buf  []LSQEntry
+	head int
+	n    int
+	cap  int
+}
+
+func newLSQRing(capacity int) lsqRing {
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return lsqRing{buf: make([]LSQEntry, c), cap: capacity}
+}
+
+func (r *lsqRing) at(i int) *LSQEntry { return &r.buf[(r.head+i)&(len(r.buf)-1)] }
+
+func (r *lsqRing) push(u *UOp) *LSQEntry {
+	e := &r.buf[(r.head+r.n)&(len(r.buf)-1)]
+	*e = LSQEntry{U: u}
+	r.n++
+	return e
+}
+
 // NewLSQ builds the queues.
 func NewLSQ(lqCap, sqCap int) *LSQ {
-	return &LSQ{lqCap: lqCap, sqCap: sqCap}
+	return &LSQ{loads: newLSQRing(lqCap), stores: newLSQRing(sqCap)}
 }
 
 // CanAllocate reports whether a µop of the given kind fits.
 func (q *LSQ) CanAllocate(isLoad bool) bool {
 	if isLoad {
-		return len(q.loads) < q.lqCap
+		return q.loads.n < q.loads.cap
 	}
-	return len(q.stores) < q.sqCap
+	return q.stores.n < q.stores.cap
 }
 
 // Allocate inserts a µop at dispatch (program order) and returns its
-// entry.
+// entry. The entry pointer is valid until the µop retires or is
+// squashed.
 func (q *LSQ) Allocate(u *UOp) *LSQEntry {
-	e := &LSQEntry{U: u}
 	if u.IsLoad {
-		q.loads = append(q.loads, e)
-	} else {
-		q.stores = append(q.stores, e)
+		return q.loads.push(u)
 	}
-	return e
+	return q.stores.push(u)
 }
 
 // Occupancy returns current load/store queue occupancy.
-func (q *LSQ) Occupancy() (int, int) { return len(q.loads), len(q.stores) }
+func (q *LSQ) Occupancy() (int, int) { return q.loads.n, q.stores.n }
 
 func overlap(a1 uint32, s1 uint8, a2 uint32, s2 uint8) bool {
 	return a1 < a2+uint32(s2) && a2 < a1+uint32(s1)
@@ -73,7 +104,8 @@ const (
 // are ignored (the memory-dependence predictor said "speculate").
 func (q *LSQ) LookupLoad(le *LSQEntry, unknownOK bool) (LoadResult, uint32) {
 	var match *LSQEntry
-	for _, se := range q.stores {
+	for i := 0; i < q.stores.n; i++ {
+		se := q.stores.at(i)
 		if se.U.Seq > le.U.Seq {
 			break
 		}
@@ -105,18 +137,20 @@ func (q *LSQ) LookupLoad(le *LSQEntry, unknownOK bool) (LoadResult, uint32) {
 	return LoadMustWait, 0
 }
 
-// StoreViolations returns executed younger loads that overlap a store
-// whose address just became known — each is a memory-dependence
-// violation requiring a flush.
-func (q *LSQ) StoreViolations(se *LSQEntry) []*LSQEntry {
-	var out []*LSQEntry
-	for _, le := range q.loads {
+// OldestViolation returns the oldest executed younger load that overlaps
+// a store whose address just became known — a memory-dependence violation
+// requiring a flush — or nil if there is none. The load queue is
+// Seq-ordered, so the first match in a head-to-tail scan is the oldest;
+// no slice is built.
+func (q *LSQ) OldestViolation(se *LSQEntry) *LSQEntry {
+	for i := 0; i < q.loads.n; i++ {
+		le := q.loads.at(i)
 		if le.U.Seq > se.U.Seq && le.Executed &&
 			overlap(se.Addr, se.Size, le.Addr, le.Size) && !le.ForwardedFrom(se) {
-			out = append(out, le)
+			return le
 		}
 	}
-	return out
+	return nil
 }
 
 // forwardedSeq records which store supplied a forwarded load, so a
@@ -128,39 +162,36 @@ func (e *LSQEntry) ForwardedFrom(se *LSQEntry) bool {
 // MarkForwarded records the supplying store.
 func (e *LSQEntry) MarkForwarded(storeSeq uint64) { e.fwdSeq = storeSeq }
 
-// SquashYounger drops entries with Seq > seq (recovery).
+// SquashYounger drops entries with Seq > seq (recovery). Both queues are
+// Seq-ordered, so this is a tail truncation.
 func (q *LSQ) SquashYounger(seq uint64) {
-	q.loads = filterLSQ(q.loads, seq)
-	q.stores = filterLSQ(q.stores, seq)
+	q.loads.truncateYounger(seq)
+	q.stores.truncateYounger(seq)
 }
 
-func filterLSQ(s []*LSQEntry, seq uint64) []*LSQEntry {
-	out := s[:0]
-	for _, e := range s {
-		if e.U.Seq <= seq {
-			out = append(out, e)
-		}
+func (r *lsqRing) truncateYounger(seq uint64) {
+	for r.n > 0 && r.at(r.n-1).U.Seq > seq {
+		r.n--
 	}
-	return out
 }
 
 // Retire removes the µop's entry from the head of its queue.
 func (q *LSQ) Retire(u *UOp) {
+	r := &q.stores
 	if u.IsLoad {
-		if len(q.loads) > 0 && q.loads[0].U == u {
-			q.loads = q.loads[1:]
-		}
-		return
+		r = &q.loads
 	}
-	if len(q.stores) > 0 && q.stores[0].U == u {
-		q.stores = q.stores[1:]
+	if r.n > 0 && r.at(0).U == u {
+		r.head = (r.head + 1) & (len(r.buf) - 1)
+		r.n--
 	}
 }
 
-// OldestStoreSeqBefore returns whether all older stores than seq have
+// OlderStoresResolved reports whether all stores older than seq have
 // known addresses (used by conservative loads).
 func (q *LSQ) OlderStoresResolved(seq uint64) bool {
-	for _, se := range q.stores {
+	for i := 0; i < q.stores.n; i++ {
+		se := q.stores.at(i)
 		if se.U.Seq >= seq {
 			break
 		}

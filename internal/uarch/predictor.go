@@ -180,8 +180,23 @@ func (r *RAS) Pop() (uint32, bool) {
 	return a, true
 }
 
-// Snapshot copies the stack for recovery.
+// Snapshot copies the stack for recovery. It returns nil for an empty
+// stack (recovery skips the restore in that case).
 func (r *RAS) Snapshot() []uint32 { return append([]uint32(nil), r.stack...) }
+
+// SnapshotInto copies the stack into dst's backing array (reusing its
+// capacity) and returns the result, nil for an empty stack — the same
+// nil-for-empty contract as Snapshot, but allocation-free once dst has
+// capacity. The cores pool these buffers across µop lifetimes.
+func (r *RAS) SnapshotInto(dst []uint32) []uint32 {
+	if len(r.stack) == 0 {
+		return nil
+	}
+	return append(dst[:0], r.stack...)
+}
+
+// Depth returns the current stack depth.
+func (r *RAS) Depth() int { return len(r.stack) }
 
 // Restore rewinds to a snapshot.
 func (r *RAS) Restore(s []uint32) { r.stack = append(r.stack[:0], s...) }

@@ -93,16 +93,21 @@ func (s *Stats) Check(cfg Config) error {
 		return fail("IQ occupancy integral %d > SchedulerSize(%d) x cycles(%d)",
 			s.IQOccupancy, cfg.SchedulerSize, s.Cycles)
 	}
-	perCycle := map[string]int64{
-		"StallROBFull":    s.StallROBFull,
-		"StallIQFull":     s.StallIQFull,
-		"StallLSQFull":    s.StallLSQFull,
-		"StallFreeList":   s.StallFreeList,
-		"StallSPAddLimit": s.StallSPAddLimit,
+	// Fixed evaluation order (no map): the first violated bound reported
+	// is deterministic across runs, and the check allocates nothing.
+	perCycle := [...]struct {
+		name string
+		n    int64
+	}{
+		{"StallROBFull", s.StallROBFull},
+		{"StallIQFull", s.StallIQFull},
+		{"StallLSQFull", s.StallLSQFull},
+		{"StallFreeList", s.StallFreeList},
+		{"StallSPAddLimit", s.StallSPAddLimit},
 	}
-	for name, n := range perCycle {
-		if n < 0 || n > s.Cycles {
-			return fail("%s=%d outside [0, cycles=%d]", name, n, s.Cycles)
+	for _, c := range perCycle {
+		if c.n < 0 || c.n > s.Cycles {
+			return fail("%s=%d outside [0, cycles=%d]", c.name, c.n, s.Cycles)
 		}
 	}
 	if s.StallFrontEnd < 0 || s.StallFrontEnd > 2*s.Cycles {

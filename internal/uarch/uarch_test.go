@@ -247,9 +247,8 @@ func TestLSQForwardingAndViolations(t *testing.T) {
 	// Store resolves to the same address: violation on the younger load.
 	se.Addr, se.Size, se.AddrReady = 0x100, 4, true
 	se.Data, se.DataReady = 0xABCD, true
-	viols := q.StoreViolations(se)
-	if len(viols) != 1 || viols[0] != le {
-		t.Fatalf("expected violation on the load, got %v", viols)
+	if v := q.OldestViolation(se); v != le {
+		t.Fatalf("expected violation on the load, got %v", v)
 	}
 
 	// After re-execution the load forwards.
@@ -387,4 +386,53 @@ func TestMSHRQueueing(t *testing.T) {
 	if third > second {
 		t.Errorf("drained MSHR should not queue: %d vs %d", third, second)
 	}
+}
+
+func TestRingFIFOAndGrowth(t *testing.T) {
+	r := NewRing[int](2)
+	// Push past the initial capacity across a wrapped head so growth
+	// must relinearize the buffer.
+	r.PushBack(1)
+	r.PushBack(2)
+	if r.PopFront() != 1 {
+		t.Fatal("FIFO order")
+	}
+	for v := 3; v <= 9; v++ {
+		r.PushBack(v)
+	}
+	if r.Len() != 8 {
+		t.Fatalf("len = %d, want 8", r.Len())
+	}
+	for i := 0; i < r.Len(); i++ {
+		if r.At(i) != i+2 {
+			t.Fatalf("At(%d) = %d, want %d", i, r.At(i), i+2)
+		}
+	}
+	if r.Front() != 2 {
+		t.Fatal("Front")
+	}
+
+	// PushFront prepends (the SS recovery walk re-frees registers
+	// tail-first with it).
+	r.PushFront(1)
+	if r.Front() != 1 || r.Len() != 9 {
+		t.Fatal("PushFront")
+	}
+
+	// Truncate drops from the tail, keeping the oldest n.
+	r.Truncate(3)
+	if r.Len() != 3 || r.At(2) != 3 {
+		t.Fatalf("Truncate: len=%d tail=%d", r.Len(), r.At(2))
+	}
+
+	r.Clear()
+	if r.Len() != 0 {
+		t.Fatal("Clear")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PopFront on empty ring should panic")
+		}
+	}()
+	r.PopFront()
 }

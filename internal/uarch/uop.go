@@ -42,7 +42,10 @@ const (
 
 // UOp is an in-flight micro-operation. The ISA-specific front ends fill
 // the physical-register fields; the shared backend machinery (scheduler,
-// LSQ, ROB bookkeeping) reads only what is here.
+// LSQ, ROB bookkeeping) reads only what is here. The cores embed UOp in a
+// per-core µop struct carrying the decoded instruction and ISA-specific
+// payload fields, allocated from a per-core arena so the per-cycle step
+// path performs no heap allocation.
 type UOp struct {
 	Seq   uint64 // global dynamic sequence number
 	PC    uint32
@@ -78,7 +81,4 @@ type UOp struct {
 
 	// Squashed marks wrong-path µops awaiting drain.
 	Squashed bool
-
-	// ISA payload: the cores stash their decoded instruction here.
-	Payload any
 }

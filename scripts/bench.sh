@@ -1,0 +1,30 @@
+#!/bin/sh
+# Simulation-kernel performance check (see DESIGN.md §11 and
+# EXPERIMENTS.md): run the KIPS benchmarks, then compare freshly
+# measured throughput against the checked-in BENCH_simkernel.json via
+# cmd/simbench, failing on a >15% regression.
+#
+# Usage:
+#   scripts/bench.sh          # benchmark + regression check
+#   scripts/bench.sh update   # re-record BENCH_simkernel.json (new host
+#                             # or intentional perf change)
+#
+# KIPS is host-dependent; the baseline is meaningful on hosts comparable
+# to the one that recorded it. CI records/compares on its own runner
+# class. Profiles for failed runs: re-run the benchmarks with
+#   go test ./internal/perf -run xxx -bench BenchmarkKernelKIPS \
+#       -benchtime 1x -cpuprofile cpu.prof -memprofile mem.prof
+set -ex
+
+cd "$(dirname "$0")/.."
+
+# Steady-state allocation budget: 0 heap allocations per simulated cycle.
+go test ./internal/perf -run TestSteadyStateAllocs -v
+
+go test ./internal/perf -run xxx -bench BenchmarkKernelKIPS -benchtime 1x -count 3
+
+if [ "$1" = "update" ]; then
+    go run ./cmd/simbench -o BENCH_simkernel.json
+else
+    go run ./cmd/simbench -compare BENCH_simkernel.json
+fi

@@ -23,6 +23,13 @@ fi
 go test ./...
 go test -race ./internal/bench/...
 go test -race ./internal/ptrace/...
+# The perf harness (golden stats + KIPS measurement) also runs inside
+# the concurrent sweep machinery, so it must be race-clean; the
+# allocation-budget tests skip themselves under -race (instrumentation
+# allocates) and are re-run uninstrumented to enforce the 0-alloc
+# budget on the non-traced step path.
+go test -race ./internal/perf/...
+go test ./internal/perf -run TestSteadyStateAllocs
 
 # Bounded differential co-simulation smoke: random programs through the
 # full oracle stack (sverify, strict emulators, cross-ISA observables,
