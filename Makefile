@@ -32,7 +32,8 @@ experiments:
 	go run ./cmd/experiments -j 0
 
 # Simulation-kernel throughput: alloc budget + KIPS benchmarks + the
-# regression check against BENCH_simkernel.json (see DESIGN.md §11).
+# regression check against BENCH_simkernel.json in both stepping modes
+# (see DESIGN.md §11-12).
 bench:
 	sh scripts/bench.sh
 

@@ -1,19 +1,30 @@
 // simbench measures simulation-kernel throughput (KIPS: kilo simulated
 // instructions retired per host second) for both cycle cores at both
-// widths, and acts as the CI regression guard for the hot loop.
+// widths (plus the memory-bound variants), and acts as the CI
+// regression guard for the hot loop.
 //
 // Usage:
 //
 //	simbench [-count N] -o BENCH_simkernel.json         # record a baseline
-//	simbench [-count N] [-threshold F] -compare BENCH_simkernel.json
+//	simbench [-count N] [-threshold F] [-noskip|-batch] -compare BENCH_simkernel.json
 //
 // Record mode runs every kernel on the benchmark workload (best-of-N)
-// and writes the JSON baseline; an existing baseline's pre_rewrite_kips
-// fields are carried forward so the historical speedup stays visible.
+// in all three measurement modes — idle-skip on (the default fast
+// path), idle-skip off (strict cycle stepping), and batch (one core
+// recycled with Reset between runs) — and writes the JSON baseline; an
+// existing baseline's pre_rewrite_kips fields are carried forward so
+// the historical speedup stays visible. The kips/noskip_kips ratio in
+// the baseline documents the event-driven skip win per kernel; cycle
+// counts are bit-identical across all modes, so the ratio is pure
+// kernel speedup.
+//
 // Compare mode measures fresh and exits non-zero if any kernel's KIPS
 // fell more than the threshold below the baseline — a small Go
-// comparator so CI needs no benchstat dependency. KIPS is host-machine
-// dependent: re-record the baseline when the reference machine changes.
+// comparator so CI needs no benchstat dependency. -noskip and -batch
+// select which mode is measured and which baseline column it is judged
+// against (kernels recorded before that column existed are skipped).
+// KIPS is host-machine dependent: re-record the baseline when the
+// reference machine changes.
 package main
 
 import (
@@ -39,10 +50,35 @@ type kernelResult struct {
 	Name    string  `json:"name"`
 	KIPS    float64 `json:"kips"`
 	Retired uint64  `json:"retired_insts"`
+	// NoSkipKIPS is the same measurement with the event-driven idle-cycle
+	// fast path disabled (strict cycle-by-cycle stepping). kips divided
+	// by noskip_kips is the skip speedup on this kernel.
+	NoSkipKIPS float64 `json:"noskip_kips,omitempty"`
+	// BatchKIPS is the same measurement in batch mode: one core recycled
+	// with Reset between runs instead of constructed per run.
+	BatchKIPS float64 `json:"batch_kips,omitempty"`
 	// PreRewriteKIPS is the same measurement taken at the commit before
 	// the allocation-free kernel rewrite, on the same host as KIPS, for
 	// the historical record; it is carried forward verbatim on re-record.
 	PreRewriteKIPS float64 `json:"pre_rewrite_kips,omitempty"`
+}
+
+// mode names one measurement mode and how to run it.
+type mode struct {
+	name    string
+	measure func(k perf.Kernel, count int) (float64, uint64, error)
+}
+
+var modes = map[string]mode{
+	"skip": {"skip", func(k perf.Kernel, count int) (float64, uint64, error) {
+		return perf.MeasureKIPS(k, count)
+	}},
+	"noskip": {"noskip", func(k perf.Kernel, count int) (float64, uint64, error) {
+		return perf.MeasureKIPSWith(k, count, perf.Options{NoIdleSkip: true})
+	}},
+	"batch": {"batch", func(k perf.Kernel, count int) (float64, uint64, error) {
+		return perf.MeasureBatchKIPS(k, count)
+	}},
 }
 
 func main() {
@@ -50,60 +86,106 @@ func main() {
 	compare := flag.String("compare", "", "compare mode: measure and check against this baseline")
 	count := flag.Int("count", 3, "runs per kernel (best-of)")
 	threshold := flag.Float64("threshold", 0.15, "allowed fractional KIPS drop before failing")
+	noskip := flag.Bool("noskip", false, "compare mode: measure with idle skipping disabled, against noskip_kips")
+	batch := flag.Bool("batch", false, "compare mode: measure in batch (core-reuse) mode, against batch_kips")
 	flag.Parse()
-	if (*out == "") == (*compare == "") {
-		fmt.Fprintln(os.Stderr, "usage: simbench [-count N] -o FILE | [-threshold F] -compare FILE")
+	if (*out == "") == (*compare == "") || (*noskip && *batch) || (*out != "" && (*noskip || *batch)) {
+		fmt.Fprintln(os.Stderr, "usage: simbench [-count N] -o FILE | [-threshold F] [-noskip|-batch] -compare FILE")
 		os.Exit(2)
 	}
 
-	measured := baseline{
-		Schema:   1,
-		Workload: string(perf.BenchWorkload),
-		Iters:    perf.BenchIters,
-		BestOf:   *count,
-	}
-	for _, k := range perf.Kernels() {
-		fmt.Printf("measuring %-14s ", k.Name)
-		kips, retired, err := perf.MeasureKIPS(k, *count)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%8.0f KIPS (%d insts, best of %d)\n", kips, retired, *count)
-		measured.Kernels = append(measured.Kernels, kernelResult{
-			Name: k.Name, KIPS: kips, Retired: retired,
-		})
-	}
-
 	if *out != "" {
-		record(*out, &measured)
+		record(*out, measureAll(*count))
 		return
 	}
 
-	old, err := load(*compare)
+	m := modes["skip"]
+	if *noskip {
+		m = modes["noskip"]
+	} else if *batch {
+		m = modes["batch"]
+	}
+	os.Exit(compareMode(*compare, m, *count, *threshold))
+}
+
+// measureAll records every kernel in all three modes.
+func measureAll(count int) *baseline {
+	b := &baseline{
+		Schema:   1,
+		Workload: string(perf.BenchWorkload),
+		Iters:    perf.BenchIters,
+		BestOf:   count,
+	}
+	for _, k := range perf.Kernels() {
+		var r kernelResult
+		r.Name = k.Name
+		fmt.Printf("measuring %-22s ", k.Name)
+		var err error
+		if r.KIPS, r.Retired, err = modes["skip"].measure(k, count); err != nil {
+			fatal(err)
+		}
+		if r.NoSkipKIPS, _, err = modes["noskip"].measure(k, count); err != nil {
+			fatal(err)
+		}
+		if r.BatchKIPS, _, err = modes["batch"].measure(k, count); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%8.0f KIPS  noskip %8.0f  batch %8.0f  (skip ×%.1f, %d insts, best of %d)\n",
+			r.KIPS, r.NoSkipKIPS, r.BatchKIPS, r.KIPS/r.NoSkipKIPS, r.Retired, count)
+		b.Kernels = append(b.Kernels, r)
+	}
+	return b
+}
+
+// baselineKIPS picks the baseline column the mode is judged against;
+// ok=false means the baseline predates the column.
+func baselineKIPS(r kernelResult, m mode) (float64, bool) {
+	switch m.name {
+	case "noskip":
+		return r.NoSkipKIPS, r.NoSkipKIPS > 0
+	case "batch":
+		return r.BatchKIPS, r.BatchKIPS > 0
+	default:
+		return r.KIPS, r.KIPS > 0
+	}
+}
+
+func compareMode(path string, m mode, count int, threshold float64) int {
+	old, err := load(path)
 	if err != nil {
 		fatal(err)
 	}
 	failed := false
 	for _, b := range old.Kernels {
-		cur, ok := find(&measured, b.Name)
+		base, ok := baselineKIPS(b, m)
 		if !ok {
+			fmt.Printf("%-22s no %s baseline, skipped\n", b.Name, m.name)
+			continue
+		}
+		k, err := perf.KernelByName(b.Name)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "simbench: baseline kernel %q no longer measured\n", b.Name)
 			failed = true
 			continue
 		}
-		ratio := cur.KIPS / b.KIPS
+		kips, _, err := m.measure(k, count)
+		if err != nil {
+			fatal(err)
+		}
+		ratio := kips / base
 		status := "ok"
-		if cur.KIPS < b.KIPS*(1-*threshold) {
+		if kips < base*(1-threshold) {
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-14s baseline %8.0f  measured %8.0f  (%+.1f%%)  %s\n",
-			b.Name, b.KIPS, cur.KIPS, 100*(ratio-1), status)
+		fmt.Printf("%-22s %s baseline %8.0f  measured %8.0f  (%+.1f%%)  %s\n",
+			b.Name, m.name, base, kips, 100*(ratio-1), status)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "simbench: KIPS regression > %.0f%% against %s\n", 100**threshold, *compare)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "simbench: %s KIPS regression > %.0f%% against %s\n", m.name, 100*threshold, path)
+		return 1
 	}
+	return 0
 }
 
 // record writes the baseline, preserving pre_rewrite_kips and the note

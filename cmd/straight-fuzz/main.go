@@ -107,7 +107,12 @@ func main() {
 				// Workers only detect here; reporting and minimizing run
 				// once, on the smallest diverging seed, after the sweep.
 				p := fuzzgen.Generate(seed, fuzzgen.ConfigForSeed(seed))
-				out, err := fuzzgen.Check(p, opts)
+				// Alternate the idle-skip fast path by seed so the sweep
+				// exercises both stepping modes against the lockstep
+				// oracle on the same program population.
+				seedOpts := opts
+				seedOpts.NoIdleSkip = seed%2 == 1
+				out, err := fuzzgen.Check(p, seedOpts)
 				checked.Add(1)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "straight-fuzz: seed %d: harness error: %v\n", seed, err)

@@ -29,6 +29,12 @@ type Options struct {
 	// RetireFn observes every retirement in program order; a non-nil
 	// error aborts the run (used by the lockstep fuzzing oracle).
 	RetireFn uarch.RetireFn
+	// NoIdleSkip disables the event-driven idle-cycle fast path
+	// (DESIGN.md §12) and forces per-cycle stepping. The zero value —
+	// skipping on — is bit-identical in every observable (Stats, traces,
+	// output, retire stream); the switch exists for differential testing
+	// and for measuring the fast path's own speedup.
+	NoIdleSkip bool
 }
 
 // Result summarizes a run.
@@ -146,6 +152,12 @@ type Core struct {
 
 	retireFn uarch.RetireFn
 
+	// Idle-skip state (quiesce.go): lastSig gates skip attempts on the
+	// activity signature of the previous step; skip holds telemetry.
+	noIdleSkip bool
+	lastSig    uint64
+	skip       uarch.SkipStats
+
 	outBuf *captureWriter
 }
 
@@ -187,6 +199,7 @@ func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
 		prf:     make([]uint32, cfg.RegFileSize),
 		outBuf:  &captureWriter{w: opts.Output},
 		tr:      opts.Tracer,
+		lastSig: ^uint64(0), // never matches the first real signature
 	}
 	switch cfg.Predictor {
 	case uarch.PredTAGE:
@@ -196,7 +209,17 @@ func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
 	}
 	c.mem.LoadImage(img)
 	c.prfReady = make([]int64, cfg.RegFileSize)
+	// Waiter lists get capacity up front: a register's list holds at most
+	// the scheduler's live entries plus stale links from squashed µops
+	// that are skipped (not removed) until the next wake drains the list,
+	// so 2×SchedulerSize covers steady state without mid-run growth (the
+	// zero-allocation budget, enforced by TestSteadyStateAllocs*).
 	c.waiters = make([][]waiter, cfg.RegFileSize)
+	wcap := 2 * cfg.SchedulerSize
+	waiterBlock := make([]waiter, cfg.RegFileSize*wcap)
+	for i := range c.waiters {
+		c.waiters[i] = waiterBlock[i*wcap : i*wcap : (i+1)*wcap]
+	}
 
 	// Initial RMT: logical register i maps to physical i; the remaining
 	// physical registers populate the free list.
@@ -282,6 +305,7 @@ func (c *Core) Mem() *program.Memory { return c.mem }
 // Run simulates until program exit or a bound is hit.
 func (c *Core) Run(opts Options) (*Result, error) {
 	c.retireFn = opts.RetireFn
+	c.noIdleSkip = opts.NoIdleSkip
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = farFuture
@@ -301,7 +325,13 @@ func (c *Core) Run(opts Options) (*Result, error) {
 		if opts.MaxInsns > 0 && c.stats.Retired >= opts.MaxInsns {
 			break
 		}
-		if err := c.step(opts); err != nil {
+		// Clamp any skip window so both bound checks above observe the
+		// exact cycle numbers per-cycle stepping would have shown them.
+		limit := maxCycles - c.cycle
+		if d := lastProgress + 500_001 - c.cycle; d < limit {
+			limit = d
+		}
+		if _, err := c.advance(opts, limit); err != nil {
 			return nil, err
 		}
 	}
@@ -315,10 +345,13 @@ func (c *Core) Run(opts Options) (*Result, error) {
 // Exited reports whether the program has finished.
 func (c *Core) RunCycles(opts Options, n int64) error {
 	c.retireFn = opts.RetireFn
-	for i := int64(0); i < n && !c.exited; i++ {
-		if err := c.step(opts); err != nil {
+	c.noIdleSkip = opts.NoIdleSkip
+	for done := int64(0); done < n && !c.exited; {
+		k, err := c.advance(opts, n-done)
+		if err != nil {
 			return err
 		}
+		done += k
 	}
 	return nil
 }

@@ -1,0 +1,218 @@
+package sscore
+
+import (
+	"straight/internal/isa/riscv"
+	"straight/internal/ptrace"
+	"straight/internal/uarch"
+)
+
+// Idle-cycle skipping (DESIGN.md §12) — the SS twin of the straightcore
+// fast path. The structure is identical; the extra wrinkle is rename: a
+// dispatch cycle blocked on an empty free list still consumes a sequence
+// number and charges RMT read ports every cycle, so the bulk update must
+// replicate those per-cycle side effects exactly.
+
+// advance moves the simulation forward by at least one cycle and at most
+// limit cycles, using the idle-skip fast path when the previous step
+// made no visible progress. It returns the number of cycles consumed.
+func (c *Core) advance(opts Options, limit int64) (int64, error) {
+	if !c.noIdleSkip {
+		sig := c.activitySignature()
+		if sig == c.lastSig {
+			if k := c.trySkip(limit); k > 0 {
+				return k, nil
+			}
+		}
+		c.lastSig = sig
+	}
+	return 1, c.step(opts)
+}
+
+// activitySignature folds together the counters and occupancies that
+// change whenever a cycle performs real work; see the straightcore twin.
+// RenameReads and seq are deliberately excluded: free-list-blocked
+// cycles mutate both every cycle yet are still skippable (trySkip
+// re-derives exactly those per-cycle charges in bulk), so including
+// them would gate the fast path shut for the one stall cause it helps
+// most on small register files.
+func (c *Core) activitySignature() uint64 {
+	sig := c.stats.Retired
+	sig = sig*31 + c.stats.FetchedInsts
+	sig = sig*31 + c.stats.IQWakeups
+	sig = sig*31 + c.stats.RegWrites
+	sig = sig*31 + uint64(c.rob.Len())
+	sig = sig*31 + uint64(c.feQueue.Len())
+	sig = sig*31 + uint64(len(c.executing))
+	sig = sig*31 + uint64(len(c.iqAwake))
+	return sig
+}
+
+// trySkip checks the all-queues-quiescent condition and, when it holds,
+// advances the clock directly to the next event (bounded by limit). It
+// returns the number of cycles skipped (0 = the cycle is active).
+func (c *Core) trySkip(limit int64) int64 {
+	if c.exited || c.recovValid || len(c.woken) > 0 || limit <= 0 {
+		return 0
+	}
+	h := uarch.NewEventHorizon()
+
+	// Commit: the ROB head retires the moment its result timestamp
+	// passes (ECALL µops are Completed at dispatch with ReadyAt set).
+	if c.rob.Len() > 0 {
+		u := c.rob.Front()
+		if u.Completed {
+			if u.ReadyAt <= c.cycle {
+				return 0
+			}
+			h.Observe(u.ReadyAt)
+		}
+	}
+	// Functional units: completeExecution acts at each entry's ReadyAt.
+	for _, u := range c.executing {
+		if u.ReadyAt <= c.cycle {
+			return 0
+		}
+		h.Observe(u.ReadyAt)
+	}
+	// Scheduler: issue scans every awake entry whose ready time has
+	// passed, and the scan itself counts wakeups.
+	for _, u := range c.iqAwake {
+		if u.readyTime <= c.cycle {
+			return 0
+		}
+		h.Observe(u.readyTime)
+	}
+	dCause, dCharged, renameReads, idle := c.dispatchIdleClass(&h)
+	if !idle {
+		return 0
+	}
+	feStalled, idle := c.fetchIdleClass(&h)
+	if !idle {
+		return 0
+	}
+
+	k := h.SkipWidth(c.cycle, limit)
+	if k <= 0 {
+		return 0
+	}
+
+	// Apply k frozen cycles in bulk (classification is constant across
+	// the window; see the straightcore twin for the argument).
+	if dCharged {
+		switch dCause {
+		case ptrace.StallRecovery:
+			c.stats.RecoveryStall += k
+		case ptrace.StallFrontEnd:
+			c.stats.StallFrontEnd += k
+		case ptrace.StallROBFull:
+			c.stats.StallROBFull += k
+		case ptrace.StallIQFull:
+			c.stats.StallIQFull += k
+		case ptrace.StallLSQFull:
+			c.stats.StallLSQFull += k
+		case ptrace.StallFreeList:
+			// A free-list-blocked dispatch burns a sequence number and
+			// re-reads the RMT ports every cycle before bailing out.
+			c.stats.StallFreeList += k
+			c.stats.RenameReads += uint64(k) * renameReads
+			c.seq += uint64(k)
+		}
+	}
+	if feStalled {
+		c.stats.StallFrontEnd += k
+	}
+	c.stats.Cycles += k
+	c.stats.ROBOccupancy += k * int64(c.rob.Len())
+	c.stats.IQOccupancy += k * int64(c.iqCount)
+	if c.tr != nil {
+		c.replayIdle(k, dCause, dCharged, feStalled)
+	}
+	c.cycle += k
+	c.skip.SkippedCycles += k
+	c.skip.Events++
+	return k
+}
+
+// dispatchIdleClass classifies what dispatch would do this cycle without
+// doing it, mirroring dispatch's ladder exactly. idle=false means the
+// queue head would rename (an active cycle). renameReads is the number
+// of RenameReads a free-list-blocked cycle charges (0 otherwise).
+func (c *Core) dispatchIdleClass(h *uarch.EventHorizon) (cause ptrace.StallCause, charged bool, renameReads uint64, idle bool) {
+	if c.cycle < c.renameBlock {
+		h.Observe(c.renameBlock)
+		return ptrace.StallRecovery, true, 0, true
+	}
+	if c.feQueue.Len() == 0 {
+		return ptrace.StallFrontEnd, true, 0, true
+	}
+	e := c.feQueue.Front()
+	if c.cycle-e.fetchedAt < int64(c.cfg.FrontEndLatency) {
+		h.Observe(e.fetchedAt + int64(c.cfg.FrontEndLatency))
+		return 0, false, 0, true
+	}
+	if c.serializing {
+		return 0, false, 0, true
+	}
+	inst := e.inst
+	if inst.Op == riscv.ECALL && c.rob.Len() > 0 {
+		return 0, false, 0, true
+	}
+	if c.rob.Len() >= c.cfg.ROBSize {
+		return ptrace.StallROBFull, true, 0, true
+	}
+	if c.iqCount >= c.cfg.SchedulerSize {
+		return ptrace.StallIQFull, true, 0, true
+	}
+	isLoad := inst.Op.Class() == riscv.ClassLoad
+	isStore := inst.Op.Class() == riscv.ClassStore
+	if (isLoad || isStore) && !c.lsq.CanAllocate(isLoad) {
+		return ptrace.StallLSQFull, true, 0, true
+	}
+	if inst.WritesRd() && inst.Rd != 0 && c.freeList.Len() == 0 {
+		rr := uint64(1) // the old-mapping read happens before the bail
+		if inst.ReadsRs1() {
+			rr++
+		}
+		if inst.ReadsRs2() {
+			rr++
+		}
+		return ptrace.StallFreeList, true, rr, true
+	}
+	return 0, false, 0, false
+}
+
+// fetchIdleClass classifies fetch: idle=false means fetch would access
+// the I-cache this cycle. When idle, stalled reports whether the cycle
+// charges StallFrontEnd (a full fetch queue waits silently).
+func (c *Core) fetchIdleClass(h *uarch.EventHorizon) (stalled, idle bool) {
+	if c.cycle < c.fetchStallUntil || c.fetchHalted {
+		if !c.fetchHalted {
+			h.Observe(c.fetchStallUntil)
+		}
+		return true, true
+	}
+	if c.feQueue.Len()+c.cfg.FetchWidth > c.feCap {
+		return false, true
+	}
+	return false, false
+}
+
+// replayIdle re-emits the tracer calls of k idle cycles one by one, in
+// the exact order step produces them, so Kanata output and the windowed
+// stall series are byte-identical with skipping enabled.
+func (c *Core) replayIdle(k int64, dCause ptrace.StallCause, dCharged, feStalled bool) {
+	lq, sq := c.lsq.Occupancy()
+	for i := int64(0); i < k; i++ {
+		c.tr.BeginCycle(c.cycle + i)
+		if dCharged {
+			c.traceStall(dCause)
+		}
+		if feStalled {
+			c.tr.Stall(ptrace.StallFrontEnd, 0)
+		}
+		c.tr.Sample(c.rob.Len(), c.iqCount, lq, sq)
+	}
+}
+
+// SkipStats returns the idle-skip telemetry accumulated so far.
+func (c *Core) SkipStats() uarch.SkipStats { return c.skip }

@@ -1,0 +1,100 @@
+package sscore
+
+import (
+	"straight/internal/isa/riscv"
+	"straight/internal/program"
+	"straight/internal/uarch"
+)
+
+// Reset returns the core to power-on state so another run can start
+// without rebuilding it (the batch-mode reuse contract, DESIGN.md §12).
+// Every preallocated structure — the µop arena, the ROB/fetch-queue/
+// free-list rings, the scheduler lists, the RAS-snapshot pool, cache
+// and predictor tables, the sparse memory's page frames — is reused in
+// place, so batched runs pay no per-run allocation or warmup.
+//
+// Pass nil to rerun the current image, or a new image to multiplex a
+// different program through the same core; the configuration (and hence
+// every structure capacity) is unchanged either way. A reset core is
+// observably identical to a freshly constructed one: the next run's
+// Stats, output, exit code, and retire stream match a fresh core bit
+// for bit (proven by TestResetEquivalence). An attached Tracer is NOT
+// reset — batch runs are untraced.
+func (c *Core) Reset(img *program.Image) {
+	if img == nil {
+		img = c.img
+	}
+	c.img = img
+
+	// Recycle pooled resources still owned by in-flight state before
+	// clearing the structures that reference them.
+	for i := 0; i < c.feQueue.Len(); i++ {
+		if s := c.feQueue.At(i).rasSnap; s != nil {
+			c.snapPut(s)
+		}
+	}
+	c.feQueue.Clear()
+	for i := 0; i < c.rob.Len(); i++ {
+		c.freeUop(c.rob.At(i)) // returns RAS snapshots too
+	}
+	c.rob.Clear()
+	c.iqAwake = c.iqAwake[:0]
+	c.woken = c.woken[:0]
+	c.executing = c.executing[:0]
+	c.dead = c.dead[:0]
+	c.iqCount = 0
+	for i := range c.waiters {
+		c.waiters[i] = c.waiters[i][:0]
+	}
+	for i := range c.prf {
+		c.prf[i] = 0
+		c.prfReady[i] = 0
+	}
+
+	// Initial rename state: identity RMT, physicals 32.. free.
+	for i := 0; i < 32; i++ {
+		c.rmt[i] = int32(i)
+	}
+	c.prf[riscv.RegSP] = program.DefaultStackTop
+	c.freeList.Clear()
+	for i := range c.inFreeList {
+		c.inFreeList[i] = false
+	}
+	for p := 32; p < c.cfg.RegFileSize; p++ {
+		c.freeList.PushBack(int32(p))
+		c.inFreeList[p] = true
+	}
+
+	c.stats = uarch.Stats{}
+	c.cycle = 0
+	c.seq = 0
+	c.fetchPC = img.Entry
+	c.fetchStallUntil = 0
+	c.fetchHalted = false
+	c.renameBlock = 0
+	c.serializing = false
+	c.recov = recovery{}
+	c.recovValid = false
+	c.divBusy = 0
+	c.exited = false
+	c.exitCode = 0
+	c.wantVal = 0
+	c.wantChecks = false
+	c.lastSig = ^uint64(0)
+	c.skip = uarch.SkipStats{}
+	c.outBuf.buf = c.outBuf.buf[:0]
+
+	c.hier.Reset()
+	c.pred.Reset()
+	c.btb.Reset()
+	c.ras.Reset()
+	c.mdp.Reset()
+	c.lsq.Reset()
+	c.mem.Reset()
+	c.mem.LoadImage(img)
+	c.emu.Reset(img)
+	c.emu.SetOutput(c.outBuf)
+	if c.fetchOracle != nil {
+		c.fetchOracle.Reset(img)
+	}
+}

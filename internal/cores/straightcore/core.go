@@ -29,6 +29,12 @@ type Options struct {
 	// the scoreboard before the functional unit has produced them, so
 	// dependents can issue against a stale physical register.
 	InjectBug string
+	// NoIdleSkip disables the event-driven idle-cycle fast path
+	// (DESIGN.md §12) and forces per-cycle stepping. The zero value —
+	// skipping on — is bit-identical in every observable (Stats, traces,
+	// output, retire stream); the switch exists for differential testing
+	// and for measuring the fast path's own speedup.
+	NoIdleSkip bool
 }
 
 // BugMulReadyEarly is the InjectBug value for the documented scoreboard
@@ -156,6 +162,12 @@ type Core struct {
 	retireFn  uarch.RetireFn
 	injectBug string
 
+	// Idle-skip state (quiesce.go): lastSig gates skip attempts on the
+	// activity signature of the previous step; skip holds telemetry.
+	noIdleSkip bool
+	lastSig    uint64
+	skip       uarch.SkipStats
+
 	outBuf *captureWriter
 }
 
@@ -197,6 +209,7 @@ func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
 		decSP:   program.DefaultStackTop,
 		outBuf:  &captureWriter{w: opts.Output},
 		tr:      opts.Tracer,
+		lastSig: ^uint64(0), // never matches the first real signature
 	}
 	switch cfg.Predictor {
 	case uarch.PredTAGE:
@@ -209,7 +222,17 @@ func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
 	c.maxRP = int32(n)
 	c.prf = make([]uint32, n)
 	c.prfReady = make([]int64, n)
+	// Waiter lists get capacity up front: a register's list holds at most
+	// the scheduler's live entries plus stale links from squashed µops
+	// that are skipped (not removed) until the next wake drains the list,
+	// so 2×SchedulerSize covers steady state without mid-run growth (the
+	// zero-allocation budget, enforced by TestSteadyStateAllocs*).
 	c.waiters = make([][]waiter, n)
+	wcap := 2 * cfg.SchedulerSize
+	waiterBlock := make([]waiter, n*wcap)
+	for i := range c.waiters {
+		c.waiters[i] = waiterBlock[i*wcap : i*wcap : (i+1)*wcap]
+	}
 
 	c.feQueue = uarch.NewRing[feEntry](c.feCap)
 	c.rob = uarch.NewRing[*uop](cfg.ROBSize)
@@ -278,6 +301,7 @@ func (c *Core) Mem() *program.Memory { return c.mem }
 func (c *Core) Run(opts Options) (*Result, error) {
 	c.retireFn = opts.RetireFn
 	c.injectBug = opts.InjectBug
+	c.noIdleSkip = opts.NoIdleSkip
 	maxCycles := opts.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = farFuture
@@ -297,7 +321,13 @@ func (c *Core) Run(opts Options) (*Result, error) {
 		if opts.MaxInsns > 0 && c.stats.Retired >= opts.MaxInsns {
 			break
 		}
-		if err := c.step(opts); err != nil {
+		// Clamp any skip window so both bound checks above observe the
+		// exact cycle numbers per-cycle stepping would have shown them.
+		limit := maxCycles - c.cycle
+		if d := lastProgress + 500_001 - c.cycle; d < limit {
+			limit = d
+		}
+		if _, err := c.advance(opts, limit); err != nil {
 			return nil, err
 		}
 	}
@@ -312,10 +342,13 @@ func (c *Core) Run(opts Options) (*Result, error) {
 func (c *Core) RunCycles(opts Options, n int64) error {
 	c.retireFn = opts.RetireFn
 	c.injectBug = opts.InjectBug
-	for i := int64(0); i < n && !c.exited; i++ {
-		if err := c.step(opts); err != nil {
+	c.noIdleSkip = opts.NoIdleSkip
+	for done := int64(0); done < n && !c.exited; {
+		k, err := c.advance(opts, n-done)
+		if err != nil {
 			return err
 		}
+		done += k
 	}
 	return nil
 }

@@ -1,0 +1,226 @@
+package straightcore
+
+import (
+	"straight/internal/isa/straight"
+	"straight/internal/ptrace"
+	"straight/internal/uarch"
+)
+
+// Idle-cycle skipping (DESIGN.md §12): when the whole pipeline is
+// provably waiting on time — every in-flight µop's completion lies in
+// the future, the scheduler has no entry whose ready time has passed,
+// dispatch is blocked by a condition only a future event can change, and
+// fetch is stalled or halted — the per-cycle step degenerates to pure
+// counter updates. advance detects that state, computes the earliest
+// future event with a uarch.EventHorizon, and applies the whole idle
+// window in one bulk update that is bit-identical to stepping it.
+//
+// Soundness rests on two facts checked below:
+//   - every veto condition ("something acts this cycle") is exactly the
+//     guard the corresponding pipeline stage evaluates, and
+//   - every condition that can change a stage's classification is a
+//     time threshold observed into the horizon; all other inputs are
+//     core state that only active cycles mutate.
+
+// advance moves the simulation forward by at least one cycle and at most
+// limit cycles, using the idle-skip fast path when the previous step
+// made no visible progress. It returns the number of cycles consumed.
+func (c *Core) advance(opts Options, limit int64) (int64, error) {
+	if !c.noIdleSkip {
+		sig := c.activitySignature()
+		if sig == c.lastSig {
+			if k := c.trySkip(limit); k > 0 {
+				return k, nil
+			}
+		}
+		c.lastSig = sig
+	}
+	return 1, c.step(opts)
+}
+
+// activitySignature folds together the counters and occupancies that
+// change whenever a cycle performs real work. The skip gate only
+// attempts the (more expensive) full quiescence check when the
+// signature did not move across the previous step; collisions merely
+// cost a rejected trySkip, never correctness.
+func (c *Core) activitySignature() uint64 {
+	sig := c.stats.Retired
+	sig = sig*31 + c.stats.FetchedInsts
+	sig = sig*31 + c.stats.IQWakeups
+	sig = sig*31 + c.stats.RegWrites
+	sig = sig*31 + uint64(c.rob.Len())
+	sig = sig*31 + uint64(c.feQueue.Len())
+	sig = sig*31 + uint64(len(c.executing))
+	sig = sig*31 + uint64(len(c.iqAwake))
+	return sig
+}
+
+// trySkip checks the all-queues-quiescent condition and, when it holds,
+// advances the clock directly to the next event (bounded by limit),
+// bulk-updating every cycle-dependent counter exactly as limit single
+// steps would have. It returns the number of cycles skipped (0 = the
+// cycle is active and must be stepped normally).
+func (c *Core) trySkip(limit int64) int64 {
+	if c.exited || c.recovValid || len(c.woken) > 0 || limit <= 0 {
+		return 0
+	}
+	h := uarch.NewEventHorizon()
+
+	// Commit: the ROB head retires the moment its result timestamp
+	// passes (SYS µops are Completed at dispatch with ReadyAt set).
+	if c.rob.Len() > 0 {
+		u := c.rob.Front()
+		if u.Completed {
+			if u.ReadyAt <= c.cycle {
+				return 0
+			}
+			h.Observe(u.ReadyAt)
+		}
+	}
+	// Functional units: completeExecution acts at each entry's ReadyAt.
+	for _, u := range c.executing {
+		if u.ReadyAt <= c.cycle {
+			return 0
+		}
+		h.Observe(u.ReadyAt)
+	}
+	// Scheduler: issue scans every awake entry whose ready time has
+	// passed — even ones that then stay blocked (FU busy, memory
+	// dependence), because the scan itself counts wakeups.
+	for _, u := range c.iqAwake {
+		if u.readyTime <= c.cycle {
+			return 0
+		}
+		h.Observe(u.readyTime)
+	}
+	dCause, dCharged, idle := c.dispatchIdleClass(&h)
+	if !idle {
+		return 0
+	}
+	feStalled, idle := c.fetchIdleClass(&h)
+	if !idle {
+		return 0
+	}
+
+	k := h.SkipWidth(c.cycle, limit)
+	if k <= 0 {
+		return 0
+	}
+
+	// Apply k frozen cycles in bulk. The dispatch and fetch
+	// classifications are constant across the window (every input that
+	// could flip them is either future-event-bounded above or mutated
+	// only by active cycles), so each per-cycle charge scales by k.
+	if dCharged {
+		switch dCause {
+		case ptrace.StallRecovery:
+			c.stats.RecoveryStall += k
+		case ptrace.StallFrontEnd:
+			c.stats.StallFrontEnd += k
+		case ptrace.StallSPAddLimit:
+			c.stats.StallSPAddLimit += k
+		case ptrace.StallROBFull:
+			c.stats.StallROBFull += k
+		case ptrace.StallIQFull:
+			c.stats.StallIQFull += k
+		case ptrace.StallLSQFull:
+			c.stats.StallLSQFull += k
+		}
+	}
+	if feStalled {
+		c.stats.StallFrontEnd += k
+	}
+	c.stats.Cycles += k
+	c.stats.ROBOccupancy += k * int64(c.rob.Len())
+	c.stats.IQOccupancy += k * int64(c.iqCount)
+	if c.tr != nil {
+		c.replayIdle(k, dCause, dCharged, feStalled)
+	}
+	c.cycle += k
+	c.skip.SkippedCycles += k
+	c.skip.Events++
+	return k
+}
+
+// dispatchIdleClass classifies what dispatch would do this cycle without
+// doing it. idle=false means dispatch would accept the queue head (an
+// active cycle). When idle, cause/charged name the stall counter the
+// cycle accrues (charged=false: one of dispatch's silent waits), and any
+// threshold that can change the classification is folded into h. The
+// checks mirror dispatch's ladder exactly, in order.
+func (c *Core) dispatchIdleClass(h *uarch.EventHorizon) (cause ptrace.StallCause, charged, idle bool) {
+	if c.cycle < c.renameBlock {
+		h.Observe(c.renameBlock)
+		return ptrace.StallRecovery, true, true
+	}
+	if c.feQueue.Len() == 0 {
+		return ptrace.StallFrontEnd, true, true
+	}
+	e := c.feQueue.Front()
+	if c.cycle-e.fetchedAt < int64(c.cfg.FrontEndLatency) {
+		h.Observe(e.fetchedAt + int64(c.cfg.FrontEndLatency))
+		return 0, false, true
+	}
+	if c.serializing {
+		return 0, false, true
+	}
+	inst := e.inst
+	if inst.Op == straight.SYS && c.rob.Len() > 0 {
+		return 0, false, true
+	}
+	// With zero SPADDs dispatched this cycle, the per-group limit only
+	// blocks when the config disables SPADD rename entirely.
+	if inst.Op == straight.SPADD && c.cfg.SPAddPerGroup <= 0 {
+		return ptrace.StallSPAddLimit, true, true
+	}
+	if c.rob.Len() >= c.cfg.ROBSize {
+		return ptrace.StallROBFull, true, true
+	}
+	if c.iqCount >= c.cfg.SchedulerSize {
+		return ptrace.StallIQFull, true, true
+	}
+	isLoad := inst.Op.Class() == straight.ClassLoad
+	isStore := inst.Op.Class() == straight.ClassStore
+	if (isLoad || isStore) && !c.lsq.CanAllocate(isLoad) {
+		return ptrace.StallLSQFull, true, true
+	}
+	return 0, false, false
+}
+
+// fetchIdleClass classifies fetch: idle=false means fetch would access
+// the I-cache this cycle (cache state mutates — an active cycle). When
+// idle, stalled reports whether the cycle charges StallFrontEnd (a
+// full fetch queue waits silently).
+func (c *Core) fetchIdleClass(h *uarch.EventHorizon) (stalled, idle bool) {
+	if c.cycle < c.fetchStallUntil || c.fetchHalted {
+		if !c.fetchHalted {
+			h.Observe(c.fetchStallUntil)
+		}
+		return true, true
+	}
+	if c.feQueue.Len()+c.cfg.FetchWidth > c.feCap {
+		return false, true
+	}
+	return false, false
+}
+
+// replayIdle re-emits the tracer calls of k idle cycles one by one, in
+// the exact order step produces them (BeginCycle, dispatch stall, fetch
+// stall, Sample), so Kanata output and the windowed stall series are
+// byte-identical with skipping enabled.
+func (c *Core) replayIdle(k int64, dCause ptrace.StallCause, dCharged, feStalled bool) {
+	lq, sq := c.lsq.Occupancy()
+	for i := int64(0); i < k; i++ {
+		c.tr.BeginCycle(c.cycle + i)
+		if dCharged {
+			c.traceStall(dCause)
+		}
+		if feStalled {
+			c.tr.Stall(ptrace.StallFrontEnd, 0)
+		}
+		c.tr.Sample(c.rob.Len(), c.iqCount, lq, sq)
+	}
+}
+
+// SkipStats returns the idle-skip telemetry accumulated so far.
+func (c *Core) SkipStats() uarch.SkipStats { return c.skip }

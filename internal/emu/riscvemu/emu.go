@@ -130,6 +130,28 @@ func New(im *program.Image) *Machine {
 	return m
 }
 
+// Reset returns the machine to power-on state for img (nil = rerun the
+// current image), reusing the sparse memory's page frames and the I/O
+// buffer. Output is configuration and survives; TraceFn is cleared (it
+// is re-armed per use).
+func (m *Machine) Reset(img *program.Image) {
+	if img == nil {
+		img = m.image
+	}
+	m.image = img
+	m.mem.Reset()
+	m.mem.LoadImage(img)
+	m.pc = img.Entry
+	m.regs = [32]uint32{}
+	m.regs[riscv.RegSP] = program.DefaultStackTop
+	m.count = 0
+	m.exited = false
+	m.exitCode = 0
+	m.ioBuf = m.ioBuf[:0]
+	m.stats = Stats{}
+	m.TraceFn = nil
+}
+
 // SetOutput directs console syscall output to w.
 func (m *Machine) SetOutput(w io.Writer) { m.out = w }
 

@@ -158,6 +158,28 @@ func New(im *program.Image) *Machine {
 	return m
 }
 
+// Reset returns the machine to power-on state for img (nil = rerun the
+// current image), reusing the sparse memory's page frames and the I/O
+// buffer. Output, strict mode, and hot-PC collection are configuration
+// and survive; TraceFn is cleared (it is re-armed per use).
+func (m *Machine) Reset(img *program.Image) {
+	if img == nil {
+		img = m.image
+	}
+	m.image = img
+	m.mem.Reset()
+	m.mem.LoadImage(img)
+	m.pc = img.Entry
+	m.sp = program.DefaultStackTop
+	m.count = 0
+	m.ring = [ringSize]uint32{}
+	m.exited = false
+	m.exitCode = 0
+	m.ioBuf = m.ioBuf[:0]
+	m.stats = Stats{}
+	m.TraceFn = nil
+}
+
 // SetOutput directs console syscall output (SysPutc etc.) to w.
 func (m *Machine) SetOutput(w io.Writer) { m.out = w }
 

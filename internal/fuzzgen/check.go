@@ -42,6 +42,11 @@ type CheckOptions struct {
 	MaxCycles int64  // per-core cycle bound
 	InjectBug string // forwarded to straightcore (mutation testing)
 	EmuOnly   bool   // stop after the cross-emulator comparison (skip the cores)
+	// NoIdleSkip forwards to both cycle cores, forcing strict per-cycle
+	// stepping. The fuzz driver alternates it by seed so the lockstep
+	// oracle exercises the idle-skip fast path and the plain path on the
+	// same program population.
+	NoIdleSkip bool
 	// Tracer, when non-nil, is attached to the STRAIGHT core during its
 	// lockstep run so a divergence can be annotated with the pipeline
 	// history of the offending instruction (straight-fuzz does this on
@@ -210,9 +215,10 @@ func lockstepStraight(p *Prog, simg *program.Image, opts CheckOptions,
 	var outBuf bytes.Buffer
 	core := straightcore.New(cfg, simg, straightcore.Options{Output: &outBuf, Tracer: opts.Tracer})
 	res, err := core.Run(straightcore.Options{
-		MaxCycles: opts.MaxCycles,
-		Output:    &outBuf,
-		InjectBug: opts.InjectBug,
+		MaxCycles:  opts.MaxCycles,
+		Output:     &outBuf,
+		InjectBug:  opts.InjectBug,
+		NoIdleSkip: opts.NoIdleSkip,
 		RetireFn: func(r uarch.Retirement) error {
 			if r.Seq%checkpointEvery == 0 {
 				cp, cpSeq = ref.Checkpoint(), r.Seq
@@ -264,8 +270,9 @@ func lockstepSS(p *Prog, rimg *program.Image, opts CheckOptions,
 	var outBuf bytes.Buffer
 	core := sscore.New(cfg, rimg, sscore.Options{Output: &outBuf})
 	res, err := core.Run(sscore.Options{
-		MaxCycles: opts.MaxCycles,
-		Output:    &outBuf,
+		MaxCycles:  opts.MaxCycles,
+		Output:     &outBuf,
+		NoIdleSkip: opts.NoIdleSkip,
 		RetireFn: func(r uarch.Retirement) error {
 			var want riscvemu.Retired
 			traced := false

@@ -1,16 +1,3 @@
-// Package perf is the simulation-kernel performance harness: it measures
-// host-side simulator throughput in KIPS (kilo simulated instructions
-// retired per host second), enforces the steady-state allocation budget
-// of the cycle cores (zero heap allocations per simulated cycle on the
-// non-traced path), and pins the cycle-level results of both cores with
-// golden-stats equality tests so kernel optimizations can never silently
-// shift the paper's figures.
-//
-// The same harness backs three consumers:
-//
-//   - go test -bench=KernelKIPS ./internal/perf  (interactive numbers)
-//   - cmd/simbench, which writes/compares BENCH_simkernel.json (CI guard)
-//   - the golden and allocation tests in this package (tier-1 suite)
 package perf
 
 import (
@@ -44,6 +31,8 @@ func Kernels() []Kernel {
 		{Name: "straight-2way", Straight: true, Cfg: uarch.Straight2Way()},
 		{Name: "ss-4way", Straight: false, Cfg: uarch.SS4Way()},
 		{Name: "ss-2way", Straight: false, Cfg: uarch.SS2Way()},
+		{Name: "straight-4way-membound", Straight: true, Cfg: uarch.Straight4WayMemBound()},
+		{Name: "ss-4way-membound", Straight: false, Cfg: uarch.SS4WayMemBound()},
 	}
 }
 
@@ -84,22 +73,35 @@ func (r RunResult) KIPS() float64 {
 
 const runCycleCap = 2_000_000_000
 
+// Options selects a measurement mode.
+type Options struct {
+	// NoIdleSkip disables the event-driven idle-cycle fast path, forcing
+	// strict cycle-by-cycle stepping. Stats are bit-identical either way;
+	// only wall-clock time changes.
+	NoIdleSkip bool
+}
+
 // Run simulates the image to completion on the kernel's core with the
 // tracer off (the non-traced fast path the benchmarks measure) and
 // returns the counters plus wall-clock time.
 func Run(k Kernel, im *program.Image) (RunResult, error) {
+	return RunWith(k, im, Options{})
+}
+
+// RunWith is Run with an explicit measurement mode.
+func RunWith(k Kernel, im *program.Image, o Options) (RunResult, error) {
 	start := time.Now()
 	var st uarch.Stats
 	if k.Straight {
 		res, err := straightcore.New(k.Cfg, im, straightcore.Options{}).
-			Run(straightcore.Options{MaxCycles: runCycleCap})
+			Run(straightcore.Options{MaxCycles: runCycleCap, NoIdleSkip: o.NoIdleSkip})
 		if err != nil {
 			return RunResult{}, err
 		}
 		st = res.Stats
 	} else {
 		res, err := sscore.New(k.Cfg, im, sscore.Options{}).
-			Run(sscore.Options{MaxCycles: runCycleCap})
+			Run(sscore.Options{MaxCycles: runCycleCap, NoIdleSkip: o.NoIdleSkip})
 		if err != nil {
 			return RunResult{}, err
 		}
@@ -109,6 +111,64 @@ func Run(k Kernel, im *program.Image) (RunResult, error) {
 	if err := st.Check(k.Cfg); err != nil {
 		return RunResult{}, err
 	}
+	return RunResult{Stats: st, Elapsed: elapsed}, nil
+}
+
+// Runner multiplexes many runs through one reusable core: the first Run
+// constructs it, later Runs recycle it with Core.Reset, so batched
+// experiments pay construction cost once per configuration. Stats from a
+// recycled core are bit-identical to a fresh core's (the Reset contract,
+// DESIGN.md §12). Not safe for concurrent use.
+type Runner struct {
+	k    Kernel
+	o    Options
+	sc   *straightcore.Core
+	ss   *sscore.Core
+	runs int
+}
+
+// NewRunner returns a batch runner for the kernel. No core is built
+// until the first Run.
+func NewRunner(k Kernel, o Options) *Runner {
+	return &Runner{k: k, o: o}
+}
+
+// Runs reports how many simulations this runner has executed.
+func (r *Runner) Runs() int { return r.runs }
+
+// Run simulates the image to completion, reusing the core from the
+// previous call when there was one.
+func (r *Runner) Run(im *program.Image) (RunResult, error) {
+	start := time.Now()
+	var st uarch.Stats
+	if r.k.Straight {
+		if r.sc == nil {
+			r.sc = straightcore.New(r.k.Cfg, im, straightcore.Options{})
+		} else {
+			r.sc.Reset(im)
+		}
+		res, err := r.sc.Run(straightcore.Options{MaxCycles: runCycleCap, NoIdleSkip: r.o.NoIdleSkip})
+		if err != nil {
+			return RunResult{}, err
+		}
+		st = res.Stats
+	} else {
+		if r.ss == nil {
+			r.ss = sscore.New(r.k.Cfg, im, sscore.Options{})
+		} else {
+			r.ss.Reset(im)
+		}
+		res, err := r.ss.Run(sscore.Options{MaxCycles: runCycleCap, NoIdleSkip: r.o.NoIdleSkip})
+		if err != nil {
+			return RunResult{}, err
+		}
+		st = res.Stats
+	}
+	elapsed := time.Since(start)
+	if err := st.Check(r.k.Cfg); err != nil {
+		return RunResult{}, err
+	}
+	r.runs++
 	return RunResult{Stats: st, Elapsed: elapsed}, nil
 }
 
@@ -125,12 +185,40 @@ const BenchWorkload = workloads.Dhrystone
 // instruction count. Best-of-N is the standard noise reducer for
 // throughput measurements on shared CI machines.
 func MeasureKIPS(k Kernel, count int) (kips float64, retired uint64, err error) {
+	return MeasureKIPSWith(k, count, Options{})
+}
+
+// MeasureKIPSWith is MeasureKIPS with an explicit measurement mode.
+func MeasureKIPSWith(k Kernel, count int, o Options) (kips float64, retired uint64, err error) {
 	im, err := BuildImage(k, BenchWorkload, BenchIters)
 	if err != nil {
 		return 0, 0, err
 	}
 	for i := 0; i < count; i++ {
-		res, err := Run(k, im)
+		res, err := RunWith(k, im, o)
+		if err != nil {
+			return 0, 0, err
+		}
+		retired = res.Stats.Retired
+		if v := res.KIPS(); v > kips {
+			kips = v
+		}
+	}
+	return kips, retired, nil
+}
+
+// MeasureBatchKIPS measures throughput in batch mode: `count` runs of
+// the benchmark workload multiplexed through one Runner-reused core
+// (the first, core-constructing run is still timed). Best-of-N, like
+// MeasureKIPS.
+func MeasureBatchKIPS(k Kernel, count int) (kips float64, retired uint64, err error) {
+	im, err := BuildImage(k, BenchWorkload, BenchIters)
+	if err != nil {
+		return 0, 0, err
+	}
+	r := NewRunner(k, Options{})
+	for i := 0; i < count; i++ {
+		res, err := r.Run(im)
 		if err != nil {
 			return 0, 0, err
 		}

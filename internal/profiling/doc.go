@@ -1,0 +1,26 @@
+// Package profiling provides the shared -cpuprofile/-memprofile plumbing
+// for the simulator binaries (cmd/experiments, cmd/simbench via the CI
+// bench job, ad-hoc debugging), so any slow run can be captured with
+// pprof without recompiling.
+//
+// The simulators are single-goroutine hot loops, so a plain CPU profile
+// attributes time directly to the pipeline stages: the per-cycle cost of
+// fetch/dispatch/issue/commit shows up as flat time in the stage
+// functions, and anything allocating on the non-traced path (which the
+// perf package's allocation tests forbid) shows up in the heap profile.
+// With event-driven idle skipping on (the default), quiescent spans
+// collapse into Core.trySkip, so a profile of a memory-bound run
+// measures the skip machinery rather than millions of empty pipeline
+// steps; profile with NoIdleSkip to see the per-cycle shape instead.
+//
+// Typical use:
+//
+//	stop, err := profiling.Start(*cpuProfile, *memProfile)
+//	// ... run ...
+//	err = stop()
+//
+// Start is a no-op (returning a no-op stop) when both paths are empty,
+// so callers can wire the flags through unconditionally. The CI bench
+// job uses the same flags to attach profiles to KIPS-regression
+// artifacts.
+package profiling

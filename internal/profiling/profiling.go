@@ -1,7 +1,3 @@
-// Package profiling provides the shared -cpuprofile/-memprofile plumbing
-// for the simulator binaries, so any slow run can be captured with pprof
-// without recompiling. The simulators are single-goroutine hot loops, so
-// a plain CPU profile attributes time directly to the pipeline stages.
 package profiling
 
 import (

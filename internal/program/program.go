@@ -231,6 +231,19 @@ func (m *Memory) LoadImage(im *Image) {
 	m.WriteBytes(im.DataBase, im.Data)
 }
 
+// Reset zeroes every mapped page and drops the translation cache. Since
+// unmapped addresses read as zero, a reset memory is observably
+// identical to a fresh one — but the page frames stay allocated, which
+// is the point of the batched-run Reset path (DESIGN.md §12). The
+// caller reloads the image afterwards.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		*p = [pageSize]byte{}
+	}
+	m.lastPN = 0
+	m.lastPage = nil
+}
+
 // Clone returns a deep copy, used to run several simulations from one
 // loaded state.
 func (m *Memory) Clone() *Memory {

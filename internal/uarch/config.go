@@ -208,3 +208,28 @@ func Straight4Way() Config {
 	c.MaxDistance = 31 // MAX_RP = 31 + 224 = 255 (+zero) ~ the 256-entry RF
 	return c
 }
+
+// memBound tightens a Table I model into the memory-bound regime the
+// idle-skip fast path targets. This is a kernel-benchmark
+// configuration, not a paper model: first-level caches shrunk until the
+// working set thrashes, a small L2, no L3, no prefetcher, few miss
+// registers, and a long memory latency, so runs are dominated by
+// drained-pipeline miss windows.
+func memBound(c Config) Config {
+	c.Name += "-membound"
+	c.L1I = CacheConfig{SizeBytes: 512, Ways: 2, LineBytes: 64, HitLatency: 4}
+	c.L1D = CacheConfig{SizeBytes: 512, Ways: 2, LineBytes: 64, HitLatency: 4}
+	c.L2 = CacheConfig{SizeBytes: 1 << 10, Ways: 2, LineBytes: 64, HitLatency: 12}
+	c.L3 = nil
+	c.NoPrefetch = true
+	c.MemLatency = 1000
+	c.MSHRs = 2
+	return c
+}
+
+// SS4WayMemBound is the memory-bound benchmark variant of SS4Way.
+func SS4WayMemBound() Config { return memBound(SS4Way()) }
+
+// Straight4WayMemBound is the memory-bound benchmark variant of
+// Straight4Way.
+func Straight4WayMemBound() Config { return memBound(Straight4Way()) }

@@ -1,0 +1,72 @@
+package uarch
+
+// HorizonNever is the "no scheduled event" sentinel of the event horizon
+// (the same far-future value the cores use for pending scoreboard
+// entries).
+const HorizonNever = int64(1) << 62
+
+// EventHorizon accumulates the earliest future cycle at which a
+// quiescent pipeline can next change state. The cores build one per
+// skip attempt from every time-driven boundary they know about — FU
+// completion times, scheduler ready times, the memory-response cycle of
+// an outstanding miss, a fetch redirect or rename-unblock cycle, the
+// front-end pipe delay of the queue head — and then advance the clock
+// directly to Next (or a caller-imposed budget, whichever is sooner).
+//
+// The zero value is not ready to use; call Reset (or start from
+// NewEventHorizon) so Next begins at HorizonNever.
+type EventHorizon struct {
+	next int64
+}
+
+// NewEventHorizon returns an empty horizon (Next == HorizonNever).
+func NewEventHorizon() EventHorizon { return EventHorizon{next: HorizonNever} }
+
+// Reset empties the horizon.
+func (h *EventHorizon) Reset() { h.next = HorizonNever }
+
+// Observe folds an event time into the horizon.
+func (h *EventHorizon) Observe(t int64) {
+	if t < h.next {
+		h.next = t
+	}
+}
+
+// ObserveAfter folds t into the horizon only if it is strictly in the
+// future of now (past thresholds are spent and schedule nothing).
+func (h *EventHorizon) ObserveAfter(t, now int64) {
+	if t > now && t < h.next {
+		h.next = t
+	}
+}
+
+// Next returns the earliest observed event time, HorizonNever if none.
+func (h *EventHorizon) Next() int64 { return h.next }
+
+// SkipWidth returns how many whole cycles may be skipped from now: the
+// distance to the next event, clamped to limit, and 0 when no event is
+// scheduled (HorizonNever means the pipeline is waiting on something
+// non-temporal — e.g. a true deadlock — and must keep single-stepping so
+// the cores' progress checks still fire).
+func (h *EventHorizon) SkipWidth(now, limit int64) int64 {
+	if h.next == HorizonNever || h.next <= now {
+		return 0
+	}
+	k := h.next - now
+	if k > limit {
+		k = limit
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// SkipStats reports idle-skip telemetry. It deliberately lives outside
+// Stats: the skip fast path must leave Stats bit-identical to per-cycle
+// stepping (the golden harness diffs the whole struct), so telemetry
+// travels through core accessors instead of new counters.
+type SkipStats struct {
+	SkippedCycles int64 // cycles advanced in bulk
+	Events        int64 // number of skip windows taken
+}

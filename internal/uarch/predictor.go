@@ -16,6 +16,9 @@ type DirPredictor interface {
 	// Recover rewinds speculative history to the checkpoint of a
 	// mispredicted branch (called before refetch).
 	Recover(meta uint64, taken bool)
+	// Reset returns the predictor to its freshly-constructed state (the
+	// batched-run reuse contract; see reset.go).
+	Reset()
 	// Name identifies the predictor in statistics.
 	Name() string
 }

@@ -26,5 +26,9 @@ go test ./internal/perf -run xxx -bench BenchmarkKernelKIPS -benchtime 1x -count
 if [ "$1" = "update" ]; then
     go run ./cmd/simbench -o BENCH_simkernel.json
 else
+    # Guard both stepping modes: the event-driven idle-skip fast path
+    # (default) and strict cycle-by-cycle stepping (-noskip), so neither
+    # can regress silently (see DESIGN.md §12).
     go run ./cmd/simbench -compare BENCH_simkernel.json
+    go run ./cmd/simbench -noskip -compare BENCH_simkernel.json
 fi
