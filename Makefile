@@ -1,4 +1,4 @@
-.PHONY: build test verify staticcheck fuzz fuzz-diff experiments bench bench-update
+.PHONY: build test verify lint staticcheck fuzz fuzz-diff experiments bench bench-update
 
 build:
 	go build ./...
@@ -6,15 +6,22 @@ build:
 test:
 	go test ./...
 
-# Full tier-1 verification: build + vet (+ staticcheck when installed) +
-# tests + race-checked bench.
+# Full tier-1 verification: build + vet + project analyzers
+# (+ staticcheck when reachable) + tests + race-checked bench.
 verify:
 	sh scripts/verify.sh
 
-# Run staticcheck alone (version-pinned in CI; skipped by verify.sh with
-# a warning when not installed).
+# Project analyzers (DESIGN.md §13): resetcomplete, hotpathalloc,
+# statscoverage, tracerguard via the vet -vettool protocol.
+lint:
+	go build -o bin/straight-lint ./cmd/straight-lint
+	go vet -vettool=bin/straight-lint ./...
+
+# Run staticcheck alone, at the version pinned in
+# scripts/staticcheck-version (the one tracked pin; verify.sh and CI
+# read the same file).
 staticcheck:
-	staticcheck ./...
+	go run "honnef.co/go/tools/cmd/staticcheck@$$(cat scripts/staticcheck-version)" ./...
 
 # Short fuzzing pass over the instruction decoder, the assembler, and
 # the differential lockstep harness.

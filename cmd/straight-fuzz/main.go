@@ -210,9 +210,10 @@ func checkSeed(seed uint64, opts fuzzgen.CheckOptions, minimize bool, minBudget 
 func pipelineAnnotation(p *fuzzgen.Prog, opts fuzzgen.CheckOptions) string {
 	var kbuf bytes.Buffer
 	topts := opts
-	topts.Tracer = ptrace.New(&kbuf, ptrace.Config{})
+	ktr := ptrace.New(&kbuf, ptrace.Config{})
+	topts.Tracer = ktr
 	out, err := fuzzgen.Check(p, topts)
-	topts.Tracer.Close()
+	ktr.Close()
 	if err != nil || out.Div == nil {
 		return "" // the traced rerun must diverge the same way; bail quietly
 	}

@@ -1,0 +1,30 @@
+// Command straight-lint is the repository's vet tool: a suite of custom
+// static analyzers that machine-check the simulator-kernel invariants
+// documented in DESIGN.md §13. Run it through the vet driver so it sees
+// every package with full type information and dependency-ordered facts:
+//
+//	go build -o bin/straight-lint ./cmd/straight-lint
+//	go vet -vettool=bin/straight-lint ./...
+//
+// Checks: resetcomplete (batch-reuse Reset methods restore every field),
+// hotpathalloc (the per-cycle step path stays allocation-free),
+// statscoverage (every Stats counter is reported and bounded), and
+// tracerguard (tracer hooks are nil-guarded off the hot path).
+package main
+
+import (
+	"straight/internal/analysis/hotpathalloc"
+	"straight/internal/analysis/resetcomplete"
+	"straight/internal/analysis/statscoverage"
+	"straight/internal/analysis/tracerguard"
+	"straight/internal/analysis/unitdriver"
+)
+
+func main() {
+	unitdriver.Main(
+		resetcomplete.Analyzer,
+		hotpathalloc.Analyzer,
+		statscoverage.Analyzer,
+		tracerguard.Analyzer,
+	)
+}

@@ -1,0 +1,278 @@
+// Package analyzertest runs straight-lint analyzers over small fixture
+// packages and checks their diagnostics against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library alone.
+//
+// Fixtures live in GOPATH-style trees: testdata/src/<importpath>/*.go.
+// A fixture package may import sibling fixture packages (analyzed first,
+// so cross-package facts flow like they do under the real driver) and
+// the standard library (resolved by the source importer, which compiles
+// the needed std packages from GOROOT source — no network, no export
+// data).
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"straight/internal/analysis/lint"
+)
+
+// Package is one loaded-and-checked fixture package.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader type-checks fixture packages rooted at dir (a testdata/src
+// tree), caching results so dependencies are checked once.
+type Loader struct {
+	Fset *token.FileSet
+
+	root    string
+	std     types.Importer
+	checked map[string]*Package
+	order   []string // check-completion order (dependencies first)
+}
+
+// NewLoader returns a loader for the GOPATH-style tree at root.
+func NewLoader(root string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		std:     importer.ForCompiler(fset, "source", nil),
+		checked: map[string]*Package{},
+	}
+}
+
+// Load parses and type-checks the fixture package with the given import
+// path (directory root/<path>), loading fixture dependencies first.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	// Pre-load fixture-local imports so the importer below finds them.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ipath, _ := strconv.Unquote(imp.Path.Value)
+			if l.isFixture(ipath) {
+				if _, err := l.Load(ipath); err != nil {
+					return nil, fmt.Errorf("dependency %s of %s: %v", ipath, path, err)
+				}
+			}
+		}
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tcfg := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		if p, ok := l.checked[ipath]; ok {
+			return p.Pkg, nil
+		}
+		return l.std.Import(ipath)
+	})}
+	pkg, err := tcfg.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %s: %v", path, err)
+	}
+	p := &Package{Path: path, Files: files, Pkg: pkg, Info: info}
+	l.checked[path] = p
+	l.order = append(l.order, path)
+	return p, nil
+}
+
+func (l *Loader) isFixture(path string) bool {
+	st, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Analyze runs the analyzer over the package, with facts from the given
+// dependency passes, and returns its diagnostics plus exported facts.
+func Analyze(a *lint.Analyzer, l *Loader, p *Package, deps map[string]lint.Facts) ([]lint.Diagnostic, lint.Facts, error) {
+	var diags []lint.Diagnostic
+	pass := lint.NewPass(a, l.Fset, p.Files, p.Pkg, p.Info, deps, func(d lint.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.Run(pass); err != nil {
+		return nil, nil, err
+	}
+	return diags, pass.Exported(), nil
+}
+
+// Run loads each named fixture package under testdata/src (analyzing its
+// fixture dependencies first so facts propagate), runs the analyzer, and
+// compares diagnostics against the `// want` comments of the named
+// packages. It is the analysistest.Run equivalent.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := NewLoader(filepath.Join(testdata, "src"))
+	facts := map[string]lint.Facts{}
+	for _, pkgPath := range pkgs {
+		p, err := l.Load(pkgPath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkgPath, err)
+		}
+		// Analyze fixture deps in check-completion order (dependencies
+		// first) to collect facts; diagnostics of unlisted deps are
+		// ignored.
+		for _, depPath := range l.order {
+			if depPath == pkgPath {
+				continue
+			}
+			if _, ok := facts[depPath]; ok {
+				continue
+			}
+			_, exported, err := Analyze(a, l, l.checked[depPath], copyFacts(facts))
+			if err != nil {
+				t.Fatalf("analyzer %s on dependency %s: %v", a.Name, depPath, err)
+			}
+			facts[depPath] = exported
+		}
+		diags, exported, err := Analyze(a, l, p, copyFacts(facts))
+		if err != nil {
+			t.Fatalf("analyzer %s on %s: %v", a.Name, pkgPath, err)
+		}
+		facts[pkgPath] = exported
+		checkWants(t, l.Fset, p.Files, diags)
+	}
+}
+
+func copyFacts(m map[string]lint.Facts) map[string]lint.Facts {
+	c := make(map[string]lint.Facts, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+type wantSpec struct {
+	file     string
+	line     int
+	patterns []*regexp.Regexp
+	matched  []bool
+}
+
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// checkWants verifies diagnostics against want comments: every
+// diagnostic must match a pattern on its line, and every pattern must be
+// matched by at least one diagnostic.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := map[string]*wantSpec{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				spec := c.Text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				w := &wantSpec{file: pos.Filename, line: pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(spec, -1) {
+					text := m[1]
+					if m[0][0] == '"' {
+						unq, err := strconv.Unquote(m[0])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, m[0], err)
+						}
+						text = unq
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, text, err)
+					}
+					w.patterns = append(w.patterns, re)
+				}
+				if len(w.patterns) == 0 {
+					t.Fatalf("%s: want comment with no patterns", pos)
+				}
+				w.matched = make([]bool, len(w.patterns))
+				wants[fmt.Sprintf("%s:%d", w.file, w.line)] = w
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		w := wants[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]
+		found := false
+		if w != nil {
+			for i, re := range w.patterns {
+				if !w.matched[i] && re.MatchString(d.Message) {
+					w.matched[i] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				// Allow several diagnostics to match one pattern.
+				for _, re := range w.patterns {
+					if re.MatchString(d.Message) {
+						found = true
+						break
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w := wants[k]
+		for i, ok := range w.matched {
+			if !ok {
+				t.Errorf("%s:%d: no diagnostic matched pattern %q", w.file, w.line, w.patterns[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"straight/internal/analysis/analyzertest"
+	"straight/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analyzertest.Run(t, "testdata", hotpathalloc.Analyzer, "hotfix")
+}

@@ -1,0 +1,22 @@
+// Package hotdep provides cross-package callees for the hotfix fixture:
+// a verified hot function, an unverified one, and a hot interface whose
+// implementations downstream packages must verify.
+package hotdep
+
+// Exec is a per-class execution unit invoked every cycle.
+//
+//lint:hotpath
+type Exec interface {
+	Step(n int) int
+}
+
+// Fast is on the cycle path and allocation-free.
+//
+//lint:hotpath
+func Fast(x int) int { return x + 1 }
+
+// Slow is not hot-path-verified.
+func Slow(x int) int {
+	out := make([]int, x)
+	return len(out)
+}

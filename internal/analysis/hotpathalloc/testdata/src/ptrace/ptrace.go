@@ -1,0 +1,25 @@
+// Package ptrace is a fixture stand-in for the real tracer package; the
+// analyzer matches it by import-path suffix.
+package ptrace
+
+// Tracer is the nil-safe hook sink.
+type Tracer struct{ n int }
+
+// New returns a live tracer.
+func New() *Tracer { return &Tracer{} }
+
+func (t *Tracer) Fetch(pc uint64, why string) {
+	if t == nil {
+		return
+	}
+	t.n++
+}
+
+func (t *Tracer) Commit(pc uint64) {
+	if t == nil {
+		return
+	}
+	t.n++
+}
+
+func (t *Tracer) Close() {}

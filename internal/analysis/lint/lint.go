@@ -1,0 +1,382 @@
+// Package lint is the stdlib-only core of straight-lint, the static
+// analyzer suite that machine-checks the simulator-kernel invariants
+// (DESIGN.md §13). It mirrors the shape of golang.org/x/tools/go/analysis
+// — an Analyzer runs over one type-checked package and reports
+// position-attached diagnostics — but is built purely on go/ast and
+// go/types so the repository keeps its zero-dependency go.mod.
+//
+// Cross-package knowledge travels through string-keyed facts: an
+// analyzer running on a dependency exports facts (e.g. "this function is
+// hot-path-verified"), and the driver hands them to analyses of
+// downstream packages in dependency order, exactly like the vet facts
+// mechanism. See internal/analysis/unitdriver for the `go vet -vettool`
+// protocol driver and internal/analysis/analyzertest for the fixture
+// harness.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and fact files
+	// (lower-case, no spaces).
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run analyzes one package. Diagnostics go through Pass.Reportf;
+	// a non-nil error aborts the whole unit (reserved for internal
+	// failures, not findings).
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, attached to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Facts maps fact keys to opaque payloads for one (package, analyzer)
+// pair. Keys are analyzer-chosen strings; by convention object-scoped
+// facts use "kind:pkgpath.Name" (see ObjectKey).
+type Facts map[string]string
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// DepFacts holds the facts this analyzer exported when it ran on the
+	// package's dependencies, keyed by dependency import path. Only
+	// packages of this module carry facts.
+	DepFacts map[string]Facts
+
+	exported Facts
+	report   func(Diagnostic)
+}
+
+// NewPass assembles a Pass; drivers use it.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps map[string]Facts, report func(Diagnostic)) *Pass {
+	return &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		DepFacts: deps,
+		exported: Facts{},
+		report:   report,
+	}
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// ExportFact publishes key=value to analyses of downstream packages.
+func (p *Pass) ExportFact(key, value string) { p.exported[key] = value }
+
+// Exported returns the facts published so far (driver use).
+func (p *Pass) Exported() Facts { return p.exported }
+
+// DepFact looks key up in the facts of every dependency, returning the
+// first hit (keys embed the defining package path, so collisions cannot
+// occur in practice).
+func (p *Pass) DepFact(key string) (string, bool) {
+	for _, pkgPath := range sortedKeys(p.DepFacts) {
+		if v, ok := p.DepFacts[pkgPath][key]; ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+func sortedKeys(m map[string]Facts) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// ObjectKey renders the stable cross-package fact key of a function or
+// method: "pkgpath.Func" for package functions, "pkgpath.Type.Method"
+// for methods (pointerness and type arguments erased — generic methods
+// key by their origin).
+func ObjectKey(fn *types.Func) string {
+	fn = fn.Origin()
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			named = named.Origin()
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+		// Interface method: key on the interface's named type when the
+		// receiver is one (methods of unnamed interfaces never cross
+		// packages).
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// ---- //lint: directives ----
+
+// Directive is one parsed "//lint:verb reason..." comment.
+type Directive struct {
+	Verb   string
+	Reason string
+	Pos    token.Pos
+	// Standalone is true when the comment has a line of its own (set
+	// only by CollectLineDirectives): such a waiver covers the next
+	// line, while one trailing a statement covers that line alone.
+	Standalone bool
+}
+
+const directivePrefix = "//lint:"
+
+// parseDirective parses a single comment; ok is false for ordinary
+// comments.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	verb, reason, _ := strings.Cut(rest, " ")
+	return Directive{Verb: verb, Reason: strings.TrimSpace(reason), Pos: c.Pos()}, true
+}
+
+// GroupDirective scans a comment group (a Doc or trailing Comment) for
+// the given verb.
+func GroupDirective(cg *ast.CommentGroup, verb string) (Directive, bool) {
+	if cg == nil {
+		return Directive{}, false
+	}
+	for _, c := range cg.List {
+		if d, ok := parseDirective(c); ok && d.Verb == verb {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// FieldDirective checks a struct field's Doc and trailing Comment.
+func FieldDirective(f *ast.Field, verb string) (Directive, bool) {
+	if d, ok := GroupDirective(f.Doc, verb); ok {
+		return d, true
+	}
+	return GroupDirective(f.Comment, verb)
+}
+
+// FuncDirective checks a function declaration's doc comment.
+func FuncDirective(fd *ast.FuncDecl, verb string) (Directive, bool) {
+	return GroupDirective(fd.Doc, verb)
+}
+
+// TypeDirective checks a type's own doc and, when the type is alone in
+// its declaration group, the group doc ("type Foo struct" with the
+// directive above the type keyword).
+func TypeDirective(gd *ast.GenDecl, ts *ast.TypeSpec, verb string) (Directive, bool) {
+	if d, ok := GroupDirective(ts.Doc, verb); ok {
+		return d, true
+	}
+	if d, ok := GroupDirective(ts.Comment, verb); ok {
+		return d, true
+	}
+	if gd != nil && len(gd.Specs) == 1 {
+		return GroupDirective(gd.Doc, verb)
+	}
+	return Directive{}, false
+}
+
+// LineDirectives indexes every //lint: comment of a file set by
+// file:line, so statement-level waivers can be matched against the line
+// a diagnostic lands on (the waiver may sit on the same line or on the
+// line directly above).
+type LineDirectives map[string][]Directive
+
+// CollectLineDirectives scans all comments of the files, recording for
+// each directive whether its comment stands alone on its line.
+func CollectLineDirectives(fset *token.FileSet, files []*ast.File) LineDirectives {
+	ld := LineDirectives{}
+	for _, f := range files {
+		codeLines := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil, *ast.Comment, *ast.CommentGroup:
+				return true
+			}
+			p := fset.Position(n.Pos())
+			codeLines[p.Line] = true
+			if e := fset.Position(n.End() - 1); e.Line != p.Line {
+				codeLines[e.Line] = true
+			}
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				d.Standalone = !codeLines[p.Line]
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				ld[key] = append(ld[key], d)
+			}
+		}
+	}
+	return ld
+}
+
+// At returns the directive with the given verb on pos's line, or a
+// standalone one on the line directly above it (a directive trailing
+// the previous statement does not leak downward).
+func (ld LineDirectives) At(fset *token.FileSet, pos token.Pos, verb string) (Directive, bool) {
+	p := fset.Position(pos)
+	for _, d := range ld[fmt.Sprintf("%s:%d", p.Filename, p.Line)] {
+		if d.Verb == verb {
+			return d, true
+		}
+	}
+	for _, d := range ld[fmt.Sprintf("%s:%d", p.Filename, p.Line-1)] {
+		if d.Verb == verb && d.Standalone {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// ---- small AST helpers shared by the analyzers ----
+
+// ExprEqual reports whether two expressions are the same chain of
+// identifiers, field selections, indexes, and dereferences
+// (c.waiters[i] == c.waiters[i]). Any other expression form compares
+// unequal — the analyzers only ever need to match the simple receiver
+// chains the codebase uses.
+func ExprEqual(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch ax := a.(type) {
+	case *ast.Ident:
+		bx, ok := b.(*ast.Ident)
+		return ok && ax.Name == bx.Name
+	case *ast.SelectorExpr:
+		bx, ok := b.(*ast.SelectorExpr)
+		return ok && ax.Sel.Name == bx.Sel.Name && ExprEqual(ax.X, bx.X)
+	case *ast.IndexExpr:
+		bx, ok := b.(*ast.IndexExpr)
+		return ok && ExprEqual(ax.X, bx.X) && ExprEqual(ax.Index, bx.Index)
+	case *ast.BasicLit:
+		bx, ok := b.(*ast.BasicLit)
+		return ok && ax.Kind == bx.Kind && ax.Value == bx.Value
+	case *ast.StarExpr:
+		bx, ok := b.(*ast.StarExpr)
+		return ok && ExprEqual(ax.X, bx.X)
+	}
+	return false
+}
+
+// RootField walks an lvalue-ish expression (selectors, indexes,
+// dereferences) down to its root and, when that root is a selection of a
+// field directly off the identifier recv, returns the field name:
+// RootField(c.prfReady[i], c) = "prfReady"; RootField(c.outBuf.buf, c) =
+// "outBuf"; RootField(x.f, c) = "".
+func RootField(e ast.Expr, recv *types.Var, info *types.Info) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && info.Uses[id] == recv {
+				return x.Sel.Name
+			}
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// IsNilCheck reports whether cond (or a conjunct of it) compares expr
+// against nil with the given operator ("!=" or "=="). Conjunctions use
+// && for the != form (guards) and || for the == form (early exits), so
+// both sides of the matching operator are searched.
+func IsNilCheck(cond ast.Expr, expr ast.Expr, op token.Token) bool {
+	cond = ast.Unparen(cond)
+	if b, ok := cond.(*ast.BinaryExpr); ok {
+		if b.Op == op {
+			if isNil(b.Y) && ExprEqual(b.X, expr) {
+				return true
+			}
+			if isNil(b.X) && ExprEqual(b.Y, expr) {
+				return true
+			}
+		}
+		if (op == token.NEQ && b.Op == token.LAND) || (op == token.EQL && b.Op == token.LOR) {
+			return IsNilCheck(b.X, expr, op) || IsNilCheck(b.Y, expr, op)
+		}
+	}
+	return false
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// Terminates reports whether a statement unconditionally leaves the
+// enclosing block (the forms an early-exit nil guard uses).
+func Terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// WalkStack traverses root, keeping the ancestor stack, and calls fn for
+// every node with the stack of its ancestors (outermost first, not
+// including the node itself). Returning false prunes the subtree.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false // subtree pruned; Inspect sends no nil pop
+		}
+		stack = append(stack, n)
+		return true
+	})
+}

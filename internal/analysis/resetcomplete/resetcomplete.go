@@ -1,0 +1,296 @@
+// Package resetcomplete enforces the batch-reuse contract of DESIGN.md
+// §12: every type that offers a Reset method must restore every one of
+// its fields. A field counts as restored when Reset (or a helper method
+// of the same type that Reset calls) reassigns it, clears it, or
+// delegates to the field's own Reset/Clear; anything else must carry an
+// explicit `//lint:resetless <reason>` annotation on the field
+// declaration. A forgotten field — state that silently leaks from one
+// batched run into the next — is exactly the bug class the golden
+// equivalence tests can only catch after the fact.
+package resetcomplete
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"straight/internal/analysis/lint"
+)
+
+// Analyzer is the resetcomplete pass.
+var Analyzer = &lint.Analyzer{
+	Name: "resetcomplete",
+	Doc: "check that every field of a type with a Reset method is restored by it " +
+		"(reassigned, cleared, or delegated) or annotated //lint:resetless <reason>",
+	Run: run,
+}
+
+// resetNames are the method names that start an analysis (the reuse
+// contract's entry points) …
+var resetNames = map[string]bool{"Reset": true, "reset": true}
+
+// clearNames are the method names that, invoked on a field, count as
+// restoring it (the mutating reset family).
+var clearNames = map[string]bool{
+	"Reset": true, "reset": true,
+	"Clear": true, "clear": true,
+	"Truncate": true,
+}
+
+func run(pass *lint.Pass) error {
+	// structDecl locates the AST of a named struct type in this package.
+	type structInfo struct {
+		spec *ast.TypeSpec
+		st   *ast.StructType
+	}
+	structs := map[*types.TypeName]structInfo{}
+	// methods[T][name] is the method declaration set of T.
+	methods := map[*types.TypeName]map[string]*ast.FuncDecl{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					structs[tn] = structInfo{spec: ts, st: st}
+				}
+			case *ast.FuncDecl:
+				tn := receiverTypeName(pass, d)
+				if tn == nil {
+					continue
+				}
+				if methods[tn] == nil {
+					methods[tn] = map[string]*ast.FuncDecl{}
+				}
+				methods[tn][d.Name.Name] = d
+			}
+		}
+	}
+
+	for tn, si := range structs {
+		var reset *ast.FuncDecl
+		for name := range resetNames {
+			if m := methods[tn][name]; m != nil {
+				reset = m
+				break
+			}
+		}
+		if reset == nil {
+			continue
+		}
+		covered, all := coveredFields(pass, tn, methods[tn], reset)
+		for _, field := range si.st.Fields.List {
+			names := field.Names
+			if len(names) == 0 {
+				// Embedded field: named after its type.
+				names = []*ast.Ident{{Name: embeddedName(field.Type), NamePos: field.Type.Pos()}}
+			}
+			for _, name := range names {
+				if all || covered[name.Name] {
+					continue
+				}
+				if d, ok := lint.FieldDirective(field, "resetless"); ok {
+					if d.Reason == "" {
+						pass.Reportf(d.Pos, "//lint:resetless on %s.%s needs a reason", tn.Name(), name.Name)
+					}
+					continue
+				}
+				pass.Reportf(name.Pos(),
+					"field %s.%s is not restored by %s (assign or clear it there, delegate to its own Reset, or annotate //lint:resetless <reason>)",
+					tn.Name(), name.Name, reset.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func receiverTypeName(pass *lint.Pass, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver Ring[T]
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			tn, _ := pass.Info.Uses[x].(*types.TypeName)
+			if tn == nil {
+				tn, _ = pass.Info.Defs[x].(*types.TypeName)
+			}
+			return tn
+		default:
+			return nil
+		}
+	}
+}
+
+func embeddedName(t ast.Expr) string {
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.SelectorExpr:
+			return x.Sel.Name
+		case *ast.Ident:
+			return x.Name
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// coveredFields analyzes the Reset method (and, transitively, same-type
+// helper methods it calls on the same receiver) and returns the set of
+// field names it restores. all=true means a whole-struct reassignment
+// (*r = T{…}) was seen.
+func coveredFields(pass *lint.Pass, tn *types.TypeName, methodSet map[string]*ast.FuncDecl, reset *ast.FuncDecl) (map[string]bool, bool) {
+	covered := map[string]bool{}
+	all := false
+	analyzed := map[*ast.FuncDecl]bool{}
+	worklist := []*ast.FuncDecl{reset}
+
+	for len(worklist) > 0 {
+		fd := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		if analyzed[fd] || fd.Body == nil {
+			continue
+		}
+		analyzed[fd] = true
+		recv := receiverVar(pass, fd)
+		if recv == nil {
+			continue
+		}
+		// aliases maps a local variable object to the receiver field its
+		// value was taken from (t := r.f[i] makes writes through t count
+		// for f). Flow-insensitive: good enough for reset bodies.
+		aliases := map[types.Object]string{}
+		rootOf := func(e ast.Expr) string {
+			if f := lint.RootField(e, recv, pass.Info); f != "" {
+				return f
+			}
+			// Walk to the base identifier and try the alias table.
+			base := e
+			for {
+				switch x := base.(type) {
+				case *ast.ParenExpr:
+					base = x.X
+				case *ast.IndexExpr:
+					base = x.X
+				case *ast.StarExpr:
+					base = x.X
+				case *ast.SliceExpr:
+					base = x.X
+				case *ast.SelectorExpr:
+					base = x.X
+				case *ast.Ident:
+					if f, ok := aliases[pass.Info.Uses[x]]; ok {
+						return f
+					}
+					return ""
+				default:
+					return ""
+				}
+			}
+		}
+
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.RangeStmt:
+				// for _, p := range r.f { … }: writes through p restore
+				// r.f's elements in place.
+				if s.Tok == token.DEFINE && s.Value != nil {
+					if f := rootOf(s.X); f != "" {
+						if id, ok := ast.Unparen(s.Value).(*ast.Ident); ok {
+							if obj := pass.Info.Defs[id]; obj != nil {
+								aliases[obj] = f
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					// *r = … restores everything.
+					if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+						if id, ok := ast.Unparen(star.X).(*ast.Ident); ok && pass.Info.Uses[id] == recv {
+							all = true
+							continue
+						}
+					}
+					if f := rootOf(lhs); f != "" {
+						covered[f] = true
+						continue
+					}
+					// Record aliases from defining assignments.
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && i < len(s.Rhs) {
+						obj := pass.Info.Defs[id]
+						if obj == nil {
+							obj = pass.Info.Uses[id]
+						}
+						if obj != nil {
+							if f := rootOf(s.Rhs[i]); f != "" {
+								aliases[obj] = f
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// clear(r.f) and the reset family r.f.Reset()/r.f.Clear().
+				if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "clear" && len(s.Args) == 1 {
+					if f := rootOf(s.Args[0]); f != "" {
+						covered[f] = true
+					}
+					return true
+				}
+				sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				// r.helper(…): include same-type helpers in the closure.
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.Info.Uses[id] == recv {
+					if m := methodSet[sel.Sel.Name]; m != nil && !analyzed[m] {
+						worklist = append(worklist, m)
+					}
+					return true
+				}
+				if clearNames[sel.Sel.Name] {
+					if f := rootOf(sel.X); f != "" {
+						covered[f] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return covered, all
+}
+
+func receiverVar(pass *lint.Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	v, _ := pass.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}

@@ -1,0 +1,99 @@
+package resetcomplete_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"straight/internal/analysis/analyzertest"
+	"straight/internal/analysis/lint"
+	"straight/internal/analysis/resetcomplete"
+)
+
+func TestResetComplete(t *testing.T) {
+	analyzertest.Run(t, "testdata", resetcomplete.Analyzer, "resetfix")
+}
+
+// analyzeSource runs the analyzer over a single-file package given as
+// source text, returning its diagnostics with resolved positions.
+func analyzeSource(t *testing.T, src string) []string {
+	t.Helper()
+	root := t.TempDir()
+	dir := filepath.Join(root, "mut")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "mut.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := analyzertest.NewLoader(root)
+	p, err := l.Load("mut")
+	if err != nil {
+		t.Fatalf("loading mutant: %v", err)
+	}
+	diags, _, err := analyzertest.Analyze(resetcomplete.Analyzer, l, p, map[string]lint.Facts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(diags))
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		out = append(out, strings.TrimPrefix(pos.String(), dir+string(filepath.Separator))+": "+d.Message)
+	}
+	return out
+}
+
+const mutationBase = `package mut
+
+type Buf struct {
+	data []int
+	head int
+	tail int
+}
+
+func (b *Buf) Reset() {
+	b.data = b.data[:0]
+	b.head = 0
+	b.tail = 0
+}
+`
+
+// TestMutationDetectsDeletedRestore is the check on the checker: start
+// from a Reset that restores everything, delete one restore statement,
+// and require the analyzer to flag exactly that field at its
+// declaration line.
+func TestMutationDetectsDeletedRestore(t *testing.T) {
+	if diags := analyzeSource(t, mutationBase); len(diags) != 0 {
+		t.Fatalf("baseline fixture should be clean, got %v", diags)
+	}
+
+	mutant := strings.Replace(mutationBase, "\tb.tail = 0\n", "", 1)
+	if mutant == mutationBase {
+		t.Fatal("mutation did not apply")
+	}
+	diags := analyzeSource(t, mutant)
+	if len(diags) != 1 {
+		t.Fatalf("mutant should produce exactly one diagnostic, got %v", diags)
+	}
+	// The tail field is declared on line 6 of the source above.
+	if !strings.Contains(diags[0], "mut.go:6:") || !strings.Contains(diags[0], "Buf.tail is not restored by Reset") {
+		t.Fatalf("diagnostic should name Buf.tail at mut.go:6, got %q", diags[0])
+	}
+}
+
+// TestResetlessNeedsReason rejects bare waivers.
+func TestResetlessNeedsReason(t *testing.T) {
+	src := `package mut
+
+type T struct {
+	kept int //lint:resetless
+}
+
+func (t *T) Reset() {}
+`
+	diags := analyzeSource(t, src)
+	if len(diags) != 1 || !strings.Contains(diags[0], "needs a reason") {
+		t.Fatalf("bare //lint:resetless should demand a reason, got %v", diags)
+	}
+}

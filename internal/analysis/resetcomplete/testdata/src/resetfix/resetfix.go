@@ -1,0 +1,88 @@
+// Package resetfix exercises resetcomplete: Bad forgets fields, the
+// other types restore everything through the full idiom set the real
+// reset paths use.
+package resetfix
+
+type sub struct{ n int }
+
+func (s *sub) Reset() { s.n = 0 }
+
+type entry struct{ v int }
+
+func (e *entry) Clear() { e.v = 0 }
+
+// Bad reuses state across batches but its Reset forgets two fields.
+type Bad struct {
+	buf    []int
+	n      int
+	missed int         // want `field Bad\.missed is not restored by Reset`
+	also   map[int]int // want `field Bad\.also is not restored by Reset`
+}
+
+func (b *Bad) Reset() {
+	b.buf = b.buf[:0]
+	b.n = 0
+}
+
+// Good restores every field: direct assignment, slice truncation,
+// clear(), delegation to the field's own reset family, helper methods,
+// the local-alias pattern, and an annotated constant field.
+type Good struct {
+	a     int
+	items []int
+	seen  map[int]bool
+	child sub
+	slot  entry
+	tags  [][]uint8
+	lru   [][]uint8
+	pages map[int]*[4]byte
+	cfg   int //lint:resetless configuration, set once at construction
+}
+
+func (g *Good) Reset() {
+	g.a = 0
+	g.items = g.items[:0]
+	clear(g.seen)
+	g.child.Reset()
+	g.slot.Clear()
+	g.zeroWays()
+	for _, p := range g.pages {
+		*p = [4]byte{} // in-place restore through the range alias
+	}
+}
+
+// zeroWays mirrors the cache-reset alias idiom: locals taken from
+// receiver fields carry coverage for those fields.
+func (g *Good) zeroWays() {
+	for i := range g.tags {
+		t, l := g.tags[i], g.lru[i]
+		for w := range t {
+			t[w] = 0
+			l[w] = 0
+		}
+	}
+}
+
+// Whole resets by whole-struct reassignment.
+type Whole struct {
+	x int
+	y string
+}
+
+func (w *Whole) Reset() { *w = Whole{} }
+
+// Emb restores an embedded field by reassigning it.
+type Emb struct {
+	sub
+	v int
+}
+
+func (e *Emb) Reset() {
+	e.sub = sub{}
+	e.v = 0
+}
+
+// NoReset has no Reset method and is out of scope.
+type NoReset struct {
+	anything int
+}

@@ -1,0 +1,168 @@
+// Package statscoverage enforces the counter-coverage contract of the
+// simulation statistics (DESIGN.md §13): every field of a struct marked
+// `//lint:stats` must be rendered by its String method and bounded by
+// its Check method. A counter that String omits is invisible in every
+// report; one that Check ignores can silently go inconsistent — both
+// have bitten exactly when a new counter was added without touching the
+// two methods, which is the moment this analyzer fires.
+package statscoverage
+
+import (
+	"go/ast"
+	"go/types"
+
+	"straight/internal/analysis/lint"
+)
+
+// Analyzer is the statscoverage pass.
+var Analyzer = &lint.Analyzer{
+	Name: "statscoverage",
+	Doc: "check that every field of a //lint:stats struct appears in its String " +
+		"method and is bounded in its Check method (escape: //lint:statsless <reason>)",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	type target struct {
+		tn *types.TypeName
+		st *ast.StructType
+	}
+	var targets []target
+	methods := map[*types.TypeName]map[string]*ast.FuncDecl{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					if _, ok := lint.TypeDirective(d, ts, "stats"); !ok {
+						continue
+					}
+					if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+						targets = append(targets, target{tn, st})
+					}
+				}
+			case *ast.FuncDecl:
+				tn := receiverTypeName(pass, d)
+				if tn == nil {
+					continue
+				}
+				if methods[tn] == nil {
+					methods[tn] = map[string]*ast.FuncDecl{}
+				}
+				methods[tn][d.Name.Name] = d
+			}
+		}
+	}
+
+	for _, tg := range targets {
+		for _, methodName := range [2]string{"String", "Check"} {
+			m := methods[tg.tn][methodName]
+			if m == nil {
+				pass.Reportf(tg.tn.Pos(), "//lint:stats type %s has no %s method", tg.tn.Name(), methodName)
+				continue
+			}
+			used := fieldsUsed(pass, tg.tn, methods[tg.tn], m)
+			for _, field := range tg.st.Fields.List {
+				for _, name := range field.Names {
+					if used[name.Name] {
+						continue
+					}
+					if d, ok := lint.FieldDirective(field, "statsless"); ok {
+						if d.Reason == "" {
+							pass.Reportf(d.Pos, "//lint:statsless on %s.%s needs a reason", tg.tn.Name(), name.Name)
+						}
+						continue
+					}
+					verb := "does not appear in"
+					if methodName == "Check" {
+						verb = "is not bounded in"
+					}
+					pass.Reportf(name.Pos(), "stats field %s.%s %s %s (add it or annotate //lint:statsless <reason>)",
+						tg.tn.Name(), name.Name, verb, methodName)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// fieldsUsed collects the receiver fields the method (and same-type
+// methods it calls, e.g. String -> IPC) mentions.
+func fieldsUsed(pass *lint.Pass, tn *types.TypeName, methodSet map[string]*ast.FuncDecl, root *ast.FuncDecl) map[string]bool {
+	used := map[string]bool{}
+	analyzed := map[*ast.FuncDecl]bool{}
+	worklist := []*ast.FuncDecl{root}
+	for len(worklist) > 0 {
+		fd := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		if analyzed[fd] || fd.Body == nil {
+			continue
+		}
+		analyzed[fd] = true
+		recv := receiverVar(pass, fd)
+		if recv == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok || pass.Info.Uses[id] != recv {
+				return true
+			}
+			if m := methodSet[sel.Sel.Name]; m != nil {
+				worklist = append(worklist, m)
+				return true
+			}
+			used[sel.Sel.Name] = true
+			return true
+		})
+	}
+	return used
+}
+
+func receiverTypeName(pass *lint.Pass, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return nil
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			tn, _ := pass.Info.Uses[x].(*types.TypeName)
+			if tn == nil {
+				tn, _ = pass.Info.Defs[x].(*types.TypeName)
+			}
+			return tn
+		default:
+			return nil
+		}
+	}
+}
+
+func receiverVar(pass *lint.Pass, fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	v, _ := pass.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}

@@ -1,0 +1,12 @@
+package statscoverage_test
+
+import (
+	"testing"
+
+	"straight/internal/analysis/analyzertest"
+	"straight/internal/analysis/statscoverage"
+)
+
+func TestStatsCoverage(t *testing.T) {
+	analyzertest.Run(t, "testdata", statscoverage.Analyzer, "statsfix")
+}

@@ -1,0 +1,48 @@
+// Package statsfix exercises statscoverage: a counter block with one
+// field missing from both String and Check, one waived field, and a
+// marked type lacking the methods entirely.
+package statsfix
+
+import "fmt"
+
+// Stats is the per-run counter block.
+//
+//lint:stats
+type Stats struct {
+	Cycles  uint64
+	Retired uint64
+	Fetched uint64 // want `stats field Stats\.Fetched does not appear in String` `stats field Stats\.Fetched is not bounded in Check`
+	Flushes uint64 //lint:statsless transient debug counter, excluded from reports
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("cycles=%d retired=%d ipc=%.2f", s.Cycles, s.Retired, s.IPC())
+}
+
+// IPC is a derived metric String delegates to; fields it reads count as
+// covered.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+func (s *Stats) Check() error {
+	if s.Retired > s.Cycles*8 {
+		return fmt.Errorf("retired %d exceeds fetch bandwidth for %d cycles", s.Retired, s.Cycles)
+	}
+	return nil
+}
+
+// Bare is marked but has neither method.
+//
+//lint:stats
+type Bare struct { // want `//lint:stats type Bare has no String method` `//lint:stats type Bare has no Check method`
+	X uint64
+}
+
+// Unmarked types are out of scope regardless of methods.
+type Unmarked struct {
+	Y uint64
+}

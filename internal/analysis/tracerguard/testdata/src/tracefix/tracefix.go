@@ -1,0 +1,72 @@
+// Package tracefix exercises tracerguard: hook calls through struct
+// fields must be dominated by a nil check of the same expression.
+package tracefix
+
+import "ptrace"
+
+type Core struct {
+	tr *ptrace.Tracer
+	pc uint64
+}
+
+func (c *Core) goodGuarded() {
+	if c.tr != nil {
+		c.tr.Fetch(c.pc)
+	}
+}
+
+func (c *Core) goodEarlyReturn() {
+	if c.tr == nil {
+		return
+	}
+	c.tr.Fetch(c.pc)
+}
+
+func (c *Core) goodElse() {
+	if c.tr == nil {
+		c.pc++
+	} else {
+		c.tr.Commit(c.pc)
+	}
+}
+
+func (c *Core) goodConjunct(on bool) {
+	if on && c.tr != nil {
+		c.tr.Fetch(c.pc)
+	}
+}
+
+func (c *Core) bad() {
+	c.tr.Fetch(c.pc) // want `call to \(\*ptrace\.Tracer\)\.Fetch is not dominated by a nil check of c\.tr`
+}
+
+// badClosure: a guard outside a closure does not dominate the closure
+// body — it runs later, when the field may have changed.
+func (c *Core) badClosure() func() {
+	if c.tr != nil {
+		return func() {
+			c.tr.Commit(c.pc) // want `not dominated by a nil check of c\.tr`
+		}
+	}
+	return nil
+}
+
+// replayHook mirrors the replay-under-guard pattern: every caller holds
+// the guard.
+//
+//lint:tracerguarded all callers check c.tr before dispatching here
+func (c *Core) replayHook() {
+	c.tr.Fetch(c.pc)
+}
+
+// locals built by a constructor are not maybe-nil hooks.
+func local() {
+	tr := ptrace.New()
+	tr.Close()
+}
+
+type opts struct{ Tracer *ptrace.Tracer }
+
+func run(o opts) {
+	o.Tracer.Close() // want `call to \(\*ptrace\.Tracer\)\.Close is not dominated by a nil check of o\.Tracer`
+}

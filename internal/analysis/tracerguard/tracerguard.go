@@ -1,0 +1,165 @@
+// Package tracerguard enforces the tracing-off fast-path convention
+// (DESIGN.md §9/§13): every invocation of a *ptrace.Tracer hook through
+// a struct field (the long-lived, possibly-nil attachment points like
+// c.tr or opts.Tracer) must be dominated by a nil check on that same
+// expression — either an enclosing `if x.tr != nil { … }` or a
+// preceding `if x.tr == nil { return }`. The Tracer's methods are
+// themselves nil-safe, but an unguarded call still pays argument
+// construction (fmt.Sprintf, closure captures) on the untraced path,
+// which is exactly what the zero-allocation budget forbids.
+//
+// Functions whose tracer calls are guarded by every caller (the
+// replay-under-guard pattern) are annotated `//lint:tracerguarded
+// <reason>`. Calls on plain local variables (tr := ptrace.New(…)) are
+// exempt: a local built by a constructor is not a maybe-nil hook.
+package tracerguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"straight/internal/analysis/lint"
+)
+
+// Analyzer is the tracerguard pass.
+var Analyzer = &lint.Analyzer{
+	Name: "tracerguard",
+	Doc: "check that ptrace.Tracer hook invocations through struct fields are " +
+		"dominated by a nil check (escape: //lint:tracerguarded <reason> on the function)",
+	Run: run,
+}
+
+// tracerPkgSuffix identifies the tracer package by import-path suffix so
+// the fixture packages (named …/ptrace under testdata) exercise the same
+// code path as the real internal/ptrace.
+const tracerPkgSuffix = "ptrace"
+
+// IsTracerExpr reports whether e's static type is *ptrace.Tracer (shared
+// with hotpathalloc, which exempts guarded tracing blocks from the
+// allocation budget).
+func IsTracerExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Name() != "Tracer" {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	return p == tracerPkgSuffix || strings.HasSuffix(p, "/"+tracerPkgSuffix)
+}
+
+func run(pass *lint.Pass) error {
+	if p := pass.Pkg.Path(); p == tracerPkgSuffix || strings.HasSuffix(p, "/"+tracerPkgSuffix) {
+		return nil // the tracer's own package calls itself freely
+	}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // tests construct concrete tracers
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if d, ok := lint.FuncDirective(fd, "tracerguarded"); ok {
+				if d.Reason == "" {
+					pass.Reportf(d.Pos, "//lint:tracerguarded on %s needs a reason", fd.Name.Name)
+				}
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	lint.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv := ast.Unparen(sel.X)
+		if !IsTracerExpr(pass.Info, recv) {
+			return true
+		}
+		// Plain locals (tr := ptrace.New(…)) are exempt; the invariant
+		// targets maybe-nil hooks stored in struct fields.
+		if _, isSel := recv.(*ast.SelectorExpr); !isSel {
+			return true
+		}
+		if Dominated(recv, n, stack) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"call to (*ptrace.Tracer).%s is not dominated by a nil check of %s (guard it or annotate the function //lint:tracerguarded <reason>)",
+			sel.Sel.Name, exprString(recv))
+		return true
+	})
+}
+
+// Dominated reports whether node (with the given ancestor stack) is
+// dominated by a nil check of expr: inside the then-branch of `if expr
+// != nil`, inside the else-branch of `if expr == nil`, or preceded in an
+// enclosing block by a terminating `if expr == nil { return/…, }`.
+// It is exported for hotpathalloc's guarded-tracing exemption.
+func Dominated(expr ast.Expr, node ast.Node, stack []ast.Node) bool {
+	child := node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.IfStmt:
+			if parent.Body == child && lint.IsNilCheck(parent.Cond, expr, token.NEQ) {
+				return true
+			}
+			if parent.Else == child && lint.IsNilCheck(parent.Cond, expr, token.EQL) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// A terminating nil guard earlier in this block dominates
+			// everything after it.
+			for _, s := range parent.List {
+				if s == child {
+					break
+				}
+				ifs, ok := s.(*ast.IfStmt)
+				if !ok || !lint.IsNilCheck(ifs.Cond, expr, token.EQL) {
+					continue
+				}
+				if len(ifs.Body.List) > 0 && lint.Terminates(ifs.Body.List[len(ifs.Body.List)-1]) {
+					return true
+				}
+			}
+		case *ast.FuncLit:
+			// A closure runs later: guards outside it do not dominate.
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(ast.Unparen(x.X)) + "." + x.Sel.Name
+	}
+	return "?"
+}

@@ -1,0 +1,12 @@
+package tracerguard_test
+
+import (
+	"testing"
+
+	"straight/internal/analysis/analyzertest"
+	"straight/internal/analysis/tracerguard"
+)
+
+func TestTracerGuard(t *testing.T) {
+	analyzertest.Run(t, "testdata", tracerguard.Analyzer, "tracefix")
+}

@@ -1,0 +1,263 @@
+// Package unitdriver adapts the straight-lint analyzers to the `go vet
+// -vettool` protocol, replicating the contract of
+// golang.org/x/tools/go/analysis/unitchecker on the standard library
+// alone: cmd/go invokes the tool once per package in dependency order,
+// handing it a JSON config naming the package's files and the export
+// data of its dependencies; the tool type-checks, runs the analyzers,
+// writes a facts file for downstream packages, and reports diagnostics
+// on stderr with exit status 2.
+//
+// The tool is also invoked with -V=full (build-cache fingerprinting) and
+// -flags (supported-flag discovery) before any package work.
+package unitdriver
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"straight/internal/analysis/lint"
+)
+
+// Config mirrors the JSON cmd/go writes for each vetted package (the
+// fields this driver consumes; unknown fields are ignored by
+// encoding/json).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetxFile is the gob payload of a facts file: package path -> analyzer
+// name -> facts. Facts of dependencies are merged in and re-exported so
+// they reach indirect importers regardless of how cmd/go prunes the
+// PackageVetx map.
+type vetxFile map[string]map[string]lint.Facts
+
+// modulePrefix limits analysis (and facts) to this module's packages;
+// everything else — the standard library — writes an empty facts file
+// and exits immediately, keeping `go vet ./...` runs fast.
+const modulePrefix = "straight"
+
+func inModule(path string) bool {
+	return path == modulePrefix || strings.HasPrefix(path, modulePrefix+"/")
+}
+
+// Main is the entry point of a vettool binary.
+func Main(analyzers ...*lint.Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("straight-lint: ")
+
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		// cmd/go probes for analyzer flags; straight-lint exposes none.
+		fmt.Println("[]")
+		return
+	}
+	flag.Var(versionFlag{}, "V", "print version and exit (passed by cmd/go)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`invoked directly: run via "go vet -vettool=$(command -v straight-lint) ./..." (got args %q)`, args)
+	}
+	diags, err := run(args[0], analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+func run(cfgPath string, analyzers []*lint.Analyzer) ([]string, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// Non-module packages (the standard library) carry no straight-lint
+	// facts and are never analyzed.
+	if !inModule(cfg.ImportPath) {
+		return nil, writeVetx(cfg.VetxOutput, vetxFile{})
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Type-check against the export data cmd/go supplied.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tcfg := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Sizes:    types.SizesFor(cfg.Compiler, "amd64"),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, writeVetx(cfg.VetxOutput, vetxFile{})
+		}
+		return nil, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	// Gather dependency facts: each vetx already contains its own
+	// transitive merge, so reading the direct deps sees everything.
+	allFacts := vetxFile{}
+	for depPath, vetxPath := range cfg.PackageVetx {
+		if !inModule(depPath) {
+			continue
+		}
+		if err := readVetx(vetxPath, allFacts); err != nil {
+			return nil, fmt.Errorf("reading facts of %s: %v", depPath, err)
+		}
+	}
+
+	var diags []lint.Diagnostic
+	own := map[string]lint.Facts{}
+	for _, a := range analyzers {
+		// Every module dependency gets an entry, empty or not: analyzers
+		// use DepFacts presence to tell module packages from std.
+		deps := map[string]lint.Facts{}
+		for pkgPath, byAnalyzer := range allFacts {
+			f, ok := byAnalyzer[a.Name]
+			if !ok {
+				f = lint.Facts{}
+			}
+			deps[pkgPath] = f
+		}
+		pass := lint.NewPass(a, fset, files, pkg, info, deps, func(d lint.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, cfg.ImportPath, err)
+		}
+		if f := pass.Exported(); len(f) > 0 {
+			own[a.Name] = f
+		}
+	}
+
+	allFacts[cfg.ImportPath] = own
+	if err := writeVetx(cfg.VetxOutput, allFacts); err != nil {
+		return nil, err
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprintf("%s: %s (straight-lint/%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return out, nil
+}
+
+func writeVetx(path string, v vetxFile) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readVetx(path string, into vetxFile) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var v vetxFile
+	if err := gob.NewDecoder(f).Decode(&v); err != nil {
+		return err
+	}
+	for pkgPath, byAnalyzer := range v {
+		if into[pkgPath] == nil {
+			into[pkgPath] = byAnalyzer
+			continue
+		}
+		for name, facts := range byAnalyzer {
+			if into[pkgPath][name] == nil {
+				into[pkgPath][name] = facts
+			}
+		}
+	}
+	return nil
+}
+
+// versionFlag implements -V=full: cmd/go fingerprints the tool binary so
+// analysis results are invalidated when the tool changes.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s", s)
+	}
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}

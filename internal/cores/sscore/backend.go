@@ -438,7 +438,7 @@ func (c *Core) applyRecovery() {
 // entries. Only needed for memory-violation recoveries in oracle mode
 // (branch recoveries never occur there: fetch follows the true path).
 func (c *Core) resyncOracle() {
-	o := c.emu.Clone()
+	o := c.emu.Clone() //lint:alloc oracle resync clones the golden model; memory-violation recoveries only
 	for i := 0; i < c.rob.Len(); i++ {
 		if o.Step() != nil {
 			break
@@ -494,7 +494,7 @@ func (c *Core) commit(opts Options) error {
 			// Execute via the golden emulator (it is exactly at this
 			// instruction), propagating output and exit.
 			if c.emu.PC() != u.PC {
-				return fmt.Errorf("sscore: ecall desync: core pc=%#x emu pc=%#x", u.PC, c.emu.PC())
+				return fmt.Errorf("sscore: ecall desync: core pc=%#x emu pc=%#x", u.PC, c.emu.PC()) //lint:alloc cross-validation abort; the run ends here
 			}
 			c.emu.Step()
 			if done, code := c.emu.Exited(); done {
@@ -517,7 +517,7 @@ func (c *Core) commit(opts Options) error {
 		if u.IsStore {
 			width := int(u.lsq.Size)
 			if u.MemAddr%uint32(width) != 0 {
-				return fmt.Errorf("sscore: misaligned store committed at pc=%#x addr=%#x", u.PC, u.MemAddr)
+				return fmt.Errorf("sscore: misaligned store committed at pc=%#x addr=%#x", u.PC, u.MemAddr) //lint:alloc cross-validation abort; the run ends here
 			}
 			c.mem.Store(u.MemAddr, u.lsq.Data, width)
 			c.hier.AccessData(c.cycle, u.MemAddr) // fill/dirty the line
@@ -529,14 +529,14 @@ func (c *Core) commit(opts Options) error {
 		// Cross-validation against the golden model.
 		if opts.CrossValidate {
 			if c.emu.PC() != u.PC {
-				return fmt.Errorf("sscore: retire desync at seq %d: core pc=%#x emu pc=%#x", u.Seq, u.PC, c.emu.PC())
+				return fmt.Errorf("sscore: retire desync at seq %d: core pc=%#x emu pc=%#x", u.Seq, u.PC, c.emu.PC()) //lint:alloc cross-validation abort; the run ends here
 			}
 			c.wantChecks = false
 			c.emu.TraceFn = c.xvalTraceFn
 			c.emu.Step()
 			c.emu.TraceFn = nil
 			if c.wantChecks && u.Dest >= 0 && c.prf[u.Dest] != c.wantVal {
-				return fmt.Errorf("sscore: value desync at pc=%#x: core=%#x emu=%#x", u.PC, c.prf[u.Dest], c.wantVal)
+				return fmt.Errorf("sscore: value desync at pc=%#x: core=%#x emu=%#x", u.PC, c.prf[u.Dest], c.wantVal) //lint:alloc cross-validation abort; the run ends here
 			}
 		} else {
 			c.emu.Step()

@@ -87,7 +87,7 @@ type waiter struct {
 
 // Core is the SS cycle simulator.
 type Core struct {
-	cfg  uarch.Config
+	cfg  uarch.Config //lint:resetless configuration, fixed at construction
 	img  *program.Image
 	mem  *program.Memory
 	hier *uarch.Hierarchy
@@ -100,13 +100,13 @@ type Core struct {
 	stats uarch.Stats
 	cycle int64
 	seq   uint64
-	tr    *ptrace.Tracer
+	tr    *ptrace.Tracer //lint:resetless attachment, survives batch reuse
 
 	// Front end.
 	fetchPC         uint32
 	fetchStallUntil int64
 	feQueue         *uarch.Ring[feEntry]
-	feCap           int
+	feCap           int  //lint:resetless capacity, derived from cfg at construction
 	fetchHalted     bool // ran off decodable text; wait for redirect
 
 	// Oracle front end (ZeroMispredictPenalty / PredOracle): a functional
@@ -148,13 +148,13 @@ type Core struct {
 	// Prebuilt cross-validation trace hook (no per-retire closure).
 	wantVal     uint32
 	wantChecks  bool
-	xvalTraceFn func(riscvemu.Retired)
+	xvalTraceFn func(riscvemu.Retired) //lint:resetless prebuilt hook, rebound to the reused receiver
 
-	retireFn uarch.RetireFn
+	retireFn uarch.RetireFn //lint:resetless attachment, survives batch reuse
 
 	// Idle-skip state (quiesce.go): lastSig gates skip attempts on the
 	// activity signature of the previous step; skip holds telemetry.
-	noIdleSkip bool
+	noIdleSkip bool //lint:resetless configuration, survives batch reuse
 	lastSig    uint64
 	skip       uarch.SkipStats
 
@@ -271,7 +271,7 @@ func (c *Core) allocUop() *uop {
 		c.arena = c.arena[:n-1]
 		return u
 	}
-	block := make([]uop, 32)
+	block := make([]uop, 32) //lint:alloc arena refill past the in-flight high-water mark, amortized
 	for i := 1; i < len(block); i++ {
 		c.arena = append(c.arena, &block[i])
 	}
@@ -294,7 +294,7 @@ func (c *Core) snapGet() []uint32 {
 		c.snapPool = c.snapPool[:n-1]
 		return s
 	}
-	return make([]uint32, 0, c.cfg.RASEntries)
+	return make([]uint32, 0, c.cfg.RASEntries) //lint:alloc snapshot pool growth, amortized across recoveries
 }
 
 func (c *Core) snapPut(s []uint32) { c.snapPool = append(c.snapPool, s[:0]) }
@@ -391,6 +391,8 @@ func (c *Core) step(opts Options) error {
 }
 
 // deadlockDump renders the pipeline state for deadlock diagnostics.
+//
+//lint:coldpath deadlock diagnostics, produced once when the run is already failing
 func (c *Core) deadlockDump() string {
 	s := fmt.Sprintf("rob=%d iq=%d (awake=%d) exec=%d feq=%d freeList=%d fetchPC=%#x halted=%v stall=%d renameBlock=%d serializing=%v\n",
 		c.rob.Len(), c.iqCount, len(c.iqAwake), len(c.executing), c.feQueue.Len(), c.freeList.Len(),

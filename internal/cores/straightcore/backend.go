@@ -429,7 +429,7 @@ func (c *Core) applyRecovery() {
 }
 
 func (c *Core) resyncOracle() {
-	o := c.emu.Clone()
+	o := c.emu.Clone() //lint:alloc oracle resync clones the golden model; memory-violation recoveries only
 	for i := 0; i < c.rob.Len(); i++ {
 		if o.Step() != nil {
 			break
@@ -481,7 +481,7 @@ func (c *Core) commit(opts Options) error {
 
 		if u.inst.Op == straight.SYS {
 			if c.emu.PC() != u.PC {
-				return fmt.Errorf("straightcore: sys desync: core pc=%#x emu pc=%#x", u.PC, c.emu.PC())
+				return fmt.Errorf("straightcore: sys desync: core pc=%#x emu pc=%#x", u.PC, c.emu.PC()) //lint:alloc cross-validation abort; the run ends here
 			}
 			c.emu.TraceFn = c.sysTraceFn
 			c.emu.Step()
@@ -503,7 +503,7 @@ func (c *Core) commit(opts Options) error {
 		if u.IsStore {
 			width := int(u.lsq.Size)
 			if u.MemAddr%uint32(width) != 0 {
-				return fmt.Errorf("straightcore: misaligned store committed at pc=%#x addr=%#x", u.PC, u.MemAddr)
+				return fmt.Errorf("straightcore: misaligned store committed at pc=%#x addr=%#x", u.PC, u.MemAddr) //lint:alloc cross-validation abort; the run ends here
 			}
 			c.mem.Store(u.MemAddr, u.lsq.Data, width)
 			c.hier.AccessData(c.cycle, u.MemAddr)
@@ -514,14 +514,14 @@ func (c *Core) commit(opts Options) error {
 
 		if opts.CrossValidate {
 			if c.emu.PC() != u.PC {
-				return fmt.Errorf("straightcore: retire desync at seq %d: core pc=%#x emu pc=%#x", u.Seq, u.PC, c.emu.PC())
+				return fmt.Errorf("straightcore: retire desync at seq %d: core pc=%#x emu pc=%#x", u.Seq, u.PC, c.emu.PC()) //lint:alloc cross-validation abort; the run ends here
 			}
 			c.emu.TraceFn = c.xvalTraceFn
 			c.emu.Step()
 			c.emu.TraceFn = nil
 			if u.Dest >= 0 && c.prf[u.Dest] != c.wantRet.Result {
-				return fmt.Errorf("straightcore: value desync at pc=%#x (%v): core=%#x emu=%#x",
-					u.PC, u.inst, c.prf[u.Dest], c.wantRet.Result)
+				return fmt.Errorf("straightcore: value desync at pc=%#x (%v): core=%#x emu=%#x", //lint:alloc cross-validation abort; the run ends here
+					u.PC, u.inst, c.prf[u.Dest], c.wantRet.Result) //lint:alloc cross-validation abort; the run ends here
 			}
 		} else {
 			c.emu.Step()

@@ -100,7 +100,7 @@ const farFuture = int64(1) << 62
 
 // Core is the STRAIGHT cycle simulator.
 type Core struct {
-	cfg  uarch.Config
+	cfg  uarch.Config //lint:resetless configuration, fixed at construction
 	img  *program.Image
 	mem  *program.Memory
 	hier *uarch.Hierarchy
@@ -113,19 +113,19 @@ type Core struct {
 	stats uarch.Stats
 	cycle int64
 	seq   uint64
-	tr    *ptrace.Tracer
+	tr    *ptrace.Tracer //lint:resetless attachment, survives batch reuse
 
 	fetchPC         uint32
 	fetchStallUntil int64
 	feQueue         *uarch.Ring[feEntry]
-	feCap           int
+	feCap           int //lint:resetless capacity, derived from cfg at construction
 	fetchHalted     bool
 
 	fetchOracle *straightemu.Machine
 
 	// Operand determination state (the "rename" substitute).
 	rp          int32  // next destination register
-	maxRP       int32  // cached cfg.MaxRP()
+	maxRP       int32  //lint:resetless cached cfg.MaxRP(), fixed at construction
 	decSP       uint32 // in-order SP at decode
 	renameBlock int64
 	serializing bool
@@ -156,15 +156,15 @@ type Core struct {
 	// allocate a closure per serialized SYS or cross-validated retire.
 	sysRes      uint32
 	wantRet     straightemu.Retired
-	sysTraceFn  func(straightemu.Retired)
-	xvalTraceFn func(straightemu.Retired)
+	sysTraceFn  func(straightemu.Retired) //lint:resetless prebuilt hook, rebound to the reused receiver
+	xvalTraceFn func(straightemu.Retired) //lint:resetless prebuilt hook, rebound to the reused receiver
 
-	retireFn  uarch.RetireFn
-	injectBug string
+	retireFn  uarch.RetireFn //lint:resetless attachment, survives batch reuse
+	injectBug string         //lint:resetless test configuration, survives batch reuse
 
 	// Idle-skip state (quiesce.go): lastSig gates skip attempts on the
 	// activity signature of the previous step; skip holds telemetry.
-	noIdleSkip bool
+	noIdleSkip bool //lint:resetless configuration, survives batch reuse
 	lastSig    uint64
 	skip       uarch.SkipStats
 
@@ -265,7 +265,7 @@ func (c *Core) allocUop() *uop {
 		c.arena = c.arena[:n-1]
 		return u
 	}
-	block := make([]uop, 32)
+	block := make([]uop, 32) //lint:alloc arena refill past the in-flight high-water mark, amortized
 	for i := 1; i < len(block); i++ {
 		c.arena = append(c.arena, &block[i])
 	}
@@ -289,7 +289,7 @@ func (c *Core) snapGet() []uint32 {
 		c.snapPool = c.snapPool[:n-1]
 		return s
 	}
-	return make([]uint32, 0, c.cfg.RASEntries)
+	return make([]uint32, 0, c.cfg.RASEntries) //lint:alloc snapshot pool growth, amortized across recoveries
 }
 
 func (c *Core) snapPut(s []uint32) { c.snapPool = append(c.snapPool, s[:0]) }
@@ -710,6 +710,8 @@ func classOf(inst straight.Inst) uarch.Class {
 }
 
 // deadlockDump renders the pipeline state for deadlock diagnostics.
+//
+//lint:coldpath deadlock diagnostics, produced once when the run is already failing
 func (c *Core) deadlockDump() string {
 	s := fmt.Sprintf("rob=%d iq=%d (awake=%d) exec=%d feq=%d rp=%d fetchPC=%#x halted=%v stall=%d renameBlock=%d serializing=%v\n",
 		c.rob.Len(), c.iqCount, len(c.iqAwake), len(c.executing), c.feQueue.Len(), c.rp,

@@ -25,6 +25,8 @@ import (
 // advance moves the simulation forward by at least one cycle and at most
 // limit cycles, using the idle-skip fast path when the previous step
 // made no visible progress. It returns the number of cycles consumed.
+//
+//lint:hotpath
 func (c *Core) advance(opts Options, limit int64) (int64, error) {
 	if !c.noIdleSkip {
 		sig := c.activitySignature()
@@ -208,6 +210,8 @@ func (c *Core) fetchIdleClass(h *uarch.EventHorizon) (stalled, idle bool) {
 // the exact order step produces them (BeginCycle, dispatch stall, fetch
 // stall, Sample), so Kanata output and the windowed stall series are
 // byte-identical with skipping enabled.
+//
+//lint:tracerguarded called only from the traced replay path; the caller checks c.tr
 func (c *Core) replayIdle(k int64, dCause ptrace.StallCause, dCharged, feStalled bool) {
 	lq, sq := c.lsq.Occupancy()
 	for i := int64(0); i < k; i++ {

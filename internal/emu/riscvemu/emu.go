@@ -99,8 +99,8 @@ type Machine struct {
 	exited   bool
 	exitCode int32
 
-	out   io.Writer
-	ioBuf []byte // reusable console-output buffer (keeps syscalls allocation-free)
+	out   io.Writer //lint:resetless output attachment, survives Reset by design
+	ioBuf []byte    // reusable console-output buffer (keeps syscalls allocation-free)
 	stats Stats
 
 	// TraceFn, when non-nil, receives every retired instruction.
@@ -159,25 +159,34 @@ func (m *Machine) SetOutput(w io.Writer) { m.out = w }
 func (m *Machine) Mem() *program.Memory { return m.mem }
 
 // PC returns the current program counter.
+//
+//lint:hotpath
 func (m *Machine) PC() uint32 { return m.pc }
 
 // Reg returns register x[i].
+//
+//lint:hotpath
 func (m *Machine) Reg(i int) uint32 { return m.regs[i] }
 
 // InstCount returns the retired instruction count.
 func (m *Machine) InstCount() uint64 { return m.count }
 
 // Exited reports whether the program executed the exit syscall.
+//
+//lint:hotpath
 func (m *Machine) Exited() (bool, int32) { return m.exited, m.exitCode }
 
 // Stats returns the accumulated statistics.
 func (m *Machine) Stats() *Stats { return &m.stats }
 
+//lint:coldpath fault construction; a fault aborts the run
 func (m *Machine) fault(kind FaultKind, msg string, args ...any) error {
 	return &Fault{Kind: kind, PC: m.pc, Count: m.count, Msg: fmt.Sprintf(msg, args...)}
 }
 
 // Step executes one instruction. It returns io.EOF after exit.
+//
+//lint:hotpath
 func (m *Machine) Step() error {
 	if m.exited {
 		return io.EOF
@@ -294,25 +303,25 @@ func (m *Machine) syscall() error {
 		m.exited = true
 	case SysPutc:
 		if m.ioBuf == nil {
-			m.ioBuf = make([]byte, 0, 32)
+			m.ioBuf = make([]byte, 0, 32) //lint:alloc console buffer allocated once on first output syscall
 		}
 		m.ioBuf = append(m.ioBuf[:0], byte(arg))
 		m.out.Write(m.ioBuf)
 	case SysPuti:
 		if m.ioBuf == nil {
-			m.ioBuf = make([]byte, 0, 32)
+			m.ioBuf = make([]byte, 0, 32) //lint:alloc console buffer allocated once on first output syscall
 		}
 		m.ioBuf = strconv.AppendInt(m.ioBuf[:0], int64(int32(arg)), 10)
 		m.out.Write(m.ioBuf)
 	case SysPutu:
 		if m.ioBuf == nil {
-			m.ioBuf = make([]byte, 0, 32)
+			m.ioBuf = make([]byte, 0, 32) //lint:alloc console buffer allocated once on first output syscall
 		}
 		m.ioBuf = strconv.AppendUint(m.ioBuf[:0], uint64(arg), 10)
 		m.out.Write(m.ioBuf)
 	case SysPutx:
 		if m.ioBuf == nil {
-			m.ioBuf = make([]byte, 0, 32)
+			m.ioBuf = make([]byte, 0, 32) //lint:alloc console buffer allocated once on first output syscall
 		}
 		m.ioBuf = strconv.AppendUint(m.ioBuf[:0], uint64(arg), 16)
 		m.out.Write(m.ioBuf)

@@ -118,15 +118,15 @@ type Machine struct {
 	exited   bool
 	exitCode int32
 
-	out        io.Writer
-	ioBuf      []byte // reusable console-output buffer (keeps syscalls allocation-free)
+	out        io.Writer //lint:resetless output attachment, survives Reset by design
+	ioBuf      []byte    // reusable console-output buffer (keeps syscalls allocation-free)
 	stats      Stats
-	collectHot bool
+	collectHot bool //lint:resetless profiling configuration, survives Reset by design
 
 	// strictBound, when non-zero, makes Step fault on any source read
 	// beyond that distance or of a slot no instruction has written yet —
 	// the dynamic counterpart of the static checks in internal/sverify.
-	strictBound uint16
+	strictBound uint16 //lint:resetless checking configuration, survives Reset by design
 
 	// TraceFn, when non-nil, receives every retired instruction. The cycle
 	// simulator's cross-validation and the examples' tracing hook in here.
@@ -200,6 +200,8 @@ func (m *Machine) SetStrict(maxDist int) {
 func (m *Machine) Mem() *program.Memory { return m.mem }
 
 // PC returns the current program counter.
+//
+//lint:hotpath
 func (m *Machine) PC() uint32 { return m.pc }
 
 // SP returns the current stack pointer.
@@ -209,6 +211,8 @@ func (m *Machine) SP() uint32 { return m.sp }
 func (m *Machine) InstCount() uint64 { return m.count }
 
 // Exited reports whether the program executed SYS exit, and its code.
+//
+//lint:hotpath
 func (m *Machine) Exited() (bool, int32) { return m.exited, m.exitCode }
 
 // Stats returns the accumulated statistics.
@@ -217,6 +221,8 @@ func (m *Machine) Stats() *Stats { return &m.stats }
 // Reg reads the value produced by the instruction at the given distance
 // from the *next* instruction to execute (distance 1 = most recently
 // executed). Distance 0 reads zero.
+//
+//lint:hotpath
 func (m *Machine) Reg(distance uint16) uint32 {
 	if distance == 0 {
 		return 0
@@ -224,6 +230,7 @@ func (m *Machine) Reg(distance uint16) uint32 {
 	return m.ring[(m.count-uint64(distance))&(ringSize-1)]
 }
 
+//lint:coldpath fault construction; a fault aborts the run
 func (m *Machine) fault(kind FaultKind, msg string, args ...any) error {
 	return &Fault{Kind: kind, PC: m.pc, Count: m.count, Msg: fmt.Sprintf(msg, args...)}
 }
@@ -244,32 +251,38 @@ func (m *Machine) read(d uint16) uint32 {
 // strictCheck validates the instruction's source distances before it
 // executes (strict mode).
 func (m *Machine) strictCheck(inst straight.Inst) error {
-	check := func(d uint16) error {
-		if d == 0 {
-			return nil
-		}
-		if d > m.strictBound {
-			return m.fault(FaultStrictBound, "strict: %s reads distance %d beyond bound %d", inst.Op, d, m.strictBound)
-		}
-		if uint64(d) > m.count {
-			return m.fault(FaultStrictUninit, "strict: %s reads [%d] but only %d instruction(s) have executed (never-written slot)",
-				inst.Op, d, m.count)
-		}
-		return nil
-	}
 	switch inst.Op.Format() {
 	case straight.FmtR, straight.FmtS:
-		if err := check(inst.Src1); err != nil {
+		if err := m.checkDistance(inst.Op, inst.Src1); err != nil {
 			return err
 		}
-		return check(inst.Src2)
+		return m.checkDistance(inst.Op, inst.Src2)
 	case straight.FmtI, straight.FmtJR:
-		return check(inst.Src1)
+		return m.checkDistance(inst.Op, inst.Src1)
+	}
+	return nil
+}
+
+// checkDistance validates one source distance. A method rather than a
+// per-strictCheck closure so the strict oracle loop stays
+// allocation-free.
+func (m *Machine) checkDistance(op straight.Op, d uint16) error {
+	if d == 0 {
+		return nil
+	}
+	if d > m.strictBound {
+		return m.fault(FaultStrictBound, "strict: %s reads distance %d beyond bound %d", op, d, m.strictBound)
+	}
+	if uint64(d) > m.count {
+		return m.fault(FaultStrictUninit, "strict: %s reads [%d] but only %d instruction(s) have executed (never-written slot)",
+			op, d, m.count)
 	}
 	return nil
 }
 
 // Step executes one instruction. It returns io.EOF after SYS exit.
+//
+//lint:hotpath
 func (m *Machine) Step() error {
 	if m.exited {
 		return io.EOF
@@ -407,7 +420,7 @@ func (m *Machine) syscall(inst straight.Inst) (uint32, error) {
 
 func (m *Machine) writeByte(b byte) {
 	if m.ioBuf == nil {
-		m.ioBuf = make([]byte, 0, 32)
+		m.ioBuf = make([]byte, 0, 32) //lint:alloc console buffer allocated once on first output syscall
 	}
 	m.ioBuf = append(m.ioBuf[:0], b)
 	m.out.Write(m.ioBuf)
@@ -415,7 +428,7 @@ func (m *Machine) writeByte(b byte) {
 
 func (m *Machine) writeNum(v int64, base int) {
 	if m.ioBuf == nil {
-		m.ioBuf = make([]byte, 0, 32)
+		m.ioBuf = make([]byte, 0, 32) //lint:alloc console buffer allocated once on first output syscall
 	}
 	m.ioBuf = strconv.AppendInt(m.ioBuf[:0], v, base)
 	m.out.Write(m.ioBuf)
@@ -423,7 +436,7 @@ func (m *Machine) writeNum(v int64, base int) {
 
 func (m *Machine) writeUnum(v uint64, base int) {
 	if m.ioBuf == nil {
-		m.ioBuf = make([]byte, 0, 32)
+		m.ioBuf = make([]byte, 0, 32) //lint:alloc console buffer allocated once on first output syscall
 	}
 	m.ioBuf = strconv.AppendUint(m.ioBuf[:0], v, base)
 	m.out.Write(m.ioBuf)

@@ -115,6 +115,8 @@ func MustEncode(i Inst) uint32 {
 // Decode unpacks a 32-bit RV32IM instruction word. Unknown encodings
 // decode to ILLEGAL rather than an error so the pipeline can raise the
 // fault at the right architectural point.
+//
+//lint:hotpath
 func Decode(w uint32) Inst {
 	opc := w & 0x7F
 	rd := uint8(w >> 7 & 0x1F)
@@ -267,6 +269,8 @@ func Decode(w uint32) Inst {
 
 // Eval computes register-register and register-immediate ALU results with
 // RV32IM semantics (shared by the functional emulator and the cycle core).
+//
+//lint:hotpath
 func Eval(op Op, a, b uint32) uint32 {
 	switch op {
 	case ADD, ADDI:
@@ -334,6 +338,8 @@ func Eval(op Op, a, b uint32) uint32 {
 }
 
 // BranchTaken evaluates a conditional branch with operands a, b.
+//
+//lint:hotpath
 func BranchTaken(op Op, a, b uint32) bool {
 	switch op {
 	case BEQ:
@@ -353,6 +359,8 @@ func BranchTaken(op Op, a, b uint32) bool {
 }
 
 // LoadWidth returns the access width and signedness of a load.
+//
+//lint:hotpath
 func LoadWidth(op Op) (bytes int, signExt bool) {
 	switch op {
 	case LW:
@@ -370,6 +378,8 @@ func LoadWidth(op Op) (bytes int, signExt bool) {
 }
 
 // StoreWidth returns the access width of a store.
+//
+//lint:hotpath
 func StoreWidth(op Op) int {
 	switch op {
 	case SW:
@@ -383,6 +393,8 @@ func StoreWidth(op Op) int {
 }
 
 // ExtendLoad applies width/sign extension to a raw loaded value.
+//
+//lint:hotpath
 func ExtendLoad(op Op, raw uint32) uint32 {
 	switch op {
 	case LW:

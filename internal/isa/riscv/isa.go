@@ -110,6 +110,8 @@ const (
 )
 
 // Class returns the execution class of the operation.
+//
+//lint:hotpath
 func (o Op) Class() Class {
 	switch o {
 	case MUL, MULH, MULHSU, MULHU:
@@ -142,6 +144,8 @@ type Inst struct {
 }
 
 // ReadsRs1 reports whether the instruction reads Rs1.
+//
+//lint:hotpath
 func (i Inst) ReadsRs1() bool {
 	switch i.Op {
 	case LUI, AUIPC, JAL, ECALL, EBREAK, FENCE, ILLEGAL:
@@ -151,6 +155,8 @@ func (i Inst) ReadsRs1() bool {
 }
 
 // ReadsRs2 reports whether the instruction reads Rs2.
+//
+//lint:hotpath
 func (i Inst) ReadsRs2() bool {
 	switch i.Op.Class() {
 	case ClassStore, ClassBranch:
@@ -166,6 +172,8 @@ func (i Inst) ReadsRs2() bool {
 
 // WritesRd reports whether the instruction writes a destination register
 // (x0 writes are architectural no-ops but still "write" structurally).
+//
+//lint:hotpath
 func (i Inst) WritesRd() bool {
 	switch i.Op.Class() {
 	case ClassStore, ClassBranch:
@@ -179,6 +187,8 @@ func (i Inst) WritesRd() bool {
 }
 
 // IsControl reports whether the instruction can redirect the PC.
+//
+//lint:hotpath
 func (i Inst) IsControl() bool {
 	c := i.Op.Class()
 	return c == ClassBranch || c == ClassJump

@@ -92,10 +92,12 @@ func MustEncode(inst Inst) uint32 {
 }
 
 // Decode unpacks a 32-bit instruction word.
+//
+//lint:hotpath
 func Decode(w uint32) (Inst, error) {
 	op := Op(w >> 24)
 	if op >= numOps {
-		return Inst{}, fmt.Errorf("straight: decode: invalid opcode byte %#02x", w>>24)
+		return Inst{}, fmt.Errorf("straight: decode: invalid opcode byte %#02x", w>>24) //lint:alloc decode fault aborts the run
 	}
 	inst := Inst{Op: op}
 	switch op.Format() {

@@ -239,6 +239,8 @@ func (o Op) String() string {
 }
 
 // Format returns the encoding format of the opcode.
+//
+//lint:hotpath
 func (o Op) Format() Format {
 	if int(o) >= len(opTable) {
 		return FmtN
@@ -247,6 +249,8 @@ func (o Op) Format() Format {
 }
 
 // Class returns the execution class of the opcode.
+//
+//lint:hotpath
 func (o Op) Class() Class {
 	if int(o) >= len(opTable) {
 		return opTable[NOP].class
@@ -266,6 +270,8 @@ type Inst struct {
 // NumSources reports how many distance-addressed source operands the
 // instruction reads (0, 1 or 2). Distance-0 sources still count: they read
 // the zero register.
+//
+//lint:hotpath
 func (i Inst) NumSources() int {
 	switch i.Op.Format() {
 	case FmtR, FmtS:
@@ -278,6 +284,8 @@ func (i Inst) NumSources() int {
 }
 
 // IsControl reports whether the instruction can redirect the PC.
+//
+//lint:hotpath
 func (i Inst) IsControl() bool {
 	c := i.Op.Class()
 	return c == ClassBranch || c == ClassJump

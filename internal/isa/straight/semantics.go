@@ -9,6 +9,8 @@ package straight
 // Division semantics follow RV32M (the evaluation's RV32IM counterpart):
 // divide-by-zero yields all-ones quotient (DIV/DIVU) and the dividend as
 // remainder (REM/REMU); overflow (MinInt32 / -1) yields MinInt32 and 0.
+//
+//lint:hotpath
 func EvalALU(op Op, a, b uint32) uint32 {
 	switch op {
 	case ADD:
@@ -74,6 +76,8 @@ func EvalALU(op Op, a, b uint32) uint32 {
 }
 
 // EvalALUImm computes the result of a register-immediate ALU operation.
+//
+//lint:hotpath
 func EvalALUImm(op Op, a uint32, imm int32) uint32 {
 	b := uint32(imm)
 	switch op {
@@ -106,6 +110,8 @@ func EvalALUImm(op Op, a uint32, imm int32) uint32 {
 }
 
 // BranchTaken evaluates a conditional branch condition on operand v.
+//
+//lint:hotpath
 func BranchTaken(op Op, v uint32) bool {
 	switch op {
 	case BEZ:
@@ -118,10 +124,14 @@ func BranchTaken(op Op, v uint32) bool {
 
 // LUIValue returns the value materialized by LUI with the given 24-bit
 // immediate operand.
+//
+//lint:hotpath
 func LUIValue(imm int32) uint32 { return uint32(imm) << 8 }
 
 // LoadWidth returns the access width in bytes and whether the load
 // sign-extends.
+//
+//lint:hotpath
 func LoadWidth(op Op) (bytes int, signExt bool) {
 	switch op {
 	case LW:
@@ -139,6 +149,8 @@ func LoadWidth(op Op) (bytes int, signExt bool) {
 }
 
 // StoreWidth returns the access width in bytes of a store.
+//
+//lint:hotpath
 func StoreWidth(op Op) int {
 	switch op {
 	case SW:
@@ -153,6 +165,8 @@ func StoreWidth(op Op) int {
 
 // ExtendLoad applies the width/sign extension of op to a raw little-endian
 // value read from memory.
+//
+//lint:hotpath
 func ExtendLoad(op Op, raw uint32) uint32 {
 	switch op {
 	case LW:

@@ -62,6 +62,8 @@ func (im *Image) DataEnd() uint32 {
 }
 
 // ContainsText reports whether addr falls inside the text segment.
+//
+//lint:hotpath
 func (im *Image) ContainsText(addr uint32) bool {
 	return addr >= im.TextBase && addr < im.TextEnd()
 }
@@ -69,12 +71,14 @@ func (im *Image) ContainsText(addr uint32) bool {
 // FetchWord returns the instruction word at addr. It reports an error for
 // misaligned or out-of-range fetches, which the simulators treat as a fatal
 // program fault.
+//
+//lint:hotpath
 func (im *Image) FetchWord(addr uint32) (uint32, error) {
 	if addr%InstructionBytes != 0 {
-		return 0, fmt.Errorf("program: misaligned instruction fetch at %#08x", addr)
+		return 0, fmt.Errorf("program: misaligned instruction fetch at %#08x", addr) //lint:alloc fetch fault aborts the run
 	}
 	if !im.ContainsText(addr) {
-		return 0, fmt.Errorf("program: instruction fetch outside text at %#08x", addr)
+		return 0, fmt.Errorf("program: instruction fetch outside text at %#08x", addr) //lint:alloc fetch fault aborts the run
 	}
 	return im.Text[(addr-im.TextBase)/InstructionBytes], nil
 }
@@ -145,12 +149,12 @@ func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 		if !create {
 			return nil
 		}
-		m.pages = make(map[uint32]*[pageSize]byte)
+		m.pages = make(map[uint32]*[pageSize]byte) //lint:alloc sparse-memory page table built on first touch
 	}
-	p := m.pages[pn]
+	p := m.pages[pn] //lint:alloc page-table lookup; the lastPage cache makes it rare
 	if p == nil && create {
-		p = new([pageSize]byte)
-		m.pages[pn] = p
+		p = new([pageSize]byte) //lint:alloc page frames are allocated once on first touch and reused across Resets
+		m.pages[pn] = p         //lint:alloc first-touch page installation
 	}
 	if p != nil {
 		m.lastPN, m.lastPage = pn, p
@@ -172,6 +176,8 @@ func (m *Memory) StoreByte(addr uint32, v byte) {
 }
 
 // Load reads width bytes little-endian (width must be 1, 2 or 4).
+//
+//lint:hotpath
 func (m *Memory) Load(addr uint32, width int) uint32 {
 	// Fast path: access within one page.
 	off := addr & (pageSize - 1)
@@ -193,6 +199,8 @@ func (m *Memory) Load(addr uint32, width int) uint32 {
 }
 
 // Store writes width bytes little-endian (width must be 1, 2 or 4).
+//
+//lint:hotpath
 func (m *Memory) Store(addr uint32, v uint32, width int) {
 	off := addr & (pageSize - 1)
 	if int(off)+width <= pageSize {

@@ -13,11 +13,11 @@ package uarch
 
 // Cache is one set-associative level.
 type Cache struct {
-	cfg   CacheConfig
-	sets  int
-	shift uint       // line offset bits
-	tags  [][]uint64 // tags[set][way]; 0 = invalid (tag stored +1)
-	lru   [][]uint32 // larger = more recent
+	cfg   CacheConfig //lint:resetless geometry, fixed at construction
+	sets  int         //lint:resetless geometry, fixed at construction
+	shift uint        //lint:resetless line offset bits, fixed at construction
+	tags  [][]uint64  // tags[set][way]; 0 = invalid (tag stored +1)
+	lru   [][]uint32  // larger = more recent
 	tick  uint32
 
 	Hits   uint64
@@ -101,12 +101,14 @@ func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
 
 // Hierarchy is the full memory system: L1I + L1D front, shared L2
 // (and optional L3), and main memory latency.
+//
+//lint:hotpath
 type Hierarchy struct {
 	L1I    *Cache
 	L1D    *Cache
 	L2     *Cache
 	L3     *Cache // may be nil
-	memLat int
+	memLat int    //lint:resetless latency configuration, fixed at construction
 
 	prefetch *streamPrefetcher
 	// mshr holds the completion cycle of each in-flight data miss.
@@ -229,7 +231,7 @@ func (h *Hierarchy) WouldHitL1D(addr uint32) bool { return h.L1D.Probe(addr) }
 // streamPrefetcher detects up to 8 concurrent ascending streams and
 // prefetches the next two lines on a detected stream.
 type streamPrefetcher struct {
-	lineBytes uint32
+	lineBytes uint32 //lint:resetless geometry, fixed at construction
 	last      [8]uint32
 	valid     [8]bool
 	next      int

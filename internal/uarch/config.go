@@ -121,6 +121,8 @@ func (c Config) div() int {
 }
 
 // LatencyFor returns the execution latency of a class.
+//
+//lint:hotpath
 func (c Config) LatencyFor(cl Class) int {
 	switch cl {
 	case ClassMul:

@@ -1,5 +1,7 @@
 package uarch
 
+import "fmt"
+
 // HorizonNever is the "no scheduled event" sentinel of the event horizon
 // (the same far-future value the cores use for pending scoreboard
 // entries).
@@ -15,11 +17,15 @@ const HorizonNever = int64(1) << 62
 //
 // The zero value is not ready to use; call Reset (or start from
 // NewEventHorizon) so Next begins at HorizonNever.
+//
+//lint:hotpath
 type EventHorizon struct {
 	next int64
 }
 
 // NewEventHorizon returns an empty horizon (Next == HorizonNever).
+//
+//lint:hotpath
 func NewEventHorizon() EventHorizon { return EventHorizon{next: HorizonNever} }
 
 // Reset empties the horizon.
@@ -66,7 +72,27 @@ func (h *EventHorizon) SkipWidth(now, limit int64) int64 {
 // Stats: the skip fast path must leave Stats bit-identical to per-cycle
 // stepping (the golden harness diffs the whole struct), so telemetry
 // travels through core accessors instead of new counters.
+//
+//lint:stats
 type SkipStats struct {
 	SkippedCycles int64 // cycles advanced in bulk
 	Events        int64 // number of skip windows taken
+}
+
+// String renders the telemetry in one line.
+func (s *SkipStats) String() string {
+	return fmt.Sprintf("skipped=%d cycles across %d windows", s.SkippedCycles, s.Events)
+}
+
+// Check asserts the telemetry's internal consistency: a window skips at
+// least one cycle, so there can never be more windows than skipped
+// cycles, and neither count can go negative.
+func (s *SkipStats) Check() error {
+	if s.SkippedCycles < 0 || s.Events < 0 {
+		return fmt.Errorf("uarch: skip stats inconsistency: negative telemetry (skipped=%d events=%d)", s.SkippedCycles, s.Events)
+	}
+	if s.Events > s.SkippedCycles {
+		return fmt.Errorf("uarch: skip stats inconsistency: %d windows but only %d skipped cycles", s.Events, s.SkippedCycles)
+	}
+	return nil
 }

@@ -11,12 +11,16 @@ package uarch
 // Retire or SquashYounger drops them). Entries are Seq-ordered by
 // construction — dispatch allocates in program order and squash discards
 // a tail — which the scan helpers exploit.
+//
+//lint:hotpath
 type LSQ struct {
 	loads  lsqRing
 	stores lsqRing
 }
 
 // LSQEntry tracks one in-flight memory operation.
+//
+//lint:hotpath
 type LSQEntry struct {
 	U         *UOp
 	Addr      uint32

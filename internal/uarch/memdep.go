@@ -5,9 +5,11 @@ package uarch
 // previously violated (executed before an older overlapping store) are
 // predicted "conservative" and wait for all older store addresses;
 // others speculate freely. Entries decay so stale conservatism fades.
+//
+//lint:hotpath
 type MemDepPredictor struct {
 	table []uint8 // 2-bit saturating "collided" counters
-	mask  uint32
+	mask  uint32  //lint:resetless table geometry, fixed at construction
 
 	Violations   uint64
 	Predictions  uint64

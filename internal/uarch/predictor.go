@@ -6,6 +6,8 @@ package uarch
 // Frontend-side predictor and update it at branch resolution.
 
 // DirPredictor predicts conditional branch directions.
+//
+//lint:hotpath
 type DirPredictor interface {
 	// Predict returns the predicted direction and an opaque checkpoint
 	// the caller passes back to Update (predictors are speculative-
@@ -29,10 +31,10 @@ type DirPredictor interface {
 // indexing a table of 2-bit counters (Table I: 10-bit history, 32K
 // entries).
 type Gshare struct {
-	histBits uint
+	histBits uint   //lint:resetless geometry, fixed at construction
 	history  uint64 // speculative global history
 	table    []uint8
-	mask     uint32
+	mask     uint32 //lint:resetless geometry, fixed at construction
 }
 
 // NewGshare builds a gshare predictor.
@@ -94,7 +96,7 @@ func b2u(b bool) uint64 {
 // Oracle predicts perfectly by asking the caller for the outcome; the
 // cores wire OutcomeFn to their in-order golden model.
 type Oracle struct {
-	OutcomeFn func(pc uint32) bool
+	OutcomeFn func(pc uint32) bool //lint:resetless wiring, installed by the core that owns the oracle
 }
 
 // Predict implements DirPredictor.
@@ -118,9 +120,11 @@ func (o *Oracle) Name() string { return "oracle" }
 
 // BTB caches targets of taken branches and jumps (direct-mapped with
 // tags).
+//
+//lint:hotpath
 type BTB struct {
 	entries []btbEntry
-	mask    uint32
+	mask    uint32 //lint:resetless geometry, fixed at construction
 	Hits    uint64
 	Misses  uint64
 }
@@ -156,9 +160,11 @@ func (b *BTB) Insert(pc, target uint32) {
 
 // RAS is the return address stack (checkpointed by copy on recovery —
 // with 16 entries a full copy is cheap).
+//
+//lint:hotpath
 type RAS struct {
 	stack []uint32
-	size  int
+	size  int //lint:resetless capacity, fixed at construction
 }
 
 // NewRAS builds a return-address stack.
@@ -185,6 +191,8 @@ func (r *RAS) Pop() (uint32, bool) {
 
 // Snapshot copies the stack for recovery. It returns nil for an empty
 // stack (recovery skips the restore in that case).
+//
+//lint:coldpath convenience copy; the cores snapshot through SnapshotInto with pooled buffers
 func (r *RAS) Snapshot() []uint32 { return append([]uint32(nil), r.stack...) }
 
 // SnapshotInto copies the stack into dst's backing array (reusing its
@@ -195,7 +203,7 @@ func (r *RAS) SnapshotInto(dst []uint32) []uint32 {
 	if len(r.stack) == 0 {
 		return nil
 	}
-	return append(dst[:0], r.stack...)
+	return append(dst[:0], r.stack...) //lint:alloc reuses dst capacity; allocates only until the snapshot pool reaches steady state
 }
 
 // Depth returns the current stack depth.

@@ -7,6 +7,8 @@ package uarch
 // array, and element slots are stable while an element is resident (the
 // buffer only grows when the occupancy exceeds every previous high-water
 // mark, which the cores' structural size checks prevent after warmup).
+//
+//lint:hotpath
 type Ring[T any] struct {
 	buf  []T
 	head int
@@ -25,7 +27,7 @@ func (r *Ring[T]) grow(minCap int) {
 	for c < minCap {
 		c <<= 1
 	}
-	buf := make([]T, c)
+	buf := make([]T, c) //lint:alloc amortized ring growth; rings are pre-sized and grow only past the high-water mark
 	for i := 0; i < r.n; i++ {
 		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
 	}

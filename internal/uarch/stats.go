@@ -8,6 +8,8 @@ import (
 // Stats collects the simulation counters the experiments and the power
 // model consume. Both cores fill the same struct so results are directly
 // comparable.
+//
+//lint:stats
 type Stats struct {
 	Cycles  int64
 	Retired uint64
@@ -119,6 +121,56 @@ func (s *Stats) Check(cfg Config) error {
 	if s.Retired > 0 && s.Cycles == 0 {
 		return fail("retired %d instructions in zero cycles", s.Retired)
 	}
+	// Activity counters. Bounds are the loosest the pipelines guarantee
+	// by construction: per-instruction counters cannot exceed a small
+	// multiple of the instructions fetched, per-cycle counters cannot
+	// exceed the issuing structure's capacity times the cycle count.
+	cyc := uint64(s.Cycles)
+	if s.TargetMispredict > s.FetchedInsts {
+		return fail("targetMispredict %d > fetched %d", s.TargetMispredict, s.FetchedInsts)
+	}
+	if s.RenameReads > 4*uint64(cfg.FetchWidth)*cyc {
+		return fail("renameReads %d > 4 x FetchWidth(%d) x cycles(%d)", s.RenameReads, cfg.FetchWidth, s.Cycles)
+	}
+	if s.RenameWrites > s.FetchedInsts {
+		return fail("renameWrites %d > fetched %d", s.RenameWrites, s.FetchedInsts)
+	}
+	if s.FreeListOps > 2*s.FetchedInsts {
+		return fail("freeListOps %d > 2 x fetched %d", s.FreeListOps, s.FetchedInsts)
+	}
+	if s.ROBWalkSteps > uint64(cfg.ROBSize)*cyc {
+		return fail("robWalkSteps %d > ROBSize(%d) x cycles(%d)", s.ROBWalkSteps, cfg.ROBSize, s.Cycles)
+	}
+	if s.RPAdditions > 4*s.FetchedInsts {
+		return fail("rpAdditions %d > 4 x fetched %d", s.RPAdditions, s.FetchedInsts)
+	}
+	if s.SPAddExecuted > s.FetchedInsts {
+		return fail("spAddExecuted %d > fetched %d", s.SPAddExecuted, s.FetchedInsts)
+	}
+	if s.IQWakeups > uint64(cfg.SchedulerSize)*cyc {
+		return fail("iqWakeups %d > SchedulerSize(%d) x cycles(%d)", s.IQWakeups, cfg.SchedulerSize, s.Cycles)
+	}
+	if s.IQIssued > uint64(cfg.IssueWidth)*cyc {
+		return fail("iqIssued %d > IssueWidth(%d) x cycles(%d)", s.IQIssued, cfg.IssueWidth, s.Cycles)
+	}
+	if s.Replays > s.IQIssued {
+		return fail("replays %d > issued %d", s.Replays, s.IQIssued)
+	}
+	if s.RegReads > 4*uint64(cfg.SchedulerSize)*cyc {
+		return fail("regReads %d > 4 x SchedulerSize(%d) x cycles(%d)", s.RegReads, cfg.SchedulerSize, s.Cycles)
+	}
+	if s.RegWrites > s.IQIssued+s.SPAddExecuted {
+		return fail("regWrites %d > issued %d + spAdds %d", s.RegWrites, s.IQIssued, s.SPAddExecuted)
+	}
+	if s.Loads+s.Stores > s.IQIssued {
+		return fail("loads %d + stores %d > issued %d", s.Loads, s.Stores, s.IQIssued)
+	}
+	if s.StoreForwards > s.Loads {
+		return fail("storeForwards %d > loads %d", s.StoreForwards, s.Loads)
+	}
+	if s.MemDepViolations > s.Loads {
+		return fail("memDepViolations %d > loads %d", s.MemDepViolations, s.Loads)
+	}
 	return nil
 }
 
@@ -152,7 +204,10 @@ func (s *Stats) String() string {
 		fmt.Fprintf(&b, "occupancy: rob=%.1f iq=%.1f\n",
 			float64(s.ROBOccupancy)/float64(s.Cycles), float64(s.IQOccupancy)/float64(s.Cycles))
 	}
-	fmt.Fprintf(&b, "rename: reads=%d writes=%d freelist=%d robWalk=%d rpAdds=%d\n",
-		s.RenameReads, s.RenameWrites, s.FreeListOps, s.ROBWalkSteps, s.RPAdditions)
+	fmt.Fprintf(&b, "rename: reads=%d writes=%d freelist=%d robWalk=%d rpAdds=%d spAdds=%d\n",
+		s.RenameReads, s.RenameWrites, s.FreeListOps, s.ROBWalkSteps, s.RPAdditions, s.SPAddExecuted)
+	fmt.Fprintf(&b, "activity: fetched=%d wakeups=%d issued=%d regReads=%d regWrites=%d\n",
+		s.FetchedInsts, s.IQWakeups, s.IQIssued, s.RegReads, s.RegWrites)
+	fmt.Fprintf(&b, "retiredByClass=%v\n", s.RetiredByClass)
 	return b.String()
 }

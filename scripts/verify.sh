@@ -12,12 +12,20 @@ set -ex
 go build ./...
 go vet ./...
 
-# staticcheck is optional: run it when available (CI pins a version; see
-# .github/workflows/ci.yml), warn and continue when it is not installed.
-if command -v staticcheck >/dev/null 2>&1; then
-    staticcheck ./...
+# Project analyzers (DESIGN.md §13): resetcomplete, hotpathalloc,
+# statscoverage, tracerguard, run through the vet -vettool protocol.
+go build -o bin/straight-lint ./cmd/straight-lint
+go vet -vettool=bin/straight-lint ./...
+
+# staticcheck, version-pinned in scripts/staticcheck-version (the single
+# tracked pin; CI and the Makefile read the same file). `go run` fetches
+# it from the module cache or the network; when neither has it (offline
+# containers), the availability probe fails and we warn and continue.
+SCVER=$(cat "$(dirname "$0")/staticcheck-version")
+if go run "honnef.co/go/tools/cmd/staticcheck@$SCVER" -version >/dev/null 2>&1; then
+    go run "honnef.co/go/tools/cmd/staticcheck@$SCVER" ./...
 else
-    echo "warning: staticcheck not found; skipping (install honnef.co/go/tools/cmd/staticcheck)" >&2
+    echo "warning: staticcheck@$SCVER unavailable (offline and not in the module cache); skipping" >&2
 fi
 
 go test ./...
