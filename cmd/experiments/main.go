@@ -6,12 +6,21 @@
 // Usage:
 //
 //	experiments [-quick] [-dhry N] [-coremark N] [-j N] [-json PATH]
+//	            [-store PATH] [-server URL]
 //
 // Sweep points within each section run concurrently on -j workers
 // (default GOMAXPROCS); the printed tables are byte-identical at every
 // worker count. -json writes a machine-readable record of every
 // executed point (cycles, IPC, wall time) plus per-section timings and
 // the estimated speedup over a serial run.
+//
+// -store PATH opens (or creates) the persistent content-addressed
+// result store (DESIGN.md §14): points whose inputs are unchanged are
+// served from it instead of re-simulated, and the tables and -json
+// points are byte-identical to the run that computed them. -server URL
+// delegates every sweep to a running straightd daemon instead of
+// simulating locally. Ctrl-C cancels in-flight sweep points and flushes
+// the store before exiting.
 package main
 
 import (
@@ -20,11 +29,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"sort"
+	"syscall"
 	"time"
 
 	"straight/internal/bench"
+	"straight/internal/perf"
 	"straight/internal/power"
 	"straight/internal/profiling"
+	"straight/internal/resultstore"
+	"straight/internal/served"
 	"straight/internal/uarch"
 )
 
@@ -43,6 +58,10 @@ type report struct {
 		Hits   int64 `json:"hits"`
 		Misses int64 `json:"misses"`
 	} `json:"build_cache"`
+	// Store summarizes result-store activity when -store is set. It is a
+	// separate top-level section, so Points stays byte-identical between
+	// a cold and a warm run.
+	Store *storeReport `json:"store,omitempty"`
 	// WallSecondsTotal is the measured harness wall time;
 	// SerialSecondsEst sums every point's individual wall time, so
 	// their ratio estimates the speedup over a -j 1 run. When workers
@@ -59,6 +78,14 @@ type sectionTiming struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
+// storeReport is the -json "store" section.
+type storeReport struct {
+	Path      string                       `json:"path"`
+	Totals    bench.StoreCounts            `json:"totals"`
+	BySection map[string]bench.StoreCounts `json:"by_section,omitempty"`
+	File      resultstore.Stats            `json:"file"`
+}
+
 var sections []sectionTiming
 
 func main() {
@@ -72,7 +99,20 @@ func main() {
 	traceWindow := flag.Int64("trace-window", 0, "trace time-series window in cycles (0 = default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
+	storePath := flag.String("store", "", "persistent result store path (skip re-simulating unchanged points)")
+	serverURL := flag.String("server", "", "delegate sweeps to a straightd daemon at this base URL")
+	requireWarm := flag.Bool("require-warm", false, "fail if any point had to be simulated (CI warm-store assertion; needs -store)")
 	flag.Parse()
+
+	if *serverURL != "" && *tracePath != "" {
+		log.Fatal("-trace is local-only; it cannot be combined with -server")
+	}
+	if *serverURL != "" && *storePath != "" {
+		log.Fatal("-server delegates to the daemon's store; drop -store")
+	}
+	if *requireWarm && *storePath == "" {
+		log.Fatal("-require-warm needs -store")
+	}
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	check(err)
@@ -83,6 +123,36 @@ func main() {
 			Point: *tracePoint, Path: *tracePath, Window: *traceWindow,
 		})
 	}
+
+	if *storePath != "" {
+		st, err := resultstore.Open(*storePath, resultstore.Options{Salt: perf.VersionSalt()})
+		check(err)
+		storeHandle = st
+		bench.SetStore(st)
+		fs := st.Stats()
+		fmt.Printf("result store: %s (%d entries, salt %#x)\n", *storePath, fs.Entries, st.Salt())
+	}
+	var daemon *served.Client
+	if *serverURL != "" {
+		daemon = &served.Client{BaseURL: *serverURL}
+		check(daemon.Healthy())
+		bench.SetRemote(daemon)
+		fmt.Printf("delegating sweeps to straightd at %s\n", *serverURL)
+	}
+
+	// First Ctrl-C / SIGTERM cancels in-flight sweep points (the sweep
+	// fails with "simulation interrupted" and check() flushes the store);
+	// a second one exits immediately.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "experiments: interrupt — cancelling in-flight sweep points")
+		bench.Interrupt()
+		<-sigc
+		closeStore()
+		os.Exit(130)
+	}()
 
 	scale := bench.ScaleDefault
 	if *quick {
@@ -181,6 +251,27 @@ func main() {
 	fmt.Printf("total: %.1fs wall for %d sweep points (%.1fs simulated serially, %.2fx; builds: %d, cache hits: %d)\n",
 		total.Seconds(), len(points), serial, serial/total.Seconds(), misses, hits)
 
+	var storeRep *storeReport
+	if storeHandle != nil {
+		totals := bench.StoreTotals()
+		bySection := bench.StoreCountsBySection()
+		fs := storeHandle.Stats()
+		storeRep = &storeReport{Path: *storePath, Totals: totals, BySection: bySection, File: fs}
+		fmt.Printf("store: %d hits, %d misses, %d recomputed (%d entries, %d bytes live)\n",
+			totals.Hits, totals.Misses, totals.Recomputes, fs.Entries, fs.LiveBytes)
+		for _, name := range sectionOrder(bySection) {
+			c := bySection[name]
+			fmt.Printf("  %-40s %4d hits %4d recomputed\n", name, c.Hits, c.Recomputes)
+		}
+	}
+	if daemon != nil {
+		if st, err := daemon.Stats(); err == nil {
+			fmt.Printf("daemon: %d jobs served, %d points executed, %d coalesced, store %d hits / %d recomputed\n",
+				st.JobsFinished, st.PointsExecuted, st.PointsCoalesced,
+				st.StoreCounts.Hits, st.StoreCounts.Recomputes)
+		}
+	}
+
 	if *tracePath != "" {
 		if bench.TraceTargetClaimed() {
 			fmt.Printf("traced %q to %s (analyze with: straight-trace %s)\n", *tracePoint, *tracePath, *tracePath)
@@ -200,6 +291,7 @@ func main() {
 		rep.Points = points
 		rep.BuildCache.Hits = hits
 		rep.BuildCache.Misses = misses
+		rep.Store = storeRep
 		rep.WallSecondsTotal = total.Seconds()
 		rep.SerialSecondsEst = serial
 		rep.Speedup = serial / total.Seconds()
@@ -211,6 +303,37 @@ func main() {
 	}
 
 	check(stopProf())
+	closeStore()
+
+	if *requireWarm {
+		if rec := bench.StoreTotals().Recomputes; rec != 0 {
+			log.Fatalf("-require-warm: %d points were re-simulated (store was not warm)", rec)
+		}
+		fmt.Println("warm store confirmed: 0 points re-simulated")
+	}
+}
+
+// storeHandle is the -store result store; check() and the signal
+// handler flush it on every exit path so computed results survive
+// failures and Ctrl-C.
+var storeHandle *resultstore.Store
+
+func closeStore() {
+	if storeHandle != nil {
+		if err := storeHandle.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: closing result store: %v\n", err)
+		}
+		storeHandle = nil
+	}
+}
+
+func sectionOrder(m map[string]bench.StoreCounts) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func section(name string, f func()) {
@@ -224,6 +347,7 @@ func section(name string, f func()) {
 
 func check(err error) {
 	if err != nil {
+		closeStore()
 		log.Fatal(err)
 	}
 }

@@ -180,7 +180,7 @@ func RunSS(cfg uarch.Config, im *program.Image) (*sscore.Result, error) {
 // optional pipeline tracer attached, and checks the resulting counters
 // for internal consistency.
 func RunSSTraced(cfg uarch.Config, im *program.Image, tr *ptrace.Tracer) (*sscore.Result, error) {
-	opts := sscore.Options{MaxCycles: simCycleCap, Tracer: tr}
+	opts := sscore.Options{MaxCycles: simCycleCap, Tracer: tr, Interrupt: &interruptFlag}
 	res, err := sscore.New(cfg, im, opts).Run(opts)
 	if err != nil {
 		return nil, err
@@ -200,7 +200,7 @@ func RunStraight(cfg uarch.Config, im *program.Image) (*straightcore.Result, err
 // optional pipeline tracer attached, and checks the resulting counters
 // for internal consistency.
 func RunStraightTraced(cfg uarch.Config, im *program.Image, tr *ptrace.Tracer) (*straightcore.Result, error) {
-	opts := straightcore.Options{MaxCycles: simCycleCap, Tracer: tr}
+	opts := straightcore.Options{MaxCycles: simCycleCap, Tracer: tr, Interrupt: &interruptFlag}
 	res, err := straightcore.New(cfg, im, opts).Run(opts)
 	if err != nil {
 		return nil, err

@@ -186,7 +186,7 @@ func InstructionMix(s Scale) ([]MixRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	ssTotal := float64(results[0].EmuRISCV.Stats().Total())
+	ssTotal := float64(results[0].EmuRISCV.Total())
 	rows := []MixRow{ssMixRow(results[0].EmuRISCV, ssTotal)}
 	for _, r := range results[1:] {
 		rows = append(rows, straightMixRow(fmt.Sprintf("STRAIGHT(%s)", r.Point.Mode), r.EmuStraight, ssTotal))
@@ -194,8 +194,7 @@ func InstructionMix(s Scale) ([]MixRow, error) {
 	return rows, nil
 }
 
-func ssMixRow(m interface{ Stats() *riscvemu.Stats }, total float64) MixRow {
-	st := m.Stats()
+func ssMixRow(st *riscvemu.Stats, total float64) MixRow {
 	row := MixRow{Label: "SS"}
 	for op := riscv.Op(0); op < riscv.Op(riscv.NumOps); op++ {
 		n := float64(st.Retired[op]) / total
@@ -215,8 +214,7 @@ func ssMixRow(m interface{ Stats() *riscvemu.Stats }, total float64) MixRow {
 	return row
 }
 
-func straightMixRow(label string, m interface{ Stats() *straightemu.Stats }, ssTotal float64) MixRow {
-	st := m.Stats()
+func straightMixRow(label string, st *straightemu.Stats, ssTotal float64) MixRow {
 	row := MixRow{Label: label}
 	for op := straight.Op(0); op < straight.Op(straight.NumOps); op++ {
 		n := float64(st.Retired[op]) / ssTotal
@@ -278,8 +276,7 @@ func DistanceCDF(s Scale) (map[workloads.Workload][]DistancePoint, error) {
 	}
 	out := make(map[workloads.Workload][]DistancePoint)
 	for _, r := range results {
-		emu := r.EmuStraight
-		hist := emu.Stats().DistanceHist
+		hist := r.EmuStraight.DistanceHist
 		var total uint64
 		for _, n := range hist {
 			total += n
@@ -287,7 +284,7 @@ func DistanceCDF(s Scale) (map[workloads.Workload][]DistancePoint, error) {
 		var pts []DistancePoint
 		var cum uint64
 		next := 1
-		maxD := int(emu.Stats().MaxObservedDistance)
+		maxD := int(r.EmuStraight.MaxObservedDistance)
 		for d := 1; d < len(hist); d++ {
 			cum += hist[d]
 			if d == next {
@@ -384,10 +381,10 @@ func PowerAnalysis(s Scale) ([]power.Figure17Row, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	ssRes, stRes := results[0].SS, results[1].Straight
+	ssStats, stStats := results[0].Stats, results[1].Stats
 	m := power.NewModel()
-	rows := m.Figure17(&ssRes.Stats, &stRes.Stats, []float64{1.0, 2.5, 4.0})
-	return rows, m.RenameShareOfOther(&ssRes.Stats), nil
+	rows := m.Figure17(ssStats, stStats, []float64{1.0, 2.5, 4.0})
+	return rows, m.RenameShareOfOther(ssStats), nil
 }
 
 // ---- Table I ----

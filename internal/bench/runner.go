@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"straight/internal/emu/riscvemu"
 	"straight/internal/emu/straightemu"
 	"straight/internal/ptrace"
+	"straight/internal/resultstore"
 	"straight/internal/uarch"
 	"straight/internal/workloads"
 )
@@ -53,7 +55,9 @@ type SweepPoint struct {
 	Config uarch.Config
 }
 
-func (p SweepPoint) name() string {
+// Name identifies the point as "Section/Label" (the -trace-point and
+// daemon-log naming).
+func (p SweepPoint) Name() string {
 	if p.Section == "" {
 		return p.Label
 	}
@@ -74,8 +78,10 @@ func StraightPoint(section, label string, w workloads.Workload, iters int, mode 
 }
 
 // PointResult is the outcome of one executed point. Exactly one of the
-// engine-specific fields is set, matching Point.Core; the scalar
-// summary fields are filled for every engine that has them.
+// engine-specific stats fields is set, matching Point.Core; the scalar
+// summary fields are filled for every engine that has them. Every field
+// except Trace is plain data, so results round-trip through the
+// persistent store and the daemon wire format (see ResultData).
 type PointResult struct {
 	Point   SweepPoint
 	Cycles  int64 // cycle cores only
@@ -84,10 +90,16 @@ type PointResult struct {
 	Output  string  // cycle cores only (emulators discard console output)
 	Wall    time.Duration
 
-	SS          *sscore.Result
-	Straight    *straightcore.Result
-	EmuRISCV    *riscvemu.Machine
-	EmuStraight *straightemu.Machine
+	// Cached reports the result was served from the result store (or by
+	// a daemon without re-simulation); Wall then holds the original
+	// simulation's wall time, not the lookup's.
+	Cached bool
+
+	// Stats is set for the cycle cores (CoreSS / CoreStraight).
+	Stats *uarch.Stats
+	// EmuRISCV / EmuStraight are set for the functional engines.
+	EmuRISCV    *riscvemu.Stats
+	EmuStraight *straightemu.Stats
 
 	// Trace is set when this point claimed the SetTraceTarget target.
 	Trace *TraceRecord
@@ -130,7 +142,7 @@ func (r *Runner) Run(points []SweepPoint) ([]PointResult, error) {
 				}
 				res, err := runPoint(points[idx])
 				if err != nil {
-					errs[idx] = fmt.Errorf("%s: %w", points[idx].name(), err)
+					errs[idx] = fmt.Errorf("%s: %w", points[idx].Name(), err)
 					failed.Store(true)
 					continue
 				}
@@ -159,7 +171,69 @@ func (r *Runner) Run(points []SweepPoint) ([]PointResult, error) {
 // never returned to callers.
 var errSkipped = fmt.Errorf("skipped after earlier failure")
 
+// runPoint executes one point: consult the result store, simulate on a
+// miss (or when tracing forces a live run), and record what was
+// computed. ExecutePoint is its exported face for the daemon.
 func runPoint(p SweepPoint) (PointResult, error) {
+	if Interrupted() {
+		return PointResult{}, uarch.ErrInterrupted
+	}
+	var tgt *TraceTarget
+	if p.Core == CoreSS || p.Core == CoreStraight {
+		tgt = claimTrace(p.Name())
+	}
+	st := resultStore.Load()
+	var key resultstore.Key
+	keyed := false
+	if st != nil && tgt == nil {
+		k, err := PointKey(p)
+		if err == nil {
+			key, keyed = k, true
+			if raw, ok := st.Get(k); ok {
+				if res, derr := decodeStored(p, raw); derr == nil {
+					bumpStore(p.Section, func(c *StoreCounts) { c.Hits++ })
+					return res, nil
+				}
+				// Undecodable or inconsistent entry: treat as a miss and
+				// recompute (the Put below supersedes it).
+			}
+			bumpStore(p.Section, func(c *StoreCounts) { c.Misses++ })
+		}
+	}
+	res, err := simulatePoint(p, tgt)
+	if err != nil {
+		return res, err
+	}
+	bumpStore(p.Section, func(c *StoreCounts) { c.Recomputes++ })
+	if keyed {
+		if raw, merr := json.Marshal(res.Data()); merr == nil {
+			if perr := st.Put(key, raw); perr != nil {
+				// A store write failure must not fail the science; the
+				// entry is simply recomputed next time.
+				storePutErrors.Add(1)
+			}
+		}
+	}
+	return res, nil
+}
+
+// ExecutePoint runs one sweep point through the store-aware execution
+// path without journaling (the daemon's per-point entry; batch callers
+// use RunPoints).
+func ExecutePoint(p SweepPoint) (PointResult, error) {
+	return runPoint(p)
+}
+
+// storePutErrors counts result-store appends that failed (disk full,
+// permissions); exposed via StorePutErrors for daemon stats.
+var storePutErrors atomic.Int64
+
+// StorePutErrors reports how many computed results could not be
+// persisted.
+func StorePutErrors() int64 { return storePutErrors.Load() }
+
+// simulatePoint performs the actual build + simulation of a point.
+func simulatePoint(p SweepPoint, tgt *TraceTarget) (PointResult, error) {
 	start := time.Now()
 	res := PointResult{Point: p}
 	switch p.Core {
@@ -169,7 +243,7 @@ func runPoint(p SweepPoint) (PointResult, error) {
 			return res, err
 		}
 		var r *sscore.Result
-		if tgt := claimTrace(p.name()); tgt != nil {
+		if tgt != nil {
 			res.Trace, err = withTracer(tgt, func(tr *ptrace.Tracer) error {
 				var rerr error
 				r, rerr = RunSSTraced(p.Config, im, tr)
@@ -181,7 +255,7 @@ func runPoint(p SweepPoint) (PointResult, error) {
 		if err != nil {
 			return res, err
 		}
-		res.SS = r
+		res.Stats = &r.Stats
 		res.Cycles = r.Stats.Cycles
 		res.Retired = r.Stats.Retired
 		res.IPC = r.Stats.IPC()
@@ -192,7 +266,7 @@ func runPoint(p SweepPoint) (PointResult, error) {
 			return res, err
 		}
 		var r *straightcore.Result
-		if tgt := claimTrace(p.name()); tgt != nil {
+		if tgt != nil {
 			res.Trace, err = withTracer(tgt, func(tr *ptrace.Tracer) error {
 				var rerr error
 				r, rerr = RunStraightTraced(p.Config, im, tr)
@@ -204,7 +278,7 @@ func runPoint(p SweepPoint) (PointResult, error) {
 		if err != nil {
 			return res, err
 		}
-		res.Straight = r
+		res.Stats = &r.Stats
 		res.Cycles = r.Stats.Cycles
 		res.Retired = r.Stats.Retired
 		res.IPC = r.Stats.IPC()
@@ -218,7 +292,7 @@ func runPoint(p SweepPoint) (PointResult, error) {
 		if err != nil {
 			return res, err
 		}
-		res.EmuRISCV = m
+		res.EmuRISCV = m.Stats()
 		res.Retired = m.InstCount()
 	case CoreEmuStraight:
 		im, err := BuildSTRAIGHT(p.Workload, p.Iters, p.MaxDist, p.Mode)
@@ -229,7 +303,7 @@ func runPoint(p SweepPoint) (PointResult, error) {
 		if err != nil {
 			return res, err
 		}
-		res.EmuStraight = m
+		res.EmuStraight = m.Stats()
 		res.Retired = m.InstCount()
 	default:
 		return res, fmt.Errorf("unknown core kind %q", p.Core)
@@ -261,10 +335,40 @@ func Parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Remote executes a batch of sweep points somewhere other than this
+// process — the straightd client installs one so cmd/experiments
+// -server delegates simulation to the daemon. Implementations must
+// return results in input order.
+type Remote interface {
+	Run(points []SweepPoint) ([]PointResult, error)
+}
+
+var remoteMu sync.RWMutex
+var remoteRunner Remote
+
+// SetRemote installs (or, with nil, removes) a remote executor that
+// RunPoints delegates whole batches to instead of simulating locally.
+func SetRemote(r Remote) {
+	remoteMu.Lock()
+	remoteRunner = r
+	remoteMu.Unlock()
+}
+
 // RunPoints executes points on the package-level runner (see
-// SetParallelism) and journals every result for machine-readable
-// reporting.
+// SetParallelism) — or the installed Remote — and journals every result
+// for machine-readable reporting.
 func RunPoints(points []SweepPoint) ([]PointResult, error) {
+	remoteMu.RLock()
+	rem := remoteRunner
+	remoteMu.RUnlock()
+	if rem != nil {
+		results, err := rem.Run(points)
+		if err != nil {
+			return nil, err
+		}
+		recordResults(results)
+		return results, nil
+	}
 	return (&Runner{Workers: Parallelism()}).Run(points)
 }
 

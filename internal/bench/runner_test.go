@@ -35,7 +35,7 @@ func formatResults(results []PointResult) string {
 	var b strings.Builder
 	for _, r := range results {
 		fmt.Fprintf(&b, "%s cycles=%d retired=%d ipc=%.6f out=%q\n",
-			r.Point.name(), r.Cycles, r.Retired, r.IPC, r.Output)
+			r.Point.Name(), r.Cycles, r.Retired, r.IPC, r.Output)
 	}
 	return b.String()
 }

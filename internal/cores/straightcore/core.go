@@ -3,6 +3,7 @@ package straightcore
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"straight/internal/emu/straightemu"
 	"straight/internal/isa/straight"
@@ -35,6 +36,11 @@ type Options struct {
 	// output, retire stream); the switch exists for differential testing
 	// and for measuring the fast path's own speedup.
 	NoIdleSkip bool
+	// Interrupt, when non-nil, is polled once per advance (per stepped
+	// cycle or skipped span); reading true aborts the run with
+	// uarch.ErrInterrupted. Signal handlers set it to cancel in-flight
+	// sweep points (DESIGN.md §14).
+	Interrupt *atomic.Bool
 }
 
 // BugMulReadyEarly is the InjectBug value for the documented scoreboard
@@ -309,6 +315,9 @@ func (c *Core) Run(opts Options) (*Result, error) {
 	lastRetired := uint64(0)
 	lastProgress := int64(0)
 	for !c.exited {
+		if opts.Interrupt != nil && opts.Interrupt.Load() {
+			return nil, uarch.ErrInterrupted
+		}
 		if c.cycle >= maxCycles {
 			return nil, fmt.Errorf("straightcore: cycle limit %d reached (retired %d)", maxCycles, c.stats.Retired)
 		}

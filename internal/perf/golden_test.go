@@ -35,10 +35,7 @@ var goldenIters = map[workloads.Workload]int{
 	workloads.CoreMark:  1,
 }
 
-const (
-	fnvOffset = 14695981039346656037
-	fnvPrime  = 1099511628211
-)
+// fnvOffset and fnvPrime live in salt.go (VersionSalt shares them).
 
 func fnvMix(h uint64, v uint64) uint64 {
 	for i := 0; i < 8; i++ {

@@ -1,0 +1,46 @@
+package perf
+
+import (
+	_ "embed"
+)
+
+// goldenStats is the compiled-in golden cycle-accurate statistics file
+// (see golden_test.go): a pinned uarch.Stats snapshot, exit code and
+// retirement-stream hash for every (kernel, workload) pair. Any change
+// to cycle-level simulator behavior — scheduling order, stall
+// attribution, recovery cost, compiler output — forces this file to be
+// re-recorded (go test ./internal/perf -update), so its bytes are a
+// fingerprint of simulator behavior.
+//
+//go:embed testdata/golden_stats.json
+var goldenStats []byte
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// saltSchema separates salt epochs that the golden file cannot see:
+// bump it manually for behavioral changes invisible to the golden
+// cycle stats (e.g. a functional-emulator-only statistics fix) or when
+// the result-value encoding in internal/bench changes shape.
+const saltSchema = "straight-results-v1"
+
+// VersionSalt derives the simulator-version salt for the persistent
+// result store (internal/resultstore): an FNV-1a hash of the embedded
+// golden statistics plus the manual schema epoch. Results recorded
+// under a different salt are invalidated wholesale on open, so a store
+// can never serve numbers produced by a behaviorally different
+// simulator build.
+func VersionSalt() uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(saltSchema); i++ {
+		h ^= uint64(saltSchema[i])
+		h *= fnvPrime
+	}
+	for _, b := range goldenStats {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}

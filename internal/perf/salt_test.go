@@ -1,0 +1,25 @@
+package perf
+
+import "testing"
+
+// TestVersionSaltTracksGoldenStats pins the salt's contract: it is
+// deterministic, non-trivial, and changes whenever the golden stats
+// bytes change (the property the result store's invalidation relies
+// on).
+func TestVersionSaltTracksGoldenStats(t *testing.T) {
+	s1 := VersionSalt()
+	if s1 == 0 {
+		t.Fatal("salt is zero")
+	}
+	if s2 := VersionSalt(); s2 != s1 {
+		t.Fatalf("salt not deterministic: %x vs %x", s1, s2)
+	}
+	saved := goldenStats
+	defer func() { goldenStats = saved }()
+	mutated := append([]byte{}, saved...)
+	mutated[len(mutated)/2] ^= 0x01
+	goldenStats = mutated
+	if s3 := VersionSalt(); s3 == s1 {
+		t.Fatal("salt ignored a golden-stats change")
+	}
+}

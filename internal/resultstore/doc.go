@@ -1,0 +1,25 @@
+// Package resultstore is a persistent, content-addressed, append-only
+// log of completed experiment results (DESIGN.md §14).
+//
+// Every entry is addressed by a 32-byte Key — a SHA-256 digest of every
+// input that can affect the result (workload source bytes, compile
+// configuration, core configuration, engine kind), built through a
+// KeyHasher so field boundaries are unambiguous. The store maps keys to
+// opaque value bytes; the caller (internal/bench) defines the value
+// encoding. A simulator-version salt (internal/perf.VersionSalt) is
+// stamped into the file header: opening a store whose salt differs from
+// the current one discards every entry, so results recorded by an older
+// simulator can never satisfy a newer lookup.
+//
+// The on-disk format follows the spirit of ninja's build log: a fixed
+// header followed by length-prefixed, checksummed frames, always
+// appended with a single write in O_APPEND mode so concurrent writers
+// interleave whole records. Recovery is positional: on open the file is
+// scanned front to back and the first truncated or corrupt frame ends
+// the trusted prefix — everything before it is kept, everything from it
+// on is dropped and the file truncated back to the last good frame.
+// Re-putting the same key appends a superseding frame (last record
+// wins); a compaction pass rewrites the file to live entries only once
+// the dead-frame waste passes a threshold, via a temp-file + rename so
+// a crash mid-compaction leaves the old file intact.
+package resultstore

@@ -1,0 +1,80 @@
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+)
+
+// KeySize is the byte length of a content address.
+const KeySize = sha256.Size
+
+// Key is the content address of one stored result: a SHA-256 digest of
+// every input that can affect it.
+type Key [KeySize]byte
+
+// String returns the key in hex (the wire and log representation).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// ParseKey parses the hex form produced by Key.String.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("resultstore: bad key %q: %w", s, err)
+	}
+	if len(b) != KeySize {
+		return k, fmt.Errorf("resultstore: bad key length %d, want %d", len(b), KeySize)
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// KeyHasher accumulates labeled fields into a Key. Each field is framed
+// as (len(label), label, len(value), value) so no concatenation of
+// fields can collide with a different field split, and the domain
+// passed to NewKeyHasher separates key schemas (bump it whenever the
+// set or meaning of hashed fields changes).
+type KeyHasher struct {
+	h   hash.Hash
+	len [4]byte
+}
+
+// NewKeyHasher starts a hash in the given schema domain.
+func NewKeyHasher(domain string) *KeyHasher {
+	kh := &KeyHasher{h: sha256.New()}
+	kh.frame("domain", []byte(domain))
+	return kh
+}
+
+func (kh *KeyHasher) frame(label string, value []byte) {
+	binary.LittleEndian.PutUint32(kh.len[:], uint32(len(label)))
+	kh.h.Write(kh.len[:])
+	kh.h.Write([]byte(label))
+	binary.LittleEndian.PutUint32(kh.len[:], uint32(len(value)))
+	kh.h.Write(kh.len[:])
+	kh.h.Write(value)
+}
+
+// Bytes adds a labeled byte field.
+func (kh *KeyHasher) Bytes(label string, value []byte) { kh.frame(label, value) }
+
+// String adds a labeled string field.
+func (kh *KeyHasher) String(label, value string) { kh.frame(label, []byte(value)) }
+
+// Int adds a labeled integer field.
+func (kh *KeyHasher) Int(label string, value int64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(value))
+	kh.frame(label, b[:])
+}
+
+// Sum finalizes the key. The hasher remains usable (further fields
+// produce a new, extended key), though callers normally discard it.
+func (kh *KeyHasher) Sum() Key {
+	var k Key
+	kh.h.Sum(k[:0])
+	return k
+}

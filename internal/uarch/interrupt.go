@@ -1,0 +1,10 @@
+package uarch
+
+import "errors"
+
+// ErrInterrupted is returned by a core's Run when the caller-provided
+// interrupt flag (Options.Interrupt on either core) was raised while
+// the simulation was in flight. The daemon and the experiment CLIs set
+// the flag from signal handlers so Ctrl-C / SIGTERM cancels in-flight
+// sweep points promptly instead of waiting out the run.
+var ErrInterrupted = errors.New("simulation interrupted")

@@ -1,0 +1,52 @@
+//go:build ignore
+
+// comparepoints asserts that two cmd/experiments -json reports carry
+// byte-identical "points" arrays — the warm-store acceptance check: a
+// rerun served from the persistent result store must reproduce exactly
+// what the cold run computed, including the recorded wall times.
+//
+// Usage: go run ./scripts/comparepoints.go cold.json warm.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		log.Fatalf("usage: %s cold.json warm.json", os.Args[0])
+	}
+	a := points(os.Args[1])
+	b := points(os.Args[2])
+	if !bytes.Equal(a, b) {
+		log.Fatalf("points arrays differ between %s (%d bytes) and %s (%d bytes)",
+			os.Args[1], len(a), os.Args[2], len(b))
+	}
+	fmt.Printf("points arrays identical (%d bytes)\n", len(a))
+}
+
+// points extracts the compacted raw bytes of the report's points array.
+func points(path string) []byte {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rep struct {
+		Points json.RawMessage `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if len(rep.Points) == 0 {
+		log.Fatalf("%s: no points array", path)
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, rep.Points); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return buf.Bytes()
+}

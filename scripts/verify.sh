@@ -31,6 +31,10 @@ fi
 go test ./...
 go test -race ./internal/bench/...
 go test -race ./internal/ptrace/...
+# The result store and the straightd daemon are exercised by concurrent
+# clients and writers by design, so both must be race-clean.
+go test -race ./internal/resultstore/...
+go test -race ./internal/served/...
 # The perf harness (golden stats + KIPS measurement) also runs inside
 # the concurrent sweep machinery, so it must be race-clean; the
 # allocation-budget tests skip themselves under -race (instrumentation
@@ -78,3 +82,22 @@ loop:
 EOF
 go run ./cmd/riscv-sim -trace "$tmpdir/loop.kanata" "$tmpdir/loop.rasm"
 go run ./cmd/straight-trace "$tmpdir/loop.kanata" >/dev/null
+
+# Persistent result store (DESIGN.md §14): a second run against the warm
+# store must re-simulate nothing (-require-warm) and reproduce the cold
+# run's points byte-for-byte.
+go run ./cmd/experiments -quick -store "$tmpdir/results.store" -json "$tmpdir/cold.json" >/dev/null
+go run ./cmd/experiments -quick -store "$tmpdir/results.store" -json "$tmpdir/warm.json" -require-warm >/dev/null
+go run ./scripts/comparepoints.go "$tmpdir/cold.json" "$tmpdir/warm.json"
+
+# straightd daemon smoke: serve two sweeps (the second entirely from the
+# daemon's store), then SIGTERM for a graceful store flush; the daemon
+# must exit cleanly.
+go build -o "$tmpdir/straightd" ./cmd/straightd
+"$tmpdir/straightd" -addr 127.0.0.1:18373 -store "$tmpdir/daemon.store" &
+daemon_pid=$!
+sleep 1
+go run ./cmd/experiments -quick -server http://127.0.0.1:18373 >/dev/null
+go run ./cmd/experiments -quick -server http://127.0.0.1:18373 >/dev/null
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
