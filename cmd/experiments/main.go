@@ -185,6 +185,15 @@ func main() {
 		fmt.Print(bench.FormatPerf("Fig 12: STRAIGHT vs SS (2-way, gshare)", rows))
 	})
 
+	section("Extension: CG-OoO comparison", func() {
+		rows, err := bench.CGComparison(scale, true)
+		check(err)
+		fmt.Print(bench.FormatCG("CG-OoO vs SS vs STRAIGHT (4-way, gshare)", rows))
+		pts, err := bench.CGBlockSweep(scale)
+		check(err)
+		fmt.Print(bench.FormatCGBlocks(pts))
+	})
+
 	section("Fig 13: misprediction penalty", func() {
 		rows, err := bench.MissPenalty(scale)
 		check(err)

@@ -116,7 +116,7 @@ func measureAll(count int) *baseline {
 		Iters:    perf.BenchIters,
 		BestOf:   count,
 	}
-	for _, k := range perf.Kernels() {
+	for _, k := range perf.AllKernels() {
 		var r kernelResult
 		r.Name = k.Name
 		fmt.Printf("measuring %-22s ", k.Name)

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	straight-fuzz [-seeds N] [-seed S] [-budget D] [-j N] [-bug NAME]
-//	              [-minimize] [-o DIR]
+//	              [-noskip] [-minimize] [-o DIR]
 //
 // Examples:
 //
@@ -46,11 +46,12 @@ func main() {
 	budget := flag.Duration("budget", 0, "wall-clock budget; stop the sweep early when exceeded (0 = none)")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel checker processes")
 	bug := flag.String("bug", "", `inject a deliberate core defect (e.g. "mul-ready-early") for mutation-testing the harness`)
+	noskip := flag.Bool("noskip", false, "disable the idle-skip fast path (needed to replay sweep seeds that ran without it)")
 	minimize := flag.Bool("minimize", true, "delta-minimize the first divergence")
 	minBudget := flag.Int("minbudget", 400, "minimizer evaluation budget")
 	outDir := flag.String("o", "", "directory for reproducer files (default: current directory)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: straight-fuzz [-seeds N] [-seed S] [-budget D] [-j N] [-bug NAME] [-minimize] [-o DIR]")
+		fmt.Fprintln(os.Stderr, "usage: straight-fuzz [-seeds N] [-seed S] [-budget D] [-j N] [-bug NAME] [-noskip] [-minimize] [-o DIR]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 
 	opts := fuzzgen.DefaultCheckOptions()
 	opts.InjectBug = *bug
+	opts.NoIdleSkip = *noskip
 
 	if *oneSeed != 0 {
 		if !checkSeed(*oneSeed, opts, *minimize, *minBudget, *outDir) {
@@ -107,12 +109,7 @@ func main() {
 				// Workers only detect here; reporting and minimizing run
 				// once, on the smallest diverging seed, after the sweep.
 				p := fuzzgen.Generate(seed, fuzzgen.ConfigForSeed(seed))
-				// Alternate the idle-skip fast path by seed so the sweep
-				// exercises both stepping modes against the lockstep
-				// oracle on the same program population.
-				seedOpts := opts
-				seedOpts.NoIdleSkip = seed%2 == 1
-				out, err := fuzzgen.Check(p, seedOpts)
+				out, err := fuzzgen.Check(p, sweepOpts(opts, seed))
 				checked.Add(1)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "straight-fuzz: seed %d: harness error: %v\n", seed, err)
@@ -138,8 +135,33 @@ func main() {
 		return
 	}
 	fmt.Printf(": first divergence at seed %d\n", bad)
-	checkSeed(bad, opts, *minimize, *minBudget, *outDir)
+	// Re-check with the exact per-seed options the sweep used — the
+	// skip-mode parity is part of the reproduction recipe.
+	checkSeed(bad, sweepOpts(opts, bad), *minimize, *minBudget, *outDir)
 	os.Exit(1)
+}
+
+// sweepOpts derives the per-seed options of a sweep: the idle-skip fast
+// path alternates by seed parity so the lockstep oracle exercises both
+// stepping modes on the same program population. An explicit -noskip
+// forces strict stepping for every seed.
+func sweepOpts(opts fuzzgen.CheckOptions, seed uint64) fuzzgen.CheckOptions {
+	opts.NoIdleSkip = opts.NoIdleSkip || seed%2 == 1
+	return opts
+}
+
+// replayLine renders the exact command line that reproduces a check,
+// including every option that changes simulation behavior. It appears
+// in the console report and at the top of reproducer files.
+func replayLine(seed uint64, opts fuzzgen.CheckOptions) string {
+	line := fmt.Sprintf("straight-fuzz -seed %d", seed)
+	if opts.InjectBug != "" {
+		line += " -bug " + opts.InjectBug
+	}
+	if opts.NoIdleSkip {
+		line += " -noskip"
+	}
+	return line
 }
 
 // recordDiv keeps the smallest diverging seed in firstDiv.
@@ -194,11 +216,7 @@ func checkSeed(seed uint64, opts fuzzgen.CheckOptions, minimize bool, minBudget 
 			fmt.Printf("minimized reproducer written to %s\n", minPath)
 		}
 	}
-	fmt.Printf("\nreplay: straight-fuzz -seed %d", seed)
-	if opts.InjectBug != "" {
-		fmt.Printf(" -bug %s", opts.InjectBug)
-	}
-	fmt.Println()
+	fmt.Printf("\nreplay: %s\n", replayLine(seed, opts))
 	return false
 }
 
@@ -263,11 +281,8 @@ func reproducerText(seed uint64, opts fuzzgen.CheckOptions, p *fuzzgen.Prog, out
 	var b []byte
 	add := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
 	add("# straight-fuzz reproducer\n")
-	add("# replay: straight-fuzz -seed %d", seed)
-	if opts.InjectBug != "" {
-		add(" -bug %s", opts.InjectBug)
-	}
-	add("\nseed: %d\nconfig: %+v\ninjected-bug: %q\n", seed, p.Cfg, opts.InjectBug)
+	add("# replay: %s", replayLine(seed, opts))
+	add("\nseed: %d\nconfig: %+v\ninjected-bug: %q\nno-idle-skip: %v\n", seed, p.Cfg, opts.InjectBug, opts.NoIdleSkip)
 	add("\ndivergence:\n%v\n", out.Div)
 	add("\nabstract program:\n%s", p.String())
 	add("\nSTRAIGHT assembly:\n%s", out.SAsm)

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"straight/internal/fuzzgen"
+)
+
+// TestSweepOptsParity pins the sweep's skip-mode schedule: odd seeds run
+// with idle skipping disabled, and an explicit -noskip forces strict
+// stepping everywhere. The post-sweep recheck reuses sweepOpts, so a
+// divergence found under one stepping mode is always reproduced,
+// minimized, and reported under that same mode.
+func TestSweepOptsParity(t *testing.T) {
+	base := fuzzgen.DefaultCheckOptions()
+	if sweepOpts(base, 2).NoIdleSkip {
+		t.Error("even seed must keep the idle-skip fast path on")
+	}
+	if !sweepOpts(base, 3).NoIdleSkip {
+		t.Error("odd seed must run with idle skipping disabled")
+	}
+	forced := base
+	forced.NoIdleSkip = true
+	if !sweepOpts(forced, 2).NoIdleSkip {
+		t.Error("-noskip must force strict stepping for even seeds too")
+	}
+}
+
+// TestReplayLineCarriesSkipMode is the regression test for the lost
+// repro mode: the printed replay command must include -noskip whenever
+// the diverging check ran without the fast path, and -bug whenever a
+// defect was injected, so pasting the line reruns the identical check.
+func TestReplayLineCarriesSkipMode(t *testing.T) {
+	opts := fuzzgen.DefaultCheckOptions()
+	if got := replayLine(7, opts); got != "straight-fuzz -seed 7" {
+		t.Errorf("plain replay line = %q", got)
+	}
+	opts.NoIdleSkip = true
+	if got := replayLine(7, opts); got != "straight-fuzz -seed 7 -noskip" {
+		t.Errorf("noskip replay line = %q", got)
+	}
+	opts.InjectBug = "mul-ready-early"
+	if got := replayLine(7, opts); got != "straight-fuzz -seed 7 -bug mul-ready-early -noskip" {
+		t.Errorf("bug+noskip replay line = %q", got)
+	}
+	// The reproducer file header must carry the same recipe.
+	p := fuzzgen.Generate(7, fuzzgen.ConfigForSeed(7))
+	out, err := fuzzgen.Check(p, fuzzgen.DefaultCheckOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := reproducerText(7, opts, p, out)
+	if !strings.Contains(text, "# replay: straight-fuzz -seed 7 -bug mul-ready-early -noskip") {
+		t.Errorf("reproducer header lost the replay recipe:\n%s", text[:200])
+	}
+	if !strings.Contains(text, "no-idle-skip: true") {
+		t.Error("reproducer body lost the skip mode")
+	}
+}

@@ -128,11 +128,9 @@ func run(pass *lint.Pass) error {
 	// Hot interfaces: local ones, plus those exported as facts by
 	// dependencies (a local type implementing one must be verified here,
 	// where its methods are defined).
-	hotIfaces := make([]*types.Interface, 0, len(ck.hotIface))
+	hotIfaceTypes := make([]*types.TypeName, 0, len(ck.hotIface))
 	for tn := range ck.hotIface {
-		if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
-			hotIfaces = append(hotIfaces, iface)
-		}
+		hotIfaceTypes = append(hotIfaceTypes, tn)
 	}
 	for _, facts := range pass.DepFacts {
 		for key := range facts {
@@ -150,20 +148,22 @@ func run(pass *lint.Pass) error {
 					continue
 				}
 				if tn, ok := imp.Scope().Lookup(name).(*types.TypeName); ok {
-					if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
-						hotIfaces = append(hotIfaces, iface)
-					}
+					hotIfaceTypes = append(hotIfaceTypes, tn)
 				}
 			}
 		}
 	}
-	for _, iface := range hotIfaces {
+	for _, itn := range hotIfaceTypes {
+		iface, ok := itn.Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
 		for fn := range ck.funcDecls {
 			recv := receiverTypeName(fn)
 			if recv == nil || recv.Pkg() != pass.Pkg {
 				continue
 			}
-			if implements(recv, iface) && hasMethodNamed(iface, fn.Name()) {
+			if implements(recv, itn, iface) && hasMethodNamed(iface, fn.Name()) {
 				ck.addHot(fn)
 			}
 		}
@@ -677,9 +677,28 @@ func receiverTypeName(fn *types.Func) *types.TypeName {
 	return named.Origin().Obj()
 }
 
-func implements(tn *types.TypeName, iface *types.Interface) bool {
+func implements(tn, ifaceTN *types.TypeName, iface *types.Interface) bool {
 	t := tn.Type()
-	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+	if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+		return true
+	}
+	// A generic hot interface (e.g. engine.Policy[I]) cannot be checked
+	// with types.Implements against a concrete receiver — its method
+	// signatures mention the type parameter. Fall back to method-set
+	// coverage: a type providing every method name of the interface is
+	// treated as an implementation (false positives only widen lint
+	// coverage, they cannot hide an allocation).
+	named, ok := ifaceTN.Type().(*types.Named)
+	if !ok || named.TypeParams().Len() == 0 {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(t))
+	for i := 0; i < iface.NumMethods(); i++ {
+		if ms.Lookup(tn.Pkg(), iface.Method(i).Name()) == nil {
+			return false
+		}
+	}
+	return iface.NumMethods() > 0
 }
 
 func hasMethodNamed(iface *types.Interface, name string) bool {

@@ -20,3 +20,14 @@ func Slow(x int) int {
 	out := make([]int, x)
 	return len(out)
 }
+
+// Policy is a generic hot interface in the style of a core policy:
+// implementations cannot be matched with types.Implements (the method
+// signatures mention the type parameter), so root discovery falls back
+// to method-set coverage.
+//
+//lint:hotpath
+type Policy[T any] interface {
+	Rename(v T) bool
+	Execute(v T) int
+}

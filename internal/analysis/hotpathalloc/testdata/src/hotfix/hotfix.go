@@ -139,3 +139,20 @@ func (u *Unit) Step(n int) int {
 func (c *Core) bystander() []int {
 	return make([]int, 64)
 }
+
+// GenUnit implements hotdep.Policy[int], a generic hot interface from a
+// dependency: method-name coverage roots its methods here even though
+// types.Implements cannot see through the uninstantiated interface.
+type GenUnit struct{ m map[int]int }
+
+func (g *GenUnit) Rename(v int) bool { return v > 0 }
+
+func (g *GenUnit) Execute(v int) int {
+	return g.m[v] // want `map access in hot path`
+}
+
+// Halfway shares one method name with the generic interface but not the
+// full set, so it is not an implementation and stays off-budget.
+type Halfway struct{ m map[int]int }
+
+func (h *Halfway) Execute(v int) int { return h.m[v] }

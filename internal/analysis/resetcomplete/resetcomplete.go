@@ -88,6 +88,7 @@ func run(pass *lint.Pass) error {
 			}
 		}
 		if reset == nil {
+			reportPromotedReset(pass, tn, si.st)
 			continue
 		}
 		covered, all := coveredFields(pass, tn, methods[tn], reset)
@@ -114,6 +115,53 @@ func run(pass *lint.Pass) error {
 		}
 	}
 	return nil
+}
+
+// reportPromotedReset covers structs that declare no Reset of their own
+// but whose method set includes one promoted from an embedded field:
+// the embedded Reset restores only the embedded state, so every field
+// the outer type adds leaks across batch reuse unless the type
+// overrides Reset (or annotates the field). This is how wrappers that
+// embed another resettable component — a core policy embedding a sibling
+// policy, say — stay inside the reuse contract without declaring Reset.
+func reportPromotedReset(pass *lint.Pass, tn *types.TypeName, st *ast.StructType) {
+	promotedIdx := -1
+	for name := range resetNames {
+		sel := types.NewMethodSet(types.NewPointer(tn.Type())).Lookup(tn.Pkg(), name)
+		if sel == nil {
+			continue
+		}
+		if idx := sel.Index(); len(idx) > 1 { // len 1 = declared locally, handled above
+			promotedIdx = idx[0]
+			break
+		}
+	}
+	if promotedIdx < 0 {
+		return
+	}
+	fieldIdx := 0
+	for _, field := range st.Fields.List {
+		names := field.Names
+		if len(names) == 0 {
+			names = []*ast.Ident{{Name: embeddedName(field.Type), NamePos: field.Type.Pos()}}
+		}
+		for _, name := range names {
+			idx := fieldIdx
+			fieldIdx++
+			if idx == promotedIdx {
+				continue // the embedded field whose Reset is promoted restores itself
+			}
+			if d, ok := lint.FieldDirective(field, "resetless"); ok {
+				if d.Reason == "" {
+					pass.Reportf(d.Pos, "//lint:resetless on %s.%s needs a reason", tn.Name(), name.Name)
+				}
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"field %s.%s is not restored by the Reset promoted from an embedded field (override Reset or annotate //lint:resetless <reason>)",
+				tn.Name(), name.Name)
+		}
+	}
 }
 
 func receiverTypeName(pass *lint.Pass, fd *ast.FuncDecl) *types.TypeName {

@@ -86,3 +86,31 @@ func (e *Emb) Reset() {
 type NoReset struct {
 	anything int
 }
+
+// Promoted inherits Reset from an embedded resettable type without
+// overriding it: the promoted Reset restores only the embedded state,
+// so the fields Promoted adds leak across batch reuse.
+type Promoted struct {
+	sub
+	extra int // want `field Promoted.extra is not restored by the Reset promoted from an embedded field`
+	cap   int //lint:resetless capacity, fixed at construction
+}
+
+// PromotedClean adds only annotated fields on top of the promoted
+// Reset, which is fine.
+type PromotedClean struct {
+	sub
+	geometry int //lint:resetless geometry, fixed at construction
+}
+
+// Overrider embeds a resettable type but declares its own Reset, so the
+// ordinary (non-promoted) analysis applies.
+type Overrider struct {
+	sub
+	state int
+}
+
+func (o *Overrider) Reset() {
+	o.sub.Reset()
+	o.state = 0
+}

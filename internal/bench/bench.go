@@ -7,6 +7,7 @@ import (
 
 	"straight/internal/backend/riscvbe"
 	"straight/internal/backend/straightbe"
+	"straight/internal/cores/cgcore"
 	"straight/internal/cores/sscore"
 	"straight/internal/cores/straightcore"
 	"straight/internal/emu/riscvemu"
@@ -182,6 +183,27 @@ func RunSS(cfg uarch.Config, im *program.Image) (*sscore.Result, error) {
 func RunSSTraced(cfg uarch.Config, im *program.Image, tr *ptrace.Tracer) (*sscore.Result, error) {
 	opts := sscore.Options{MaxCycles: simCycleCap, Tracer: tr, Interrupt: &interruptFlag}
 	res, err := sscore.New(cfg, im, opts).Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Stats.Check(cfg); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunCG simulates an image on the coarse-grain OoO comparison core
+// (the same RISC-V image the SS core runs).
+func RunCG(cfg uarch.Config, im *program.Image) (*cgcore.Result, error) {
+	return RunCGTraced(cfg, im, nil)
+}
+
+// RunCGTraced simulates an image on the coarse-grain OoO core with an
+// optional pipeline tracer attached, and checks the resulting counters
+// for internal consistency.
+func RunCGTraced(cfg uarch.Config, im *program.Image, tr *ptrace.Tracer) (*cgcore.Result, error) {
+	opts := cgcore.Options{MaxCycles: simCycleCap, Tracer: tr, Interrupt: &interruptFlag}
+	res, err := cgcore.New(cfg, im, opts).Run(opts)
 	if err != nil {
 		return nil, err
 	}

@@ -96,6 +96,118 @@ func FormatPerf(title string, rows []PerfRow) string {
 	return b.String()
 }
 
+// ---- CG-OoO comparison (arXiv 1606.01607) ----
+
+// CGRow is one workload's relative-performance bars for the
+// coarse-grain comparison: SS is 1.0 by construction.
+type CGRow struct {
+	Workload  workloads.Workload
+	SSCycles  int64
+	CGCycles  int64
+	REPCycles int64
+}
+
+// RelCG returns CG-OoO performance relative to SS.
+func (r CGRow) RelCG() float64 { return float64(r.SSCycles) / float64(r.CGCycles) }
+
+// RelREP returns STRAIGHT RE+ performance relative to SS.
+func (r CGRow) RelREP() float64 { return float64(r.SSCycles) / float64(r.REPCycles) }
+
+// CGComparison places the coarse-grain OoO core between the two paper
+// machines: Dhrystone and CoreMark on SS, CG-OoO (same machine, issue
+// coarsened to 8-instruction blocks) and STRAIGHT RE+ at equal sizing.
+func CGComparison(s Scale, fourWay bool) ([]CGRow, error) {
+	ssCfg, cgCfg, stCfg := uarch.SS2Way(), uarch.CG2Way(), uarch.Straight2Way()
+	section := "CG-OoO (2-way)"
+	if fourWay {
+		ssCfg, cgCfg, stCfg = uarch.SS4Way(), uarch.CG4Way(), uarch.Straight4Way()
+		section = "CG-OoO (4-way)"
+	}
+	var points []SweepPoint
+	for _, w := range workloads.All {
+		n := iters(s, w)
+		points = append(points,
+			SSPoint(section, string(w)+"/SS", w, n, ssCfg),
+			CGPoint(section, string(w)+"/CG", w, n, cgCfg),
+			StraightPoint(section, string(w)+"/RE+", w, n, ModeREP, stCfg),
+		)
+	}
+	results, err := RunPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CGRow
+	for i := 0; i < len(results); i += 3 {
+		ss, cg, rep := results[i], results[i+1], results[i+2]
+		for _, other := range []PointResult{cg, rep} {
+			if other.Output != ss.Output {
+				return nil, fmt.Errorf("%s %s: output mismatch vs SS", other.Point.Workload, other.Point.Core)
+			}
+		}
+		rows = append(rows, CGRow{
+			Workload:  ss.Point.Workload,
+			SSCycles:  ss.Cycles,
+			CGCycles:  cg.Cycles,
+			REPCycles: rep.Cycles,
+		})
+	}
+	return rows, nil
+}
+
+// FormatCG renders the coarse-grain comparison rows.
+func FormatCG(title string, rows []CGRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (relative performance, SS = 1.0)\n", title)
+	fmt.Fprintf(&b, "%-12s %12s %14s %14s\n", "workload", "SS", "CG-OoO", "STRAIGHT RE+")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12.3f %14.3f %14.3f\n", r.Workload, 1.0, r.RelCG(), r.RelREP())
+	}
+	return b.String()
+}
+
+// CGBlockPoint is one block size of the CG-OoO block-size sweep.
+type CGBlockPoint struct {
+	BlockSize int
+	Cycles    int64
+	IPC       float64
+}
+
+// CGBlockSweep sweeps the coarse-grain block size on Dhrystone at
+// 4-way. Block size 1 degenerates to the fully out-of-order SS machine
+// (every instruction is its own block), so the first point doubles as a
+// consistency anchor for the sweep.
+func CGBlockSweep(s Scale) ([]CGBlockPoint, error) {
+	sizes := []int{1, 2, 4, 8, 16, 32}
+	n := iters(s, workloads.Dhrystone)
+	var points []SweepPoint
+	for _, bs := range sizes {
+		cfg := uarch.CG4Way()
+		cfg.CGBlockSize = bs
+		cfg.Name = fmt.Sprintf("CG-4way-b%d", bs)
+		points = append(points, CGPoint("CG block sweep", fmt.Sprintf("b=%d", bs), workloads.Dhrystone, n, cfg))
+	}
+	results, err := RunPoints(points)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CGBlockPoint, len(results))
+	for i, r := range results {
+		out[i] = CGBlockPoint{BlockSize: sizes[i], Cycles: r.Cycles, IPC: r.IPC}
+	}
+	return out, nil
+}
+
+// FormatCGBlocks renders the block-size sweep.
+func FormatCGBlocks(pts []CGBlockPoint) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "CG-OoO block-size sweep (Dhrystone, 4-way; block=1 is exactly SS)")
+	fmt.Fprintf(&b, "%-10s %12s %8s\n", "block", "cycles", "IPC")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-10d %12d %8.3f\n", p.BlockSize, p.Cycles, p.IPC)
+	}
+	return b.String()
+}
+
 // ---- Fig 13: misprediction-penalty effect ----
 
 // MissPenaltyRow is one configuration's bars of Fig 13, normalized to

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"straight/internal/cores/cgcore"
 	"straight/internal/cores/sscore"
 	"straight/internal/cores/straightcore"
 	"straight/internal/emu/riscvemu"
@@ -26,12 +27,21 @@ const (
 	CoreSS CoreKind = "ss"
 	// CoreStraight is the cycle-level STRAIGHT core.
 	CoreStraight CoreKind = "straight"
+	// CoreCG is the cycle-level coarse-grain OoO comparison core
+	// (SS rename, block-granular issue; arXiv 1606.01607).
+	CoreCG CoreKind = "cg"
 	// CoreEmuRISCV is the functional RV32IM emulator (used where the
 	// figure is microarchitecture-independent, e.g. Fig 15).
 	CoreEmuRISCV CoreKind = "emu-riscv"
 	// CoreEmuStraight is the functional STRAIGHT emulator.
 	CoreEmuStraight CoreKind = "emu-straight"
 )
+
+// Cycle reports whether the kind is a cycle-level core (carries a
+// uarch.Config and produces uarch.Stats).
+func (k CoreKind) Cycle() bool {
+	return k == CoreSS || k == CoreStraight || k == CoreCG
+}
 
 // SweepPoint is one independent (workload, engine, configuration)
 // simulation of a figure sweep. Points carry everything needed to build
@@ -67,6 +77,12 @@ func (p SweepPoint) Name() string {
 // SSPoint builds a cycle-level SS point.
 func SSPoint(section, label string, w workloads.Workload, iters int, cfg uarch.Config) SweepPoint {
 	return SweepPoint{Section: section, Label: label, Workload: w, Core: CoreSS, Iters: iters, Config: cfg}
+}
+
+// CGPoint builds a cycle-level coarse-grain OoO point (runs the same
+// RISC-V build as SSPoint).
+func CGPoint(section, label string, w workloads.Workload, iters int, cfg uarch.Config) SweepPoint {
+	return SweepPoint{Section: section, Label: label, Workload: w, Core: CoreCG, Iters: iters, Config: cfg}
 }
 
 // StraightPoint builds a cycle-level STRAIGHT point; the compiled
@@ -179,7 +195,7 @@ func runPoint(p SweepPoint) (PointResult, error) {
 		return PointResult{}, uarch.ErrInterrupted
 	}
 	var tgt *TraceTarget
-	if p.Core == CoreSS || p.Core == CoreStraight {
+	if p.Core.Cycle() {
 		tgt = claimTrace(p.Name())
 	}
 	st := resultStore.Load()
@@ -274,6 +290,29 @@ func simulatePoint(p SweepPoint, tgt *TraceTarget) (PointResult, error) {
 			})
 		} else {
 			r, err = RunStraight(p.Config, im)
+		}
+		if err != nil {
+			return res, err
+		}
+		res.Stats = &r.Stats
+		res.Cycles = r.Stats.Cycles
+		res.Retired = r.Stats.Retired
+		res.IPC = r.Stats.IPC()
+		res.Output = r.Output
+	case CoreCG:
+		im, err := BuildRISCV(p.Workload, p.Iters)
+		if err != nil {
+			return res, err
+		}
+		var r *cgcore.Result
+		if tgt != nil {
+			res.Trace, err = withTracer(tgt, func(tr *ptrace.Tracer) error {
+				var rerr error
+				r, rerr = RunCGTraced(p.Config, im, tr)
+				return rerr
+			})
+		} else {
+			r, err = RunCG(p.Config, im)
 		}
 		if err != nil {
 			return res, err
@@ -424,7 +463,7 @@ func recordResults(results []PointResult) {
 			rec.Mode = string(p.Mode)
 			rec.MaxDistance = p.MaxDist
 		}
-		if p.Core == CoreSS || p.Core == CoreStraight {
+		if p.Core.Cycle() {
 			rec.Config = p.Config.Name
 		}
 		journal = append(journal, rec)

@@ -110,7 +110,7 @@ func PointKey(p SweepPoint) (resultstore.Key, error) {
 		kh.String("mode", string(p.Mode))
 		kh.Int("maxdist", int64(p.MaxDist))
 	}
-	if p.Core == CoreSS || p.Core == CoreStraight {
+	if p.Core.Cycle() {
 		cfg, err := json.Marshal(p.Config)
 		if err != nil {
 			return resultstore.Key{}, fmt.Errorf("%s: hashing config: %w", p.Name(), err)
@@ -131,9 +131,9 @@ type ResultData struct {
 	// WallNS is the wall time of the original simulation in integer
 	// nanoseconds (exact round trip, so a warm journal is byte-identical
 	// to the cold one that recorded it).
-	WallNS      int64             `json:"wall_ns"`
-	Stats       *uarch.Stats      `json:"stats,omitempty"`
-	EmuRISCV    *riscvemu.Stats   `json:"emu_riscv,omitempty"`
+	WallNS      int64              `json:"wall_ns"`
+	Stats       *uarch.Stats       `json:"stats,omitempty"`
+	EmuRISCV    *riscvemu.Stats    `json:"emu_riscv,omitempty"`
 	EmuStraight *straightemu.Stats `json:"emu_straight,omitempty"`
 }
 
@@ -175,7 +175,7 @@ func decodeStored(p SweepPoint, raw []byte) (PointResult, error) {
 	if err := json.Unmarshal(raw, &d); err != nil {
 		return PointResult{}, err
 	}
-	if p.Core == CoreSS || p.Core == CoreStraight {
+	if p.Core.Cycle() {
 		if d.Stats == nil {
 			return PointResult{}, fmt.Errorf("stored cycle-core result has no stats")
 		}

@@ -1,35 +1,38 @@
-package straightcore
+// Package cgcore is a CG-OoO-style coarse-grain out-of-order core
+// (arXiv 1606.01607), built as a thin policy over the shared engine: it
+// reuses the superscalar policy's rename, recovery and retirement
+// (internal/cores/sscore) and adds block-granular issue — instructions
+// issue in program order within a block (a control-terminated or
+// size-capped dispatch group) and out of order across blocks. The model
+// serves as a third comparison column between the fully out-of-order SS
+// baseline and STRAIGHT: it quantifies how much of SS's IPC survives
+// when the select logic is coarsened to block granularity.
+package cgcore
 
 import (
 	"straight/internal/cores/engine"
-	"straight/internal/isa/straight"
+	"straight/internal/isa/riscv"
 	"straight/internal/program"
 	"straight/internal/uarch"
 )
 
 // Options control a simulation run. See engine.Options; the InjectBug
-// value this core understands is BugMulReadyEarly.
+// value this core understands is engine.BugFreeListEarlyReclaim
+// (inherited from the embedded superscalar rename policy).
 type Options = engine.Options
 
 // Result summarizes a run.
 type Result = engine.Result
 
-// BugMulReadyEarly is the InjectBug value for the documented scoreboard
-// defect: multiply results are marked ready one cycle after issue while
-// the functional unit still needs its full latency, so consumers can
-// read a stale physical register.
-const BugMulReadyEarly = "mul-ready-early"
-
-// Core is the STRAIGHT cycle simulator: the shared engine steered by
-// the distance-addressing policy (operand determination per paper
-// Fig 3, single-ROB-entry recovery per §III-B).
+// Core is the coarse-grain OoO comparison core.
 type Core struct {
-	eng *engine.Core[straight.Inst]
+	eng *engine.Core[riscv.Inst]
 }
 
-// New builds a core for the image.
+// New builds a core for the image. The block-size knob is
+// cfg.CGBlockSize (0 = default 8).
 func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
-	return &Core{eng: engine.New[straight.Inst](&policy{}, cfg, img, opts)}
+	return &Core{eng: engine.New[riscv.Inst](&policy{}, cfg, img, opts)}
 }
 
 // Run simulates until program exit or a bound is hit.

@@ -5,8 +5,11 @@ import (
 	"testing"
 
 	"straight/internal/backend/straightbe"
+	"straight/internal/cores/cgcore"
+	"straight/internal/cores/engine"
 	"straight/internal/cores/sscore"
 	"straight/internal/cores/straightcore"
+	"straight/internal/ir"
 	"straight/internal/program"
 	"straight/internal/uarch"
 	"straight/internal/workloads"
@@ -136,74 +139,103 @@ func TestIdleSkipErrorIdentical(t *testing.T) {
 	}
 }
 
+// resettableCore is the batch-reuse surface every policy wrapper
+// exposes; the Reset equivalence test drives all three cores through
+// it uniformly.
+type resettableCore interface {
+	Run(opts engine.Options) (*engine.Result, error)
+	Reset(img *program.Image)
+	SkipStats() uarch.SkipStats
+}
+
 // TestResetEquivalence is the batch-reuse acceptance test referenced by
-// the Reset docs: a core recycled with Reset is observably identical to
-// a freshly constructed one, including when a different image is
-// multiplexed through it. The memory-bound model keeps the idle-skip
-// machinery engaged across the reuse, so the horizon and signature
-// state are proven to reset too.
+// the Reset docs, run for every policy: a core recycled with Reset is
+// observably identical to a freshly constructed one, including when
+// different programs (fib → sieve → the pointer-chasing membound
+// microkernel → fib again) are multiplexed through one core. The
+// memory-bound model keeps the idle-skip machinery engaged across the
+// reuse, so the horizon and signature state are proven to reset too.
 func TestResetEquivalence(t *testing.T) {
 	fibMod := buildIR(t, workloads.MicroFib, 2)
 	sieveMod := buildIR(t, workloads.MicroSieve, 2)
+	ptrMod := buildIR(t, workloads.MicroPointer, 2)
 
-	t.Run("straight", func(t *testing.T) {
-		fib := buildSTRAIGHT(t, fibMod, straightbe.Options{MaxDistance: 31, RedundancyElim: true})
-		sieve := buildSTRAIGHT(t, sieveMod, straightbe.Options{MaxDistance: 31, RedundancyElim: true})
-		cfg := uarch.Straight4WayMemBound()
-		opts := straightcore.Options{MaxCycles: 200_000_000}
+	engines := []struct {
+		name    string
+		cfg     uarch.Config
+		build   func(t testing.TB, mod *ir.Module) *program.Image
+		newCore func(cfg uarch.Config, im *program.Image, opts engine.Options) resettableCore
+	}{
+		{
+			name: "straight",
+			cfg:  uarch.Straight4WayMemBound(),
+			build: func(t testing.TB, mod *ir.Module) *program.Image {
+				return buildSTRAIGHT(t, mod, straightbe.Options{MaxDistance: 31, RedundancyElim: true})
+			},
+			newCore: func(cfg uarch.Config, im *program.Image, opts engine.Options) resettableCore {
+				return straightcore.New(cfg, im, opts)
+			},
+		},
+		{
+			name:  "ss",
+			cfg:   uarch.SS4WayMemBound(),
+			build: func(t testing.TB, mod *ir.Module) *program.Image { return buildRISCV(t, mod) },
+			newCore: func(cfg uarch.Config, im *program.Image, opts engine.Options) resettableCore {
+				return sscore.New(cfg, im, opts)
+			},
+		},
+		{
+			name:  "cg",
+			cfg:   uarch.CG4WayMemBound(),
+			build: func(t testing.TB, mod *ir.Module) *program.Image { return buildRISCV(t, mod) },
+			newCore: func(cfg uarch.Config, im *program.Image, opts engine.Options) resettableCore {
+				return cgcore.New(cfg, im, opts)
+			},
+		},
+	}
+	for _, e := range engines {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			fib := e.build(t, fibMod)
+			sieve := e.build(t, sieveMod)
+			ptr := e.build(t, ptrMod)
+			opts := engine.Options{MaxCycles: 200_000_000}
 
-		freshFib := runStraightSkip(t, cfg, fib, false)
-		freshSieve := runStraightSkip(t, cfg, sieve, false)
-
-		core := straightcore.New(cfg, fib, opts)
-		if _, err := core.Run(opts); err != nil {
-			t.Fatal(err)
-		}
-		// Rerun, then multiplex the other program, then come back.
-		for i, want := range []skipRun{freshFib, freshSieve, freshFib} {
-			img := fib
-			if i == 1 {
-				img = sieve
+			fresh := func(im *program.Image) skipRun {
+				core := e.newCore(e.cfg, im, opts)
+				res, err := core.Run(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return skipRun{res.Stats, res.Output, res.ExitCode, core.SkipStats().SkippedCycles}
 			}
-			core.Reset(img)
-			res, err := core.Run(opts)
-			if err != nil {
+			freshFib := fresh(fib)
+			freshSieve := fresh(sieve)
+			freshPtr := fresh(ptr)
+			if freshPtr.skipped == 0 {
+				t.Error("membound pointer chase skipped nothing; the multiplex exercises no skip state")
+			}
+
+			core := e.newCore(e.cfg, fib, opts)
+			if _, err := core.Run(opts); err != nil {
 				t.Fatal(err)
 			}
-			got := skipRun{res.Stats, res.Output, res.ExitCode, core.SkipStats().SkippedCycles}
-			if !reflect.DeepEqual(got, want) {
-				t.Errorf("reuse %d: reset core differs from fresh core:\nreset: %+v\nfresh: %+v", i, got, want)
+			// Rerun, multiplex the other programs through, come back.
+			plan := []struct {
+				img  *program.Image
+				want skipRun
+			}{{fib, freshFib}, {sieve, freshSieve}, {ptr, freshPtr}, {fib, freshFib}}
+			for i, step := range plan {
+				core.Reset(step.img)
+				res, err := core.Run(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := skipRun{res.Stats, res.Output, res.ExitCode, core.SkipStats().SkippedCycles}
+				if !reflect.DeepEqual(got, step.want) {
+					t.Errorf("reuse %d: reset core differs from fresh core:\nreset: %+v\nfresh: %+v", i, got, step.want)
+				}
 			}
-		}
-	})
-
-	t.Run("ss", func(t *testing.T) {
-		fib := buildRISCV(t, fibMod)
-		sieve := buildRISCV(t, sieveMod)
-		cfg := uarch.SS4WayMemBound()
-		opts := sscore.Options{MaxCycles: 200_000_000}
-
-		freshFib := runSSSkip(t, cfg, fib, false)
-		freshSieve := runSSSkip(t, cfg, sieve, false)
-
-		core := sscore.New(cfg, fib, opts)
-		if _, err := core.Run(opts); err != nil {
-			t.Fatal(err)
-		}
-		for i, want := range []skipRun{freshFib, freshSieve, freshFib} {
-			img := fib
-			if i == 1 {
-				img = sieve
-			}
-			core.Reset(img)
-			res, err := core.Run(opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := skipRun{res.Stats, res.Output, res.ExitCode, core.SkipStats().SkippedCycles}
-			if !reflect.DeepEqual(got, want) {
-				t.Errorf("reuse %d: reset core differs from fresh core:\nreset: %+v\nfresh: %+v", i, got, want)
-			}
-		}
-	})
+		})
+	}
 }

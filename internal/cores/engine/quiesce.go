@@ -1,7 +1,6 @@
-package straightcore
+package engine
 
 import (
-	"straight/internal/isa/straight"
 	"straight/internal/ptrace"
 	"straight/internal/uarch"
 )
@@ -21,13 +20,18 @@ import (
 //   - every condition that can change a stage's classification is a
 //     time threshold observed into the horizon; all other inputs are
 //     core state that only active cycles mutate.
+//
+// The rename wrinkle (superscalar policies): a dispatch cycle blocked on
+// an empty free list still consumes a sequence number and charges RMT
+// read ports every cycle, so the bulk update replicates those per-cycle
+// side effects exactly (see DispatchIdleTail).
 
 // advance moves the simulation forward by at least one cycle and at most
 // limit cycles, using the idle-skip fast path when the previous step
 // made no visible progress. It returns the number of cycles consumed.
 //
 //lint:hotpath
-func (c *Core) advance(opts Options, limit int64) (int64, error) {
+func (c *Core[I]) advance(opts Options, limit int64) (int64, error) {
 	if !c.noIdleSkip {
 		sig := c.activitySignature()
 		if sig == c.lastSig {
@@ -44,16 +48,21 @@ func (c *Core) advance(opts Options, limit int64) (int64, error) {
 // change whenever a cycle performs real work. The skip gate only
 // attempts the (more expensive) full quiescence check when the
 // signature did not move across the previous step; collisions merely
-// cost a rejected trySkip, never correctness.
-func (c *Core) activitySignature() uint64 {
-	sig := c.stats.Retired
-	sig = sig*31 + c.stats.FetchedInsts
-	sig = sig*31 + c.stats.IQWakeups
-	sig = sig*31 + c.stats.RegWrites
-	sig = sig*31 + uint64(c.rob.Len())
+// cost a rejected trySkip, never correctness. RenameReads and seq are
+// deliberately excluded: free-list-blocked cycles mutate both every
+// cycle yet are still skippable (trySkip re-derives exactly those
+// per-cycle charges in bulk), so including them would gate the fast
+// path shut for the one stall cause it helps most on small register
+// files.
+func (c *Core[I]) activitySignature() uint64 {
+	sig := c.Stat.Retired
+	sig = sig*31 + c.Stat.FetchedInsts
+	sig = sig*31 + c.Stat.IQWakeups
+	sig = sig*31 + c.Stat.RegWrites
+	sig = sig*31 + uint64(c.ROB.Len())
 	sig = sig*31 + uint64(c.feQueue.Len())
-	sig = sig*31 + uint64(len(c.executing))
-	sig = sig*31 + uint64(len(c.iqAwake))
+	sig = sig*31 + uint64(len(c.Executing))
+	sig = sig*31 + uint64(len(c.IQAwake))
 	return sig
 }
 
@@ -62,26 +71,27 @@ func (c *Core) activitySignature() uint64 {
 // bulk-updating every cycle-dependent counter exactly as limit single
 // steps would have. It returns the number of cycles skipped (0 = the
 // cycle is active and must be stepped normally).
-func (c *Core) trySkip(limit int64) int64 {
-	if c.exited || c.recovValid || len(c.woken) > 0 || limit <= 0 {
+func (c *Core[I]) trySkip(limit int64) int64 {
+	if c.Exited || c.recovValid || len(c.woken) > 0 || limit <= 0 {
 		return 0
 	}
 	h := uarch.NewEventHorizon()
 
 	// Commit: the ROB head retires the moment its result timestamp
-	// passes (SYS µops are Completed at dispatch with ReadyAt set).
-	if c.rob.Len() > 0 {
-		u := c.rob.Front()
+	// passes (serialized µops are Completed at dispatch with ReadyAt
+	// set).
+	if c.ROB.Len() > 0 {
+		u := c.ROB.Front()
 		if u.Completed {
-			if u.ReadyAt <= c.cycle {
+			if u.ReadyAt <= c.Cycle {
 				return 0
 			}
 			h.Observe(u.ReadyAt)
 		}
 	}
 	// Functional units: completeExecution acts at each entry's ReadyAt.
-	for _, u := range c.executing {
-		if u.ReadyAt <= c.cycle {
+	for _, u := range c.Executing {
+		if u.ReadyAt <= c.Cycle {
 			return 0
 		}
 		h.Observe(u.ReadyAt)
@@ -89,13 +99,13 @@ func (c *Core) trySkip(limit int64) int64 {
 	// Scheduler: issue scans every awake entry whose ready time has
 	// passed — even ones that then stay blocked (FU busy, memory
 	// dependence), because the scan itself counts wakeups.
-	for _, u := range c.iqAwake {
-		if u.readyTime <= c.cycle {
+	for _, u := range c.IQAwake {
+		if u.ReadyTime <= c.Cycle {
 			return 0
 		}
-		h.Observe(u.readyTime)
+		h.Observe(u.ReadyTime)
 	}
-	dCause, dCharged, idle := c.dispatchIdleClass(&h)
+	dCause, dCharged, renameReads, idle := c.dispatchIdleClass(&h)
 	if !idle {
 		return 0
 	}
@@ -104,7 +114,7 @@ func (c *Core) trySkip(limit int64) int64 {
 		return 0
 	}
 
-	k := h.SkipWidth(c.cycle, limit)
+	k := h.SkipWidth(c.Cycle, limit)
 	if k <= 0 {
 		return 0
 	}
@@ -116,29 +126,35 @@ func (c *Core) trySkip(limit int64) int64 {
 	if dCharged {
 		switch dCause {
 		case ptrace.StallRecovery:
-			c.stats.RecoveryStall += k
+			c.Stat.RecoveryStall += k
 		case ptrace.StallFrontEnd:
-			c.stats.StallFrontEnd += k
+			c.Stat.StallFrontEnd += k
 		case ptrace.StallSPAddLimit:
-			c.stats.StallSPAddLimit += k
+			c.Stat.StallSPAddLimit += k
 		case ptrace.StallROBFull:
-			c.stats.StallROBFull += k
+			c.Stat.StallROBFull += k
 		case ptrace.StallIQFull:
-			c.stats.StallIQFull += k
+			c.Stat.StallIQFull += k
 		case ptrace.StallLSQFull:
-			c.stats.StallLSQFull += k
+			c.Stat.StallLSQFull += k
+		case ptrace.StallFreeList:
+			// A free-list-blocked dispatch burns a sequence number and
+			// re-reads the RMT ports every cycle before bailing out.
+			c.Stat.StallFreeList += k
+			c.Stat.RenameReads += uint64(k) * renameReads
+			c.seq += uint64(k)
 		}
 	}
 	if feStalled {
-		c.stats.StallFrontEnd += k
+		c.Stat.StallFrontEnd += k
 	}
-	c.stats.Cycles += k
-	c.stats.ROBOccupancy += k * int64(c.rob.Len())
-	c.stats.IQOccupancy += k * int64(c.iqCount)
+	c.Stat.Cycles += k
+	c.Stat.ROBOccupancy += k * int64(c.ROB.Len())
+	c.Stat.IQOccupancy += k * int64(c.IQCount)
 	if c.tr != nil {
 		c.replayIdle(k, dCause, dCharged, feStalled)
 	}
-	c.cycle += k
+	c.Cycle += k
 	c.skip.SkippedCycles += k
 	c.skip.Events++
 	return k
@@ -149,58 +165,62 @@ func (c *Core) trySkip(limit int64) int64 {
 // active cycle). When idle, cause/charged name the stall counter the
 // cycle accrues (charged=false: one of dispatch's silent waits), and any
 // threshold that can change the classification is folded into h. The
-// checks mirror dispatch's ladder exactly, in order.
-func (c *Core) dispatchIdleClass(h *uarch.EventHorizon) (cause ptrace.StallCause, charged, idle bool) {
-	if c.cycle < c.renameBlock {
-		h.Observe(c.renameBlock)
-		return ptrace.StallRecovery, true, true
+// checks mirror dispatch's ladder exactly, in order; the policy supplies
+// the final rename-blocked rung (renameReads is the number of
+// RenameReads a free-list-blocked cycle charges, 0 otherwise).
+func (c *Core[I]) dispatchIdleClass(h *uarch.EventHorizon) (cause ptrace.StallCause, charged bool, renameReads uint64, idle bool) {
+	if c.Cycle < c.RenameBlock {
+		h.Observe(c.RenameBlock)
+		return ptrace.StallRecovery, true, 0, true
 	}
 	if c.feQueue.Len() == 0 {
-		return ptrace.StallFrontEnd, true, true
+		return ptrace.StallFrontEnd, true, 0, true
 	}
 	e := c.feQueue.Front()
-	if c.cycle-e.fetchedAt < int64(c.cfg.FrontEndLatency) {
-		h.Observe(e.fetchedAt + int64(c.cfg.FrontEndLatency))
-		return 0, false, true
+	if c.Cycle-e.FetchedAt < int64(c.Cfg.FrontEndLatency) {
+		h.Observe(e.FetchedAt + int64(c.Cfg.FrontEndLatency))
+		return 0, false, 0, true
 	}
-	if c.serializing {
-		return 0, false, true
+	if c.Serializing {
+		return 0, false, 0, true
 	}
-	inst := e.inst
-	if inst.Op == straight.SYS && c.rob.Len() > 0 {
-		return 0, false, true
+	if e.Info.Serialize && c.ROB.Len() > 0 {
+		return 0, false, 0, true
 	}
 	// With zero SPADDs dispatched this cycle, the per-group limit only
 	// blocks when the config disables SPADD rename entirely.
-	if inst.Op == straight.SPADD && c.cfg.SPAddPerGroup <= 0 {
-		return ptrace.StallSPAddLimit, true, true
+	if e.Info.SPAdd && c.Cfg.SPAddPerGroup <= 0 {
+		return ptrace.StallSPAddLimit, true, 0, true
 	}
-	if c.rob.Len() >= c.cfg.ROBSize {
-		return ptrace.StallROBFull, true, true
+	if c.ROB.Len() >= c.Cfg.ROBSize {
+		return ptrace.StallROBFull, true, 0, true
 	}
-	if c.iqCount >= c.cfg.SchedulerSize {
-		return ptrace.StallIQFull, true, true
+	if c.IQCount >= c.Cfg.SchedulerSize {
+		return ptrace.StallIQFull, true, 0, true
 	}
-	isLoad := inst.Op.Class() == straight.ClassLoad
-	isStore := inst.Op.Class() == straight.ClassStore
-	if (isLoad || isStore) && !c.lsq.CanAllocate(isLoad) {
-		return ptrace.StallLSQFull, true, true
+	isLoad := e.Info.Class == uarch.ClassLoad
+	isStore := e.Info.Class == uarch.ClassStore
+	if (isLoad || isStore) && !c.LSQ.CanAllocate(isLoad) {
+		return ptrace.StallLSQFull, true, 0, true
 	}
-	return 0, false, false
+	if rr, blocked := c.pol.DispatchIdleTail(c, e.Inst); blocked {
+		return ptrace.StallFreeList, true, rr, true
+	}
+	return 0, false, 0, false
 }
 
 // fetchIdleClass classifies fetch: idle=false means fetch would access
 // the I-cache this cycle (cache state mutates — an active cycle). When
 // idle, stalled reports whether the cycle charges StallFrontEnd (a
 // full fetch queue waits silently).
-func (c *Core) fetchIdleClass(h *uarch.EventHorizon) (stalled, idle bool) {
-	if c.cycle < c.fetchStallUntil || c.fetchHalted {
-		if !c.fetchHalted {
-			h.Observe(c.fetchStallUntil)
+func (c *Core[I]) fetchIdleClass(h *uarch.EventHorizon) (stalled, idle bool) {
+	if c.Cycle < c.FetchStallUntil || c.FetchHalted {
+		if !c.FetchHalted {
+			h.Observe(c.FetchStallUntil)
 		}
 		return true, true
 	}
-	if c.feQueue.Len()+c.cfg.FetchWidth > c.feCap {
+	if c.feQueue.Len()+c.Cfg.FetchWidth > c.feCap {
 		return false, true
 	}
 	return false, false
@@ -212,19 +232,19 @@ func (c *Core) fetchIdleClass(h *uarch.EventHorizon) (stalled, idle bool) {
 // byte-identical with skipping enabled.
 //
 //lint:tracerguarded called only from the traced replay path; the caller checks c.tr
-func (c *Core) replayIdle(k int64, dCause ptrace.StallCause, dCharged, feStalled bool) {
-	lq, sq := c.lsq.Occupancy()
+func (c *Core[I]) replayIdle(k int64, dCause ptrace.StallCause, dCharged, feStalled bool) {
+	lq, sq := c.LSQ.Occupancy()
 	for i := int64(0); i < k; i++ {
-		c.tr.BeginCycle(c.cycle + i)
+		c.tr.BeginCycle(c.Cycle + i)
 		if dCharged {
-			c.traceStall(dCause)
+			c.TraceStall(dCause)
 		}
 		if feStalled {
 			c.tr.Stall(ptrace.StallFrontEnd, 0)
 		}
-		c.tr.Sample(c.rob.Len(), c.iqCount, lq, sq)
+		c.tr.Sample(c.ROB.Len(), c.IQCount, lq, sq)
 	}
 }
 
 // SkipStats returns the idle-skip telemetry accumulated so far.
-func (c *Core) SkipStats() uarch.SkipStats { return c.skip }
+func (c *Core[I]) SkipStats() uarch.SkipStats { return c.skip }

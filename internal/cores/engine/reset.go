@@ -1,7 +1,6 @@
-package straightcore
+package engine
 
 import (
-	"straight/internal/emu/straightemu"
 	"straight/internal/program"
 	"straight/internal/uarch"
 )
@@ -10,8 +9,9 @@ import (
 // without rebuilding it (the batch-mode reuse contract, DESIGN.md §12).
 // Every preallocated structure — the µop arena, the ROB and fetch-queue
 // rings, the scheduler lists, the RAS-snapshot pool, cache and
-// predictor tables, the sparse memory's page frames — is reused in
-// place, so batched runs pay no per-run allocation or warmup.
+// predictor tables, the sparse memory's page frames, the policy's
+// rename structures — is reused in place, so batched runs pay no
+// per-run allocation or warmup.
 //
 // Pass nil to rerun the current image, or a new image to multiplex a
 // different program through the same core; the configuration (and hence
@@ -20,7 +20,7 @@ import (
 // Stats, output, exit code, and retire stream match a fresh core bit
 // for bit (proven by TestResetEquivalence). An attached Tracer is NOT
 // reset — batch runs are untraced.
-func (c *Core) Reset(img *program.Image) {
+func (c *Core[I]) Reset(img *program.Image) {
 	if img == nil {
 		img = c.img
 	}
@@ -29,60 +29,57 @@ func (c *Core) Reset(img *program.Image) {
 	// Recycle pooled resources still owned by in-flight state before
 	// clearing the structures that reference them.
 	for i := 0; i < c.feQueue.Len(); i++ {
-		if s := c.feQueue.At(i).rasSnap; s != nil {
+		if s := c.feQueue.At(i).RASSnap; s != nil {
 			c.snapPut(s)
 		}
 	}
 	c.feQueue.Clear()
-	for i := 0; i < c.rob.Len(); i++ {
-		c.freeUop(c.rob.At(i)) // returns RAS snapshots too
+	for i := 0; i < c.ROB.Len(); i++ {
+		c.freeUop(c.ROB.At(i)) // returns RAS snapshots too
 	}
-	c.rob.Clear()
-	c.iqAwake = c.iqAwake[:0]
+	c.ROB.Clear()
+	c.IQAwake = c.IQAwake[:0]
 	c.woken = c.woken[:0]
-	c.executing = c.executing[:0]
+	c.Executing = c.Executing[:0]
 	c.dead = c.dead[:0]
-	c.iqCount = 0
+	c.IQCount = 0
 	for i := range c.waiters {
 		c.waiters[i] = c.waiters[i][:0]
 	}
-	for i := range c.prf {
-		c.prf[i] = 0
-		c.prfReady[i] = 0
+	for i := range c.PRF {
+		c.PRF[i] = 0
+		c.PRFReady[i] = 0
 	}
 
-	c.stats = uarch.Stats{}
-	c.cycle = 0
+	c.Stat = uarch.Stats{}
+	c.Cycle = 0
 	c.seq = 0
-	c.fetchPC = img.Entry
-	c.fetchStallUntil = 0
-	c.fetchHalted = false
-	c.rp = 0
-	c.decSP = program.DefaultStackTop
-	c.renameBlock = 0
-	c.serializing = false
-	c.recov = recovery{}
+	c.FetchPC = img.Entry
+	c.FetchStallUntil = 0
+	c.FetchHalted = false
+	c.RenameBlock = 0
+	c.Serializing = false
+	c.recov = Recovery[I]{}
 	c.recovValid = false
 	c.divBusy = 0
-	c.exited = false
-	c.exitCode = 0
-	c.sysRes = 0
-	c.wantRet = straightemu.Retired{}
+	c.Exited = false
+	c.ExitCode = 0
+	c.ret = uarch.Retirement{}
+	c.feScratch = FEEntry[I]{}
 	c.lastSig = ^uint64(0)
 	c.skip = uarch.SkipStats{}
 	c.outBuf.buf = c.outBuf.buf[:0]
 
+	// Policy state: architectural register init (RP/SP or RMT/free
+	// list) and the golden emulators.
+	c.pol.Reset(c, img)
+
 	c.hier.Reset()
-	c.pred.Reset()
-	c.btb.Reset()
-	c.ras.Reset()
+	c.Pred.Reset()
+	c.BTB.Reset()
+	c.RAS.Reset()
 	c.mdp.Reset()
-	c.lsq.Reset()
+	c.LSQ.Reset()
 	c.mem.Reset()
 	c.mem.LoadImage(img)
-	c.emu.Reset(img)
-	c.emu.SetOutput(c.outBuf)
-	if c.fetchOracle != nil {
-		c.fetchOracle.Reset(img)
-	}
 }

@@ -1,0 +1,214 @@
+package engine
+
+import "testing"
+
+// fakeInst is the minimal Inst payload for scheduler-only tests.
+type fakeInst struct{}
+
+func (fakeInst) String() string { return "fake" }
+
+// schedCore builds a Core with just enough state for enterIQ/Wake: a
+// PRF-ready table and pre-capacitied waiter lists, mirroring how New
+// sizes them (one contiguous block, full capacity up front).
+func schedCore(regs, wcap int) *Core[fakeInst] {
+	c := &Core[fakeInst]{
+		PRFReady: make([]int64, regs),
+		waiters:  make([][]waiter[fakeInst], regs),
+	}
+	block := make([]waiter[fakeInst], regs*wcap)
+	for i := range c.waiters {
+		c.waiters[i] = block[i*wcap : i*wcap : (i+1)*wcap]
+	}
+	return c
+}
+
+func uop(seq uint64, src1, src2 int32) *Uop[fakeInst] {
+	u := &Uop[fakeInst]{}
+	u.Seq = seq
+	u.Src1 = src1
+	u.Src2 = src2
+	return u
+}
+
+// TestWakeupScheduler is the table-driven contract of enterIQ + Wake:
+// ready sources contribute their ready time immediately, in-flight
+// sources park the entry on a waiter list, and the last producer's wake
+// moves it to the woken list with the max ready time.
+func TestWakeupScheduler(t *testing.T) {
+	const far = FarFuture
+	cases := []struct {
+		name       string
+		ready      map[int32]int64 // PRFReady overrides (default 0 = ready now)
+		src1, src2 int32
+		wakes      []struct {
+			reg int32
+			t   int64
+		}
+		wantAwakeAtEnter bool
+		wantWokenAfter   bool
+		wantReadyTime    int64
+	}{
+		{
+			name:             "no sources is awake immediately",
+			src1:             -1,
+			src2:             -1,
+			wantAwakeAtEnter: true,
+			wantReadyTime:    0,
+		},
+		{
+			name:             "both sources already executed",
+			ready:            map[int32]int64{3: 7, 4: 5},
+			src1:             3,
+			src2:             4,
+			wantAwakeAtEnter: true,
+			wantReadyTime:    7, // max of the two
+		},
+		{
+			name:  "one in-flight source wakes later",
+			ready: map[int32]int64{3: far},
+			src1:  3,
+			src2:  -1,
+			wakes: []struct {
+				reg int32
+				t   int64
+			}{{3, 12}},
+			wantWokenAfter: true,
+			wantReadyTime:  12,
+		},
+		{
+			name:  "two in-flight sources need both wakes",
+			ready: map[int32]int64{3: far, 4: far},
+			src1:  3,
+			src2:  4,
+			wakes: []struct {
+				reg int32
+				t   int64
+			}{{3, 9}, {4, 15}},
+			wantWokenAfter: true,
+			wantReadyTime:  15,
+		},
+		{
+			name:  "mixed ready and in-flight keeps the max",
+			ready: map[int32]int64{3: 20, 4: far},
+			src1:  3,
+			src2:  4,
+			wakes: []struct {
+				reg int32
+				t   int64
+			}{{4, 6}},
+			wantWokenAfter: true,
+			wantReadyTime:  20, // the already-ready source dominates
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c := schedCore(8, 4)
+			for r, v := range tc.ready {
+				c.PRFReady[r] = v
+			}
+			u := uop(1, tc.src1, tc.src2)
+			c.enterIQ(u)
+			if !u.InIQ || c.IQCount != 1 {
+				t.Fatalf("enterIQ: InIQ=%v IQCount=%d", u.InIQ, c.IQCount)
+			}
+			gotAwake := len(c.IQAwake) == 1
+			if gotAwake != tc.wantAwakeAtEnter {
+				t.Fatalf("awake at enter = %v, want %v (pending %d)", gotAwake, tc.wantAwakeAtEnter, u.Pending)
+			}
+			for i, w := range tc.wakes {
+				c.PRFReady[w.reg] = w.t
+				c.Wake(w.reg, w.t)
+				if i < len(tc.wakes)-1 && len(c.woken) != 0 {
+					t.Fatalf("woke after %d of %d wakes", i+1, len(tc.wakes))
+				}
+			}
+			if tc.wantWokenAfter {
+				if len(c.woken) != 1 || c.woken[0] != u {
+					t.Fatalf("after wakes: woken=%d entries", len(c.woken))
+				}
+				if u.Pending != 0 {
+					t.Fatalf("Pending=%d after all wakes", u.Pending)
+				}
+			}
+			if u.ReadyTime != tc.wantReadyTime {
+				t.Errorf("ReadyTime=%d, want %d", u.ReadyTime, tc.wantReadyTime)
+			}
+		})
+	}
+}
+
+// TestWakeSkipsStaleLinks pins the seq-tag mechanism: a waiter whose
+// µop slot was recycled (different Seq) or whose entry already left the
+// scheduler (InIQ false) must be skipped, not woken — the arena reuses
+// slots, so without the tag a wake would corrupt an unrelated µop.
+func TestWakeSkipsStaleLinks(t *testing.T) {
+	c := schedCore(8, 4)
+	c.PRFReady[3] = FarFuture
+
+	stale := uop(1, 3, -1)
+	c.enterIQ(stale)
+	if stale.Pending != 1 || len(c.waiters[3]) != 1 {
+		t.Fatalf("setup: pending=%d waiters=%d", stale.Pending, len(c.waiters[3]))
+	}
+
+	// Recycle the slot: same *Uop, new identity — exactly what the arena
+	// does after a squash drain. Also park a live entry on the same reg.
+	stale.Seq = 99
+	stale.Pending = 0
+	live := uop(2, 3, -1)
+	c.enterIQ(live)
+
+	left := uop(3, 3, -1)
+	c.enterIQ(left)
+	left.InIQ = false // squash-drained this cycle but link not yet flushed
+
+	c.Wake(3, 10)
+	if len(c.woken) != 1 || c.woken[0] != live {
+		t.Fatalf("woken=%v, want exactly the live entry", c.woken)
+	}
+	if stale.Pending != 0 || stale.ReadyTime != 0 {
+		t.Errorf("stale entry was touched: pending=%d readyTime=%d", stale.Pending, stale.ReadyTime)
+	}
+	if left.Pending != 1 {
+		t.Errorf("departed entry was touched: pending=%d", left.Pending)
+	}
+}
+
+// TestWakeReusesWaiterCapacity pins the zero-allocation contract: Wake
+// drains a list with ws[:0], keeping the pre-sized backing array, so
+// steady-state park/wake traffic never allocates and never migrates a
+// list off its contiguous block.
+func TestWakeReusesWaiterCapacity(t *testing.T) {
+	c := schedCore(4, 8)
+	c.PRFReady[2] = FarFuture
+	before := cap(c.waiters[2])
+
+	// Arena-style slot reuse: the same µops are re-parked every cycle.
+	slots := make([]*Uop[fakeInst], 8)
+	for i := range slots {
+		slots[i] = uop(uint64(i+1), 2, -1)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, u := range slots {
+			u.Pending = 0
+			u.ReadyTime = 0
+			u.InIQ = false
+			c.enterIQ(u)
+		}
+		c.Wake(2, 5)
+		c.woken = c.woken[:0]
+		c.IQAwake = c.IQAwake[:0]
+		c.IQCount = 0
+		c.PRFReady[2] = FarFuture
+	})
+	if allocs != 0 {
+		t.Errorf("park/wake cycle allocates %.1f per run, want 0", allocs)
+	}
+	if got := cap(c.waiters[2]); got != before {
+		t.Errorf("waiter list capacity changed: %d -> %d", before, got)
+	}
+	if len(c.waiters[2]) != 0 {
+		t.Errorf("list not drained: len=%d", len(c.waiters[2]))
+	}
+}

@@ -1,455 +1,50 @@
 package sscore
 
 import (
-	"fmt"
-	"io"
-	"sync/atomic"
-
-	"straight/internal/emu/riscvemu"
+	"straight/internal/cores/engine"
 	"straight/internal/isa/riscv"
 	"straight/internal/program"
-	"straight/internal/ptrace"
 	"straight/internal/uarch"
 )
 
-// Options control a simulation run.
-type Options struct {
-	// MaxInsns bounds retired instructions (0 = unlimited; the program
-	// must exit).
-	MaxInsns uint64
-	// MaxCycles bounds simulated cycles (safety net; 0 = 2^62).
-	MaxCycles int64
-	// CrossValidate retires in lockstep with the functional emulator and
-	// fails on any architectural divergence.
-	CrossValidate bool
-	// Output receives console syscall output.
-	Output io.Writer
-	// Tracer receives per-instruction pipeline events (nil = tracing
-	// off; every hook site is guarded by a nil check).
-	Tracer *ptrace.Tracer
-	// RetireFn observes every retirement in program order; a non-nil
-	// error aborts the run (used by the lockstep fuzzing oracle).
-	RetireFn uarch.RetireFn
-	// NoIdleSkip disables the event-driven idle-cycle fast path
-	// (DESIGN.md §12) and forces per-cycle stepping. The zero value —
-	// skipping on — is bit-identical in every observable (Stats, traces,
-	// output, retire stream); the switch exists for differential testing
-	// and for measuring the fast path's own speedup.
-	NoIdleSkip bool
-	// Interrupt, when non-nil, is polled once per advance (per stepped
-	// cycle or skipped span); reading true aborts the run with
-	// uarch.ErrInterrupted. Signal handlers set it to cancel in-flight
-	// sweep points (DESIGN.md §14).
-	Interrupt *atomic.Bool
-}
+// Options control a simulation run. See engine.Options; the InjectBug
+// value this core understands is engine.BugFreeListEarlyReclaim.
+type Options = engine.Options
 
 // Result summarizes a run.
-type Result struct {
-	Stats    uarch.Stats
-	ExitCode int32
-	Output   string
-}
+type Result = engine.Result
 
-type feEntry struct {
-	pc        uint32
-	inst      riscv.Inst
-	fetchedAt int64
-	tid       ptrace.ID // trace id (0 = untraced)
-
-	isBranch   bool
-	predTaken  bool
-	predTarget uint32
-	predMeta   uint64
-	rasSnap    []uint32
-	isControl  bool
-}
-
-// uop is an in-flight µop: the shared backend state plus the RISC-V
-// rename payload and the wakeup-scheduler bookkeeping. µops are recycled
-// through a per-core arena, so the steady-state step path never
-// heap-allocates one.
-type uop struct {
-	uarch.UOp
-
-	inst     riscv.Inst
-	tid      ptrace.ID
-	isBranch bool
-	lsq      *uarch.LSQEntry
-	oldDest  int32 // previous physical mapping of rd (for walk/free)
-	logDest  int8  // logical rd (-1 none)
-
-	// Wakeup-scheduler state (see enterIQ/wake).
-	pending   int8
-	inIQ      bool
-	readyTime int64
-}
-
-// waiter links a scheduler entry to a physical register it is waiting
-// on; the seq tag invalidates links to squashed-and-recycled µops.
-type waiter struct {
-	u   *uop
-	seq uint64
-}
-
-// Core is the SS cycle simulator.
+// Core is the conventional-superscalar baseline: the shared engine
+// steered by the RMT/free-list rename policy with tail-first ROB-walk
+// recovery (paper §V-A).
 type Core struct {
-	cfg  uarch.Config //lint:resetless configuration, fixed at construction
-	img  *program.Image
-	mem  *program.Memory
-	hier *uarch.Hierarchy
-	pred uarch.DirPredictor
-	btb  *uarch.BTB
-	ras  *uarch.RAS
-	mdp  *uarch.MemDepPredictor
-	lsq  *uarch.LSQ
-
-	stats uarch.Stats
-	cycle int64
-	seq   uint64
-	tr    *ptrace.Tracer //lint:resetless attachment, survives batch reuse
-
-	// Front end.
-	fetchPC         uint32
-	fetchStallUntil int64
-	feQueue         *uarch.Ring[feEntry]
-	feCap           int  //lint:resetless capacity, derived from cfg at construction
-	fetchHalted     bool // ran off decodable text; wait for redirect
-
-	// Oracle front end (ZeroMispredictPenalty / PredOracle): a functional
-	// emulator stepped at fetch to follow the true path.
-	fetchOracle *riscvemu.Machine
-
-	// Rename.
-	rmt         [32]int32
-	freeList    *uarch.Ring[int32]
-	renameBlock int64 // rename blocked until this cycle (ROB walk)
-	serializing bool  // an ECALL is draining the ROB
-
-	// Backend.
-	inFreeList []bool // debug guard against double-free
-	rob        *uarch.Ring[*uop]
-	iqAwake    []*uop // scheduler entries with all producers executed, Seq-sorted
-	iqCount    int    // total scheduler occupancy (awake + waiting)
-	waiters    [][]waiter
-	woken      []*uop // entries woken this cycle, merged into iqAwake after the scan
-	executing  []*uop
-	prf        []uint32
-	prfReady   []int64 // cycle value becomes available; future = pending
-	divBusy    int64
-
-	// Pending recovery (applied at end of cycle; oldest wins).
-	recov      recovery
-	recovValid bool
-
-	// µop arena and RAS-snapshot pool.
-	arena    []*uop
-	dead     []*uop
-	snapPool [][]uint32
-
-	// Golden model for cross-validation and syscalls.
-	emu      *riscvemu.Machine
-	exited   bool
-	exitCode int32
-
-	// Prebuilt cross-validation trace hook (no per-retire closure).
-	wantVal     uint32
-	wantChecks  bool
-	xvalTraceFn func(riscvemu.Retired) //lint:resetless prebuilt hook, rebound to the reused receiver
-
-	retireFn uarch.RetireFn //lint:resetless attachment, survives batch reuse
-
-	// Idle-skip state (quiesce.go): lastSig gates skip attempts on the
-	// activity signature of the previous step; skip holds telemetry.
-	noIdleSkip bool //lint:resetless configuration, survives batch reuse
-	lastSig    uint64
-	skip       uarch.SkipStats
-
-	outBuf *captureWriter
+	eng *engine.Core[riscv.Inst]
 }
-
-type recovery struct {
-	u        *uop
-	targetPC uint32
-	// isMemViolation refetches the violating load itself.
-	isMemViolation bool
-}
-
-type captureWriter struct {
-	w   io.Writer
-	buf []byte
-}
-
-func (c *captureWriter) Write(p []byte) (int, error) {
-	c.buf = append(c.buf, p...)
-	if c.w != nil {
-		return c.w.Write(p)
-	}
-	return len(p), nil
-}
-
-const farFuture = int64(1) << 62
 
 // New builds a core for the image.
 func New(cfg uarch.Config, img *program.Image, opts Options) *Core {
-	c := &Core{
-		cfg:     cfg,
-		img:     img,
-		mem:     program.NewMemory(),
-		hier:    uarch.NewHierarchy(cfg),
-		btb:     uarch.NewBTB(cfg.BTBEntries),
-		ras:     uarch.NewRAS(cfg.RASEntries),
-		mdp:     uarch.NewMemDepPredictor(4096),
-		lsq:     uarch.NewLSQ(cfg.LQSize, cfg.SQSize),
-		fetchPC: img.Entry,
-		feCap:   cfg.FetchWidth * (cfg.FrontEndLatency + 4),
-		prf:     make([]uint32, cfg.RegFileSize),
-		outBuf:  &captureWriter{w: opts.Output},
-		tr:      opts.Tracer,
-		lastSig: ^uint64(0), // never matches the first real signature
-	}
-	switch cfg.Predictor {
-	case uarch.PredTAGE:
-		c.pred = uarch.NewTAGE()
-	default:
-		c.pred = uarch.NewGshare(cfg.GshareHistBits, cfg.GshareEntries)
-	}
-	c.mem.LoadImage(img)
-	c.prfReady = make([]int64, cfg.RegFileSize)
-	// Waiter lists get capacity up front: a register's list holds at most
-	// the scheduler's live entries plus stale links from squashed µops
-	// that are skipped (not removed) until the next wake drains the list,
-	// so 2×SchedulerSize covers steady state without mid-run growth (the
-	// zero-allocation budget, enforced by TestSteadyStateAllocs*).
-	c.waiters = make([][]waiter, cfg.RegFileSize)
-	wcap := 2 * cfg.SchedulerSize
-	waiterBlock := make([]waiter, cfg.RegFileSize*wcap)
-	for i := range c.waiters {
-		c.waiters[i] = waiterBlock[i*wcap : i*wcap : (i+1)*wcap]
-	}
-
-	// Initial RMT: logical register i maps to physical i; the remaining
-	// physical registers populate the free list.
-	for i := 0; i < 32; i++ {
-		c.rmt[i] = int32(i)
-	}
-	c.prf[riscv.RegSP] = program.DefaultStackTop
-	c.inFreeList = make([]bool, cfg.RegFileSize)
-	c.freeList = uarch.NewRing[int32](cfg.RegFileSize)
-	for p := 32; p < cfg.RegFileSize; p++ {
-		c.freeList.PushBack(int32(p))
-		c.inFreeList[p] = true
-	}
-
-	c.feQueue = uarch.NewRing[feEntry](c.feCap)
-	c.rob = uarch.NewRing[*uop](cfg.ROBSize)
-	c.iqAwake = make([]*uop, 0, cfg.SchedulerSize)
-	c.woken = make([]*uop, 0, cfg.SchedulerSize)
-	c.executing = make([]*uop, 0, cfg.ROBSize)
-	c.dead = make([]*uop, 0, cfg.ROBSize)
-	c.arena = make([]*uop, 0, cfg.ROBSize+8)
-	block := make([]uop, cfg.ROBSize+8)
-	for i := range block {
-		c.arena = append(c.arena, &block[i])
-	}
-
-	// Golden model: drives syscalls and (optionally) cross-validation.
-	c.emu = riscvemu.New(img)
-	c.emu.SetOutput(c.outBuf)
-	c.xvalTraceFn = func(r riscvemu.Retired) {
-		if r.Inst.WritesRd() && r.Inst.Rd != 0 {
-			c.wantVal = r.Result
-			c.wantChecks = true
-		}
-	}
-
-	if cfg.ZeroMispredictPenalty || cfg.Predictor == uarch.PredOracle {
-		c.fetchOracle = riscvemu.New(img)
-		c.fetchOracle.SetOutput(io.Discard)
-	}
-	return c
+	return &Core{eng: engine.New[riscv.Inst](&Policy{}, cfg, img, opts)}
 }
-
-// allocUop takes a recycled µop from the arena (growing it only if the
-// simulation exceeds every previous in-flight high-water mark).
-func (c *Core) allocUop() *uop {
-	if n := len(c.arena); n > 0 {
-		u := c.arena[n-1]
-		c.arena = c.arena[:n-1]
-		return u
-	}
-	block := make([]uop, 32) //lint:alloc arena refill past the in-flight high-water mark, amortized
-	for i := 1; i < len(block); i++ {
-		c.arena = append(c.arena, &block[i])
-	}
-	return &block[0]
-}
-
-// freeUop recycles a µop after its last use. Zeroing the slot clears
-// Seq, which invalidates any stale waiter links still pointing at it.
-func (c *Core) freeUop(u *uop) {
-	if u.RASSnap != nil {
-		c.snapPut(u.RASSnap)
-	}
-	*u = uop{}
-	c.arena = append(c.arena, u)
-}
-
-func (c *Core) snapGet() []uint32 {
-	if n := len(c.snapPool); n > 0 {
-		s := c.snapPool[n-1]
-		c.snapPool = c.snapPool[:n-1]
-		return s
-	}
-	return make([]uint32, 0, c.cfg.RASEntries) //lint:alloc snapshot pool growth, amortized across recoveries
-}
-
-func (c *Core) snapPut(s []uint32) { c.snapPool = append(c.snapPool, s[:0]) }
-
-// Mem exposes the simulated memory (for post-run equivalence checks).
-func (c *Core) Mem() *program.Memory { return c.mem }
 
 // Run simulates until program exit or a bound is hit.
-func (c *Core) Run(opts Options) (*Result, error) {
-	c.retireFn = opts.RetireFn
-	c.noIdleSkip = opts.NoIdleSkip
-	maxCycles := opts.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = farFuture
-	}
-	lastRetired := uint64(0)
-	lastProgress := int64(0)
-	for !c.exited {
-		if opts.Interrupt != nil && opts.Interrupt.Load() {
-			return nil, uarch.ErrInterrupted
-		}
-		if c.cycle >= maxCycles {
-			return nil, fmt.Errorf("sscore: cycle limit %d reached (retired %d)", maxCycles, c.stats.Retired)
-		}
-		if c.stats.Retired != lastRetired {
-			lastRetired = c.stats.Retired
-			lastProgress = c.cycle
-		} else if c.cycle-lastProgress > 500_000 {
-			return nil, fmt.Errorf("sscore: deadlock at cycle %d (retired %d)\n%s", c.cycle, c.stats.Retired, c.deadlockDump())
-		}
-		if opts.MaxInsns > 0 && c.stats.Retired >= opts.MaxInsns {
-			break
-		}
-		// Clamp any skip window so both bound checks above observe the
-		// exact cycle numbers per-cycle stepping would have shown them.
-		limit := maxCycles - c.cycle
-		if d := lastProgress + 500_001 - c.cycle; d < limit {
-			limit = d
-		}
-		if _, err := c.advance(opts, limit); err != nil {
-			return nil, err
-		}
-	}
-	return &Result{Stats: c.stats, ExitCode: c.exitCode, Output: string(c.outBuf.buf)}, nil
-}
+func (c *Core) Run(opts Options) (*Result, error) { return c.eng.Run(opts) }
 
 // RunCycles advances the simulation by at most n cycles, stopping early
-// on program exit or a simulation error. It gives benchmarks and the
-// steady-state allocation tests cycle-granular control that Run (which
-// adds bound and deadlock checks around the whole run) does not expose.
-// Exited reports whether the program has finished.
-func (c *Core) RunCycles(opts Options, n int64) error {
-	c.retireFn = opts.RetireFn
-	c.noIdleSkip = opts.NoIdleSkip
-	for done := int64(0); done < n && !c.exited; {
-		k, err := c.advance(opts, n-done)
-		if err != nil {
-			return err
-		}
-		done += k
-	}
-	return nil
-}
+// on program exit or a simulation error (see engine.Core.RunCycles).
+func (c *Core) RunCycles(opts Options, n int64) error { return c.eng.RunCycles(opts, n) }
+
+// Reset returns the core to power-on state for batch reuse (see
+// engine.Core.Reset).
+func (c *Core) Reset(img *program.Image) { c.eng.Reset(img) }
 
 // Exited reports whether the simulated program has exited.
-func (c *Core) Exited() bool { return c.exited }
+func (c *Core) Exited() bool { return c.eng.HasExited() }
 
 // Stats returns a copy of the counters accumulated so far.
-func (c *Core) Stats() uarch.Stats { return c.stats }
+func (c *Core) Stats() uarch.Stats { return c.eng.Stats() }
 
-// step advances one cycle: commit, execute-complete, issue, dispatch,
-// fetch, then recovery resolution (order chosen so same-cycle hand-offs
-// behave like a real pipeline with forwarding).
-func (c *Core) step(opts Options) error {
-	if c.tr != nil {
-		c.tr.BeginCycle(c.cycle)
-	}
-	if err := c.commit(opts); err != nil {
-		return err
-	}
-	c.completeExecution()
-	c.issue()
-	if err := c.dispatch(); err != nil {
-		return err
-	}
-	c.fetch()
-	c.applyRecovery()
-	c.stats.Cycles++
-	c.stats.ROBOccupancy += int64(c.rob.Len())
-	c.stats.IQOccupancy += int64(c.iqCount)
-	if c.tr != nil {
-		lq, sq := c.lsq.Occupancy()
-		c.tr.Sample(c.rob.Len(), c.iqCount, lq, sq)
-	}
-	c.cycle++
-	return nil
-}
+// Mem exposes the simulated memory (for post-run equivalence checks).
+func (c *Core) Mem() *program.Memory { return c.eng.Mem() }
 
-// deadlockDump renders the pipeline state for deadlock diagnostics.
-//
-//lint:coldpath deadlock diagnostics, produced once when the run is already failing
-func (c *Core) deadlockDump() string {
-	s := fmt.Sprintf("rob=%d iq=%d (awake=%d) exec=%d feq=%d freeList=%d fetchPC=%#x halted=%v stall=%d renameBlock=%d serializing=%v\n",
-		c.rob.Len(), c.iqCount, len(c.iqAwake), len(c.executing), c.feQueue.Len(), c.freeList.Len(),
-		c.fetchPC, c.fetchHalted, c.fetchStallUntil, c.renameBlock, c.serializing)
-	if c.rob.Len() > 0 {
-		u := c.rob.Front()
-		s += fmt.Sprintf("rob head: seq=%d pc=%#x %v class=%v completed=%v squashed=%v readyAt=%d state=%d\n",
-			u.Seq, u.PC, u.inst, u.Class, u.Completed, u.Squashed, u.ReadyAt, u.State)
-		// Walk the dependency chain from the head's pending source.
-		pending := u.Src1
-		if pending < 0 || c.prfReady[pending] <= c.cycle {
-			pending = u.Src2
-		}
-		for depth := 0; depth < 10 && pending >= 0 && c.prfReady[pending] > c.cycle; depth++ {
-			var owner *uop
-			for i := 0; i < c.rob.Len(); i++ {
-				if w := c.rob.At(i); w.Dest == pending {
-					owner = w
-				}
-			}
-			if owner == nil {
-				s += fmt.Sprintf("  reg %d: NO in-flight producer (prfReady=%d)\n", pending, c.prfReady[pending])
-				break
-			}
-			s += fmt.Sprintf("  reg %d <- seq=%d pc=%#x %v state=%d squashed=%v src1=%d src2=%d\n",
-				pending, owner.Seq, owner.PC, owner.inst, owner.State, owner.Squashed, owner.Src1, owner.Src2)
-			next := owner.Src1
-			if next < 0 || c.prfReady[next] <= c.cycle {
-				next = owner.Src2
-			}
-			pending = next
-		}
-	}
-	for i, u := range c.iqAwake {
-		if i >= 4 {
-			break
-		}
-		s += fmt.Sprintf("iqAwake[%d]: seq=%d pc=%#x %v src1=%d(r@%d) src2=%d(r@%d) readyTime=%d\n",
-			i, u.Seq, u.PC, u.inst, u.Src1, rdy(c, u.Src1), u.Src2, rdy(c, u.Src2), u.readyTime)
-	}
-	lq, sq := c.lsq.Occupancy()
-	s += fmt.Sprintf("lsq: loads=%d stores=%d\n", lq, sq)
-	return s
-}
-
-func rdy(c *Core, r int32) int64 {
-	if r < 0 {
-		return 0
-	}
-	return c.prfReady[r]
-}
+// SkipStats returns the idle-skip telemetry accumulated so far.
+func (c *Core) SkipStats() uarch.SkipStats { return c.eng.SkipStats() }

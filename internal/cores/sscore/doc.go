@@ -2,13 +2,17 @@
 // out-of-order superscalar baseline ("SS", paper §V-A): an RV32IM core
 // with a RAM-based register mapping table (RMT), a free list, and
 // ROB-walking misprediction recovery that blocks the rename stage until
-// the walk completes. The back-end machinery (scheduler, LSQ, caches,
-// predictors) comes from internal/uarch and is shared verbatim with the
-// STRAIGHT core.
+// the walk completes. The cycle loop and back-end machinery (scheduler,
+// LSQ, caches, predictors) come from the shared generic engine of
+// internal/cores/engine steered by this package's Policy implementation
+// (DESIGN.md §15) and the component library of internal/uarch, shared
+// verbatim with the STRAIGHT core. The Policy type is exported so
+// derived cores (internal/cores/cgcore) can embed it and override
+// individual hooks.
 //
 // # Pipeline stages and tracing hook sites
 //
-// The cycle loop in step() runs commit, completeExecution, issue,
+// The engine's cycle loop runs commit, completeExecution, issue,
 // dispatch, fetch, then applyRecovery. When Options.Tracer is set, the
 // core reports every instruction lifecycle edge to internal/ptrace:
 //

@@ -9,12 +9,15 @@
 // MAX_RP = maximum distance + ROB entries (§III-B), so an in-flight
 // destination register can never alias a live older value.
 //
-// Everything else — scheduler, LSQ, caches, predictors, functional units
-// — is the shared machinery of internal/uarch, identical to the SS core.
+// Everything else — the cycle loop, scheduler, LSQ, caches, predictors,
+// functional units — is the shared generic engine of
+// internal/cores/engine steered by this package's Policy implementation
+// (DESIGN.md §15), plus the component library of internal/uarch,
+// identical to the SS core.
 //
 // # Pipeline stages and tracing hook sites
 //
-// The cycle loop in step() runs commit, completeExecution, issue,
+// The engine's cycle loop runs commit, completeExecution, issue,
 // dispatch, fetch, then applyRecovery. When Options.Tracer is set, the
 // core reports every instruction lifecycle edge to internal/ptrace:
 //

@@ -202,7 +202,16 @@ func clip(s string) string {
 // off: the point is that an out-of-process observer using only the
 // public retirement stream catches the same (and injected) bugs.
 func lockstepStraight(p *Prog, simg *program.Image, opts CheckOptions,
-	wantOut string, wantCode int32, wantMem *program.Memory) *Divergence {
+	wantOut string, wantCode int32, wantMem *program.Memory) (div *Divergence) {
+	// A core panic (an internal invariant detector firing, e.g. the
+	// free-list walk double-free check under an injected defect) is a
+	// caught divergence, not a harness crash: the minimizer must be able
+	// to shrink panicking reproducers like any other.
+	defer func() {
+		if r := recover(); r != nil {
+			div = &Divergence{Stage: "straight-core-panic", Detail: fmt.Sprint(r)}
+		}
+	}()
 	ref := straightemu.New(simg)
 	ref.SetStrict(p.Cfg.MaxDistance)
 	ref.SetOutput(io.Discard)
@@ -261,7 +270,12 @@ func lockstepStraight(p *Prog, simg *program.Image, opts CheckOptions,
 
 // lockstepSS mirrors lockstepStraight for the superscalar baseline.
 func lockstepSS(p *Prog, rimg *program.Image, opts CheckOptions,
-	wantOut string, wantCode int32, wantMem *program.Memory) *Divergence {
+	wantOut string, wantCode int32, wantMem *program.Memory) (div *Divergence) {
+	defer func() {
+		if r := recover(); r != nil {
+			div = &Divergence{Stage: "ss-core-panic", Detail: fmt.Sprint(r)}
+		}
+	}()
 	ref := riscvemu.New(rimg)
 	ref.SetOutput(io.Discard)
 
@@ -272,6 +286,7 @@ func lockstepSS(p *Prog, rimg *program.Image, opts CheckOptions,
 	res, err := core.Run(sscore.Options{
 		MaxCycles:  opts.MaxCycles,
 		Output:     &outBuf,
+		InjectBug:  opts.InjectBug,
 		NoIdleSkip: opts.NoIdleSkip,
 		RetireFn: func(r uarch.Retirement) error {
 			var want riscvemu.Retired

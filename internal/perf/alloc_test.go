@@ -3,8 +3,7 @@ package perf
 import (
 	"testing"
 
-	"straight/internal/cores/sscore"
-	"straight/internal/cores/straightcore"
+	"straight/internal/cores/engine"
 )
 
 // allocWarmupCycles runs the simulation deep into its main loop before
@@ -19,86 +18,62 @@ const allocMeasureCycles = 5_000
 // the eleven AllocsPerRun sample windows, even at 4-way IPC.
 const allocIters = 3 * BenchIters
 
-// TestSteadyStateAllocsStraight asserts the STRAIGHT core's per-cycle
-// step path performs zero heap allocations in steady state on the
-// non-traced path, at both widths. This is the enforcement half of the
-// allocation-free kernel: any regression (a map in the issue loop, an
-// escaping closure, slice append churn) fails here before it shows up
-// as a KIPS regression in CI.
-func TestSteadyStateAllocsStraight(t *testing.T) {
-	if raceEnabled {
-		t.Skip("allocation budgets are not meaningful under the race detector")
+// runAllocBudget asserts the kernel's per-cycle step path performs zero
+// heap allocations in steady state on the non-traced path. This is the
+// enforcement half of the allocation-free kernel: any regression (a map
+// in the issue loop, an escaping closure, slice append churn, a policy
+// hook argument escaping through the interface) fails here before it
+// shows up as a KIPS regression in CI.
+func runAllocBudget(t *testing.T, k Kernel) {
+	t.Helper()
+	im, err := BuildImage(k, BenchWorkload, allocIters)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, k := range Kernels() {
-		if !k.Straight {
-			continue
+	opts := engine.Options{MaxCycles: runCycleCap}
+	c := NewCore(k, im, opts)
+	if err := c.RunCycles(opts, allocWarmupCycles); err != nil {
+		t.Fatal(err)
+	}
+	if c.Exited() {
+		t.Fatalf("workload exited during warmup (%d cycles); grow BenchIters", allocWarmupCycles)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := c.RunCycles(opts, allocMeasureCycles); err != nil {
+			t.Fatal(err)
 		}
-		k := k
-		t.Run(k.Name, func(t *testing.T) {
-			im, err := BuildImage(k, BenchWorkload, allocIters)
-			if err != nil {
-				t.Fatal(err)
-			}
-			opts := straightcore.Options{MaxCycles: runCycleCap}
-			c := straightcore.New(k.Cfg, im, opts)
-			if err := c.RunCycles(opts, allocWarmupCycles); err != nil {
-				t.Fatal(err)
-			}
-			if c.Exited() {
-				t.Fatalf("workload exited during warmup (%d cycles); grow BenchIters", allocWarmupCycles)
-			}
-			allocs := testing.AllocsPerRun(10, func() {
-				if err := c.RunCycles(opts, allocMeasureCycles); err != nil {
-					t.Fatal(err)
-				}
-			})
-			if c.Exited() {
-				t.Fatalf("workload exited during measurement; grow BenchIters")
-			}
-			if allocs != 0 {
-				t.Errorf("%s: %.1f heap allocations per %d steady-state cycles, want 0",
-					k.Name, allocs, allocMeasureCycles)
-			}
-		})
+	})
+	if c.Exited() {
+		t.Fatalf("workload exited during measurement; grow BenchIters")
+	}
+	if allocs != 0 {
+		t.Errorf("%s: %.1f heap allocations per %d steady-state cycles, want 0",
+			k.Name, allocs, allocMeasureCycles)
 	}
 }
 
-// TestSteadyStateAllocsSS is the same budget for the superscalar core:
-// rename, free-list and ROB-walk machinery included.
-func TestSteadyStateAllocsSS(t *testing.T) {
+// allocKernels filters AllKernels down to one kind.
+func allocKernels(t *testing.T, kind CoreKind) {
 	if raceEnabled {
 		t.Skip("allocation budgets are not meaningful under the race detector")
 	}
-	for _, k := range Kernels() {
-		if k.Straight {
+	for _, k := range AllKernels() {
+		if k.Kind != kind {
 			continue
 		}
 		k := k
-		t.Run(k.Name, func(t *testing.T) {
-			im, err := BuildImage(k, BenchWorkload, allocIters)
-			if err != nil {
-				t.Fatal(err)
-			}
-			opts := sscore.Options{MaxCycles: runCycleCap}
-			c := sscore.New(k.Cfg, im, opts)
-			if err := c.RunCycles(opts, allocWarmupCycles); err != nil {
-				t.Fatal(err)
-			}
-			if c.Exited() {
-				t.Fatalf("workload exited during warmup (%d cycles); grow BenchIters", allocWarmupCycles)
-			}
-			allocs := testing.AllocsPerRun(10, func() {
-				if err := c.RunCycles(opts, allocMeasureCycles); err != nil {
-					t.Fatal(err)
-				}
-			})
-			if c.Exited() {
-				t.Fatalf("workload exited during measurement; grow BenchIters")
-			}
-			if allocs != 0 {
-				t.Errorf("%s: %.1f heap allocations per %d steady-state cycles, want 0",
-					k.Name, allocs, allocMeasureCycles)
-			}
-		})
+		t.Run(k.Name, func(t *testing.T) { runAllocBudget(t, k) })
 	}
 }
+
+// TestSteadyStateAllocsStraight enforces the zero-allocation budget on
+// the STRAIGHT policy at both widths.
+func TestSteadyStateAllocsStraight(t *testing.T) { allocKernels(t, KindStraight) }
+
+// TestSteadyStateAllocsSS is the same budget for the superscalar
+// policy: rename, free-list and ROB-walk machinery included.
+func TestSteadyStateAllocsSS(t *testing.T) { allocKernels(t, KindSS) }
+
+// TestSteadyStateAllocsCG is the same budget for the coarse-grain
+// policy: block gating must not allocate either.
+func TestSteadyStateAllocsCG(t *testing.T) { allocKernels(t, KindCG) }

@@ -9,8 +9,7 @@ import (
 	"reflect"
 	"testing"
 
-	"straight/internal/cores/sscore"
-	"straight/internal/cores/straightcore"
+	"straight/internal/cores/engine"
 	"straight/internal/uarch"
 	"straight/internal/workloads"
 )
@@ -69,22 +68,12 @@ func runGolden(t *testing.T, k Kernel, w workloads.Workload) goldenEntry {
 		t.Fatalf("build %s/%s: %v", k.Name, w, err)
 	}
 	hash := uint64(fnvOffset)
-	var entry goldenEntry
-	if k.Straight {
-		opts := straightcore.Options{MaxCycles: runCycleCap, CrossValidate: true, RetireFn: retireHasher(&hash)}
-		res, err := straightcore.New(k.Cfg, im, opts).Run(opts)
-		if err != nil {
-			t.Fatalf("run %s/%s: %v", k.Name, w, err)
-		}
-		entry = goldenEntry{Stats: res.Stats, ExitCode: res.ExitCode}
-	} else {
-		opts := sscore.Options{MaxCycles: runCycleCap, CrossValidate: true, RetireFn: retireHasher(&hash)}
-		res, err := sscore.New(k.Cfg, im, opts).Run(opts)
-		if err != nil {
-			t.Fatalf("run %s/%s: %v", k.Name, w, err)
-		}
-		entry = goldenEntry{Stats: res.Stats, ExitCode: res.ExitCode}
+	opts := engine.Options{MaxCycles: runCycleCap, CrossValidate: true, RetireFn: retireHasher(&hash)}
+	res, err := NewCore(k, im, opts).Run(opts)
+	if err != nil {
+		t.Fatalf("run %s/%s: %v", k.Name, w, err)
 	}
+	entry := goldenEntry{Stats: res.Stats, ExitCode: res.ExitCode}
 	if err := entry.Stats.Check(k.Cfg); err != nil {
 		t.Fatalf("%s/%s: %v", k.Name, w, err)
 	}
@@ -126,6 +115,63 @@ func TestGoldenStats(t *testing.T) {
 	}
 
 	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	want := map[string]goldenEntry{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d entries, current run produced %d", len(want), len(got))
+	}
+	for key, w := range want {
+		g, ok := got[key]
+		if !ok {
+			t.Errorf("%s: missing from current run", key)
+			continue
+		}
+		if g.ExitCode != w.ExitCode {
+			t.Errorf("%s: exit code %d != golden %d", key, g.ExitCode, w.ExitCode)
+		}
+		if g.RetireHash != w.RetireHash {
+			t.Errorf("%s: retirement stream hash %#x != golden %#x", key, g.RetireHash, w.RetireHash)
+		}
+		if !reflect.DeepEqual(g.Stats, w.Stats) {
+			t.Errorf("%s: stats diverge from golden:\n%s", key, diffStats(w.Stats, g.Stats))
+		}
+	}
+}
+
+// TestGoldenStatsExtra pins the kernels added after the embedded golden
+// corpus froze (ExtraKernels: the CG-OoO comparison core) against their
+// own golden file. The file is deliberately NOT //go:embed-ded: adding
+// or re-recording extra kernels must not move perf.VersionSalt, which
+// fingerprints only golden_stats.json. Regenerate with:
+//
+//	go test ./internal/perf -run TestGoldenStatsExtra -update
+func TestGoldenStatsExtra(t *testing.T) {
+	path := filepath.Join("testdata", "golden_stats_extra.json")
+	got := map[string]goldenEntry{}
+	for _, k := range ExtraKernels() {
+		for _, w := range workloads.All {
+			got[fmt.Sprintf("%s/%s", k.Name, w)] = runGolden(t, k, w)
+		}
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d entries)", path, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("missing golden file (run with -update to create): %v", err)
 	}

@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"straight/internal/bench"
+	"straight/internal/cores/cgcore"
+	"straight/internal/cores/engine"
 	"straight/internal/cores/sscore"
 	"straight/internal/cores/straightcore"
 	"straight/internal/program"
@@ -12,33 +14,67 @@ import (
 	"straight/internal/workloads"
 )
 
+// CoreKind selects which cycle core a kernel runs on.
+type CoreKind string
+
+const (
+	// KindStraight is the STRAIGHT core (distance operands).
+	KindStraight CoreKind = "straight"
+	// KindSS is the superscalar baseline (RMT/free-list rename).
+	KindSS CoreKind = "ss"
+	// KindCG is the coarse-grain OoO comparison core (SS rename,
+	// block-granular issue; arXiv 1606.01607).
+	KindCG CoreKind = "cg"
+)
+
 // Kernel names one simulated machine: a core kind at a width.
 type Kernel struct {
 	// Name identifies the kernel in benchmark output and JSON baselines
 	// (e.g. "straight-4way").
 	Name string
-	// Straight selects the STRAIGHT core; false selects the superscalar.
-	Straight bool
+	// Kind selects the cycle core.
+	Kind CoreKind
 	// Cfg is the Table I model configuration.
 	Cfg uarch.Config
 }
 
-// Kernels returns the benchmarked machines: both cores at both widths,
-// in fixed order (the JSON baseline and the golden files key on Name).
+// Kernels returns the golden-pinned machines: both original cores at
+// both widths, in fixed order. The JSON baseline and golden_stats.json
+// key on Name; this list must not change (golden_stats.json is embedded
+// and its bytes feed VersionSalt). Kernels added later go in
+// ExtraKernels with their own golden file.
 func Kernels() []Kernel {
 	return []Kernel{
-		{Name: "straight-4way", Straight: true, Cfg: uarch.Straight4Way()},
-		{Name: "straight-2way", Straight: true, Cfg: uarch.Straight2Way()},
-		{Name: "ss-4way", Straight: false, Cfg: uarch.SS4Way()},
-		{Name: "ss-2way", Straight: false, Cfg: uarch.SS2Way()},
-		{Name: "straight-4way-membound", Straight: true, Cfg: uarch.Straight4WayMemBound()},
-		{Name: "ss-4way-membound", Straight: false, Cfg: uarch.SS4WayMemBound()},
+		{Name: "straight-4way", Kind: KindStraight, Cfg: uarch.Straight4Way()},
+		{Name: "straight-2way", Kind: KindStraight, Cfg: uarch.Straight2Way()},
+		{Name: "ss-4way", Kind: KindSS, Cfg: uarch.SS4Way()},
+		{Name: "ss-2way", Kind: KindSS, Cfg: uarch.SS2Way()},
+		{Name: "straight-4way-membound", Kind: KindStraight, Cfg: uarch.Straight4WayMemBound()},
+		{Name: "ss-4way-membound", Kind: KindSS, Cfg: uarch.SS4WayMemBound()},
 	}
 }
 
-// KernelByName returns the kernel with the given Name.
+// ExtraKernels returns machines added after the golden corpus was
+// pinned. They are benchmarked and golden-tested like Kernels(), but
+// against a separate, non-embedded golden file
+// (testdata/golden_stats_extra.json) so the embedded corpus — and hence
+// VersionSalt — stays byte-stable.
+func ExtraKernels() []Kernel {
+	return []Kernel{
+		{Name: "cg-4way", Kind: KindCG, Cfg: uarch.CG4Way()},
+		{Name: "cg-2way", Kind: KindCG, Cfg: uarch.CG2Way()},
+	}
+}
+
+// AllKernels returns Kernels() plus ExtraKernels(), in that order.
+func AllKernels() []Kernel {
+	return append(Kernels(), ExtraKernels()...)
+}
+
+// KernelByName returns the kernel with the given Name (searching the
+// golden-pinned and extra lists).
 func KernelByName(name string) (Kernel, error) {
-	for _, k := range Kernels() {
+	for _, k := range AllKernels() {
 		if k.Name == name {
 			return k, nil
 		}
@@ -49,12 +85,35 @@ func KernelByName(name string) (Kernel, error) {
 // BuildImage compiles the workload for the kernel's ISA (cached by
 // internal/bench's singleflight build cache). STRAIGHT images use the
 // RE+ compiler at the paper's distance bound, matching the headline
-// figures.
+// figures; the rename-based kernels (SS, CG) share the RISC-V build.
 func BuildImage(k Kernel, w workloads.Workload, iters int) (*program.Image, error) {
-	if k.Straight {
+	if k.Kind == KindStraight {
 		return bench.BuildSTRAIGHT(w, iters, k.Cfg.MaxDistance, bench.ModeREP)
 	}
 	return bench.BuildRISCV(w, iters)
+}
+
+// Core is the interface every cycle core's thin wrapper satisfies (they
+// all front the same engine); perf drives whichever kind the kernel
+// names through it.
+type Core interface {
+	Run(opts engine.Options) (*engine.Result, error)
+	RunCycles(opts engine.Options, n int64) error
+	Reset(img *program.Image)
+	Exited() bool
+	Stats() uarch.Stats
+}
+
+// NewCore constructs the kernel's core over the image.
+func NewCore(k Kernel, im *program.Image, opts engine.Options) Core {
+	switch k.Kind {
+	case KindStraight:
+		return straightcore.New(k.Cfg, im, opts)
+	case KindCG:
+		return cgcore.New(k.Cfg, im, opts)
+	default:
+		return sscore.New(k.Cfg, im, opts)
+	}
 }
 
 // RunResult is one measured simulation.
@@ -91,27 +150,16 @@ func Run(k Kernel, im *program.Image) (RunResult, error) {
 // RunWith is Run with an explicit measurement mode.
 func RunWith(k Kernel, im *program.Image, o Options) (RunResult, error) {
 	start := time.Now()
-	var st uarch.Stats
-	if k.Straight {
-		res, err := straightcore.New(k.Cfg, im, straightcore.Options{}).
-			Run(straightcore.Options{MaxCycles: runCycleCap, NoIdleSkip: o.NoIdleSkip})
-		if err != nil {
-			return RunResult{}, err
-		}
-		st = res.Stats
-	} else {
-		res, err := sscore.New(k.Cfg, im, sscore.Options{}).
-			Run(sscore.Options{MaxCycles: runCycleCap, NoIdleSkip: o.NoIdleSkip})
-		if err != nil {
-			return RunResult{}, err
-		}
-		st = res.Stats
-	}
-	elapsed := time.Since(start)
-	if err := st.Check(k.Cfg); err != nil {
+	res, err := NewCore(k, im, engine.Options{}).
+		Run(engine.Options{MaxCycles: runCycleCap, NoIdleSkip: o.NoIdleSkip})
+	if err != nil {
 		return RunResult{}, err
 	}
-	return RunResult{Stats: st, Elapsed: elapsed}, nil
+	elapsed := time.Since(start)
+	if err := res.Stats.Check(k.Cfg); err != nil {
+		return RunResult{}, err
+	}
+	return RunResult{Stats: res.Stats, Elapsed: elapsed}, nil
 }
 
 // Runner multiplexes many runs through one reusable core: the first Run
@@ -122,8 +170,7 @@ func RunWith(k Kernel, im *program.Image, o Options) (RunResult, error) {
 type Runner struct {
 	k    Kernel
 	o    Options
-	sc   *straightcore.Core
-	ss   *sscore.Core
+	core Core
 	runs int
 }
 
@@ -140,36 +187,21 @@ func (r *Runner) Runs() int { return r.runs }
 // previous call when there was one.
 func (r *Runner) Run(im *program.Image) (RunResult, error) {
 	start := time.Now()
-	var st uarch.Stats
-	if r.k.Straight {
-		if r.sc == nil {
-			r.sc = straightcore.New(r.k.Cfg, im, straightcore.Options{})
-		} else {
-			r.sc.Reset(im)
-		}
-		res, err := r.sc.Run(straightcore.Options{MaxCycles: runCycleCap, NoIdleSkip: r.o.NoIdleSkip})
-		if err != nil {
-			return RunResult{}, err
-		}
-		st = res.Stats
+	if r.core == nil {
+		r.core = NewCore(r.k, im, engine.Options{})
 	} else {
-		if r.ss == nil {
-			r.ss = sscore.New(r.k.Cfg, im, sscore.Options{})
-		} else {
-			r.ss.Reset(im)
-		}
-		res, err := r.ss.Run(sscore.Options{MaxCycles: runCycleCap, NoIdleSkip: r.o.NoIdleSkip})
-		if err != nil {
-			return RunResult{}, err
-		}
-		st = res.Stats
+		r.core.Reset(im)
+	}
+	res, err := r.core.Run(engine.Options{MaxCycles: runCycleCap, NoIdleSkip: r.o.NoIdleSkip})
+	if err != nil {
+		return RunResult{}, err
 	}
 	elapsed := time.Since(start)
-	if err := st.Check(r.k.Cfg); err != nil {
+	if err := res.Stats.Check(r.k.Cfg); err != nil {
 		return RunResult{}, err
 	}
 	r.runs++
-	return RunResult{Stats: st, Elapsed: elapsed}, nil
+	return RunResult{Stats: res.Stats, Elapsed: elapsed}, nil
 }
 
 // BenchIters is the Dhrystone iteration count the KIPS benchmarks and

@@ -93,6 +93,12 @@ type Config struct {
 	// (STRAIGHT §III-B; the cascaded SP adders limit).
 	SPAddPerGroup int
 
+	// CGBlockSize caps the instructions per coarse-grain block in the
+	// CG-OoO comparison core (arXiv 1606.01607): blocks issue in order
+	// internally, out of order with respect to each other. Blocks also
+	// end at every control instruction. 0 = the cgcore default (8).
+	CGBlockSize int
+
 	// FuncLatency overrides (zero = defaults: ALU 1, MUL 3, DIV 20).
 	ALULatency int
 	MulLatency int
@@ -231,6 +237,29 @@ func memBound(c Config) Config {
 
 // SS4WayMemBound is the memory-bound benchmark variant of SS4Way.
 func SS4WayMemBound() Config { return memBound(SS4Way()) }
+
+// CG4Way is the 4-way coarse-grain OoO comparison model: the SS4Way
+// machine with issue constrained to in-order within 8-instruction
+// blocks (CG-OoO's block-level out-of-order, arXiv 1606.01607). It
+// shares the SS front end, rename and recovery model, so IPC deltas
+// against SS4Way isolate the scheduling restriction.
+func CG4Way() Config {
+	c := SS4Way()
+	c.Name = "CG-4way"
+	c.CGBlockSize = 8
+	return c
+}
+
+// CG2Way is the 2-way coarse-grain OoO comparison model (see CG4Way).
+func CG2Way() Config {
+	c := SS2Way()
+	c.Name = "CG-2way"
+	c.CGBlockSize = 8
+	return c
+}
+
+// CG4WayMemBound is the memory-bound benchmark variant of CG4Way.
+func CG4WayMemBound() Config { return memBound(CG4Way()) }
 
 // Straight4WayMemBound is the memory-bound benchmark variant of
 // Straight4Way.

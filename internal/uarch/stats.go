@@ -40,6 +40,11 @@ type Stats struct {
 	IQWakeups uint64
 	IQIssued  uint64
 	Replays   uint64 // scheduler replays (0 under the perfect hit predictor)
+	// CGGateHolds counts ready scheduler entries held back by the
+	// coarse-grain in-block issue gate (cgcore only; always 0 for the
+	// ungated policies). omitempty keeps the embedded golden corpus —
+	// whose bytes feed perf.VersionSalt — unchanged for those policies.
+	CGGateHolds uint64 `json:",omitempty"`
 
 	// Memory system.
 	Loads            uint64
@@ -153,6 +158,9 @@ func (s *Stats) Check(cfg Config) error {
 	if s.IQIssued > uint64(cfg.IssueWidth)*cyc {
 		return fail("iqIssued %d > IssueWidth(%d) x cycles(%d)", s.IQIssued, cfg.IssueWidth, s.Cycles)
 	}
+	if s.CGGateHolds > uint64(cfg.SchedulerSize)*cyc {
+		return fail("cgGateHolds %d > SchedulerSize(%d) x cycles(%d)", s.CGGateHolds, cfg.SchedulerSize, s.Cycles)
+	}
 	if s.Replays > s.IQIssued {
 		return fail("replays %d > issued %d", s.Replays, s.IQIssued)
 	}
@@ -208,6 +216,9 @@ func (s *Stats) String() string {
 		s.RenameReads, s.RenameWrites, s.FreeListOps, s.ROBWalkSteps, s.RPAdditions, s.SPAddExecuted)
 	fmt.Fprintf(&b, "activity: fetched=%d wakeups=%d issued=%d regReads=%d regWrites=%d\n",
 		s.FetchedInsts, s.IQWakeups, s.IQIssued, s.RegReads, s.RegWrites)
+	if s.CGGateHolds > 0 {
+		fmt.Fprintf(&b, "cgGateHolds=%d\n", s.CGGateHolds)
+	}
 	fmt.Fprintf(&b, "retiredByClass=%v\n", s.RetiredByClass)
 	return b.String()
 }

@@ -2,7 +2,10 @@
 # Simulation-kernel performance check (see DESIGN.md §11 and
 # EXPERIMENTS.md): run the KIPS benchmarks, then compare freshly
 # measured throughput against the checked-in BENCH_simkernel.json via
-# cmd/simbench, failing on a >15% regression.
+# cmd/simbench, failing on a >15% regression. The baseline covers every
+# policy core — straightcore, sscore, and the coarse-grain cgcore — in
+# both widths, so a slowdown in the shared engine or in any one policy
+# trips the guard.
 #
 # Usage:
 #   scripts/bench.sh          # benchmark + regression check
