@@ -248,6 +248,12 @@ func main() {
 			check(err)
 			fmt.Print(bench.FormatWindowScaling(pts))
 		})
+
+		section("Extension: sampled vs full simulation (DESIGN.md §16)", func() {
+			rows, err := bench.SampledVsFull(scale)
+			check(err)
+			fmt.Print(bench.FormatSampled(rows))
+		})
 	}
 
 	total := time.Since(start)

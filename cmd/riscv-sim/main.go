@@ -4,6 +4,14 @@
 // Usage:
 //
 //	riscv-sim [-config 2way|4way] [-tage] [-nopenalty] [-validate] [-trace out.kanata] file.s
+//	riscv-sim -sample [-sample-interval N] [-sample-warmup N] [-sample-window N] file.s
+//
+// -sample switches to sampled simulation (DESIGN.md §16): a functional
+// fast-forward with periodic checkpoints, detailed simulation of warmed
+// sample windows, and a reconstructed whole-program estimate with
+// confidence intervals, printed to stderr in place of the full pipeline
+// statistics. Program output and the exit code are exact (the
+// fast-forward executes every instruction).
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"straight/internal/profiling"
 	"straight/internal/ptrace"
 	"straight/internal/rasm"
+	"straight/internal/sampling"
 	"straight/internal/uarch"
 )
 
@@ -23,6 +32,11 @@ func main() {
 	tage := flag.Bool("tage", false, "use the TAGE predictor instead of gshare")
 	nopenalty := flag.Bool("nopenalty", false, "idealize misprediction recovery (Fig 13)")
 	validate := flag.Bool("validate", false, "cross-validate against the functional emulator")
+	sample := flag.Bool("sample", false, "sampled simulation: fast-forward + measured sample windows")
+	sampleInterval := flag.Uint64("sample-interval", 0, "override the interval plan's checkpoint spacing")
+	sampleWarmup := flag.Uint64("sample-warmup", 0, "override the interval plan's detailed warmup length")
+	sampleWindow := flag.Uint64("sample-window", 0, "override the interval plan's measured window length")
+	sampleWarmMem := flag.Uint64("sample-warmmem", 0, "override the interval plan's functional-warming burst length")
 	tracePath := flag.String("trace", "", "write a Kanata pipeline trace to this path (plus <path>.series.json)")
 	traceWindow := flag.Int64("trace-window", 0, "trace time-series window in cycles (0 = default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this path")
@@ -52,6 +66,26 @@ func main() {
 		cfg.Predictor = uarch.PredTAGE
 	}
 	cfg.ZeroMispredictPenalty = *nopenalty
+	if *sample {
+		if *tracePath != "" || *validate {
+			fatal(fmt.Errorf("-sample cannot be combined with -trace or -validate"))
+		}
+		plan := sampling.DefaultPlan()
+		overridePlan(&plan, *sampleInterval, *sampleWarmup, *sampleWindow, *sampleWarmMem)
+		tgt, err := sampling.NewTarget("ss", cfg, im)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := sampling.Run(tgt, plan, sampling.Options{Output: os.Stdout})
+		if err != nil {
+			fatal(err)
+		}
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "\n--- %s (sampled) ---\n%s", cfg.Name, rep.String())
+		os.Exit(int(rep.ExitCode))
+	}
 	opts := sscore.Options{CrossValidate: *validate, Output: os.Stdout}
 	var traceFile *os.File
 	if *tracePath != "" {
@@ -86,6 +120,23 @@ func finishTrace(tr *ptrace.Tracer, f *os.File, path string) error {
 		return err
 	}
 	return ptrace.WriteSeriesFile(ptrace.SeriesPath(path), tr.Series())
+}
+
+// overridePlan applies the non-zero -sample-* flag overrides to the
+// default interval plan.
+func overridePlan(p *sampling.Plan, interval, warmup, window, warmMem uint64) {
+	if interval > 0 {
+		p.Interval = interval
+	}
+	if warmup > 0 {
+		p.Warmup = warmup
+	}
+	if window > 0 {
+		p.Window = window
+	}
+	if warmMem > 0 {
+		p.WarmMem = warmMem
+	}
 }
 
 func fatal(err error) {

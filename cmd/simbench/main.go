@@ -6,17 +6,22 @@
 // Usage:
 //
 //	simbench [-count N] -o BENCH_simkernel.json         # record a baseline
-//	simbench [-count N] [-threshold F] [-noskip|-batch] -compare BENCH_simkernel.json
+//	simbench [-count N] [-threshold F] [-noskip|-batch|-sampled] -compare BENCH_simkernel.json
 //
 // Record mode runs every kernel on the benchmark workload (best-of-N)
-// in all three measurement modes — idle-skip on (the default fast
-// path), idle-skip off (strict cycle stepping), and batch (one core
-// recycled with Reset between runs) — and writes the JSON baseline; an
-// existing baseline's pre_rewrite_kips fields are carried forward so
-// the historical speedup stays visible. The kips/noskip_kips ratio in
-// the baseline documents the event-driven skip win per kernel; cycle
-// counts are bit-identical across all modes, so the ratio is pure
-// kernel speedup.
+// in all four measurement modes — idle-skip on (the default fast
+// path), idle-skip off (strict cycle stepping), batch (one core
+// recycled with Reset between runs), and sampled (the long-workload
+// tier under the default interval plan, measuring steady-state
+// effective KIPS against a warm result store) — and writes the JSON
+// baseline; an existing baseline's pre_rewrite_kips fields are carried
+// forward so the historical speedup stays visible. The
+// kips/noskip_kips ratio in the baseline documents the event-driven
+// skip win per kernel (cycle counts are bit-identical across those
+// modes, so the ratio is pure kernel speedup); sampled_kips/kips
+// documents the effective steady-state speedup of sampled simulation
+// over full detail (the cold first-run speedup is the experiments
+// binary's sampled-vs-full section).
 //
 // Compare mode measures fresh and exits non-zero if any kernel's KIPS
 // fell more than the threshold below the baseline — a small Go
@@ -57,6 +62,18 @@ type kernelResult struct {
 	// BatchKIPS is the same measurement in batch mode: one core recycled
 	// with Reset between runs instead of constructed per run.
 	BatchKIPS float64 `json:"batch_kips,omitempty"`
+	// SampledKIPS is steady-state effective sampled-simulation
+	// throughput: the long-workload tier (dhrystone-long) under the
+	// default interval plan (internal/sampling, DESIGN.md §16), total
+	// program instructions over per-run wall time with a warm result
+	// store — the regime where the checkpoint sequence and every window
+	// are content-addressed hits and the run reduces to hashing.
+	// sampled_kips divided by kips is the effective steady-state speedup
+	// of sampled over full detailed simulation.
+	SampledKIPS float64 `json:"sampled_kips,omitempty"`
+	// SampledRetired is the long workload's retired instruction count —
+	// the instructions sampled_kips is effective over.
+	SampledRetired uint64 `json:"sampled_retired_insts,omitempty"`
 	// PreRewriteKIPS is the same measurement taken at the commit before
 	// the allocation-free kernel rewrite, on the same host as KIPS, for
 	// the historical record; it is carried forward verbatim on re-record.
@@ -79,6 +96,9 @@ var modes = map[string]mode{
 	"batch": {"batch", func(k perf.Kernel, count int) (float64, uint64, error) {
 		return perf.MeasureBatchKIPS(k, count)
 	}},
+	"sampled": {"sampled", func(k perf.Kernel, count int) (float64, uint64, error) {
+		return perf.MeasureSampledKIPS(k, count)
+	}},
 }
 
 func main() {
@@ -88,9 +108,16 @@ func main() {
 	threshold := flag.Float64("threshold", 0.15, "allowed fractional KIPS drop before failing")
 	noskip := flag.Bool("noskip", false, "compare mode: measure with idle skipping disabled, against noskip_kips")
 	batch := flag.Bool("batch", false, "compare mode: measure in batch (core-reuse) mode, against batch_kips")
+	sampled := flag.Bool("sampled", false, "compare mode: measure effective sampled throughput, against sampled_kips")
 	flag.Parse()
-	if (*out == "") == (*compare == "") || (*noskip && *batch) || (*out != "" && (*noskip || *batch)) {
-		fmt.Fprintln(os.Stderr, "usage: simbench [-count N] -o FILE | [-threshold F] [-noskip|-batch] -compare FILE")
+	exclusive := 0
+	for _, f := range []bool{*noskip, *batch, *sampled} {
+		if f {
+			exclusive++
+		}
+	}
+	if (*out == "") == (*compare == "") || exclusive > 1 || (*out != "" && exclusive > 0) {
+		fmt.Fprintln(os.Stderr, "usage: simbench [-count N] -o FILE | [-threshold F] [-noskip|-batch|-sampled] -compare FILE")
 		os.Exit(2)
 	}
 
@@ -104,6 +131,8 @@ func main() {
 		m = modes["noskip"]
 	} else if *batch {
 		m = modes["batch"]
+	} else if *sampled {
+		m = modes["sampled"]
 	}
 	os.Exit(compareMode(*compare, m, *count, *threshold))
 }
@@ -130,8 +159,11 @@ func measureAll(count int) *baseline {
 		if r.BatchKIPS, _, err = modes["batch"].measure(k, count); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%8.0f KIPS  noskip %8.0f  batch %8.0f  (skip ×%.1f, %d insts, best of %d)\n",
-			r.KIPS, r.NoSkipKIPS, r.BatchKIPS, r.KIPS/r.NoSkipKIPS, r.Retired, count)
+		if r.SampledKIPS, r.SampledRetired, err = modes["sampled"].measure(k, count); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%8.0f KIPS  noskip %8.0f  batch %8.0f  sampled %8.0f (×%.0f eff)  (skip ×%.1f, %d insts, best of %d)\n",
+			r.KIPS, r.NoSkipKIPS, r.BatchKIPS, r.SampledKIPS, r.SampledKIPS/r.KIPS, r.KIPS/r.NoSkipKIPS, r.Retired, count)
 		b.Kernels = append(b.Kernels, r)
 	}
 	return b
@@ -145,6 +177,8 @@ func baselineKIPS(r kernelResult, m mode) (float64, bool) {
 		return r.NoSkipKIPS, r.NoSkipKIPS > 0
 	case "batch":
 		return r.BatchKIPS, r.BatchKIPS > 0
+	case "sampled":
+		return r.SampledKIPS, r.SampledKIPS > 0
 	default:
 		return r.KIPS, r.KIPS > 0
 	}

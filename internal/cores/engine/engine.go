@@ -196,6 +196,12 @@ type Policy[I Inst] interface {
 	Init(c *Core[I], img *program.Image, out io.Writer)
 	// Reset restores policy state for batch reuse (Core.Reset contract).
 	Reset(c *Core[I], img *program.Image)
+	// Restore seeds the policy's architectural state — golden emulator,
+	// rename bookkeeping, committed register values — from a mid-program
+	// checkpoint. Core.Restart is the only caller; it runs Reset first,
+	// so Restore starts from a clean power-on core and only has to layer
+	// the checkpointed state on top (DESIGN.md §16).
+	Restore(c *Core[I], ck ArchState) error
 
 	// Decode decodes one instruction word; ok=false halts fetch until
 	// the next redirect (wrong-path garbage).

@@ -37,6 +37,15 @@ func (c *Core) RunCycles(opts Options, n int64) error { return c.eng.RunCycles(o
 // engine.Core.Reset).
 func (c *Core) Reset(img *program.Image) { c.eng.Reset(img) }
 
+// Restart resets the core and seeds it from a mid-program architectural
+// checkpoint (a *riscvemu.Checkpoint), so simulation resumes at the
+// checkpointed PC (see engine.Core.Restart and DESIGN.md §16).
+func (c *Core) Restart(img *program.Image, ck engine.ArchState) error { return c.eng.Restart(img, ck) }
+
+// AdoptWarm copies functionally-warmed cache/predictor state into the
+// core after a Restart (see engine.Core.AdoptWarm).
+func (c *Core) AdoptWarm(w *uarch.WarmState) { c.eng.AdoptWarm(w) }
+
 // Exited reports whether the simulated program has exited.
 func (c *Core) Exited() bool { return c.eng.HasExited() }
 

@@ -93,6 +93,26 @@ func (p *Policy) Reset(c *engine.Core[riscv.Inst], img *program.Image) {
 	}
 }
 
+//lint:coldpath window boundary: runs between sample windows, never inside the cycle loop
+func (p *Policy) Restore(c *engine.Core[riscv.Inst], ck engine.ArchState) error {
+	rck, ok := ck.(*riscvemu.Checkpoint)
+	if !ok {
+		return fmt.Errorf("sscore: checkpoint type %T, want *riscvemu.Checkpoint", ck)
+	}
+	p.emu.Restore(rck)
+	p.emu.SetOutput(p.out)
+	// Reset rebuilt the identity RMT and the free list; layering the
+	// committed architectural values into physicals 0..31 completes the
+	// state (x0 stays zero — Reg(0) is architecturally zero).
+	for i := 0; i < 32; i++ {
+		c.PRF[i] = p.emu.Reg(i)
+	}
+	if p.fetchOracle != nil {
+		p.fetchOracle.Restore(rck)
+	}
+	return nil
+}
+
 func (p *Policy) Decode(raw uint32) (riscv.Inst, engine.InstInfo, bool) {
 	inst := riscv.Decode(raw)
 	if inst.Op == riscv.ILLEGAL {

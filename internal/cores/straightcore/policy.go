@@ -73,6 +73,35 @@ func (p *policy) Reset(c *engine.Core[straight.Inst], img *program.Image) {
 	}
 }
 
+//lint:coldpath window boundary: runs between sample windows, never inside the cycle loop
+func (p *policy) Restore(c *engine.Core[straight.Inst], ck engine.ArchState) error {
+	sck, ok := ck.(*straightemu.Checkpoint)
+	if !ok {
+		return fmt.Errorf("straightcore: checkpoint type %T, want *straightemu.Checkpoint", ck)
+	}
+	p.emu.Restore(sck)
+	p.emu.SetOutput(p.out)
+	// RP is the dynamic instruction count mod MAX_RP: at power-on both
+	// are zero and every instruction advances both by one (paper §III).
+	count := p.emu.InstCount()
+	p.rp = int32(count % uint64(p.maxRP))
+	p.decSP = p.emu.SP()
+	// Seed the committed sliding window: the value at distance d from the
+	// next instruction lives in physical register (RP − d) mod MAX_RP.
+	// Reset zeroed PRFReady, so every seeded value is ready at cycle 0.
+	for d := int32(1); d <= int32(c.Cfg.MaxDistance); d++ {
+		reg := p.rp - d
+		if reg < 0 {
+			reg += p.maxRP
+		}
+		c.PRF[reg] = p.emu.Reg(uint16(d))
+	}
+	if p.fetchOracle != nil {
+		p.fetchOracle.Restore(sck)
+	}
+	return nil
+}
+
 func (p *policy) Decode(raw uint32) (straight.Inst, engine.InstInfo, bool) {
 	inst, err := straight.Decode(raw)
 	if err != nil {

@@ -1,0 +1,79 @@
+package riscvemu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"straight/internal/program"
+)
+
+// Binary checkpoint serialization (DESIGN.md §16). The encoding is
+// canonical — a given architectural state always produces identical
+// bytes — because the sampled simulator content-addresses sample windows
+// by checkpoint hash. The memory encoding (program.Memory) sorts pages
+// and omits all-zero frames to guarantee this.
+
+// ckptMagic identifies a serialized RV32 checkpoint and versions the
+// layout; bump the digit when the encoding changes shape.
+const ckptMagic = "RV32CKP1"
+
+// ckptHeadSize is the fixed-size portion: magic, pc, count, exited,
+// exitCode, and the 32 architectural registers.
+const ckptHeadSize = len(ckptMagic) + 4 + 8 + 1 + 4 + 32*4
+
+// MarshalBinary serializes the checkpoint.
+func (c *Checkpoint) MarshalBinary() ([]byte, error) {
+	b := make([]byte, 0, ckptHeadSize+c.mem.MappedBytes()+64)
+	b = append(b, ckptMagic...)
+	b = binary.LittleEndian.AppendUint32(b, c.pc)
+	b = binary.LittleEndian.AppendUint64(b, c.count)
+	if c.exited {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(c.exitCode))
+	for _, v := range c.regs {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	return c.mem.AppendBinary(b), nil
+}
+
+// UnmarshalBinary replaces c with the checkpoint serialized in data,
+// validating the magic, the framing, and that no bytes trail the
+// encoding.
+func (c *Checkpoint) UnmarshalBinary(data []byte) error {
+	if len(data) < ckptHeadSize {
+		return fmt.Errorf("riscvemu: checkpoint decode: %d bytes, want at least %d", len(data), ckptHeadSize)
+	}
+	if string(data[:len(ckptMagic)]) != ckptMagic {
+		return fmt.Errorf("riscvemu: checkpoint decode: bad magic %q", data[:len(ckptMagic)])
+	}
+	p := data[len(ckptMagic):]
+	c.pc = binary.LittleEndian.Uint32(p)
+	c.count = binary.LittleEndian.Uint64(p[4:])
+	switch p[12] {
+	case 0:
+		c.exited = false
+	case 1:
+		c.exited = true
+	default:
+		return fmt.Errorf("riscvemu: checkpoint decode: bad exited flag %d", p[12])
+	}
+	c.exitCode = int32(binary.LittleEndian.Uint32(p[13:]))
+	p = p[17:]
+	for i := range c.regs {
+		c.regs[i] = binary.LittleEndian.Uint32(p[i*4:])
+	}
+	if c.mem == nil {
+		c.mem = program.NewMemory()
+	}
+	rest, err := c.mem.DecodeBinary(p[len(c.regs)*4:])
+	if err != nil {
+		return fmt.Errorf("riscvemu: checkpoint decode: %w", err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("riscvemu: checkpoint decode: %d trailing bytes", len(rest))
+	}
+	return nil
+}

@@ -103,6 +103,14 @@ type Machine struct {
 	ioBuf []byte    // reusable console-output buffer (keeps syscalls allocation-free)
 	stats Stats
 
+	// dec caches the decode of every text word so Step pays the decoder
+	// once per static instruction instead of once per dynamic one — the
+	// dominant cost of the architectural loop when it serves as the
+	// sampled simulator's fast-forward engine (DESIGN.md §16). riscv
+	// decode is total (bad words decode to ILLEGAL), so no validity side
+	// array is needed. Replaced wholesale, never mutated, so Clone shares.
+	dec []riscv.Inst //lint:resetless predecoded text cache, keyed to the image; Reset rebuilds it on image change
+
 	// TraceFn, when non-nil, receives every retired instruction.
 	TraceFn func(Retired)
 }
@@ -114,6 +122,8 @@ type Retired struct {
 	Inst   riscv.Inst
 	Result uint32 // value written to Rd (0 if none)
 	NextPC uint32
+	// MemAddr is the effective address of a load or store (else 0).
+	MemAddr uint32
 }
 
 // New creates a machine for the image with an isolated memory copy.
@@ -127,7 +137,18 @@ func New(im *program.Image) *Machine {
 	}
 	m.regs[riscv.RegSP] = program.DefaultStackTop
 	m.mem.LoadImage(im)
+	m.predecode()
 	return m
+}
+
+// predecode decodes every text word once. A fresh slice is allocated on
+// every rebuild so clones sharing the old cache stay consistent.
+func (m *Machine) predecode() {
+	dec := make([]riscv.Inst, len(m.image.Text))
+	for i, w := range m.image.Text {
+		dec[i] = riscv.Decode(w)
+	}
+	m.dec = dec
 }
 
 // Reset returns the machine to power-on state for img (nil = rerun the
@@ -138,7 +159,11 @@ func (m *Machine) Reset(img *program.Image) {
 	if img == nil {
 		img = m.image
 	}
+	rebuild := img != m.image || m.dec == nil
 	m.image = img
+	if rebuild {
+		m.predecode()
+	}
 	m.mem.Reset()
 	m.mem.LoadImage(img)
 	m.pc = img.Entry
@@ -195,7 +220,12 @@ func (m *Machine) Step() error {
 	if err != nil {
 		return m.fault(FaultFetch, "%v", err)
 	}
-	inst := riscv.Decode(w)
+	var inst riscv.Inst
+	if i := (m.pc - m.image.TextBase) / program.InstructionBytes; m.dec != nil {
+		inst = m.dec[i]
+	} else {
+		inst = riscv.Decode(w)
+	}
 	op := inst.Op
 	if op == riscv.ILLEGAL {
 		return m.fault(FaultDecode, "illegal instruction %#08x", w)
@@ -205,6 +235,7 @@ func (m *Machine) Step() error {
 	rs2 := m.regs[inst.Rs2]
 	nextPC := m.pc + 4
 	var result uint32
+	var memAddr uint32
 	writes := inst.WritesRd()
 
 	switch op.Class() {
@@ -225,6 +256,7 @@ func (m *Machine) Step() error {
 		}
 	case riscv.ClassLoad:
 		addr := rs1 + uint32(inst.Imm)
+		memAddr = addr
 		width, _ := riscv.LoadWidth(op)
 		if addr%uint32(width) != 0 {
 			return m.fault(FaultMisaligned, "misaligned %s at %#08x", op, addr)
@@ -233,6 +265,7 @@ func (m *Machine) Step() error {
 		m.stats.Loads++
 	case riscv.ClassStore:
 		addr := rs1 + uint32(inst.Imm)
+		memAddr = addr
 		width := riscv.StoreWidth(op)
 		if addr%uint32(width) != 0 {
 			return m.fault(FaultMisaligned, "misaligned %s at %#08x", op, addr)
@@ -277,7 +310,7 @@ func (m *Machine) Step() error {
 	m.count++
 	m.stats.Retired[op]++
 	if m.TraceFn != nil {
-		m.TraceFn(Retired{Count: m.count - 1, PC: prevPC, Inst: inst, Result: result, NextPC: nextPC})
+		m.TraceFn(Retired{Count: m.count - 1, PC: prevPC, Inst: inst, Result: result, NextPC: nextPC, MemAddr: memAddr})
 	}
 	if m.exited {
 		return io.EOF
@@ -345,6 +378,7 @@ func (m *Machine) Clone() *Machine {
 		exited:   m.exited,
 		exitCode: m.exitCode,
 		out:      io.Discard,
+		dec:      m.dec,
 	}
 	return n
 }
@@ -365,6 +399,19 @@ type Checkpoint struct {
 // was taken.
 func (c *Checkpoint) Count() uint64 { return c.count }
 
+// PC returns the checkpointed program counter.
+func (c *Checkpoint) PC() uint32 { return c.pc }
+
+// Reg returns checkpointed register x[i].
+func (c *Checkpoint) Reg(i int) uint32 { return c.regs[i] }
+
+// Mem exposes the checkpointed memory. Callers must treat it as
+// read-only: the checkpoint stays valid for further Restore calls.
+func (c *Checkpoint) Mem() *program.Memory { return c.mem }
+
+// Exited reports the checkpointed exit status.
+func (c *Checkpoint) Exited() (bool, int32) { return c.exited, c.exitCode }
+
 // Checkpoint captures the architectural state so execution can later be
 // rewound with Restore. The snapshot is independent of the machine and
 // can be restored any number of times.
@@ -376,10 +423,11 @@ func (m *Machine) Checkpoint() *Checkpoint {
 }
 
 // Restore rewinds the machine to a checkpoint taken earlier on the same
-// image. The checkpoint remains valid for further Restore calls.
+// image, reusing the machine's page frames rather than reallocating.
+// The checkpoint remains valid for further Restore calls.
 func (m *Machine) Restore(c *Checkpoint) {
 	m.pc, m.regs, m.count = c.pc, c.regs, c.count
-	m.mem = c.mem.Clone()
+	m.mem.CopyFrom(c.mem)
 	m.exited, m.exitCode = c.exited, c.exitCode
 }
 
@@ -396,4 +444,24 @@ func (m *Machine) Run(maxInsns uint64) (uint64, error) {
 		}
 	}
 	return m.count - start, m.fault(FaultLimit, "instruction limit %d reached without exit", maxInsns)
+}
+
+// RunUntil executes until the retired instruction count reaches target,
+// the program exits, or a fault occurs. Unlike Run, stopping at the
+// target is success, not an error: this is the fast-forward primitive of
+// the sampled simulator (internal/sampling), which pauses execution at
+// interval boundaries to take checkpoints. Step executes exactly one
+// instruction, so the stop lands exactly on target.
+//
+//lint:hotpath
+func (m *Machine) RunUntil(target uint64) error {
+	for m.count < target && !m.exited {
+		if err := m.Step(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
 }

@@ -128,6 +128,14 @@ type Machine struct {
 	// the dynamic counterpart of the static checks in internal/sverify.
 	strictBound uint16 //lint:resetless checking configuration, survives Reset by design
 
+	// dec/decOK cache the decode of every text word so Step pays the
+	// decoder once per static instruction instead of once per dynamic one
+	// — the dominant cost of the architectural loop when it serves as the
+	// sampled simulator's fast-forward engine (DESIGN.md §16). Slices are
+	// replaced wholesale (never mutated in place) so Clone can share them.
+	dec   []straight.Inst //lint:resetless predecoded text cache, keyed to the image; Reset rebuilds it on image change
+	decOK []bool          //lint:resetless predecoded text validity, rebuilt together with dec
+
 	// TraceFn, when non-nil, receives every retired instruction. The cycle
 	// simulator's cross-validation and the examples' tracing hook in here.
 	TraceFn func(Retired)
@@ -155,7 +163,24 @@ func New(im *program.Image) *Machine {
 		out:   io.Discard,
 	}
 	m.mem.LoadImage(im)
+	m.predecode()
 	return m
+}
+
+// predecode decodes every text word once. Words that fail to decode
+// (data or padding placed in text) are marked invalid; Step falls back
+// to the real decoder there, reproducing the exact fault. Fresh slices
+// are allocated on every rebuild so clones sharing the old cache stay
+// consistent.
+func (m *Machine) predecode() {
+	dec := make([]straight.Inst, len(m.image.Text))
+	ok := make([]bool, len(m.image.Text))
+	for i, w := range m.image.Text {
+		if inst, err := straight.Decode(w); err == nil {
+			dec[i], ok[i] = inst, true
+		}
+	}
+	m.dec, m.decOK = dec, ok
 }
 
 // Reset returns the machine to power-on state for img (nil = rerun the
@@ -166,7 +191,11 @@ func (m *Machine) Reset(img *program.Image) {
 	if img == nil {
 		img = m.image
 	}
+	rebuild := img != m.image || m.dec == nil
 	m.image = img
+	if rebuild {
+		m.predecode()
+	}
 	m.mem.Reset()
 	m.mem.LoadImage(img)
 	m.pc = img.Entry
@@ -291,8 +320,10 @@ func (m *Machine) Step() error {
 	if err != nil {
 		return m.fault(FaultFetch, "%v", err)
 	}
-	inst, err := straight.Decode(w)
-	if err != nil {
+	var inst straight.Inst
+	if i := (m.pc - m.image.TextBase) / program.InstructionBytes; m.decOK != nil && m.decOK[i] {
+		inst = m.dec[i]
+	} else if inst, err = straight.Decode(w); err != nil {
 		return m.fault(FaultDecode, "%v", err)
 	}
 	if m.strictBound != 0 {
@@ -455,6 +486,8 @@ func (m *Machine) Clone() *Machine {
 		exited:   m.exited,
 		exitCode: m.exitCode,
 		out:      io.Discard,
+		dec:      m.dec,
+		decOK:    m.decOK,
 	}
 	return n
 }
@@ -476,6 +509,19 @@ type Checkpoint struct {
 // was taken.
 func (c *Checkpoint) Count() uint64 { return c.count }
 
+// PC returns the checkpointed program counter.
+func (c *Checkpoint) PC() uint32 { return c.pc }
+
+// SP returns the checkpointed stack pointer.
+func (c *Checkpoint) SP() uint32 { return c.sp }
+
+// Mem exposes the checkpointed memory. Callers must treat it as
+// read-only: the checkpoint stays valid for further Restore calls.
+func (c *Checkpoint) Mem() *program.Memory { return c.mem }
+
+// Exited reports the checkpointed exit status.
+func (c *Checkpoint) Exited() (bool, int32) { return c.exited, c.exitCode }
+
 // Checkpoint captures the architectural state so execution can later be
 // rewound with Restore. The snapshot is independent of the machine: it
 // stays valid however far execution proceeds, and can be restored any
@@ -489,10 +535,11 @@ func (m *Machine) Checkpoint() *Checkpoint {
 }
 
 // Restore rewinds the machine to a checkpoint taken earlier on the same
-// image. The checkpoint remains valid for further Restore calls.
+// image, reusing the machine's page frames rather than reallocating.
+// The checkpoint remains valid for further Restore calls.
 func (m *Machine) Restore(c *Checkpoint) {
 	m.pc, m.sp, m.count, m.ring = c.pc, c.sp, c.count, c.ring
-	m.mem = c.mem.Clone()
+	m.mem.CopyFrom(c.mem)
 	m.exited, m.exitCode = c.exited, c.exitCode
 }
 
@@ -511,4 +558,24 @@ func (m *Machine) Run(maxInsns uint64) (uint64, error) {
 		}
 	}
 	return m.count - start, m.fault(FaultLimit, "instruction limit %d reached without exit", maxInsns)
+}
+
+// RunUntil executes until the dynamic instruction count reaches target,
+// the program exits, or a fault occurs. Unlike Run, stopping at the
+// target is success, not an error: this is the fast-forward primitive of
+// the sampled simulator (internal/sampling), which pauses execution at
+// interval boundaries to take checkpoints. Step executes exactly one
+// instruction, so the stop lands exactly on target.
+//
+//lint:hotpath
+func (m *Machine) RunUntil(target uint64) error {
+	for m.count < target && !m.exited {
+		if err := m.Step(); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,91 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"straight/internal/resultstore"
+	"straight/internal/sampling"
+	"straight/internal/workloads"
+)
+
+// SampledBenchWorkload is the workload the sampled-throughput benchmark
+// measures: the long-running tier, where fast-forward dominates and
+// sampling pays off. (On the short BenchWorkload the detailed windows
+// would cover most of the program and the "speedup" would measure
+// nothing.)
+const SampledBenchWorkload = workloads.DhrystoneLong
+
+// SampledBenchIters matches BenchIters; DhrystoneLong scales its
+// iteration count by workloads.LongScale internally, so the sampled
+// benchmark simulates 20× the instructions of the detailed benchmark.
+const SampledBenchIters = BenchIters
+
+// sampledReps is how many fully-cached runs each timed measurement
+// amortizes over. Steady-state runs reduce to hashing checkpoints and
+// decoding stored windows (~a millisecond), so a single run's wall
+// time is mostly timer and allocator noise; a batch — preceded by a
+// forced GC so collection pauses land between batches, not inside
+// them — gives the 15% regression guard a stable number.
+const sampledReps = 40
+
+// MeasureSampledKIPS measures effective sampled-simulation throughput
+// in the sweep steady state: the long benchmark workload under
+// sampling.DefaultPlan against a result store. One untimed cold run
+// seeds the store (checkpoint sequence + every window); each of the
+// `count` timed measurements then amortizes sampledReps fully-cached
+// runs — the regime a re-run experiment or regression sweep lives in,
+// where the entire run (fast-forward included) reduces to hashing.
+// Returns the best batch's effective KIPS (total program instructions
+// over per-run wall time) and the program's retired-instruction count.
+// Dividing by the same kernel's MeasureKIPS result gives the effective
+// steady-state speedup over full detailed simulation; the cold
+// first-run speedup (~4-6×) is reported by the experiments binary's
+// sampled-vs-full section instead.
+func MeasureSampledKIPS(k Kernel, count int) (kips float64, retired uint64, err error) {
+	dir, err := os.MkdirTemp("", "straight-sampled-bench-*")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := resultstore.Open(filepath.Join(dir, "windows.store"), resultstore.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer store.Close()
+
+	im, err := BuildImage(k, SampledBenchWorkload, SampledBenchIters)
+	if err != nil {
+		return 0, 0, err
+	}
+	tgt, err := sampling.NewTarget(string(k.Kind), k.Cfg, im)
+	if err != nil {
+		return 0, 0, err
+	}
+	opts := sampling.Options{Store: store}
+	rep, err := sampling.Run(tgt, sampling.DefaultPlan(), opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	retired = rep.TotalInsts
+
+	for i := 0; i < count; i++ {
+		runtime.GC()
+		start := time.Now()
+		for j := 0; j < sampledReps; j++ {
+			if _, err := sampling.Run(tgt, sampling.DefaultPlan(), opts); err != nil {
+				return 0, 0, err
+			}
+		}
+		wall := time.Since(start).Seconds()
+		if wall <= 0 {
+			continue
+		}
+		if v := float64(retired) * sampledReps / wall / 1000; v > kips {
+			kips = v
+		}
+	}
+	return kips, retired, nil
+}

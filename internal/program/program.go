@@ -266,3 +266,89 @@ func (m *Memory) Clone() *Memory {
 
 // MappedBytes returns the number of bytes in mapped pages (for stats).
 func (m *Memory) MappedBytes() int { return len(m.pages) * pageSize }
+
+// CopyFrom makes m's observable contents identical to src's while
+// reusing m's already-allocated page frames — the checkpoint-restore
+// analogue of Reset: pages m has but src lacks are zeroed (observably
+// the same as unmapped), shared pages are copied frame-to-frame, and
+// only pages src has that m lacks allocate.
+func (m *Memory) CopyFrom(src *Memory) {
+	for pn, p := range m.pages {
+		if sp := src.pages[pn]; sp != nil {
+			*p = *sp
+		} else {
+			*p = [pageSize]byte{}
+		}
+	}
+	for pn, sp := range src.pages {
+		if _, ok := m.pages[pn]; ok {
+			continue
+		}
+		if m.pages == nil {
+			m.pages = make(map[uint32]*[pageSize]byte)
+		}
+		cp := new([pageSize]byte)
+		*cp = *sp
+		m.pages[pn] = cp
+	}
+	m.lastPN = 0
+	m.lastPage = nil
+}
+
+// zeroPage is the comparison target for skipping all-zero frames during
+// serialization.
+var zeroPage [pageSize]byte
+
+// AppendBinary appends a canonical serialization of the memory to b:
+// a page count followed by (page number, page bytes) records in strictly
+// ascending page order, with all-zero frames omitted. Because unmapped
+// and zeroed pages are observably identical, two memories with equal
+// contents always serialize to identical bytes — the property the
+// content-addressed sample-window cache relies on (DESIGN.md §16).
+func (m *Memory) AppendBinary(b []byte) []byte {
+	pns := make([]uint32, 0, len(m.pages))
+	for pn, p := range m.pages {
+		if *p != zeroPage {
+			pns = append(pns, pn)
+		}
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(pns)))
+	for _, pn := range pns {
+		b = binary.LittleEndian.AppendUint32(b, pn)
+		b = append(b, m.pages[pn][:]...)
+	}
+	return b
+}
+
+// DecodeBinary replaces m's contents with a memory serialized by
+// AppendBinary, returning the remaining bytes. It validates the framing
+// (length, strictly ascending page numbers) so a truncated or corrupted
+// stream is reported instead of silently misloading.
+func (m *Memory) DecodeBinary(data []byte) (rest []byte, err error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("program: memory decode: truncated page count")
+	}
+	n := binary.LittleEndian.Uint32(data)
+	data = data[4:]
+	const recSize = 4 + pageSize
+	if uint64(len(data)) < uint64(n)*recSize {
+		return nil, fmt.Errorf("program: memory decode: %d pages declared, %d bytes remain", n, len(data))
+	}
+	m.Reset()
+	prev := int64(-1)
+	for i := uint32(0); i < n; i++ {
+		pn := binary.LittleEndian.Uint32(data)
+		if pn >= 1<<(32-pageShift) {
+			return nil, fmt.Errorf("program: memory decode: page number %#x outside the 32-bit address space", pn)
+		}
+		if int64(pn) <= prev {
+			return nil, fmt.Errorf("program: memory decode: page numbers not strictly ascending at %#x", pn)
+		}
+		prev = int64(pn)
+		p := m.page(pn<<pageShift, true)
+		copy(p[:], data[4:recSize])
+		data = data[recSize:]
+	}
+	return data, nil
+}

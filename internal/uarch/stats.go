@@ -182,6 +182,54 @@ func (s *Stats) Check(cfg Config) error {
 	return nil
 }
 
+// Sub returns the counter-wise difference s − prev, where prev is an
+// earlier snapshot of the same accumulating run. The sampled simulator
+// uses it to extract a measurement window's contribution after a
+// discarded warmup (DESIGN.md §16). A delta is NOT a finished run and
+// need not satisfy Check: a window can retire instructions fetched
+// before the snapshot, so e.g. Retired > FetchedInsts is legal.
+// TestStatsSubCoversAllFields asserts with reflection that every
+// numeric field is subtracted, so new counters cannot be silently
+// dropped from window deltas.
+func (s Stats) Sub(prev Stats) Stats {
+	d := s
+	d.Cycles -= prev.Cycles
+	d.Retired -= prev.Retired
+	for i := range d.RetiredByClass {
+		d.RetiredByClass[i] -= prev.RetiredByClass[i]
+	}
+	d.CondBranches -= prev.CondBranches
+	d.Mispredicts -= prev.Mispredicts
+	d.TargetMispredict -= prev.TargetMispredict
+	d.RecoveryStall -= prev.RecoveryStall
+	d.FetchedInsts -= prev.FetchedInsts
+	d.RenameReads -= prev.RenameReads
+	d.RenameWrites -= prev.RenameWrites
+	d.FreeListOps -= prev.FreeListOps
+	d.ROBWalkSteps -= prev.ROBWalkSteps
+	d.RPAdditions -= prev.RPAdditions
+	d.SPAddExecuted -= prev.SPAddExecuted
+	d.RegReads -= prev.RegReads
+	d.RegWrites -= prev.RegWrites
+	d.IQWakeups -= prev.IQWakeups
+	d.IQIssued -= prev.IQIssued
+	d.Replays -= prev.Replays
+	d.CGGateHolds -= prev.CGGateHolds
+	d.Loads -= prev.Loads
+	d.Stores -= prev.Stores
+	d.StoreForwards -= prev.StoreForwards
+	d.MemDepViolations -= prev.MemDepViolations
+	d.ROBOccupancy -= prev.ROBOccupancy
+	d.IQOccupancy -= prev.IQOccupancy
+	d.StallROBFull -= prev.StallROBFull
+	d.StallIQFull -= prev.StallIQFull
+	d.StallLSQFull -= prev.StallLSQFull
+	d.StallFreeList -= prev.StallFreeList
+	d.StallFrontEnd -= prev.StallFrontEnd
+	d.StallSPAddLimit -= prev.StallSPAddLimit
+	return d
+}
+
 // IPC returns retired instructions per cycle.
 func (s *Stats) IPC() float64 {
 	if s.Cycles == 0 {

@@ -1,0 +1,77 @@
+package uarch
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillDistinct sets every settable numeric field (and array element) of v
+// to a distinct non-zero value via reflection.
+func fillDistinct(v reflect.Value, next *uint64) {
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillDistinct(v.Field(i), next)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillDistinct(v.Index(i), next)
+		}
+	case reflect.Int64:
+		*next++
+		v.SetInt(int64(*next))
+	case reflect.Uint64:
+		*next++
+		v.SetUint(*next)
+	default:
+		panic("unhandled Stats field kind " + v.Kind().String())
+	}
+}
+
+func assertZero(t *testing.T, v reflect.Value, path string) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			assertZero(t, v.Field(i), path+"."+v.Type().Field(i).Name)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			assertZero(t, v.Index(i), path)
+		}
+	case reflect.Int64:
+		if v.Int() != 0 {
+			t.Errorf("%s = %d after s.Sub(s); Sub does not subtract this field", path, v.Int())
+		}
+	case reflect.Uint64:
+		if v.Uint() != 0 {
+			t.Errorf("%s = %d after s.Sub(s); Sub does not subtract this field", path, v.Uint())
+		}
+	default:
+		t.Fatalf("%s has unhandled kind %v", path, v.Kind())
+	}
+}
+
+// TestStatsSubCoversAllFields proves Stats.Sub subtracts every numeric
+// field: with all fields set to distinct non-zero values, s.Sub(s) must
+// be identically zero — any field Sub forgets keeps its value and fails.
+// This keeps the handwritten Sub in lockstep with the struct as counters
+// are added.
+func TestStatsSubCoversAllFields(t *testing.T) {
+	var s Stats
+	var seed uint64
+	fillDistinct(reflect.ValueOf(&s).Elem(), &seed)
+	d := s.Sub(s)
+	assertZero(t, reflect.ValueOf(d), "Stats")
+}
+
+func TestStatsSubDelta(t *testing.T) {
+	var a, b Stats
+	a.Cycles, b.Cycles = 100, 350
+	a.Retired, b.Retired = 80, 300
+	a.RetiredByClass[0], b.RetiredByClass[0] = 80, 300
+	d := b.Sub(a)
+	if d.Cycles != 250 || d.Retired != 220 || d.RetiredByClass[0] != 220 {
+		t.Fatalf("Sub delta wrong: %+v", d)
+	}
+}

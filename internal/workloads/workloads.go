@@ -16,7 +16,18 @@ const (
 	MicroPointer Workload = "micro-pointer"
 	MicroBranch  Workload = "micro-branch"
 	MicroStream  Workload = "micro-stream"
+	// DhrystoneLong is Dhrystone with its iteration count scaled by
+	// LongScale: the long-running tier (tens of millions of retired
+	// instructions at the standard iteration counts) that only the
+	// sampled simulator can sweep in reasonable time (DESIGN.md §16).
+	DhrystoneLong Workload = "dhrystone-long"
 )
+
+// LongScale is the iteration multiplier of the long-running workload
+// tier: DhrystoneLong at iterations n runs DhrystoneSource(n*LongScale).
+// At the bench-standard 300 iterations this retires ~11.6M instructions
+// on STRAIGHT — inside the 10–50M band the sampling experiments target.
+const LongScale = 20
 
 // All lists the two paper workloads (the ones the figures use).
 var All = []Workload{Dhrystone, CoreMark}
@@ -30,6 +41,8 @@ func Source(w Workload, iterations int) (string, error) {
 	switch w {
 	case Dhrystone:
 		return DhrystoneSource(iterations), nil
+	case DhrystoneLong:
+		return DhrystoneSource(iterations * LongScale), nil
 	case CoreMark:
 		return CoreMarkSource(iterations), nil
 	case MicroFib:

@@ -34,4 +34,7 @@ else
     # can regress silently (see DESIGN.md §12).
     go run ./cmd/simbench -compare BENCH_simkernel.json
     go run ./cmd/simbench -noskip -compare BENCH_simkernel.json
+    # Sampled simulation steady state (DESIGN.md §16): effective KIPS of
+    # fully-cached sampled runs on the long-workload tier.
+    go run ./cmd/simbench -sampled -compare BENCH_simkernel.json
 fi

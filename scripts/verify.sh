@@ -42,6 +42,12 @@ go test -race ./internal/served/...
 # budget on the non-traced step path.
 go test -race ./internal/perf/...
 go test ./internal/perf -run TestSteadyStateAllocs
+# Sampled simulation (DESIGN.md §16): windows fan out over a worker
+# pool sharing one result store, so the runner must be race-clean. The
+# accuracy matrix is too slow under instrumentation; the determinism,
+# idle-skip-invariance and offset tests exercise the same pool, store,
+# and fully-cached fast path.
+go test -race ./internal/sampling -run 'TestSampledDeterminism|TestSampledNoIdleSkipInvariance|TestSampledOffset'
 
 # Bounded differential co-simulation smoke: random programs through the
 # full oracle stack (sverify, strict emulators, cross-ISA observables,
@@ -82,6 +88,12 @@ loop:
 EOF
 go run ./cmd/riscv-sim -trace "$tmpdir/loop.kanata" "$tmpdir/loop.rasm"
 go run ./cmd/straight-trace "$tmpdir/loop.kanata" >/dev/null
+
+# Sampled-simulation CLI smoke (DESIGN.md §16): both simulators under
+# -sample with a small dense plan (these programs retire a handful of
+# instructions; the default 1M interval would take no checkpoints).
+go run ./cmd/straight-sim -sample -sample-interval 1024 -sample-warmup 256 -sample-window 1024 "$tmpdir/fib.sasm"
+go run ./cmd/riscv-sim -sample -sample-interval 1024 -sample-warmup 256 -sample-window 1024 "$tmpdir/loop.rasm"
 
 # Persistent result store (DESIGN.md §14): a second run against the warm
 # store must re-simulate nothing (-require-warm) and reproduce the cold
